@@ -1,0 +1,79 @@
+// Ablation bench for the design choices called out in DESIGN.md §5:
+//
+//  A. Eviction victim policy — the paper's globally-cheapest rule vs a
+//     futures-first variant. Futures-first breaks TopoShot's flood: the
+//     incoming futures would sacrifice each other instead of the pending
+//     txC, so eviction never reaches the shield transaction.
+//  B. Propagation protocol — pure push vs Geth >= 1.9.11's
+//     sqrt-push + hash announcements. Unlike Bitcoin's announcement-only
+//     propagation (which TxProbe exploits, §4.1), Ethereum's direct-push
+//     component keeps TopoShot's isolation intact, so accuracy must be
+//     unchanged — but message counts differ.
+
+#include "bench_common.h"
+#include "graph/generators.h"
+
+namespace {
+
+struct RunResult {
+  topo::core::PrecisionRecall pr;
+  uint64_t messages = 0;
+};
+
+RunResult run(const topo::core::ScenarioOptions& opt, const topo::graph::Graph& g) {
+  using namespace topo;
+  core::Scenario sc(g, opt);
+  sc.seed_background();
+  const uint64_t msgs0 = sc.net().messages_delivered();
+  graph::Graph measured(g.num_nodes());
+  const auto cfg = sc.default_measure_config();
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      const auto r = sc.measure_one_link(sc.targets()[u], sc.targets()[v], cfg);
+      if (r.connected) measured.add_edge(u, v);
+    }
+  }
+  return {core::compare_graphs(g, measured), sc.net().messages_delivered() - msgs0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  const uint64_t seed = cli.get_uint("seed", 44);
+  const size_t n = cli.get_uint("nodes", 10);
+  bench::banner("Ablation: eviction victim policy & propagation protocol", "DESIGN.md §5");
+
+  util::Rng rng(seed);
+  const graph::Graph g = graph::erdos_renyi_gnm(n, n * 2, rng);
+
+  util::Table table({"Variant", "Recall", "Precision", "Messages"});
+
+  {
+    core::ScenarioOptions opt = bench::scaled_options(seed);
+    const auto res = run(opt, g);
+    table.add_row({"lowest-price eviction + push (paper)", util::fmt_pct(res.pr.recall()),
+                   util::fmt_pct(res.pr.precision()), util::fmt(res.messages)});
+  }
+  {
+    core::ScenarioOptions opt = bench::scaled_options(seed);
+    opt.eviction_victim = mempool::EvictionVictim::kFuturesFirst;
+    const auto res = run(opt, g);
+    table.add_row({"futures-first eviction", util::fmt_pct(res.pr.recall()),
+                   util::fmt_pct(res.pr.precision()), util::fmt(res.messages)});
+  }
+  {
+    core::ScenarioOptions opt = bench::scaled_options(seed);
+    opt.use_announcements = true;
+    const auto res = run(opt, g);
+    table.add_row({"push+announce (Geth >= 1.9.11)", util::fmt_pct(res.pr.recall()),
+                   util::fmt_pct(res.pr.precision()), util::fmt(res.messages)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: the paper's policy achieves ~100% recall; futures-first\n"
+               "collapses recall (the flood cannot evict txC); announcements preserve\n"
+               "accuracy while changing message counts (§2, §4.1).\n";
+  return 0;
+}

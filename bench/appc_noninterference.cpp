@@ -1,0 +1,73 @@
+// Reproduces Appendix C / Theorem C.2: the non-interference replay
+// experiment. The same world runs twice under an identical mining schedule
+// — once with a TopoShot measurement, once without. With conditions V1
+// (blocks full) and V2 (included prices above Y0) verified a posteriori,
+// the two block streams must contain identical transactions.
+
+#include "bench_common.h"
+#include "core/noninterference.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  const uint64_t seed = cli.get_uint("seed", 90);
+  const size_t n = cli.get_uint("nodes", 16);
+  bench::banner("Non-interference replay experiment", "Appendix C, Theorem C.2");
+
+  auto run_world = [&](bool measure, eth::Wei y0) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::erdos_renyi_gnm(n, n * 2, rng);
+    core::ScenarioOptions opt = bench::scaled_options(seed);
+    opt.background_txs = 448;
+    opt.background_price_lo = eth::gwei(5.0);
+    opt.background_price_hi = eth::gwei(50.0);
+    opt.block_gas_limit = 4 * eth::kTransferGas;  // always-full blocks (V1)
+    core::Scenario sc(g, opt);
+    sc.seed_background();
+    sc.net().start_mining({sc.targets()[0]}, 5.0);
+
+    core::MeasureConfig cfg = sc.default_measure_config();
+    cfg.price_Y = y0;
+    const double t1 = sc.sim().now();
+    if (measure) sc.measure_one_link(sc.targets()[1], sc.targets()[2], cfg);
+    sc.sim().run_until(180.0);
+    const double t2 = sc.sim().now();
+    return std::tuple{sc.chain().blocks(), core::verify_noninterference(sc.chain(), t1, t2, 0.0, y0)};
+  };
+
+  // Case 1: Y0 far below every organic price — conditions hold.
+  {
+    const eth::Wei y0 = eth::gwei(0.01);
+    const auto [with_blocks, check] = run_world(true, y0);
+    const auto [without_blocks, check2] = run_world(false, y0);
+    (void)check2;
+    const bool same = core::same_included_transactions(with_blocks, without_blocks, {});
+    util::Table table({"Check", "Result"});
+    table.add_row({"V1: all blocks full", check.v1_blocks_full ? "PASS" : "FAIL"});
+    table.add_row({"V2: included prices > Y0", check.v2_prices_above_y0 ? "PASS" : "FAIL"});
+    table.add_row({"blocks inspected", util::fmt(check.blocks_inspected)});
+    table.add_row({"identical included txs (Thm C.2)", same ? "YES" : "NO"});
+    std::cout << "Case 1: conservative Y0 = 0.01 Gwei (conditions should hold)\n";
+    table.print(std::cout);
+  }
+
+  // Case 2: reckless Y0 above part of the included fee range — V2 must
+  // fail, and the theorem gives no guarantee.
+  {
+    const eth::Wei y0 = eth::gwei(45.0);
+    const auto [with_blocks, check] = run_world(true, y0);
+    (void)with_blocks;
+    std::cout << "\nCase 2: reckless Y0 = 45 Gwei (above part of the included fees)\n";
+    util::Table table({"Check", "Result"});
+    table.add_row({"V1: all blocks full", check.v1_blocks_full ? "PASS" : "FAIL"});
+    table.add_row({"V2: included prices > Y0", check.v2_prices_above_y0 ? "PASS" : "FAIL"});
+    table.print(std::cout);
+  }
+
+  std::cout << "\nPaper reference: with V1 and V2 verified, the measured and hypothetical\n"
+               "worlds include identical transaction sets (Theorem C.2); the a-priori\n"
+               "proof is infeasible with Geth's 5120-slot mempool, hence the\n"
+               "a-posteriori design (Appendix C.1).\n";
+  return 0;
+}

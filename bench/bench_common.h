@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared helpers for the experiment-reproduction binaries. Each bench
+// regenerates one table or figure of the paper; these helpers provide the
+// common scenario recipes and report formatting.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/toposhot.h"
+#include "core/validator.h"
+#include "disc/emergence.h"
+#include "graph/louvain.h"
+#include "graph/metrics.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace topo::bench {
+
+/// Prints the standard bench banner with the paper artifact it reproduces.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "==============================================================\n";
+}
+
+/// Scenario options for network-scale runs: mempools scaled 10x down from
+/// Geth stock so event counts stay laptop-friendly (DESIGN.md §2).
+inline core::ScenarioOptions scaled_options(uint64_t seed) {
+  core::ScenarioOptions opt;
+  opt.seed = seed;
+  opt.mempool_capacity = 512;
+  opt.future_cap = 128;
+  opt.background_txs = 384;
+  return opt;
+}
+
+/// Scenario options for local-validation runs at full Geth scale (paper
+/// parameters: L=5120, queue 1024, Z=5120).
+inline core::ScenarioOptions fullscale_options(uint64_t seed) {
+  core::ScenarioOptions opt;
+  opt.seed = seed;
+  opt.mempool_capacity = 5120;
+  opt.future_cap = 1024;
+  opt.background_txs = 4000;
+  return opt;
+}
+
+/// Row of graph statistics as printed in paper Tables 4/9/10.
+inline void add_graph_stat_rows(util::Table& table, const std::string& label,
+                                const graph::Graph& g, util::Rng& rng) {
+  const auto d = graph::distance_stats(g);
+  table.add_row({label + " diameter", util::fmt(static_cast<long long>(d.diameter))});
+  table.add_row({label + " periphery size", util::fmt(static_cast<long long>(d.periphery_size))});
+  table.add_row({label + " radius", util::fmt(static_cast<long long>(d.radius))});
+  table.add_row({label + " center size", util::fmt(static_cast<long long>(d.center_size))});
+  table.add_row({label + " eccentricity (mean)", util::fmt(d.mean_eccentricity, 3)});
+  table.add_row({label + " clustering coeff", util::fmt(graph::clustering_coefficient(g), 4)});
+  table.add_row({label + " transitivity", util::fmt(graph::transitivity(g), 4)});
+  table.add_row({label + " assortativity", util::fmt(graph::degree_assortativity(g), 4)});
+  util::Rng lrng = rng.split();
+  const auto comm = graph::louvain(g, lrng);
+  table.add_row({label + " modularity", util::fmt(comm.modularity, 4)});
+  table.add_row({label + " communities", util::fmt(static_cast<long long>(comm.count))});
+}
+
+}  // namespace topo::bench

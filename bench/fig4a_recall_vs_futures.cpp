@@ -1,0 +1,118 @@
+// Reproduces paper Fig. 4a: "Recall with TopoShot sending increasing number
+// of future transactions."
+//
+// Setup mirrors §6.1: a controlled node B joins a Ropsten-like network and
+// every ground-truth neighbor A is measured with measureOneLink while the
+// flood size Z sweeps upward. The network carries the three recall culprits
+// the paper identifies: nodes with custom (larger) mempools, nodes with a
+// custom replacement bump, and nodes that do not forward transactions.
+// Each Z row runs in a fresh world (same seed, so the same nodes carry the
+// same quirks) under live organic traffic and mining.
+//
+// Expected shape: recall climbs with Z (84% -> 97% in the paper) and
+// saturates below 100%; precision stays 1.0 throughout.
+
+#include "bench_common.h"
+#include "graph/generators.h"
+
+namespace {
+
+topo::core::ScenarioOptions fig4a_options(uint64_t seed) {
+  topo::core::ScenarioOptions opt = topo::bench::scaled_options(seed);
+  opt.block_gas_limit = 30 * topo::eth::kTransferGas;
+  opt.custom_mempool_fraction = 0.10;  // culprit 1: custom mempool size
+  opt.custom_capacity = 1024;          // 2x the scaled default
+  opt.custom_bump_fraction = 0.05;     // culprit 2: custom price bump
+  opt.custom_bump_bp = 2500;
+  opt.nonforwarding_fraction = 0.05;   // culprit 3: silent nodes
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  const size_t n = cli.get_uint("nodes", 80);
+  const uint64_t seed = cli.get_uint("seed", 4242);
+  const size_t max_neighbors = cli.get_uint("neighbors", 24);
+  bench::banner("Recall vs number of future transactions", "Figure 4a (§6.1)");
+
+  // Ropsten-like emergent topology (shared by every row).
+  util::Rng rng(seed);
+  auto recipe = disc::ropsten_like(n);
+  const graph::Graph g = disc::emerge_topology(recipe, rng);
+
+  // Controlled node B: the best-connected regular node.
+  graph::NodeId b_idx = 0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.degree(u) > g.degree(b_idx)) b_idx = u;
+  }
+  const auto neighbors = g.neighbors(b_idx);
+  const size_t tested = std::min<size_t>(neighbors.size(), max_neighbors);
+  std::cout << "Controlled node B has " << neighbors.size() << " ground-truth neighbors; testing "
+            << tested << " of them per Z (fresh world per row).\n\n";
+
+  util::Table table({"Z (futures)", "Detected", "Tested", "Recall", "Precision"});
+  for (const size_t z : {128u, 192u, 256u, 320u, 384u, 512u, 768u, 1024u}) {
+    core::Scenario sc(g, fig4a_options(seed));
+    sc.seed_background();
+    sc.start_churn(2.0);
+    core::MeasureConfig cfg = sc.default_measure_config();
+    cfg.flood_Z = z;
+
+    size_t detected = 0;
+    size_t false_pos = 0;
+    size_t non_neighbors_tested = 0;
+    for (size_t i = 0; i < tested; ++i) {
+      const auto r = sc.measure_one_link(sc.targets()[neighbors[i]], sc.targets()[b_idx], cfg);
+      if (r.connected) ++detected;
+    }
+    // Also probe a few non-neighbors to confirm precision.
+    for (graph::NodeId u = 0; u < g.num_nodes() && non_neighbors_tested < 6; ++u) {
+      if (u == b_idx || g.has_edge(u, b_idx)) continue;
+      ++non_neighbors_tested;
+      const auto r = sc.measure_one_link(sc.targets()[u], sc.targets()[b_idx], cfg);
+      if (r.connected) ++false_pos;
+    }
+    const double recall = tested ? static_cast<double>(detected) / tested : 1.0;
+    const double precision =
+        (detected + false_pos) ? static_cast<double>(detected) / (detected + false_pos) : 1.0;
+    table.add_row({util::fmt(z), util::fmt(detected), util::fmt(tested), util::fmt_pct(recall),
+                   util::fmt_pct(precision)});
+  }
+  table.print(std::cout);
+
+  // §5.2.3's proactive remedy: probe each missing neighbor's effective
+  // flood requirement against the controlled node and re-measure with the
+  // discovered per-node overrides.
+  {
+    core::Scenario sc(g, fig4a_options(seed));
+    sc.seed_background();
+    sc.start_churn(2.0);
+    core::MeasureConfig cfg = sc.default_measure_config();
+    core::Preprocessor pre(sc.net(), sc.m(), sc.accounts(), sc.factory(), cfg);
+    size_t recovered = 0, detected = 0;
+    for (size_t i = 0; i < tested; ++i) {
+      const auto base = sc.measure_one_link(sc.targets()[neighbors[i]], sc.targets()[b_idx], cfg);
+      if (base.connected) {
+        ++detected;
+        continue;
+      }
+      const size_t z = pre.probe_flood_size(sc.targets()[neighbors[i]], sc.targets()[b_idx],
+                                            {1024, 2048});
+      if (z > 0) {
+        ++detected;
+        ++recovered;
+      }
+    }
+    std::cout << "\nWith pre-processing (escalating Z per missing neighbor, §5.2.3): "
+              << detected << "/" << tested << " detected (" << recovered
+              << " recovered beyond the stock flood).\n";
+  }
+
+  std::cout << "\nPaper reference: recall 84% at small Z rising to 97% at large Z, never\n"
+               "reaching 100% (custom mempools / custom bumps / non-forwarding nodes);\n"
+               "precision 100% throughout. Z values here are 10x-scaled like the mempools.\n";
+  return 0;
+}

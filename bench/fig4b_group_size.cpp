@@ -1,0 +1,96 @@
+// Reproduces paper Fig. 4b: "Precision and recall with increasing group
+// size in parallel measurement."
+//
+// Setup mirrors §6.1: one sink node B' (q = 1) and p source nodes measured
+// in a single measurePar pass. For p below B's true neighbor count the
+// sources are true neighbors; beyond that, non-neighbors are added, as in
+// the paper. The network carries live organic transaction traffic: larger
+// groups take longer, organic churn erodes the low-priced placeholder
+// transactions, and recall declines while precision stays at 100%.
+
+#include "bench_common.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  const size_t n = cli.get_uint("nodes", 110);
+  const uint64_t seed = cli.get_uint("seed", 99);
+  const double organic_rate = cli.get_double("organic-rate", 3.0);
+  const double churn_rate = cli.get_double("churn-rate", 0.8);
+  bench::banner("Precision/recall vs parallel group size", "Figure 4b (§6.1)");
+
+  util::Rng rng(seed);
+  auto recipe = disc::ropsten_like(n);
+  const graph::Graph g = disc::emerge_topology(recipe, rng);
+
+  core::ScenarioOptions opt = bench::scaled_options(seed);
+  // Live-network conditions: organic transactions keep arriving and miners
+  // keep including the highest-priced ones. Measurement state (txB/txC at
+  // ~median price) therefore has a finite lifetime — the longer a group
+  // takes, the more of it decays before the source phase reaches it.
+  opt.block_gas_limit = cli.get_uint("block-txs", 40) * eth::kTransferGas;
+  core::Scenario sc(g, opt);
+  sc.seed_background();
+  sc.start_churn(organic_rate);
+  // Peer churn erodes long measurements: links in the ground-truth snapshot
+  // disappear before late sources get their turn, and reconnect gossip
+  // re-propagates txC (the §5.2.1 race). The paper observes >95% of peers
+  // staying connected over a run — the remainder caps recall at large p.
+  sc.net().start_link_churn(churn_rate);
+
+  // Sink B': a node with a healthy neighbor count (the paper's fresh node
+  // had 29 measurable neighbors).
+  graph::NodeId b_idx = 0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.degree(u) > g.degree(b_idx)) b_idx = u;
+  }
+  const auto& true_neighbors = g.neighbors(b_idx);
+  std::vector<graph::NodeId> non_neighbors;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u != b_idx && !g.has_edge(u, b_idx)) non_neighbors.push_back(u);
+  }
+  std::cout << "Sink B' has " << true_neighbors.size() << " true neighbors; groups beyond that\n"
+            << "are padded with non-neighbors (as in the paper).\n\n";
+
+  util::Table table({"Group size p", "TP", "FP", "FN", "Recall", "Precision", "Sim time (s)"});
+  for (const size_t p : {1u, 5u, 10u, 20u, 30u, 45u, 60u, 80u, 99u}) {
+    if (p >= n) break;
+    // Assemble sources: true neighbors first, then non-neighbors.
+    std::vector<graph::NodeId> chosen;
+    for (size_t i = 0; i < p && i < true_neighbors.size(); ++i)
+      chosen.push_back(true_neighbors[i]);
+    for (size_t i = 0; chosen.size() < p && i < non_neighbors.size(); ++i)
+      chosen.push_back(non_neighbors[i]);
+
+    std::vector<p2p::PeerId> sources;
+    std::vector<core::ParallelEdge> edges;
+    for (size_t i = 0; i < chosen.size(); ++i) {
+      edges.push_back({i, 0});
+      sources.push_back(sc.targets()[chosen[i]]);
+    }
+    const auto res =
+        sc.measure_parallel(sources, {sc.targets()[b_idx]}, edges, sc.default_measure_config());
+
+    size_t tp = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < chosen.size(); ++i) {
+      const bool real_t0 = g.has_edge(chosen[i], b_idx);
+      // Under peer churn the paper validates against the live peer list
+      // (RPC on the controlled node); a positive is false only if the link
+      // existed neither in the snapshot nor now.
+      const bool real_now = sc.net().linked(sc.targets()[chosen[i]], sc.targets()[b_idx]);
+      if (res.connected[i] && (real_t0 || real_now)) ++tp;
+      if (res.connected[i] && !real_t0 && !real_now) ++fp;
+      if (!res.connected[i] && real_t0) ++fn;
+    }
+    const double recall = (tp + fn) ? static_cast<double>(tp) / (tp + fn) : 1.0;
+    const double precision = (tp + fp) ? static_cast<double>(tp) / (tp + fp) : 1.0;
+    table.add_row({util::fmt(p), util::fmt(tp), util::fmt(fp), util::fmt(fn),
+                   util::fmt_pct(recall), util::fmt_pct(precision),
+                   util::fmt(res.finished_at - res.started_at, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference: precision 100% at every group size; recall 100% up to\n"
+               "p = 29 (B's neighbor count) and declining toward ~60% at p = 99.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks for the graph-analytics substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/cliques.h"
+#include "graph/generators.h"
+#include "graph/louvain.h"
+#include "graph/metrics.h"
+
+namespace {
+
+using namespace topo;
+
+graph::Graph ropsten_sized() {
+  util::Rng rng(1);
+  return graph::erdos_renyi_gnm(588, 7496, rng);
+}
+
+void BM_DistanceStats(benchmark::State& state) {
+  const auto g = ropsten_sized();
+  for (auto _ : state) benchmark::DoNotOptimize(graph::distance_stats(g));
+}
+BENCHMARK(BM_DistanceStats);
+
+void BM_ClusteringCoefficient(benchmark::State& state) {
+  const auto g = ropsten_sized();
+  for (auto _ : state) benchmark::DoNotOptimize(graph::clustering_coefficient(g));
+}
+BENCHMARK(BM_ClusteringCoefficient);
+
+void BM_Transitivity(benchmark::State& state) {
+  const auto g = ropsten_sized();
+  for (auto _ : state) benchmark::DoNotOptimize(graph::transitivity(g));
+}
+BENCHMARK(BM_Transitivity);
+
+void BM_Assortativity(benchmark::State& state) {
+  const auto g = ropsten_sized();
+  for (auto _ : state) benchmark::DoNotOptimize(graph::degree_assortativity(g));
+}
+BENCHMARK(BM_Assortativity);
+
+void BM_Louvain(benchmark::State& state) {
+  const auto g = ropsten_sized();
+  for (auto _ : state) {
+    util::Rng rng(static_cast<uint64_t>(state.iterations()));
+    benchmark::DoNotOptimize(graph::louvain(g, rng));
+  }
+}
+BENCHMARK(BM_Louvain);
+
+void BM_MaximalCliques(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto g = graph::erdos_renyi_gnm(200, 2000, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::count_maximal_cliques(g, 200'000));
+}
+BENCHMARK(BM_MaximalCliques);
+
+void BM_GenerateER(benchmark::State& state) {
+  util::Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::erdos_renyi_gnm(588, 7496, rng));
+}
+BENCHMARK(BM_GenerateER);
+
+void BM_GenerateConfigurationModel(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto base = ropsten_sized();
+  const auto degrees = graph::degree_sequence(base);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::configuration_model(degrees, rng));
+}
+BENCHMARK(BM_GenerateConfigurationModel);
+
+void BM_GenerateBarabasiAlbert(benchmark::State& state) {
+  util::Rng rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::barabasi_albert(588, 13, rng));
+}
+BENCHMARK(BM_GenerateBarabasiAlbert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

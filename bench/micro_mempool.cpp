@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks for the mempool substrate: admission,
+// replacement, eviction floods, maintenance truncation, and block packing.
+
+#include <benchmark/benchmark.h>
+
+#include "eth/miner.h"
+#include "mempool/client_profile.h"
+#include "mempool/mempool.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace topo;
+
+mempool::MempoolPolicy policy_with_capacity(size_t capacity) {
+  mempool::MempoolPolicy p = mempool::profile_for(mempool::ClientKind::kGeth).policy;
+  p.capacity = capacity;
+  p.future_cap = capacity / 5;
+  return p;
+}
+
+void BM_MempoolAddPending(benchmark::State& state) {
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  eth::MapState chain;
+  eth::TxFactory f;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mempool::Mempool pool(policy_with_capacity(capacity), &chain);
+    state.ResumeTiming();
+    for (size_t i = 0; i < capacity; ++i) {
+      benchmark::DoNotOptimize(pool.add(f.make(1 + i, 0, 100 + i), 0.0));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * capacity);
+}
+BENCHMARK(BM_MempoolAddPending)->Arg(512)->Arg(5120);
+
+void BM_MempoolReplacementChain(benchmark::State& state) {
+  eth::MapState chain;
+  eth::TxFactory f;
+  mempool::Mempool pool(policy_with_capacity(512), &chain);
+  eth::Wei price = 1000;
+  pool.add(f.make(1, 0, price), 0.0);
+  for (auto _ : state) {
+    price = price + price / 10 + 1;  // always above the bump
+    benchmark::DoNotOptimize(pool.add(f.make(1, 0, price), 0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MempoolReplacementChain);
+
+void BM_MempoolEvictionFlood(benchmark::State& state) {
+  // The TopoShot flood: Z futures against a full pool of cheap pendings.
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  eth::MapState chain;
+  eth::TxFactory f;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mempool::Mempool pool(policy_with_capacity(capacity), &chain);
+    for (size_t i = 0; i < capacity; ++i) pool.add(f.make(1 + i, 0, 100), 0.0);
+    state.ResumeTiming();
+    for (size_t i = 0; i < capacity; ++i) {
+      benchmark::DoNotOptimize(pool.add(f.make(100000 + i, 1, 10'000), 0.0));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * capacity);
+}
+BENCHMARK(BM_MempoolEvictionFlood)->Arg(512)->Arg(5120);
+
+void BM_MempoolMaintainTruncate(benchmark::State& state) {
+  eth::MapState chain;
+  eth::TxFactory f;
+  const size_t capacity = 5120;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mempool::Mempool pool(policy_with_capacity(capacity), &chain);
+    for (size_t i = 0; i < capacity; ++i) pool.add(f.make(1 + i, 1, 100 + i), 0.0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(pool.maintain(0.0));
+  }
+}
+BENCHMARK(BM_MempoolMaintainTruncate);
+
+void BM_MinerPackBlock(benchmark::State& state) {
+  eth::MapState chain;
+  eth::TxFactory f;
+  util::Rng rng(1);
+  std::vector<eth::Transaction> candidates;
+  for (size_t i = 0; i < 4096; ++i) {
+    candidates.push_back(f.make(1 + rng.index(512), rng.index(4), 100 + rng.index(10'000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eth::pack_block(candidates, chain, 8'000'000, 0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_MinerPackBlock);
+
+}  // namespace
+
+BENCHMARK_MAIN();

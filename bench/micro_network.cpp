@@ -1,0 +1,87 @@
+// google-benchmark microbenchmarks for the network simulator and the
+// TopoShot primitive end to end.
+
+#include <benchmark/benchmark.h>
+
+#include "core/toposhot.h"
+#include "disc/discovery.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace topo;
+
+void BM_FloodPropagation(benchmark::State& state) {
+  // One pending transaction flooding an n-node overlay.
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  const auto g = graph::erdos_renyi_gnm(n, n * 12, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ScenarioOptions opt;
+    opt.seed = 2;
+    opt.background_txs = 0;
+    core::Scenario sc(g, opt);
+    const eth::Address a = sc.accounts().create_one();
+    const auto tx = sc.factory().make(a, sc.accounts().allocate_nonce(a), 1000);
+    state.ResumeTiming();
+    sc.m().send_to(sc.targets()[0], tx);
+    sc.sim().run_until(sc.sim().now() + 10.0);
+    benchmark::DoNotOptimize(sc.net().messages_delivered());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FloodPropagation)->Arg(100)->Arg(300);
+
+void BM_OneLinkMeasurement(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto g = graph::erdos_renyi_gnm(24, 60, rng);
+  core::ScenarioOptions opt;
+  opt.seed = 4;
+  opt.mempool_capacity = 256;
+  opt.future_cap = 64;
+  opt.background_txs = 192;
+  core::Scenario sc(g, opt);
+  sc.seed_background();
+  const auto cfg = sc.default_measure_config();
+  size_t pair = 0;
+  for (auto _ : state) {
+    const graph::NodeId u = static_cast<graph::NodeId>(pair % 24);
+    const graph::NodeId v = static_cast<graph::NodeId>((pair / 24 + 1 + u) % 24);
+    ++pair;
+    if (u == v) continue;
+    benchmark::DoNotOptimize(sc.measure_one_link(sc.targets()[u], sc.targets()[v], cfg));
+  }
+}
+BENCHMARK(BM_OneLinkMeasurement)->Unit(benchmark::kMillisecond);
+
+void BM_KademliaLookupRound(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    disc::DiscoverySim disc(n, util::Rng(5));
+    state.ResumeTiming();
+    disc.run_round();
+    benchmark::DoNotOptimize(disc.average_fill());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_KademliaLookupRound)->Arg(200)->Arg(600)->Unit(benchmark::kMillisecond);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.at(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// google-benchmark microbenchmarks for the wire codec (RLP + devp2p
+// messages) and the discv4 protocol substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "disc/discv4.h"
+#include "wire/messages.h"
+
+namespace {
+
+using namespace topo;
+
+void BM_RlpEncodeTransaction(benchmark::State& state) {
+  eth::TxFactory f;
+  const auto tx = f.make(0xabcdef12, 42, 123'456'789'000ULL, 0x77, 1'000'000);
+  for (auto _ : state) benchmark::DoNotOptimize(wire::encode_transaction(tx));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RlpEncodeTransaction);
+
+void BM_RlpDecodeTransaction(benchmark::State& state) {
+  eth::TxFactory f;
+  const auto enc = wire::encode_transaction(f.make(0xabcdef12, 42, 123'456'789'000ULL));
+  for (auto _ : state) benchmark::DoNotOptimize(wire::decode_transaction(enc));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RlpDecodeTransaction);
+
+void BM_WireSizeArithmetic(benchmark::State& state) {
+  eth::TxFactory f;
+  const auto tx = f.make(0xabcdef12, 42, 123'456'789'000ULL);
+  for (auto _ : state) benchmark::DoNotOptimize(wire::transaction_wire_size(tx));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireSizeArithmetic);
+
+void BM_EncodeTransactionsBatch(benchmark::State& state) {
+  eth::TxFactory f;
+  std::vector<eth::Transaction> txs;
+  for (int i = 0; i < 64; ++i) txs.push_back(f.make(1 + i, i, 100 + i));
+  for (auto _ : state) benchmark::DoNotOptimize(wire::encode_transactions(txs));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EncodeTransactionsBatch);
+
+void BM_DiscV4Convergence(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    disc::DiscV4Net net(&sim, util::Rng(1));
+    for (size_t i = 0; i < n; ++i) net.add_node();
+    net.converge(60.0);
+    benchmark::DoNotOptimize(net.datagrams());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_DiscV4Convergence)->Arg(30)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

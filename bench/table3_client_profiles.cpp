@@ -1,0 +1,42 @@
+// Reproduces paper Table 3: "Profiling different Ethereum clients in terms
+// of transaction eviction and replacement policies."
+//
+// The black-box profiler recovers R / U / P / L for every client profile
+// purely through mempool add() outcomes — the §5.1 unit tests node M runs
+// against an instrumented local target node T.
+
+#include <limits>
+
+#include "bench_common.h"
+#include "core/profiler.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  bench::banner("Client mempool profiling", "Table 3 (§5.1)");
+
+  core::ClientProfiler profiler;
+  util::Table table({"Client", "Deployment", "R (replace)", "U (futures/acct)",
+                     "P (min pending)", "L (capacity)", "Measurable"});
+
+  for (const auto kind : mempool::kAllClients) {
+    const auto& profile = mempool::profile_for(kind);
+    const auto est = profiler.profile(kind);
+    table.add_row({profile.name, util::fmt_pct(profile.mainnet_share, 2),
+                   util::fmt_pct(est.replace_bump_fraction, 2),
+                   est.futures_unbounded ? "inf" : util::fmt(est.max_futures_per_account),
+                   util::fmt(est.min_pending_for_eviction), util::fmt(est.capacity),
+                   est.measurable ? "yes" : "NO (R=0 flaw)"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference (Table 3):\n"
+            << "  Geth       10%    4096  0     5120\n"
+            << "  Parity     12.5%  81    2000  8192\n"
+            << "  Nethermind 0%     17    0     2048  (not measurable)\n"
+            << "  Besu       10%    inf   0     4096\n"
+            << "  Aleth      0%     1     0     2048  (not measurable)\n"
+            << "\nNote: zero-R clients (Aleth, Nethermind) defeat TopoShot's isolation\n"
+               "and enable the low-cost replacement-flooding DoS reported in §5.1.\n";
+  return 0;
+}

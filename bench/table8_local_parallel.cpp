@@ -1,0 +1,61 @@
+// Reproduces paper Table 8 (Appendix B.1.1): local validation of the
+// parallel measurement over the six connection configurations among
+// A1, A2, B, with repeated runs — expecting 100% recall and precision in
+// every configuration, including when A1 and A2 are themselves connected.
+
+#include "bench_common.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  const size_t runs = cli.get_uint("runs", 10);
+  const uint64_t seed = cli.get_uint("seed", 8);
+  bench::banner("Local validation of parallel measurement", "Table 8 (Appendix B.1.1)");
+
+  struct Case {
+    const char* label;
+    bool a1a2, a1b, a2b;
+  };
+  const Case cases[] = {
+      {"<A1,A2>, <A1,B>, <A2,B>", true, true, true},
+      {"<A1,A2>, <A1,B>", true, true, false},
+      {"<A1,A2>", true, false, false},
+      {"<A1,B>, <A2,B>", false, true, true},
+      {"<A1,B>", false, true, false},
+      {"Null", false, false, false},
+  };
+
+  util::Table table({"Configuration", "Runs", "Recall", "Precision"});
+  for (const Case& c : cases) {
+    size_t tp = 0, fp = 0, fn = 0, tn = 0;
+    for (size_t run = 0; run < runs; ++run) {
+      graph::Graph g(3);  // 0=A1, 1=A2, 2=B
+      if (c.a1a2) g.add_edge(0, 1);
+      if (c.a1b) g.add_edge(0, 2);
+      if (c.a2b) g.add_edge(1, 2);
+
+      core::ScenarioOptions opt = bench::scaled_options(seed + run * 131);
+      core::Scenario sc(g, opt);
+      sc.seed_background();
+      const auto& t = sc.targets();
+      const auto res = sc.measure_parallel({t[0], t[1]}, {t[2]}, {{0, 0}, {1, 0}},
+                                           sc.default_measure_config());
+      auto tally = [&](bool got, bool real) {
+        if (got && real) ++tp;
+        else if (got && !real) ++fp;
+        else if (!got && real) ++fn;
+        else ++tn;
+      };
+      tally(res.connected[0], c.a1b);
+      tally(res.connected[1], c.a2b);
+    }
+    const double recall = (tp + fn) ? static_cast<double>(tp) / (tp + fn) : 1.0;
+    const double precision = (tp + fp) ? static_cast<double>(tp) / (tp + fp) : 1.0;
+    table.add_row({c.label, util::fmt(runs), util::fmt_pct(recall), util::fmt_pct(precision)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference: 100% recall and precision in all six configurations;\n"
+               "the theoretical A1-A2 interference does not materialize in practice.\n";
+  return 0;
+}

@@ -1,0 +1,202 @@
+#pragma once
+
+// Shared driver for the testnet topology studies (Ropsten / Rinkeby /
+// Goerli). Each study has two parts:
+//
+//  1. Full-scale topology analysis — the testnet-sized overlay emerges
+//     from the discovery + dial substrate and is analyzed exactly like the
+//     paper's captured graphs: degree distribution (Figs 6/8/9/10), graph
+//     statistics against ER / configuration-model / BA baselines (Tables
+//     4/9/10), and Louvain communities (Table 5).
+//
+//  2. Scaled end-to-end measurement — a smaller instance of the same
+//     recipe is actually measured with the full TopoShot pipeline
+//     (pre-processing + parallel schedule) and validated against ground
+//     truth, reporting the paper's precision/recall and cost columns.
+
+#include "bench_common.h"
+#include "core/cost.h"
+#include "graph/cliques.h"
+#include "graph/generators.h"
+#include "graph/louvain.h"
+
+namespace topo::bench {
+
+struct TestnetStudyConfig {
+  std::string name;
+  disc::EmergenceConfig recipe;      ///< full-scale recipe (paper n)
+  size_t measured_nodes = 90;        ///< scaled end-to-end measurement size
+  size_t group_k = 3;
+  uint64_t seed = 7;
+  std::string paper_reference;       ///< reference text printed at the end
+};
+
+inline void print_degree_distribution(const graph::Graph& g) {
+  const auto h = graph::degree_histogram(g);
+  util::Table table({"Degree range", "Nodes", "Fraction"});
+  const long long buckets[] = {1, 5, 10, 15, 20, 30, 40, 60, 90, 150, 200, 300, 500, 1000};
+  long long lo = 0;
+  for (long long hi : buckets) {
+    size_t count = 0;
+    for (const auto& [deg, c] : h.buckets()) {
+      if (deg >= lo && deg < hi) count += c;
+    }
+    if (count > 0) {
+      table.add_row({std::to_string(lo) + "-" + std::to_string(hi - 1), util::fmt(count),
+                     util::fmt_pct(static_cast<double>(count) / h.total())});
+    }
+    lo = hi;
+  }
+  size_t tail = 0;
+  for (const auto& [deg, c] : h.buckets()) {
+    if (deg >= lo) tail += c;
+  }
+  if (tail > 0) table.add_row({">=" + std::to_string(lo), util::fmt(tail), ""});
+  table.print(std::cout);
+  std::cout << "max degree: " << h.max() << ", mean degree: " << util::fmt(h.mean(), 1)
+            << "\n";
+}
+
+inline void print_graph_comparison(const graph::Graph& measured, util::Rng& rng) {
+  const size_t n = measured.num_nodes();
+  const size_t m = measured.num_edges();
+  const size_t avg_deg = static_cast<size_t>(measured.average_degree());
+
+  util::Rng g1 = rng.split(), g2 = rng.split(), g3 = rng.split();
+  const graph::Graph er = graph::erdos_renyi_gnm(n, m, g1);
+  const graph::Graph cm = graph::configuration_model(graph::degree_sequence(measured), g2);
+  const graph::Graph ba = graph::barabasi_albert(n, std::max<size_t>(1, avg_deg / 2), g3);
+
+  util::Table table({"Property", "Measured", "ER", "CM", "BA"});
+  struct Row {
+    std::string name;
+    std::function<std::string(const graph::Graph&)> fn;
+  };
+  util::Rng lrng = rng.split();
+  std::vector<Row> rows = {
+      {"Diameter",
+       [](const graph::Graph& g) {
+         return util::fmt(static_cast<long long>(graph::distance_stats(g).diameter));
+       }},
+      {"Periphery size",
+       [](const graph::Graph& g) {
+         return util::fmt(static_cast<long long>(graph::distance_stats(g).periphery_size));
+       }},
+      {"Radius",
+       [](const graph::Graph& g) {
+         return util::fmt(static_cast<long long>(graph::distance_stats(g).radius));
+       }},
+      {"Center size",
+       [](const graph::Graph& g) {
+         return util::fmt(static_cast<long long>(graph::distance_stats(g).center_size));
+       }},
+      {"Eccentricity (mean)",
+       [](const graph::Graph& g) { return util::fmt(graph::distance_stats(g).mean_eccentricity, 3); }},
+      {"Clustering coefficient",
+       [](const graph::Graph& g) { return util::fmt(graph::clustering_coefficient(g), 4); }},
+      {"Transitivity", [](const graph::Graph& g) { return util::fmt(graph::transitivity(g), 4); }},
+      {"Degree assortativity",
+       [](const graph::Graph& g) { return util::fmt(graph::degree_assortativity(g), 4); }},
+      {"Maximal cliques",
+       [](const graph::Graph& g) {
+         const auto c = graph::count_maximal_cliques(g, 500'000);
+         return util::fmt(c.maximal_cliques) + (c.truncated ? "+" : "");
+       }},
+      {"Modularity (Louvain)", [&lrng](const graph::Graph& g) {
+         util::Rng r = lrng.split();
+         return util::fmt(graph::louvain(g, r).modularity, 4);
+       }}};
+  for (const auto& row : rows) {
+    table.add_row({row.name, row.fn(measured), row.fn(er), row.fn(cm), row.fn(ba)});
+  }
+  table.print(std::cout);
+}
+
+inline void print_communities(const graph::Graph& g, util::Rng& rng) {
+  util::Rng lrng = rng.split();
+  const auto comm = graph::louvain(g, lrng);
+  const auto stats = graph::community_stats(g, comm.assignment);
+  util::Table table(
+      {"Community", "Nodes", "Intra edges", "Density", "Inter edges", "Avg degree", "Deg-1"});
+  size_t idx = 1;
+  for (const auto& s : stats) {
+    if (s.nodes < 2 && idx > 8) continue;
+    table.add_row({util::fmt(idx++), util::fmt(s.nodes), util::fmt(s.intra_edges),
+                   util::fmt_pct(s.intra_density), util::fmt(s.inter_edges),
+                   util::fmt(s.average_degree, 1), util::fmt(s.degree_one)});
+    if (idx > 12) break;
+  }
+  table.print(std::cout);
+  std::cout << "communities: " << comm.count << ", modularity: " << util::fmt(comm.modularity, 4)
+            << "\n";
+}
+
+inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const uint64_t seed = cli.get_uint("seed", cfg.seed);
+  const size_t measured_nodes = cli.get_uint("nodes", cfg.measured_nodes);
+  const size_t group_k = cli.get_uint("group", cfg.group_k);
+  const bool skip_measure = cli.get_bool("analysis-only", false);
+
+  banner(cfg.name + " topology study", cfg.paper_reference);
+  util::Rng rng(seed);
+
+  // Part 1: full-scale emerged topology analysis.
+  std::cout << "\n--- Part 1: full-scale topology (" << cfg.recipe.nodes
+            << " nodes, emerged from discovery + dialing) ---\n\n";
+  auto recipe = cfg.recipe;
+  graph::Graph full = disc::emerge_topology(recipe, rng);
+  std::cout << "nodes=" << full.num_nodes() << " edges=" << full.num_edges() << "\n\n";
+  std::cout << "Degree distribution:\n";
+  print_degree_distribution(full);
+  std::cout << "\nGraph statistics vs random-graph baselines:\n";
+  print_graph_comparison(full, rng);
+  std::cout << "\nCommunity structure (Louvain):\n";
+  print_communities(full, rng);
+
+  if (skip_measure) return 0;
+
+  // Part 2: scaled end-to-end measurement with validation.
+  std::cout << "\n--- Part 2: end-to-end TopoShot measurement (scaled to " << measured_nodes
+            << " nodes, group K=" << group_k << ") ---\n\n";
+  auto small_recipe = cfg.recipe;
+  small_recipe.nodes = measured_nodes;
+  // Scale supernode budgets below the node count.
+  for (auto& b : small_recipe.supernode_budgets) b = std::min(b, measured_nodes / 2);
+  graph::Graph truth = disc::emerge_topology(small_recipe, rng);
+
+  core::ScenarioOptions opt = scaled_options(seed);
+  opt.block_gas_limit = 30 * eth::kTransferGas;
+  core::Scenario sc(truth, opt);
+  sc.seed_background();
+  // Live-network churn: organic traffic + mining drain measurement residue
+  // between iterations (the role the testnets' own traffic plays).
+  sc.start_churn(3.0);
+
+  const auto pre = sc.preprocess(sc.default_measure_config());
+  std::cout << "pre-processing: " << pre.future_forwarders.size() << " future-forwarders, "
+            << pre.unresponsive.size() << " unresponsive nodes excluded\n";
+
+  core::MeasureConfig mcfg = sc.default_measure_config();
+  mcfg.repetitions = 3;  // union of three runs, the paper's validation recipe
+  const auto report = sc.measure_network(group_k, mcfg);
+  const auto pr = core::compare_graphs(truth, report.measured);
+  util::Table table({"Metric", "Value"});
+  table.add_row({"nodes", util::fmt(truth.num_nodes())});
+  table.add_row({"ground-truth edges", util::fmt(truth.num_edges())});
+  table.add_row({"measured edges", util::fmt(report.measured.num_edges())});
+  table.add_row({"pairs tested", util::fmt(report.pairs_tested)});
+  table.add_row({"iterations", util::fmt(report.iterations)});
+  table.add_row({"precision", util::fmt_pct(pr.precision())});
+  table.add_row({"recall", util::fmt_pct(pr.recall())});
+  table.add_row({"sim duration (s)", util::fmt(report.sim_seconds, 0)});
+  table.add_row({"measurement txs sent", util::fmt(report.txs_sent)});
+  table.print(std::cout);
+
+  std::cout << "\nMeasured-graph statistics vs baselines (shape check):\n";
+  graph::Graph measured_cc = report.measured;
+  print_graph_comparison(measured_cc, rng);
+  return 0;
+}
+
+}  // namespace topo::bench

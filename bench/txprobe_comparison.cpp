@@ -1,0 +1,115 @@
+// Experimental reproduction of §4.1 / Appendix A: why TxProbe's
+// announcement-blocking technique works on Bitcoin-style propagation but
+// fails on Ethereum.
+//
+// TxProbe's isolation trick: the measurement node announces the marker's
+// hash to every node except the pair under test; those nodes then ignore
+// further announcements of the same hash for the blocking window, so the
+// marker can only cross the direct A-B link. This bench runs exactly that
+// probe over every node pair of a small ground-truth overlay, twice:
+//
+//   1. Bitcoin mode  — announce-only propagation: isolation holds,
+//      precision stays at 100%;
+//   2. Ethereum mode — Geth's push+announce: the direct pushes bypass the
+//      announcement block and flood the marker, producing false positives
+//      (the paper's argument for why a new technique was needed at all).
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "p2p/node.h"
+
+namespace {
+
+using namespace topo;
+
+struct ProbeOutcome {
+  core::PrecisionRecall pr;
+};
+
+ProbeOutcome run_txprobe(bool ethereum_mode, const graph::Graph& g, uint64_t seed) {
+  core::ScenarioOptions opt = bench::scaled_options(seed);
+  opt.background_txs = 64;  // light load; TxProbe does not need full pools
+  core::Scenario sc(g, opt);
+  if (!ethereum_mode) {
+    for (auto id : sc.targets()) {
+      auto& cfg = sc.net().node(id).mutable_config();
+      cfg.announce_only = true;
+    }
+  } else {
+    for (auto id : sc.targets()) {
+      auto& cfg = sc.net().node(id).mutable_config();
+      cfg.use_announcements = true;  // Geth >= 1.9.11: sqrt push + announce
+    }
+  }
+  sc.seed_background();
+
+  core::PrecisionRecall pr;
+  auto& sim = sc.sim();
+  auto& m = sc.m();
+
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      const eth::Address acct = sc.accounts().create_one();
+      const auto marker =
+          sc.factory().make(acct, sc.accounts().allocate_nonce(acct), eth::gwei(1.0));
+
+      // TxProbe step 1: pre-announce the marker hash to every node except
+      // the pair, arming their blocking windows (M never serves the body).
+      for (graph::NodeId w = 0; w < g.num_nodes(); ++w) {
+        if (w == u || w == v) continue;
+        sc.net().send_announce(m.id(), sc.targets()[w], marker.hash());
+      }
+      sim.run_until(sim.now() + 0.5);
+
+      // Step 2: deliver the marker to A and watch for it coming back from
+      // B within the blocking window.
+      const double sent_at = m.send_to(sc.targets()[u], marker);
+      sim.run_until(sim.now() + 3.0);
+      const bool positive = m.received_from_since(marker.hash(), sc.targets()[v], sent_at);
+
+      const bool real = g.has_edge(u, v);
+      if (positive && real) ++pr.true_positive;
+      else if (positive && !real) ++pr.false_positive;
+      else if (!positive && real) ++pr.false_negative;
+      else ++pr.true_negative;
+
+      // Let the blocking windows expire before the next pair.
+      sim.run_until(sim.now() + 6.0);
+    }
+  }
+  return {pr};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  const size_t n = cli.get_uint("nodes", 12);
+  const uint64_t seed = cli.get_uint("seed", 41);
+  bench::banner("TxProbe on Bitcoin-style vs Ethereum propagation", "§4.1, Appendix A");
+
+  util::Rng rng(seed);
+  const graph::Graph g = graph::erdos_renyi_gnm(n, n * 2, rng);
+  std::cout << "Probing all " << n * (n - 1) / 2 << " pairs of a " << n << "-node overlay ("
+            << g.num_edges() << " true links) with the TxProbe primitive.\n\n";
+
+  const auto bitcoin = run_txprobe(false, g, seed);
+  const auto ethereum = run_txprobe(true, g, seed);
+
+  util::Table table({"Propagation model", "TP", "FP", "FN", "Precision", "Recall"});
+  table.add_row({"announce-only (Bitcoin-style)", util::fmt(bitcoin.pr.true_positive),
+                 util::fmt(bitcoin.pr.false_positive), util::fmt(bitcoin.pr.false_negative),
+                 util::fmt_pct(bitcoin.pr.precision()), util::fmt_pct(bitcoin.pr.recall())});
+  table.add_row({"push + announce (Ethereum)", util::fmt(ethereum.pr.true_positive),
+                 util::fmt(ethereum.pr.false_positive), util::fmt(ethereum.pr.false_negative),
+                 util::fmt_pct(ethereum.pr.precision()), util::fmt_pct(ethereum.pr.recall())});
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference (§4.1): \"The existence of direct propagation, no matter\n"
+               "how small portion it plays, negates the isolation property\" — TxProbe's\n"
+               "marker floods through Ethereum's pushes and every pair looks connected,\n"
+               "which is why TopoShot replaces announcement blocking with the\n"
+               "replacement-price ladder.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// End-to-end simulation of the paper's use case 1 (§3.1): a targeted
+// eclipse attack against a low-degree victim found through the measured
+// topology. The attacker monopolizes the victim's few active slots with
+// silent (non-forwarding) nodes; the victim keeps answering but stops
+// hearing about new transactions — it is informationally isolated even
+// though its 272-entry routing table is untouched.
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "p2p/node.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  const size_t n = cli.get_uint("nodes", 80);
+  const uint64_t seed = cli.get_uint("seed", 51);
+  bench::banner("Targeted eclipse attack on a low-degree node", "§3.1 use case 1");
+
+  util::Rng rng(seed);
+  auto recipe = disc::ropsten_like(n);
+  const graph::Graph g = disc::emerge_topology(recipe, rng);
+
+  // The measured topology points the attacker at the weakest node.
+  graph::NodeId victim = 0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.degree(u) >= 2 && (g.degree(victim) < 2 || g.degree(u) < g.degree(victim))) {
+      victim = u;
+    }
+  }
+  std::cout << "Victim: node " << victim << " with degree " << g.degree(victim)
+            << " (of mean " << util::fmt(g.average_degree(), 1) << ")\n\n";
+
+  core::ScenarioOptions opt = bench::scaled_options(seed);
+  opt.background_txs = 0;
+  core::Scenario sc(g, opt);
+
+  auto delivered_to_victim = [&](size_t tx_count, const char* label) {
+    size_t before = sc.net().node(sc.targets()[victim]).pool().size();
+    for (size_t i = 0; i < tx_count; ++i) {
+      const eth::Address a = sc.accounts().create_one();
+      const auto tx = sc.factory().make(a, sc.accounts().allocate_nonce(a), 1000 + i);
+      // Submit far from the victim: a random non-neighbor.
+      graph::NodeId origin = victim;
+      while (origin == victim || g.has_edge(origin, victim)) {
+        origin = static_cast<graph::NodeId>(sc.net().rng().index(g.num_nodes()));
+      }
+      sc.net().node(sc.targets()[origin]).submit(tx);
+    }
+    sc.sim().run_until(sc.sim().now() + 15.0);
+    const size_t after = sc.net().node(sc.targets()[victim]).pool().size();
+    std::cout << label << ": victim received " << (after - before) << " of " << tx_count
+              << " transactions\n";
+    return after - before;
+  };
+
+  const size_t healthy = delivered_to_victim(50, "Before the attack ");
+
+  // Attack: the eclipse payload is proportional to the victim's *degree* —
+  // disconnect its few active links and fill the slots with silent nodes.
+  const auto victim_links = g.neighbors(victim);
+  size_t attacker_nodes = 0;
+  for (const auto nbr : victim_links) {
+    sc.net().disconnect(sc.targets()[victim], sc.targets()[nbr]);
+    p2p::NodeConfig attacker;
+    attacker.forwards_transactions = false;  // silent sybil
+    mempool::MempoolPolicy p = mempool::profile_for(mempool::ClientKind::kGeth).policy;
+    p.capacity = opt.mempool_capacity;
+    p.future_cap = opt.future_cap;
+    attacker.policy_override = p;
+    const auto sybil = sc.net().add_node(attacker);
+    sc.net().connect(sc.targets()[victim], sybil);
+    ++attacker_nodes;
+  }
+  std::cout << "\nAttack cost: " << attacker_nodes
+            << " sybil connections (= the victim's measured degree)\n\n";
+
+  const size_t eclipsed = delivered_to_victim(50, "After the attack  ");
+
+  std::cout << "\nVerdict: information flow to the victim dropped from " << healthy << "/50 to "
+            << eclipsed << "/50.\n"
+            << "\nPaper reference (§3.1): \"an eclipse attacker can concentrate her attack\n"
+               "payload to the few neighbors ... to isolate the victim node from the rest\n"
+               "of the network at low costs\" — and only the measured *active* links\n"
+               "reveal how few that is.\n";
+  return (eclipsed < healthy) ? 0 : 1;
+}

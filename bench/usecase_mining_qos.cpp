@@ -1,0 +1,115 @@
+// Quantifies the paper's use case 4 (§3.2): a miner's connectivity decides
+// how often its freshly found blocks lose propagation races and go stale —
+// mining-power utilization is a topology property.
+//
+// Model: two miners find blocks simultaneously (the interesting race); the
+// block that first reaches a majority of the network wins. Propagation time
+// to each node = shortest-path hops x one sampled per-hop latency. The
+// bench races a hub-peered miner against progressively weaker ones and
+// reports stale rates over many trials.
+
+#include <algorithm>
+#include <queue>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace topo;
+
+std::vector<int> hops_from(const graph::Graph& g, graph::NodeId src) {
+  std::vector<int> dist(g.num_nodes(), -1);
+  std::queue<graph::NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const auto u = q.front();
+    q.pop();
+    for (const auto v : g.neighbors(u)) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Time for a block from `src` to reach node i: sum of sampled per-hop
+/// latencies along the hop count (a fresh sample per hop and per trial).
+double coverage_time(const std::vector<int>& hops, graph::NodeId i, sim::LatencyModel lat,
+                     util::Rng& rng) {
+  double t = 0.0;
+  for (int h = 0; h < hops[i]; ++h) t += lat.sample(rng);
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  const size_t n = cli.get_uint("nodes", 220);
+  const size_t trials = cli.get_uint("trials", 400);
+  const uint64_t seed = cli.get_uint("seed", 61);
+  bench::banner("Mining QoS vs connectivity (block race stale rates)", "§3.2 use case 4");
+
+  util::Rng rng(seed);
+  auto recipe = disc::ropsten_like(n);
+  const graph::Graph g = disc::emerge_topology(recipe, rng);
+  const auto lat = sim::LatencyModel::lognormal(0.12, 1.0);
+
+  // Rank nodes by degree; race the best-connected miner against opponents
+  // across the degree spectrum.
+  std::vector<graph::NodeId> by_degree(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) by_degree[u] = u;
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](graph::NodeId a, graph::NodeId b) { return g.degree(a) > g.degree(b); });
+  const graph::NodeId hub = by_degree.front();
+  const auto hub_hops = hops_from(g, hub);
+
+  util::Table table({"Opponent miner", "Degree", "stale @ 0s head start", "@ 0.1s", "@ 0.25s",
+                     "@ 0.5s"});
+  for (const double percentile : {0.25, 0.5, 0.75, 0.99}) {
+    const graph::NodeId opponent =
+        by_degree[std::min(g.num_nodes() - 1,
+                           static_cast<size_t>(percentile * (g.num_nodes() - 1)))];
+    if (opponent == hub) continue;
+    const auto opp_hops = hops_from(g, opponent);
+
+    std::vector<std::string> row{
+        "degree percentile " + util::fmt_pct(1.0 - percentile, 0),
+        util::fmt(g.degree(opponent))};
+    for (const double head_start : {0.0, 0.1, 0.25, 0.5}) {
+      size_t opponent_stale = 0;
+      for (size_t t = 0; t < trials; ++t) {
+        // The opponent finds its block `head_start` seconds earlier; whoever
+        // covers a majority of the network first wins the race.
+        std::vector<double> hub_t(g.num_nodes()), opp_t(g.num_nodes());
+        for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+          hub_t[i] = head_start + coverage_time(hub_hops, i, lat, rng);
+          opp_t[i] = coverage_time(opp_hops, i, lat, rng);
+        }
+        auto majority_time = [&](std::vector<double>& times) {
+          std::nth_element(times.begin(), times.begin() + times.size() / 2, times.end());
+          return times[times.size() / 2];
+        };
+        if (majority_time(hub_t) <= majority_time(opp_t)) ++opponent_stale;
+      }
+      row.push_back(util::fmt_pct(static_cast<double>(opponent_stale) / trials));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEach cell: how often the opponent's block goes stale against the hub\n"
+               "miner (degree " << g.degree(hub)
+            << ") despite the given head start. Weakly connected miners\n"
+               "lose even with a half-second lead.\n"
+            << "\nPaper reference (§3.2): \"a blockchain's network topology that affects\n"
+               "propagation delay can influence a miner node's revenue and mining-power\n"
+               "utilization\" — and a client choosing a pool should prefer the\n"
+               "well-connected one, which only measured active links reveal.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces the paper's §3 motivation quantitatively: what the measured
+// topology reveals about the network's security and performance.
+//
+//   Use case 1 — targeted eclipse attacks: low-degree nodes can be isolated
+//     by attacking just their few active neighbors.
+//   Use case 2 — single points of failure: articulation points and
+//     high-betweenness nodes whose removal shrinks the giant component.
+//   Use case 3 — deanonymization: nodes with unique neighbor sets are
+//     fingerprintable from topology alone.
+//   Use cases 4/5 — mining/relay QoS: propagation distance from the hub
+//     nodes vs. from average nodes.
+
+#include "bench_common.h"
+#include "graph/centrality.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  const size_t n = cli.get_uint("nodes", 220);
+  const uint64_t seed = cli.get_uint("seed", 33);
+  bench::banner("Security/performance analysis of a measured topology", "§3 use cases");
+
+  util::Rng rng(seed);
+  auto recipe = disc::ropsten_like(n);
+  const graph::Graph g = disc::emerge_topology(recipe, rng);
+  std::cout << "Measured topology: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges\n\n";
+
+  // Use case 1: eclipse exposure.
+  {
+    const auto h = graph::degree_histogram(g);
+    size_t weak = 0, very_weak = 0;
+    for (const auto& [deg, count] : h.buckets()) {
+      if (deg <= 3) very_weak += count;
+      if (deg <= 8) weak += count;
+    }
+    util::Table table({"Eclipse exposure (use case 1)", "Nodes", "Share"});
+    table.add_row({"degree <= 3 (trivially eclipsable)", util::fmt(very_weak),
+                   util::fmt_pct(static_cast<double>(very_weak) / g.num_nodes())});
+    table.add_row({"degree <= 8 (cheaply eclipsable)", util::fmt(weak),
+                   util::fmt_pct(static_cast<double>(weak) / g.num_nodes())});
+    table.print(std::cout);
+    std::cout << "An attacker must disable only a victim's *active* neighbors — the\n"
+                 "50-ish links TopoShot reveals, not the 272 table entries.\n\n";
+  }
+
+  // Use case 2: single points of failure.
+  {
+    const auto cuts = graph::articulation_points(g);
+    const auto bc = graph::betweenness_centrality(g);
+    std::vector<graph::NodeId> by_bc(g.num_nodes());
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) by_bc[u] = u;
+    std::sort(by_bc.begin(), by_bc.end(),
+              [&](graph::NodeId a, graph::NodeId b) { return bc[a] > bc[b]; });
+
+    util::Table table({"Nodes removed (use case 2)", "Largest component", "Share"});
+    table.add_row({"none", util::fmt(g.num_nodes()), "100.0%"});
+    for (size_t k : {1u, 3u, 5u, 10u, 20u}) {
+      std::vector<graph::NodeId> top(by_bc.begin(), by_bc.begin() + std::min(k, by_bc.size()));
+      const size_t remaining = graph::largest_component_after_removal(g, top);
+      table.add_row({"top-" + std::to_string(k) + " betweenness", util::fmt(remaining),
+                     util::fmt_pct(static_cast<double>(remaining) / g.num_nodes())});
+    }
+    table.print(std::cout);
+    std::cout << "Articulation points (removal partitions the network): " << cuts.size()
+              << "\n";
+    const auto cores = graph::core_numbers(g);
+    size_t max_core = 0;
+    for (size_t c : cores) max_core = std::max(max_core, c);
+    std::cout << "Max k-core: " << max_core
+              << " (the densely-knit backbone DoS attacks must fracture)\n\n";
+  }
+
+  // Use case 3: deanonymization by neighbor fingerprint.
+  {
+    const auto fp = graph::neighbor_fingerprints(g);
+    std::cout << "Deanonymization (use case 3): " << fp.unique << " of "
+              << fp.unique + fp.ambiguous << " nodes ("
+              << util::fmt_pct(fp.unique_fraction())
+              << ") have a globally unique neighbor set —\n"
+              << "their transaction traffic can be tied to them from topology alone.\n\n";
+  }
+
+  // Use cases 4/5: propagation distance from hubs vs average nodes.
+  {
+    graph::NodeId hub = 0;
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (g.degree(u) > g.degree(hub)) hub = u;
+    }
+    const auto closeness = graph::closeness_centrality(g);
+    double avg_closeness = 0.0;
+    for (double c : closeness) avg_closeness += c;
+    avg_closeness /= static_cast<double>(g.num_nodes());
+    util::Table table({"Propagation vantage (use cases 4/5)", "Closeness", "vs average"});
+    table.add_row({"best-connected node (deg " + std::to_string(g.degree(hub)) + ")",
+                   util::fmt(closeness[hub], 4),
+                   util::fmt(closeness[hub] / avg_closeness, 2) + "x"});
+    table.add_row({"network average", util::fmt(avg_closeness, 4), "1.00x"});
+    table.print(std::cout);
+    std::cout << "A miner or relay peering with the hub sees blocks/transactions\n"
+                 "earlier — the QoS asymmetry behind the paper's mainnet findings.\n";
+  }
+  return 0;
+}

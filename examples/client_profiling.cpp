@@ -1,0 +1,43 @@
+// Profile an Ethereum client's mempool policy black-box — the paper's §5.1
+// pre-study that decides whether a client is measurable at all, and with
+// which R/U parameters TopoShot must run.
+//
+//   $ ./example_client_profiling
+
+#include <iostream>
+
+#include "core/profiler.h"
+
+int main() {
+  using namespace topo;
+  core::ClientProfiler profiler;
+
+  std::cout << "Black-box mempool profiles (paper Table 3):\n\n";
+  for (const auto kind : mempool::kAllClients) {
+    const auto& profile = mempool::profile_for(kind);
+    const auto est = profiler.profile(kind);
+    std::cout << profile.name << "\n"
+              << "  replacement bump R: " << est.replace_bump_fraction * 100 << "%\n"
+              << "  futures per account U: "
+              << (est.futures_unbounded ? std::string("unbounded")
+                                        : std::to_string(est.max_futures_per_account))
+              << "\n"
+              << "  min pending for eviction P: " << est.min_pending_for_eviction << "\n"
+              << "  capacity L: " << est.capacity << "\n"
+              << "  measurable by TopoShot: " << (est.measurable ? "yes" : "NO") << "\n\n";
+  }
+
+  // A custom deployment: profile it before measuring (the §5.2.3
+  // pre-processing rationale).
+  mempool::MempoolPolicy custom;
+  custom.replace_bump_bp = 2000;  // 20% bump
+  custom.capacity = 3000;
+  custom.future_cap = 512;
+  custom.max_futures_per_account = 64;
+  const auto est = profiler.profile(custom);
+  std::cout << "Custom node: R=" << est.replace_bump_fraction * 100 << "% U="
+            << est.max_futures_per_account << " L=" << est.capacity
+            << " -> configure TopoShot's price ladder around a " << est.replace_bump_fraction * 100
+            << "% bump and floods of ~" << est.capacity << " futures.\n";
+  return 0;
+}

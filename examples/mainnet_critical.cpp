@@ -1,0 +1,86 @@
+// Ethically measure a critical sub-network of a mainnet-like overlay —
+// the paper's §6.3 workflow:
+//
+//   1. discover service backend nodes (relays, mining pools) by matching
+//      client-version strings;
+//   2. measure the links among a handful of critical nodes with the
+//      non-interference-extended TopoShot (low Y0, a-posteriori V1/V2
+//      verification) while the chain keeps mining full blocks;
+//   3. report the connection matrix and the verification outcome.
+//
+//   $ ./example_mainnet_critical [--nodes=120] [--seed=63]
+
+#include <iostream>
+
+#include "core/mainnet.h"
+#include "core/gas_estimator.h"
+#include "core/noninterference.h"
+#include "core/toposhot.h"
+#include "p2p/node.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  util::Cli cli(argc, argv);
+  const size_t n = cli.get_uint("nodes", 120);
+  const uint64_t seed = cli.get_uint("seed", 63);
+
+  util::Rng rng(seed);
+  const auto census = core::paper_service_census(0.08);
+  const auto world = core::build_mainnet_world(n, census, 10, rng);
+
+  // Step 1: discovery.
+  std::cout << "Service discovery (web3_clientVersion matching):\n";
+  std::vector<std::pair<std::string, size_t>> picks;
+  for (const auto& svc : {"SrvR1", "SrvR2", "SrvM1", "SrvM2"}) {
+    const auto nodes = core::discover_service_nodes(world, svc);
+    std::cout << "  " << svc << ": " << nodes.size() << " backend node(s)\n";
+    if (!nodes.empty()) picks.emplace_back(svc, nodes.front());
+    if (std::string(svc) == "SrvR1" && nodes.size() > 1) picks.emplace_back(svc, nodes[1]);
+  }
+
+  // Step 2: wire the world, keep it busy, measure pairwise.
+  core::ScenarioOptions opt;
+  opt.seed = seed;
+  opt.background_price_lo = eth::gwei(1.0);
+  opt.background_price_hi = eth::gwei(40.0);
+  opt.block_gas_limit = 8 * eth::kTransferGas;
+  core::Scenario sc(world.topology, opt);
+  sc.seed_background();
+  sc.start_churn(0.65);
+
+  // Let the fee market settle, then choose Y0 the §6.3 way: under the
+  // inclusion floor of recent blocks but high enough to live in a full
+  // pool (the pool median).
+  sc.sim().run_until(sc.sim().now() + 60.0);
+  core::MeasureConfig cfg = sc.default_measure_config();
+  cfg.price_Y = core::estimate_price_Y0(sc.m().view(),
+                                        core::min_included_price(sc.chain()));  // Y0 far below organic prices
+  const double t1 = sc.sim().now();
+
+  std::cout << "\nPairwise measurements among " << picks.size() << " critical nodes:\n";
+  for (size_t i = 0; i < picks.size(); ++i) {
+    for (size_t j = i + 1; j < picks.size(); ++j) {
+      const auto r = sc.measure_one_link(sc.targets()[picks[i].second],
+                                         sc.targets()[picks[j].second], cfg);
+      const bool truth = world.topology.has_edge(
+          static_cast<graph::NodeId>(picks[i].second),
+          static_cast<graph::NodeId>(picks[j].second));
+      std::cout << "  " << picks[i].first << " <-> " << picks[j].first << ": "
+                << (r.connected ? "CONNECTED" : "not connected")
+                << "  (ground truth: " << (truth ? "linked" : "not linked") << ")\n";
+    }
+  }
+  const double t2 = sc.sim().now();
+
+  // Step 3: verify non-interference a posteriori.
+  sc.sim().run_until(t2 + 30.0);
+  const auto check = core::verify_noninterference(sc.chain(), t1, t2, 0.0, cfg.price_Y);
+  std::cout << "\nNon-interference: V1 " << (check.v1_blocks_full ? "PASS" : "FAIL") << ", V2 "
+            << (check.v2_prices_above_y0 ? "PASS" : "FAIL") << " over "
+            << check.blocks_inspected << " blocks -> "
+            << (check.holds() ? "the measurement did not interfere with the chain"
+                              : "non-interference could NOT be established")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,3 @@
+#include "core/config.h"
+
+// MeasureConfig is header-only; this TU anchors the library target.

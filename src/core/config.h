@@ -1,0 +1,97 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "eth/transaction.h"
+#include "eth/types.h"
+
+namespace topo::core {
+
+/// Parameters of the measureOneLink primitive (paper §5.2) plus the pacing
+/// knobs our event simulation makes explicit.
+///
+/// Price ladder (all derived from Y and the target's replacement bump R):
+///   future txO : (1 + R) Y      — evicts everything priced below it
+///   txA        : (1 + R/2) Y    — replaces txB on B, cannot replace txC on C
+///   txC        : Y              — the network-wide "shield" transaction
+///   txB        : (1 - R/2) Y    — placeholder on B that txA can replace
+struct MeasureConfig {
+  /// X — seconds to wait after planting txC so it floods the whole network.
+  double wait_X = 10.0;
+
+  /// Y — txC gas price. 0 means "estimate dynamically" as the median
+  /// pending price observed by the measurement node (§5.2.1).
+  eth::Wei price_Y = eth::gwei(0.1);
+
+  /// Z — number of future transactions per target flood.
+  size_t flood_Z = 5120;
+
+  /// R — assumed replacement bump of the target client, in basis points
+  /// (Geth 1000). Pre-processing may override per node.
+  uint32_t bump_bp = 1000;
+
+  /// U — assumed max futures per account on the target; the flood uses
+  /// ceil(Z/U) distinct sender accounts.
+  uint64_t futures_per_account_U = 4096;
+
+  /// Seconds to wait after a flood finishes before sending the replacement
+  /// transaction, so the target's deferred queue truncation has run and the
+  /// pool has room (see DESIGN.md on Geth's reorg loop).
+  double post_flood_gap = 1.2;
+
+  /// Seconds to wait after planting txA before checking for txA's arrival
+  /// from B (covers a couple of link latencies).
+  double detect_wait = 3.0;
+
+  /// Repetitions whose union forms the final answer (§5.2.3's passive
+  /// recall booster).
+  size_t repetitions = 1;
+
+  /// Emit EIP-1559 transactions (max fee = the ladder price, priority fee =
+  /// a tenth of it). Appendix E: the pool compares max fees, so the ladder
+  /// semantics are unchanged as long as prices stay above the base fee.
+  bool eip1559 = false;
+
+  /// Strict isolation check: a positive requires that M received txA from
+  /// the sink and from *no other* peer — any other reception proves a node
+  /// lost its txC shield and leaked txA, so the measurement is discarded
+  /// instead of reported. Keeps precision at 100% by construction (the
+  /// property the paper's protocol guarantees analytically).
+  bool strict_isolation_check = true;
+
+  // Derived prices (exact integer arithmetic).
+  eth::Wei price_txC() const { return price_Y; }
+  eth::Wei price_future() const { return scale(price_Y, 10000 + bump_bp); }
+  eth::Wei price_txA() const { return scale(price_Y, 10000 + bump_bp / 2); }
+  eth::Wei price_txB() const { return scale(price_Y, 10000 - bump_bp / 2); }
+
+  /// Smallest Y at which the integer price ladder stays strict: below
+  /// this, ceil-rounding collapses the R/2 spacing (e.g. Y = 1 wei makes
+  /// txA twice txC's price and isolation fails). Estimators clamp to it.
+  eth::Wei min_viable_Y() const {
+    return bump_bp == 0 ? 1 : std::max<eth::Wei>(1, 40000 / bump_bp);
+  }
+
+  /// Number of flood sender accounts.
+  size_t flood_accounts() const {
+    if (futures_per_account_U == 0) return flood_Z;
+    return (flood_Z + futures_per_account_U - 1) / futures_per_account_U;
+  }
+
+ private:
+  static eth::Wei scale(eth::Wei y, uint64_t factor_bp) {
+    return static_cast<eth::Wei>(
+        (static_cast<unsigned __int128>(y) * factor_bp + 9999) / 10000);
+  }
+};
+
+/// Crafts a measurement transaction per the config's fee mode: legacy gas
+/// price, or EIP-1559 with max fee = `price`.
+inline eth::Transaction craft_tx(eth::TxFactory& factory, const MeasureConfig& cfg,
+                                 eth::Address sender, eth::Nonce nonce, eth::Wei price) {
+  if (cfg.eip1559) return factory.make1559(sender, nonce, price, price / 10);
+  return factory.make(sender, nonce, price);
+}
+
+}  // namespace topo::core

@@ -1,0 +1,26 @@
+#include "core/cost.h"
+
+namespace topo::core {
+
+eth::Wei CostTracker::wei_spent(const eth::Chain& chain, double t1, double t2) const {
+  unsigned __int128 total = 0;
+  for (const auto* b : chain.blocks_in(t1, t2)) {
+    for (const auto& tx : b->txs) {
+      if (!accounts_.count(tx.sender)) continue;
+      total += static_cast<unsigned __int128>(tx.gas) * tx.effective_price(b->base_fee);
+    }
+  }
+  return static_cast<eth::Wei>(total);
+}
+
+uint64_t CostTracker::included_txs(const eth::Chain& chain, double t1, double t2) const {
+  uint64_t n = 0;
+  for (const auto* b : chain.blocks_in(t1, t2)) {
+    for (const auto& tx : b->txs) {
+      if (accounts_.count(tx.sender)) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace topo::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "eth/chain.h"
+
+namespace topo::core {
+
+/// Ether/USD accounting of a measurement campaign (paper §5.2.2, §6.4,
+/// Table 7). Only transactions actually included in blocks cost Ether;
+/// future transactions are never mined and are free.
+class CostTracker {
+ public:
+  /// Registers an account used by the measurement (txC/txA/txB senders).
+  void track_account(eth::Address a) { accounts_.insert(a); }
+  bool tracks(eth::Address a) const { return accounts_.count(a) > 0; }
+  size_t tracked_accounts() const { return accounts_.size(); }
+
+  /// Sums gas * effective price over included transactions from tracked
+  /// accounts in blocks with timestamp in [t1, t2].
+  eth::Wei wei_spent(const eth::Chain& chain, double t1, double t2) const;
+
+  /// Count of tracked transactions included in [t1, t2].
+  uint64_t included_txs(const eth::Chain& chain, double t1, double t2) const;
+
+ private:
+  std::unordered_set<eth::Address> accounts_;
+};
+
+/// Converts and extrapolates costs (Table 7 & the 60 M USD estimate).
+struct CostModel {
+  double eth_usd = 2690.0;  ///< May 2021 price used for the paper's 1.91 USD/pair
+
+  double wei_to_usd(eth::Wei wei) const {
+    return static_cast<double>(wei) / 1e18 * eth_usd;
+  }
+  double wei_to_ether(eth::Wei wei) const { return static_cast<double>(wei) / 1e18; }
+
+  /// Cost of measuring all pairs of an n-node network given the per-pair
+  /// cost (the §6.3 extrapolation: n=8000 at 7.1e-4 Ether/pair -> ~22.8k
+  /// Ether -> > 60 M USD).
+  double full_network_usd(size_t n, double per_pair_ether) const {
+    const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+    return pairs * per_pair_ether * eth_usd;
+  }
+  double full_network_ether(size_t n, double per_pair_ether) const {
+    const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+    return pairs * per_pair_ether;
+  }
+};
+
+}  // namespace topo::core

@@ -1,0 +1,37 @@
+#include "core/gas_estimator.h"
+
+#include <algorithm>
+
+namespace topo::core {
+
+eth::Wei estimate_price_Y(const mempool::Mempool& view, eth::Wei fallback) {
+  const eth::Wei median = view.median_pending_price();
+  // Never return a Y so small that integer rounding collapses the R/2
+  // price ladder (MeasureConfig::min_viable_Y; 400 wei covers every
+  // profiled client bump).
+  return std::max<eth::Wei>(median > 0 ? median : fallback, 400);
+}
+
+eth::Wei min_included_price(const eth::Chain& chain, size_t window_blocks) {
+  eth::Wei lo = 0;
+  size_t seen = 0;
+  const auto& blocks = chain.blocks();
+  for (auto it = blocks.rbegin(); it != blocks.rend() && seen < window_blocks; ++it) {
+    if (it->txs.empty()) continue;
+    ++seen;
+    const eth::Wei p = it->min_included_price();
+    if (lo == 0 || p < lo) lo = p;
+  }
+  return lo;
+}
+
+eth::Wei estimate_price_Y0(const mempool::Mempool& view, eth::Wei min_included_price,
+                           double floor_fraction, eth::Wei fallback) {
+  const eth::Wei median = estimate_price_Y(view, fallback);
+  if (min_included_price == 0) return median;
+  const eth::Wei cap =
+      static_cast<eth::Wei>(static_cast<double>(min_included_price) * floor_fraction);
+  return std::max<eth::Wei>(1, std::min(median, cap));
+}
+
+}  // namespace topo::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "eth/chain.h"
+#include "eth/types.h"
+#include "mempool/mempool.h"
+
+namespace topo::core {
+
+/// Estimates the txC gas price Y from the measurement node's passive pool
+/// view: the median pending price — low enough not to enter the next block,
+/// high enough not to be evicted by organic traffic (paper §5.2.1).
+/// Returns `fallback` when the view holds nothing.
+eth::Wei estimate_price_Y(const mempool::Mempool& view, eth::Wei fallback = eth::gwei(0.1));
+
+/// The non-interference variant (§6.3 / Appendix C): Y0 must additionally
+/// sit below the cheapest price included in recent blocks. Returns
+/// min(median estimate, floor_fraction * min_included) — conservatively
+/// under the inclusion cut-off.
+eth::Wei estimate_price_Y0(const mempool::Mempool& view, eth::Wei min_included_price,
+                           double floor_fraction = 0.5, eth::Wei fallback = eth::gwei(0.1));
+
+/// Cheapest effective price included in the chain's most recent
+/// `window_blocks` non-empty blocks (0 if none) — the inclusion floor the
+/// V2 condition is checked against.
+eth::Wei min_included_price(const eth::Chain& chain, size_t window_blocks = 10);
+
+}  // namespace topo::core

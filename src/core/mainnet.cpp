@@ -1,0 +1,85 @@
+#include "core/mainnet.h"
+
+#include <algorithm>
+
+namespace topo::core {
+
+std::vector<ServiceSpec> paper_service_census(double scale) {
+  auto scaled = [&](size_t n) {
+    return std::max<size_t>(1, static_cast<size_t>(static_cast<double>(n) * scale));
+  };
+  std::vector<ServiceSpec> services;
+  services.push_back({"SrvR1", scaled(48), true, true, true});
+  services.push_back({"SrvR2", 1, true, false, false});
+  services.push_back({"SrvM1", scaled(59), false, true, false});  // no self-peering
+  services.push_back({"SrvM2", scaled(8), false, true, true});
+  services.push_back({"SrvM3", scaled(6), false, true, true});
+  services.push_back({"SrvM4", scaled(2), false, true, true});
+  services.push_back({"SrvM5", scaled(2), false, true, true});
+  services.push_back({"SrvM6", 1, false, true, true});
+  return services;
+}
+
+MainnetWorld build_mainnet_world(size_t n, const std::vector<ServiceSpec>& services,
+                                 size_t base_degree, util::Rng& rng) {
+  MainnetWorld world;
+  size_t critical_total = 0;
+  for (const auto& s : services) critical_total += s.node_count;
+  n = std::max(n, critical_total + 2);
+
+  world.topology = graph::Graph(n);
+  world.service_of.assign(n, "");
+
+  // Assign service labels to the first nodes, in census order.
+  std::vector<const ServiceSpec*> spec_of(n, nullptr);
+  {
+    size_t next = 0;
+    for (const auto& s : services) {
+      for (size_t i = 0; i < s.node_count; ++i) {
+        world.service_of[next] = s.name;
+        spec_of[next] = &s;
+        world.critical_indices.push_back(next);
+        ++next;
+      }
+    }
+  }
+
+  // Organic substrate: every node (critical ones included) makes
+  // ~base_degree random links, like a vanilla client's neighbor selection.
+  const size_t random_links = n * base_degree / 2;
+  size_t made = 0, guard = 0;
+  while (made < random_links && guard++ < 50 * random_links) {
+    const auto u = static_cast<graph::NodeId>(rng.index(n));
+    const auto v = static_cast<graph::NodeId>(rng.index(n));
+    if (world.topology.add_edge(u, v)) ++made;
+  }
+
+  // Biased overlay: prioritizing services dial other critical nodes.
+  for (size_t i : world.critical_indices) {
+    const ServiceSpec& si = *spec_of[i];
+    if (!si.prioritizes_critical) continue;
+    for (size_t j : world.critical_indices) {
+      if (j <= i) continue;
+      const ServiceSpec& sj = *spec_of[j];
+      if (!sj.prioritizes_critical) continue;  // SrvR2 declines
+      const bool same = (&si == &sj);
+      if (same && !si.peers_with_same_service) continue;
+      world.topology.add_edge(static_cast<graph::NodeId>(i), static_cast<graph::NodeId>(j));
+    }
+  }
+  return world;
+}
+
+std::vector<size_t> discover_service_nodes(const MainnetWorld& world,
+                                           const std::string& service) {
+  // Models §6.3's discovery: the codename revealed by the service's
+  // web3_clientVersion RPC is matched against handshake strings collected
+  // by a supernode; on this substrate the label is the codename.
+  std::vector<size_t> out;
+  for (size_t i = 0; i < world.service_of.size(); ++i) {
+    if (world.service_of[i] == service) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace topo::core

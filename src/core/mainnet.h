@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace topo::core {
+
+/// The critical Ethereum services of the paper's §6.3 mainnet study
+/// (anonymized there as SrvR1/SrvR2 relays and SrvM1..SrvM6 mining pools).
+struct ServiceSpec {
+  std::string name;
+  size_t node_count = 1;
+  bool is_relay = false;
+  /// Biased neighbor selection: the service's backend nodes deliberately
+  /// connect to other critical nodes (the paper's explanation (b)).
+  /// SrvR2 is the counter-example: a vanilla node with random neighbors.
+  bool prioritizes_critical = true;
+  /// Whether backends of the same service peer with each other. Table 6's
+  /// quirk: SrvM1 nodes do not, every other prioritizing service does.
+  bool peers_with_same_service = true;
+};
+
+/// A mainnet-like world: an organic overlay plus labelled service backends.
+struct MainnetWorld {
+  graph::Graph topology;                 ///< node i of the graph
+  std::vector<std::string> service_of;   ///< "" for ordinary nodes
+  std::vector<size_t> critical_indices;  ///< nodes with a service label
+};
+
+/// The paper's discovered service census (§6.3, scaled by `scale` with a
+/// minimum of 1 node per service): 48 SrvR1, 1 SrvR2, 59 SrvM1, 8 SrvM2,
+/// 6 SrvM3, 2 SrvM4, 2 SrvM5, 1 SrvM6.
+std::vector<ServiceSpec> paper_service_census(double scale = 1.0);
+
+/// Builds an `n`-node mainnet-like overlay:
+///  - ordinary nodes wire up with ~`base_degree` random links;
+///  - each service node additionally dials every other critical node its
+///    strategy prioritizes: relays with `prioritizes_critical` connect to
+///    all pools and to their own kind; pools connect to pools of *other*
+///    services and to prioritizing relays — reproducing the Table 6
+///    pattern, including SrvM1 backends not peering with each other and
+///    SrvR2 (non-prioritizing) keeping only random neighbors.
+MainnetWorld build_mainnet_world(size_t n, const std::vector<ServiceSpec>& services,
+                                 size_t base_degree, util::Rng& rng);
+
+/// Simulated service discovery (§6.3 step 1): matches web3_clientVersion
+/// handshake strings against the census and returns the discovered node
+/// indices per service — on this substrate it recovers critical_indices.
+std::vector<size_t> discover_service_nodes(const MainnetWorld& world, const std::string& service);
+
+}  // namespace topo::core

@@ -1,0 +1,41 @@
+#include "core/noninterference.h"
+
+#include <algorithm>
+
+namespace topo::core {
+
+NonInterferenceCheck verify_noninterference(const eth::Chain& chain, double t1, double t2,
+                                            double expiry_e, eth::Wei y0) {
+  NonInterferenceCheck check;
+  const auto blocks = chain.blocks_in(t1, t2 + expiry_e);
+  check.blocks_inspected = blocks.size();
+  check.v1_blocks_full = !blocks.empty();
+  check.v2_prices_above_y0 = !blocks.empty();
+  for (const auto* b : blocks) {
+    if (!b->is_full()) check.v1_blocks_full = false;
+    for (const auto& tx : b->txs) {
+      if (tx.effective_price(b->base_fee) <= y0) check.v2_prices_above_y0 = false;
+    }
+  }
+  return check;
+}
+
+bool same_included_transactions(const std::vector<eth::Block>& with_measurement,
+                                const std::vector<eth::Block>& without_measurement,
+                                const std::unordered_set<eth::Address>& measurement_accounts) {
+  if (with_measurement.size() != without_measurement.size()) return false;
+  auto tx_ids = [&](const eth::Block& b) {
+    std::vector<uint64_t> ids;
+    for (const auto& tx : b.txs) {
+      if (!measurement_accounts.count(tx.sender)) ids.push_back(tx.id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  for (size_t i = 0; i < with_measurement.size(); ++i) {
+    if (tx_ids(with_measurement[i]) != tx_ids(without_measurement[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace topo::core

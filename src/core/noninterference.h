@@ -1,0 +1,35 @@
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "eth/chain.h"
+
+namespace topo::core {
+
+/// The a-posteriori verification conditions of the mainnet-safe TopoShot
+/// extension (paper §6.3 / Appendix C):
+///   V1: every block produced in [t1, t2 + e] is full (gas limit filled);
+///   V2: every transaction included in that window is priced above Y0.
+/// When both hold, Theorem C.2 gives non-interference: the measured world's
+/// blocks contain the same transactions as the hypothetical unmeasured one.
+struct NonInterferenceCheck {
+  bool v1_blocks_full = false;
+  bool v2_prices_above_y0 = false;
+  size_t blocks_inspected = 0;
+  bool holds() const { return v1_blocks_full && v2_prices_above_y0 && blocks_inspected > 0; }
+};
+
+/// Verifies V1/V2 over blocks with timestamps in [t1, t2 + expiry_e].
+NonInterferenceCheck verify_noninterference(const eth::Chain& chain, double t1, double t2,
+                                            double expiry_e, eth::Wei y0);
+
+/// Replay comparison backing the Theorem C.2 experiment: block streams from
+/// the measured and unmeasured worlds must contain identical transaction
+/// sets per block index, ignoring transactions from `measurement_accounts`
+/// (which by V1/V2 never make it into blocks anyway).
+bool same_included_transactions(const std::vector<eth::Block>& with_measurement,
+                                const std::vector<eth::Block>& without_measurement,
+                                const std::unordered_set<eth::Address>& measurement_accounts);
+
+}  // namespace topo::core

@@ -1,0 +1,104 @@
+#include "core/one_link.h"
+
+#include <algorithm>
+
+#include "core/gas_estimator.h"
+#include "p2p/node.h"
+
+namespace topo::core {
+
+OneLinkMeasurement::OneLinkMeasurement(p2p::Network& net, p2p::MeasurementNode& m,
+                                       eth::AccountManager& accounts, eth::TxFactory& factory,
+                                       MeasureConfig config)
+    : net_(net), m_(m), accounts_(accounts), factory_(factory), config_(config) {}
+
+std::vector<eth::Transaction> OneLinkMeasurement::make_flood(const MeasureConfig& cfg) {
+  std::vector<eth::Transaction> flood;
+  flood.reserve(cfg.flood_Z);
+  const size_t n_accounts = cfg.flood_accounts();
+  const eth::Wei price = cfg.price_future();
+  for (size_t a = 0; a < n_accounts && flood.size() < cfg.flood_Z; ++a) {
+    const eth::Address acct = accounts_.create_one();
+    const eth::Nonce base = accounts_.future_nonce(acct, 1);  // gap at nonce 0
+    for (uint64_t j = 0; j < cfg.futures_per_account_U && flood.size() < cfg.flood_Z;
+         ++j) {
+      flood.push_back(craft_tx(factory_, cfg, acct, base + j, price));
+    }
+  }
+  return flood;
+}
+
+OneLinkResult OneLinkMeasurement::measure(p2p::PeerId a, p2p::PeerId b) {
+  OneLinkResult final_result;
+  for (size_t rep = 0; rep < std::max<size_t>(1, config_.repetitions); ++rep) {
+    OneLinkResult r = measure_once(a, b);
+    if (rep == 0) {
+      final_result = r;
+    } else {
+      // Union of positives (§5.2.3 passive recall booster); keep the latest
+      // diagnostics otherwise.
+      r.connected = r.connected || final_result.connected;
+      r.started_at = final_result.started_at;
+      r.txs_sent += final_result.txs_sent;
+      final_result = r;
+    }
+    if (final_result.connected) break;  // already positive, no need to repeat
+  }
+  return final_result;
+}
+
+OneLinkResult OneLinkMeasurement::measure_once(p2p::PeerId a, p2p::PeerId b) {
+  auto& sim = net_.simulator();
+  OneLinkResult result;
+  result.started_at = sim.now();
+  const uint64_t sent_before = m_.txs_sent();
+
+  MeasureConfig cfg = config_;
+  if (cfg.price_Y == 0) cfg.price_Y = estimate_price_Y(m_.view());
+
+  // Step 1: plant txC through A and let it flood the network for X seconds.
+  const eth::Address acct_c = accounts_.create_one();
+  if (cost_ != nullptr) cost_->track_account(acct_c);
+  const eth::Nonce nonce_c = accounts_.allocate_nonce(acct_c);
+  const eth::Transaction tx_c = craft_tx(factory_, cfg, acct_c, nonce_c, cfg.price_txC());
+  result.txc_hash = tx_c.hash();
+  m_.send_to(a, tx_c);
+  sim.run_until(sim.now() + cfg.wait_X);
+
+  // Step 2: evict txC on B with the future flood, wait out the deferred
+  // queue truncation, then plant txB (same sender+nonce as txC).
+  const auto flood = make_flood(cfg);
+  m_.send_batch_to(b, flood);
+  sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+  const eth::Transaction tx_b = craft_tx(factory_, cfg, acct_c, nonce_c, cfg.price_txB());
+  result.txb_hash = tx_b.hash();
+  m_.send_to(b, tx_b);
+  sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+
+  // Step 3: the same on A, then plant txA.
+  m_.send_batch_to(a, flood);
+  sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+  const eth::Transaction tx_a = craft_tx(factory_, cfg, acct_c, nonce_c, cfg.price_txA());
+  result.txa_hash = tx_a.hash();
+  const double txa_sent_at = m_.send_to(a, tx_a);
+
+  // Step 4: wait for propagation, then check arrival of txA from B.
+  sim.run_until(sim.now() + cfg.detect_wait);
+  result.connected =
+      cfg.strict_isolation_check
+          ? m_.received_only_from(result.txa_hash, b, txa_sent_at)
+          : m_.received_from_since(result.txa_hash, b, txa_sent_at);
+
+  // Simulated-RPC diagnostics (§6.1's eth_getTransactionByHash checks).
+  result.txc_evicted_on_a = !net_.node(a).pool().contains(result.txc_hash);
+  result.txc_evicted_on_b = !net_.node(b).pool().contains(result.txc_hash);
+  result.txa_planted_on_a = net_.node(a).pool().contains(result.txa_hash);
+  result.txb_planted_on_b = net_.node(b).pool().contains(result.txb_hash) ||
+                            net_.node(b).pool().contains(result.txa_hash);
+
+  result.finished_at = sim.now();
+  result.txs_sent = m_.txs_sent() - sent_before;
+  return result;
+}
+
+}  // namespace topo::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include "core/config.h"
+#include "core/cost.h"
+#include "eth/account.h"
+#include "eth/transaction.h"
+#include "p2p/measurement_node.h"
+#include "p2p/network.h"
+
+namespace topo::core {
+
+/// Outcome of one measureOneLink run, with the paper's validation
+/// diagnostics (the eth_getTransactionByHash-style checks of §6.1).
+struct OneLinkResult {
+  bool connected = false;  ///< txA observed arriving from B
+
+  // Diagnostics read from simulated-RPC ground truth:
+  bool txc_evicted_on_a = false;
+  bool txc_evicted_on_b = false;
+  bool txa_planted_on_a = false;
+  bool txb_planted_on_b = false;
+
+  eth::TxHash txa_hash = 0;
+  eth::TxHash txb_hash = 0;
+  eth::TxHash txc_hash = 0;
+
+  double started_at = 0.0;
+  double finished_at = 0.0;
+  uint64_t txs_sent = 0;
+};
+
+/// The serial measurement primitive measureOneLink(A, B, X, Y, Z, R, U) of
+/// paper §5.2, driven synchronously against the event simulator:
+///
+///   1. send txC (price Y) to A; run the simulator X seconds so it floods;
+///   2. flood B with Z futures at (1+R)Y from ceil(Z/U) accounts, wait for
+///      the target's deferred queue truncation, then send txB at (1-R/2)Y;
+///   3. the same for A, then send txA at (1+R/2)Y;
+///   4. run the detect window and report whether M received txA *from B*.
+///
+/// The call advances the shared simulator; concurrent activity (mining,
+/// background traffic, re-gossip) keeps running during the measurement.
+class OneLinkMeasurement {
+ public:
+  OneLinkMeasurement(p2p::Network& net, p2p::MeasurementNode& m, eth::AccountManager& accounts,
+                     eth::TxFactory& factory, MeasureConfig config);
+
+  /// Measures the A-B link once. Applies config.repetitions internally
+  /// (union of positives).
+  OneLinkResult measure(p2p::PeerId a, p2p::PeerId b);
+
+  /// Registered measurement accounts land here for cost accounting.
+  void set_cost_tracker(CostTracker* tracker) { cost_ = tracker; }
+
+  const MeasureConfig& config() const { return config_; }
+  MeasureConfig& config() { return config_; }
+
+ private:
+  OneLinkResult measure_once(p2p::PeerId a, p2p::PeerId b);
+
+  /// Builds the Z-future flood (fresh accounts, nonce gap at 0).
+  std::vector<eth::Transaction> make_flood(const MeasureConfig& cfg);
+
+  p2p::Network& net_;
+  p2p::MeasurementNode& m_;
+  eth::AccountManager& accounts_;
+  eth::TxFactory& factory_;
+  MeasureConfig config_;
+  CostTracker* cost_ = nullptr;
+};
+
+}  // namespace topo::core

@@ -1,0 +1,151 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+
+#include "core/gas_estimator.h"
+#include "p2p/node.h"
+
+namespace topo::core {
+
+ParallelMeasurement::ParallelMeasurement(p2p::Network& net, p2p::MeasurementNode& m,
+                                         eth::AccountManager& accounts, eth::TxFactory& factory,
+                                         MeasureConfig config)
+    : net_(net), m_(m), accounts_(accounts), factory_(factory), config_(config) {}
+
+std::vector<eth::Transaction> ParallelMeasurement::make_flood(const MeasureConfig& cfg,
+                                                              size_t z) {
+  std::vector<eth::Transaction> flood;
+  flood.reserve(z);
+  const size_t n_accounts =
+      cfg.futures_per_account_U == 0 ? z
+                                     : (z + cfg.futures_per_account_U - 1) /
+                                           cfg.futures_per_account_U;
+  const eth::Wei price = cfg.price_future();
+  for (size_t a = 0; a < n_accounts && flood.size() < z; ++a) {
+    const eth::Address acct = accounts_.create_one();
+    const eth::Nonce base = accounts_.future_nonce(acct, 1);
+    for (uint64_t j = 0; j < cfg.futures_per_account_U && flood.size() < z; ++j) {
+      flood.push_back(craft_tx(factory_, cfg, acct, base + j, price));
+    }
+  }
+  return flood;
+}
+
+size_t ParallelMeasurement::flood_z_for(p2p::PeerId target, const MeasureConfig& cfg) const {
+  auto it = flood_overrides_.find(target);
+  return it == flood_overrides_.end() ? cfg.flood_Z : std::max(cfg.flood_Z, it->second);
+}
+
+ParallelResult ParallelMeasurement::measure(const std::vector<p2p::PeerId>& sources,
+                                            const std::vector<p2p::PeerId>& sinks,
+                                            const std::vector<ParallelEdge>& edges) {
+  ParallelResult result = measure_once(sources, sinks, edges);
+  for (size_t rep = 1; rep < std::max<size_t>(1, config_.repetitions); ++rep) {
+    if (std::all_of(result.connected.begin(), result.connected.end(),
+                    [](bool b) { return b; })) {
+      break;
+    }
+    const ParallelResult next = measure_once(sources, sinks, edges);
+    for (size_t i = 0; i < result.connected.size(); ++i) {
+      result.connected[i] = result.connected[i] || next.connected[i];
+      result.txa_planted[i] = result.txa_planted[i] || next.txa_planted[i];
+    }
+    result.finished_at = next.finished_at;
+    result.txs_sent += next.txs_sent;
+  }
+  return result;
+}
+
+ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>& sources,
+                                                 const std::vector<p2p::PeerId>& sinks,
+                                                 const std::vector<ParallelEdge>& edges) {
+  auto& sim = net_.simulator();
+  ParallelResult result;
+  result.started_at = sim.now();
+  const uint64_t sent_before = m_.txs_sent();
+  const size_t r = edges.size();
+  result.connected.assign(r, false);
+  result.txa_planted.assign(r, false);
+  if (r == 0) return result;
+
+  MeasureConfig cfg = config_;
+  if (cfg.price_Y == 0) cfg.price_Y = estimate_price_Y(m_.view());
+
+  // p1: one EOA per edge; plant txC_i through its source and let all of
+  // them flood for X seconds.
+  std::vector<eth::Address> edge_accounts(r);
+  std::vector<eth::Transaction> tx_c(r);
+  std::vector<eth::Transaction> tx_a(r);
+  std::vector<eth::Transaction> tx_b(r);
+  for (size_t i = 0; i < r; ++i) {
+    edge_accounts[i] = accounts_.create_one();
+    if (cost_ != nullptr) cost_->track_account(edge_accounts[i]);
+    const eth::Nonce nonce = accounts_.allocate_nonce(edge_accounts[i]);
+    tx_c[i] = craft_tx(factory_, cfg, edge_accounts[i], nonce, cfg.price_txC());
+    tx_a[i] = craft_tx(factory_, cfg, edge_accounts[i], nonce, cfg.price_txA());
+    tx_b[i] = craft_tx(factory_, cfg, edge_accounts[i], nonce, cfg.price_txB());
+    m_.send_to(sources[edges[i].source], tx_c[i]);
+  }
+  sim.run_until(m_.send_backlog_until() + cfg.wait_X);
+
+  const auto flood = make_flood(cfg, cfg.flood_Z);
+
+  // Sink phase: strictly one sink at a time — flood, wait out queue
+  // truncation, then deliver the payload (txB for its own edges, txC
+  // replants otherwise). Sequencing matters: while a sink sits in its
+  // evicted window it must be the *only* node without the txC shields, so
+  // a txB propagating from it meets an intact txC everywhere else and
+  // cannot leak into a concurrently evicted sink.
+  for (size_t l = 0; l < sinks.size(); ++l) {
+    const size_t z = flood_z_for(sinks[l], cfg);
+    if (z > flood.size()) {
+      const auto big = make_flood(cfg, z);
+      m_.send_batch_to(sinks[l], big);
+    } else {
+      m_.send_batch_to(sinks[l], flood);
+    }
+    sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+    for (size_t i = 0; i < r; ++i) {
+      m_.send_to(sinks[l], edges[i].sink == l ? tx_b[i] : tx_c[i]);
+    }
+    sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+  }
+
+  // Source phase: strictly one source at a time (see header note).
+  std::vector<double> txa_sent_at(r, 0.0);
+  for (size_t k = 0; k < sources.size(); ++k) {
+    const size_t z = flood_z_for(sources[k], cfg);
+    if (z > flood.size()) {
+      const auto big = make_flood(cfg, z);
+      m_.send_batch_to(sources[k], big);
+    } else {
+      m_.send_batch_to(sources[k], flood);
+    }
+    sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+    for (size_t i = 0; i < r; ++i) {
+      if (edges[i].source != k) m_.send_to(sources[k], tx_c[i]);
+    }
+    for (size_t i = 0; i < r; ++i) {
+      if (edges[i].source == k) txa_sent_at[i] = m_.send_to(sources[k], tx_a[i]);
+    }
+    // Let this source's txA settle (and propagate) before touching the next
+    // source, so other sources still hold txC_i when txA_i arrives.
+    sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+  }
+
+  // p4: detect.
+  sim.run_until(sim.now() + cfg.detect_wait);
+  for (size_t i = 0; i < r; ++i) {
+    result.connected[i] =
+        cfg.strict_isolation_check
+            ? m_.received_only_from(tx_a[i].hash(), sinks[edges[i].sink], txa_sent_at[i])
+            : m_.received_from_since(tx_a[i].hash(), sinks[edges[i].sink], txa_sent_at[i]);
+    result.txa_planted[i] = net_.node(sources[edges[i].source]).pool().contains(tx_a[i].hash());
+  }
+
+  result.finished_at = sim.now();
+  result.txs_sent = m_.txs_sent() - sent_before;
+  return result;
+}
+
+}  // namespace topo::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "eth/account.h"
+#include "eth/transaction.h"
+#include "p2p/measurement_node.h"
+#include "p2p/network.h"
+
+namespace topo::core {
+
+/// What the pre-processing phase learned about the targets (paper §5.2.3
+/// and §6.2.1): nodes to exclude and per-node parameter overrides.
+struct PreprocessReport {
+  std::unordered_set<p2p::PeerId> future_forwarders;  ///< forward future txs
+  std::unordered_set<p2p::PeerId> unresponsive;       ///< never echo anything
+  /// Flood size override discovered for nodes with custom mempools.
+  std::unordered_map<p2p::PeerId, size_t> flood_override;
+
+  bool excluded(p2p::PeerId n) const {
+    return future_forwarders.count(n) > 0 || unresponsive.count(n) > 0;
+  }
+  std::vector<p2p::PeerId> filter(const std::vector<p2p::PeerId>& targets) const;
+};
+
+/// Pre-processing probes, run against the live (simulated) network:
+///  - future-forwarder detection: send a future transaction to the target
+///    and watch whether it comes back (§6.2.1's monitor-node trick);
+///  - responsiveness: send a cheap unique pending transaction and expect
+///    the target to echo it to M;
+///  - custom-mempool discovery: escalate the flood size Z against a target
+///    until a measurement against a controlled local node B' succeeds.
+class Preprocessor {
+ public:
+  Preprocessor(p2p::Network& net, p2p::MeasurementNode& m, eth::AccountManager& accounts,
+               eth::TxFactory& factory, MeasureConfig config);
+
+  /// Runs the forwarder + responsiveness probes over all targets.
+  PreprocessReport probe(const std::vector<p2p::PeerId>& targets);
+
+  /// Probes one target's effective flood requirement by measuring against
+  /// the controlled node `local_b` (which must be linked to `target`) with
+  /// escalating Z. Returns the first Z that detects the link, or 0.
+  size_t probe_flood_size(p2p::PeerId target, p2p::PeerId local_b,
+                          const std::vector<size_t>& z_ladder);
+
+ private:
+  p2p::Network& net_;
+  p2p::MeasurementNode& m_;
+  eth::AccountManager& accounts_;
+  eth::TxFactory& factory_;
+  MeasureConfig config_;
+};
+
+}  // namespace topo::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+
+#include "mempool/client_profile.h"
+#include "mempool/mempool.h"
+
+namespace topo::core {
+
+/// Black-box estimate of a client's mempool parameters (paper Table 3),
+/// recovered purely through add() outcomes — the §5.1 "mempool tests" run
+/// by node M against a local target node T.
+struct ClientProfileEstimate {
+  double replace_bump_fraction = 0.0;          ///< R (e.g. 0.10 for Geth)
+  uint64_t max_futures_per_account = 0;        ///< U; UINT64_MAX reported as infinity
+  bool futures_unbounded = false;              ///< Besu's U = infinity
+  size_t min_pending_for_eviction = 0;         ///< P
+  size_t capacity = 0;                         ///< L
+  bool measurable = false;                     ///< R > 0 (§5.1: zero-R clients
+                                               ///< defeat isolation & are flawed)
+};
+
+/// Probes a fresh target pool built with `policy`. The probe only calls the
+/// public Mempool interface (no policy field is read back), mirroring the
+/// paper's black-box tests against instrumented local nodes.
+class ClientProfiler {
+ public:
+  /// `probe_cap` bounds the U/L searches (Besu's unbounded U reports as
+  /// infinity once the cap is passed).
+  explicit ClientProfiler(uint64_t probe_cap = 1 << 14) : probe_cap_(probe_cap) {}
+
+  ClientProfileEstimate profile(const mempool::MempoolPolicy& policy) const;
+
+  /// Convenience: profile a stock client (Table 3 row).
+  ClientProfileEstimate profile(mempool::ClientKind kind) const;
+
+ private:
+  size_t measure_capacity(const mempool::MempoolPolicy& policy) const;
+  double measure_bump(const mempool::MempoolPolicy& policy) const;
+  std::pair<uint64_t, bool> measure_future_limit(const mempool::MempoolPolicy& policy) const;
+  size_t measure_min_pending(const mempool::MempoolPolicy& policy, size_t capacity) const;
+
+  uint64_t probe_cap_;
+};
+
+}  // namespace topo::core

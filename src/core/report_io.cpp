@@ -1,0 +1,82 @@
+#include "core/report_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace topo::core {
+
+using rpc::Json;
+using rpc::JsonArray;
+using rpc::JsonObject;
+
+Json graph_to_json(const graph::Graph& g) {
+  JsonArray edges;
+  for (const auto& [u, v] : g.edges()) {
+    edges.push_back(Json(JsonArray{Json(static_cast<uint64_t>(u)),
+                                   Json(static_cast<uint64_t>(v))}));
+  }
+  return Json(JsonObject{
+      {"nodes", Json(static_cast<uint64_t>(g.num_nodes()))},
+      {"edges", Json(std::move(edges))},
+  });
+}
+
+std::optional<graph::Graph> graph_from_json(const Json& j) {
+  if (!j.is_object() || !j["nodes"].is_number() || !j["edges"].is_array()) return std::nullopt;
+  const auto n = static_cast<size_t>(j["nodes"].as_number());
+  graph::Graph g(n);
+  for (const auto& e : j["edges"].as_array()) {
+    if (!e.is_array() || e.as_array().size() != 2 || !e[size_t{0}].is_number() ||
+        !e[size_t{1}].is_number()) {
+      return std::nullopt;
+    }
+    const auto u = static_cast<size_t>(e[size_t{0}].as_number());
+    const auto v = static_cast<size_t>(e[size_t{1}].as_number());
+    if (u >= n || v >= n) return std::nullopt;
+    g.add_edge(static_cast<graph::NodeId>(u), static_cast<graph::NodeId>(v));
+  }
+  return g;
+}
+
+Json report_to_json(const NetworkMeasurementReport& report) {
+  return Json(JsonObject{
+      {"format", Json("toposhot-report-v1")},
+      {"topology", graph_to_json(report.measured)},
+      {"iterations", Json(static_cast<uint64_t>(report.iterations))},
+      {"pairs_tested", Json(static_cast<uint64_t>(report.pairs_tested))},
+      {"sim_seconds", Json(report.sim_seconds)},
+      {"txs_sent", Json(report.txs_sent)},
+  });
+}
+
+std::optional<NetworkMeasurementReport> report_from_json(const Json& j) {
+  if (!j.is_object() || j["format"].as_string() != "toposhot-report-v1") return std::nullopt;
+  auto topo = graph_from_json(j["topology"]);
+  if (!topo) return std::nullopt;
+  NetworkMeasurementReport report;
+  report.measured = std::move(*topo);
+  report.iterations = static_cast<size_t>(j["iterations"].as_number());
+  report.pairs_tested = static_cast<size_t>(j["pairs_tested"].as_number());
+  report.sim_seconds = j["sim_seconds"].as_number();
+  report.txs_sent = static_cast<uint64_t>(j["txs_sent"].as_number());
+  return report;
+}
+
+bool save_report(const NetworkMeasurementReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << report_to_json(report).dump() << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<NetworkMeasurementReport> load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = Json::parse(buffer.str());
+  if (!parsed) return std::nullopt;
+  return report_from_json(*parsed);
+}
+
+}  // namespace topo::core

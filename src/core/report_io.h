@@ -1,0 +1,28 @@
+#pragma once
+
+// Persistence for measurement artifacts: topologies and whole-network
+// measurement reports serialize to JSON so campaigns can be saved, diffed,
+// and re-analyzed without re-measuring (a 12-hour testnet sweep in the
+// paper's setting).
+
+#include <optional>
+#include <string>
+
+#include "core/schedule.h"
+#include "rpc/json.h"
+
+namespace topo::core {
+
+/// Graph <-> JSON ({"nodes": n, "edges": [[u, v], ...]}).
+rpc::Json graph_to_json(const graph::Graph& g);
+std::optional<graph::Graph> graph_from_json(const rpc::Json& j);
+
+/// Full measurement report <-> JSON (topology + campaign statistics).
+rpc::Json report_to_json(const NetworkMeasurementReport& report);
+std::optional<NetworkMeasurementReport> report_from_json(const rpc::Json& j);
+
+/// File helpers; return false / nullopt on I/O or parse failure.
+bool save_report(const NetworkMeasurementReport& report, const std::string& path);
+std::optional<NetworkMeasurementReport> load_report(const std::string& path);
+
+}  // namespace topo::core

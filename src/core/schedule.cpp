@@ -1,0 +1,104 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace topo::core {
+
+std::vector<IterationPlan> make_schedule(size_t n, size_t group_k) {
+  std::vector<IterationPlan> plan;
+  if (n < 2) return plan;
+  group_k = std::max<size_t>(2, std::min(group_k, n));
+
+  // Partition into contiguous groups of K (last group possibly smaller).
+  std::vector<std::vector<size_t>> groups;
+  for (size_t start = 0; start < n; start += group_k) {
+    std::vector<size_t> g;
+    for (size_t i = start; i < std::min(start + group_k, n); ++i) g.push_back(i);
+    groups.push_back(std::move(g));
+  }
+
+  // Round 1: group i vs all later groups.
+  for (size_t gi = 0; gi + 1 < groups.size(); ++gi) {
+    IterationPlan it;
+    it.sources = groups[gi];
+    for (size_t gj = gi + 1; gj < groups.size(); ++gj) {
+      it.sinks.insert(it.sinks.end(), groups[gj].begin(), groups[gj].end());
+    }
+    for (size_t s : it.sources) {
+      for (size_t t : it.sinks) it.pairs.emplace_back(s, t);
+    }
+    plan.push_back(std::move(it));
+  }
+
+  // Round 2: recursive halving across all groups simultaneously.
+  std::vector<std::vector<size_t>> segments = groups;
+  while (true) {
+    IterationPlan it;
+    std::vector<std::vector<size_t>> next;
+    for (const auto& seg : segments) {
+      if (seg.size() < 2) continue;
+      const size_t half = seg.size() / 2;
+      std::vector<size_t> first(seg.begin(), seg.begin() + half);
+      std::vector<size_t> second(seg.begin() + half, seg.end());
+      for (size_t s : first) {
+        for (size_t t : second) it.pairs.emplace_back(s, t);
+      }
+      it.sources.insert(it.sources.end(), first.begin(), first.end());
+      it.sinks.insert(it.sinks.end(), second.begin(), second.end());
+      next.push_back(std::move(first));
+      next.push_back(std::move(second));
+    }
+    if (it.pairs.empty()) break;
+    plan.push_back(std::move(it));
+    segments = std::move(next);
+  }
+  return plan;
+}
+
+NetworkMeasurementReport NetworkMeasurement::measure_all(p2p::Network& net,
+                                                         const std::vector<p2p::PeerId>& targets,
+                                                         size_t group_k) {
+  NetworkMeasurementReport report;
+  report.measured = graph::Graph(targets.size());
+  const double t0 = net.simulator().now();
+
+  size_t budget = max_edges_;
+  if (budget == 0) budget = std::max<size_t>(1, par_.config().flood_Z * 2 / 5);
+
+  const auto plan = make_schedule(targets.size(), group_k);
+  for (const auto& it : plan) {
+    // Split into slot-budgeted batches: every concurrent edge pins one txC
+    // in every participating pool.
+    for (size_t start = 0; start < it.pairs.size(); start += budget) {
+      const size_t end = std::min(start + budget, it.pairs.size());
+      std::vector<p2p::PeerId> sources, sinks;
+      std::unordered_map<size_t, size_t> src_pos, sink_pos;
+      std::vector<ParallelEdge> edges;
+      edges.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        const auto& [s, t] = it.pairs[i];
+        auto [sit, s_new] = src_pos.try_emplace(s, sources.size());
+        if (s_new) sources.push_back(targets[s]);
+        auto [tit, t_new] = sink_pos.try_emplace(t, sinks.size());
+        if (t_new) sinks.push_back(targets[t]);
+        edges.push_back({sit->second, tit->second});
+      }
+
+      const ParallelResult res = par_.measure(sources, sinks, edges);
+      ++report.iterations;
+      report.txs_sent += res.txs_sent;
+      report.pairs_tested += edges.size();
+      for (size_t i = 0; i < edges.size(); ++i) {
+        if (res.connected[i]) {
+          report.measured.add_edge(static_cast<graph::NodeId>(it.pairs[start + i].first),
+                                   static_cast<graph::NodeId>(it.pairs[start + i].second));
+        }
+      }
+    }
+  }
+  report.sim_seconds = net.simulator().now() - t0;
+  return report;
+}
+
+}  // namespace topo::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+#include "graph/graph.h"
+
+namespace topo::core {
+
+/// One measurePar invocation of the two-round schedule: node values are
+/// indices into the target list.
+struct IterationPlan {
+  std::vector<size_t> sources;
+  std::vector<size_t> sinks;
+  std::vector<std::pair<size_t, size_t>> pairs;  ///< (source idx-in-targets, sink idx-in-targets)
+};
+
+/// The §5.3.2 parallel schedule over n targets with group size K:
+///  - round 1: n/K iterations; iteration i measures group i against every
+///    node in later groups (cross-group pairs each covered exactly once);
+///  - round 2: ceil(log2 K) iterations; each halves every remaining segment
+///    and measures first half x second half (intra-group pairs).
+/// Every unordered pair is covered exactly once; iteration count is
+/// n/K + log2(K).
+std::vector<IterationPlan> make_schedule(size_t n, size_t group_k);
+
+/// Result of measuring a whole network.
+struct NetworkMeasurementReport {
+  graph::Graph measured;  ///< node i = targets[i]
+  size_t iterations = 0;
+  size_t pairs_tested = 0;
+  double sim_seconds = 0.0;
+  uint64_t txs_sent = 0;
+};
+
+/// Drives the full schedule through ParallelMeasurement.
+///
+/// `max_edges_per_call` enforces the paper's mempool slot budget (§5.3.2:
+/// "we only use no more than 2000 transaction slots" of Geth's 5120): an
+/// iteration whose candidate-edge count exceeds the budget is split into
+/// sub-batches, since every concurrent edge pins one txC slot in every
+/// pool. 0 derives the budget from the measurement config (2/5 of Z).
+class NetworkMeasurement {
+ public:
+  explicit NetworkMeasurement(ParallelMeasurement& par, size_t max_edges_per_call = 0)
+      : par_(par), max_edges_(max_edges_per_call) {}
+
+  NetworkMeasurementReport measure_all(p2p::Network& net,
+                                       const std::vector<p2p::PeerId>& targets, size_t group_k);
+
+ private:
+  ParallelMeasurement& par_;
+  size_t max_edges_;
+};
+
+}  // namespace topo::core

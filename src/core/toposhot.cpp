@@ -1,0 +1,175 @@
+#include "core/toposhot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "p2p/node.h"
+
+namespace topo::core {
+
+namespace {
+
+mempool::MempoolPolicy scaled_policy(const ScenarioOptions& opt, mempool::ClientKind client) {
+  mempool::MempoolPolicy p = mempool::profile_for(client).policy;
+  if (opt.mempool_capacity > 0) {
+    // Scale the pending-count eviction gate with the capacity (Parity's
+    // P = 2000 of L = 8192 stays the same *fraction* of a scaled pool).
+    if (p.min_pending_for_eviction > 0 && p.capacity > 0) {
+      p.min_pending_for_eviction =
+          p.min_pending_for_eviction * opt.mempool_capacity / p.capacity;
+    }
+    p.capacity = opt.mempool_capacity;
+  }
+  if (opt.future_cap > 0) p.future_cap = opt.future_cap;
+  if (opt.expiry_override > 0.0) p.expiry_seconds = opt.expiry_override;
+  p.victim = opt.eviction_victim;
+  return p;
+}
+
+}  // namespace
+
+Scenario::Scenario(const graph::Graph& topology, ScenarioOptions options)
+    : options_(options), truth_(topology), rng_(options.seed) {
+  sim_ = std::make_unique<sim::Simulator>();
+  chain_ = std::make_unique<eth::Chain>(options_.block_gas_limit, options_.initial_base_fee);
+  net_ = std::make_unique<p2p::Network>(
+      sim_.get(), chain_.get(), rng_.split(),
+      sim::LatencyModel::lognormal(options_.latency_median, options_.latency_sigma));
+
+  util::Rng het = rng_.split();
+  for (size_t i = 0; i < topology.num_nodes(); ++i) {
+    p2p::NodeConfig cfg;
+    cfg.client = options_.client;
+    mempool::MempoolPolicy policy = scaled_policy(options_, options_.client);
+    if (het.chance(options_.custom_mempool_fraction)) policy.capacity = options_.custom_capacity;
+    if (het.chance(options_.custom_bump_fraction))
+      policy.replace_bump_bp = options_.custom_bump_bp;
+    cfg.policy_override = policy;
+    cfg.forwards_transactions = !het.chance(options_.nonforwarding_fraction);
+    cfg.maintenance_interval = options_.maintenance_interval;
+    cfg.regossip_interval = options_.regossip_interval;
+    cfg.use_announcements = options_.use_announcements;
+    targets_.push_back(net_->add_node(cfg));
+  }
+  for (const auto& [u, v] : topology.edges()) net_->connect(targets_[u], targets_[v]);
+
+  // M's passive view runs the same (scaled) pool policy as the network, so
+  // the §5.2.1 median-price estimator tracks the live fee market.
+  m_ = std::make_unique<p2p::MeasurementNode>(net_.get(), chain_.get(), options_.send_spacing,
+                                              scaled_policy(options_, options_.client));
+  net_->register_peer(m_.get());
+  m_->connect_to_all();
+}
+
+Scenario::~Scenario() = default;
+
+eth::Wei Scenario::sample_organic_price() {
+  // Log-uniform prices give a realistic fee spread around the median.
+  const double lo = static_cast<double>(options_.background_price_lo);
+  const double hi = static_cast<double>(
+      std::max(options_.background_price_hi, options_.background_price_lo + 1));
+  const double u = rng_.uniform();
+  return static_cast<eth::Wei>(std::exp(std::log(lo) + u * (std::log(hi) - std::log(lo))));
+}
+
+void Scenario::seed_background() {
+  std::vector<eth::Transaction> background;
+  background.reserve(options_.background_txs);
+  for (size_t i = 0; i < options_.background_txs; ++i) {
+    const eth::Address a = accounts_.create_one();
+    background.push_back(factory_.make(a, accounts_.allocate_nonce(a), sample_organic_price()));
+  }
+  net_->seed_mempools(background);
+  // Mirror the background into M's passive view so Y estimation works.
+  const double now = sim_->now();
+  for (const auto& tx : background) m_->view().add(tx, now);
+  sim_->run_until(sim_->now() + 1.0);
+}
+
+void Scenario::start_organic_traffic(double rate_per_sec) {
+  if (rate_per_sec <= 0.0 || targets_.empty()) return;
+  organic_on_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, rate_per_sec, tick] {
+    if (!organic_on_) return;
+    const eth::Address a = accounts_.create_one();
+    const auto tx = factory_.make(a, accounts_.allocate_nonce(a), sample_organic_price());
+    net_->node(targets_[rng_.index(targets_.size())]).submit(tx);
+    sim_->after(rng_.exponential(1.0 / rate_per_sec), *tick);
+  };
+  sim_->after(rng_.exponential(1.0 / rate_per_sec), *tick);
+}
+
+p2p::PeerId Scenario::start_churn(double organic_rate, double block_interval,
+                                  size_t miner_links) {
+  p2p::NodeConfig cfg;
+  cfg.client = options_.client;
+  cfg.policy_override = scaled_policy(options_, options_.client);
+  cfg.maintenance_interval = options_.maintenance_interval;
+  const p2p::PeerId miner = net_->add_node(cfg);
+  // Wire the miner into the overlay (it is not a measurement target).
+  const size_t links = std::min(miner_links, targets_.size());
+  for (size_t idx : rng_.sample_indices(targets_.size(), links)) {
+    net_->connect(miner, targets_[idx]);
+  }
+  net_->connect(m_->id(), miner);
+  // Give the miner the same background snapshot the rest of the network
+  // was seeded with would be ideal; organic traffic fills it quickly, and
+  // neighbors gossip their pools on connect.
+  net_->start_mining({miner}, block_interval);
+  start_organic_traffic(organic_rate);
+  return miner;
+}
+
+MeasureConfig Scenario::default_measure_config() const {
+  MeasureConfig cfg;
+  const auto& profile = mempool::profile_for(options_.client);
+  cfg.bump_bp = profile.policy.replace_bump_bp;
+  const mempool::MempoolPolicy p = scaled_policy(options_, options_.client);
+  cfg.flood_Z = p.capacity;
+  cfg.futures_per_account_U = std::min<uint64_t>(profile.policy.max_futures_per_account,
+                                                 p.capacity);
+  cfg.post_flood_gap = options_.maintenance_interval * 2.0 + 0.2;
+  cfg.price_Y = 0;  // estimate from M's view
+  return cfg;
+}
+
+OneLinkResult Scenario::measure_one_link(p2p::PeerId a, p2p::PeerId b,
+                                         const MeasureConfig& cfg) {
+  OneLinkMeasurement one(*net_, *m_, accounts_, factory_, cfg);
+  one.set_cost_tracker(&costs_);
+  return one.measure(a, b);
+}
+
+ParallelResult Scenario::measure_parallel(const std::vector<p2p::PeerId>& sources,
+                                          const std::vector<p2p::PeerId>& sinks,
+                                          const std::vector<ParallelEdge>& edges,
+                                          const MeasureConfig& cfg) {
+  ParallelMeasurement par(*net_, *m_, accounts_, factory_, cfg);
+  par.set_cost_tracker(&costs_);
+  return par.measure(sources, sinks, edges);
+}
+
+NetworkMeasurementReport Scenario::measure_network(size_t group_k, const MeasureConfig& cfg,
+                                                   const PreprocessReport* pre) {
+  ParallelMeasurement par(*net_, *m_, accounts_, factory_, cfg);
+  par.set_cost_tracker(&costs_);
+  std::vector<p2p::PeerId> targets = targets_;
+  if (pre != nullptr) {
+    // §5.2.3: skip excluded nodes and enlarge the flood for nodes whose
+    // custom mempools the pre-processing discovered.
+    targets = pre->filter(targets);
+    par.set_flood_overrides(pre->flood_override);
+  }
+  NetworkMeasurement nm(par);
+  return nm.measure_all(*net_, targets, group_k);
+}
+
+PreprocessReport Scenario::preprocess(const MeasureConfig& cfg) {
+  Preprocessor pre(*net_, *m_, accounts_, factory_, cfg);
+  return pre.probe(targets_);
+}
+
+}  // namespace topo::core

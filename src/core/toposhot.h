@@ -1,0 +1,140 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/cost.h"
+#include "core/one_link.h"
+#include "core/parallel.h"
+#include "core/preprocess.h"
+#include "core/schedule.h"
+#include "graph/graph.h"
+#include "p2p/measurement_node.h"
+#include "p2p/network.h"
+
+namespace topo::core {
+
+/// Knobs of a simulated measurement scenario. Mempool sizes default to a
+/// 10x-scaled-down Geth (L=512) so network-scale benches stay fast; the
+/// local-validation benches override back to the full 5120 (DESIGN.md §2).
+struct ScenarioOptions {
+  uint64_t seed = 42;
+  mempool::ClientKind client = mempool::ClientKind::kGeth;
+
+  // Scaled mempool geometry applied to every node (0 = client stock value).
+  size_t mempool_capacity = 512;
+  size_t future_cap = 128;
+
+  double maintenance_interval = 0.5;
+  double regossip_interval = 0.0;  ///< txC re-propagation race source; 0 = off
+  bool use_announcements = false;
+
+  /// Eviction victim policy applied to every node (ablation, DESIGN.md §5).
+  mempool::EvictionVictim eviction_victim = mempool::EvictionVictim::kLowestPriceGlobal;
+
+  /// Override for the unconfirmed-transaction lifetime `e` (seconds);
+  /// 0 keeps the client default (3 h for Geth).
+  double expiry_override = 0.0;
+
+  /// Background transactions seeded into every pool (the paper's trick of
+  /// populating underloaded testnets, §6.2.1). Should be <= capacity.
+  size_t background_txs = 384;
+  eth::Wei background_price_lo = eth::gwei(0.02);
+  eth::Wei background_price_hi = eth::gwei(2.0);
+
+  /// Heterogeneity — the three recall culprits of §6.1.
+  double custom_mempool_fraction = 0.0;  ///< nodes with `custom_capacity`
+  size_t custom_capacity = 1024;
+  double custom_bump_fraction = 0.0;  ///< nodes with a larger bump R
+  uint32_t custom_bump_bp = 2500;
+  double nonforwarding_fraction = 0.0;  ///< nodes that never forward
+
+  /// Measurement node pacing (tx/s = 1/spacing).
+  double send_spacing = 1e-4;
+
+  double latency_median = 0.05;
+  double latency_sigma = 0.4;
+
+  uint64_t block_gas_limit = 8'000'000;
+  eth::Wei initial_base_fee = 0;  ///< nonzero enables EIP-1559
+};
+
+/// A fully wired measurement world: simulator + chain + network instantiated
+/// from a ground-truth topology + measurement node M connected to everyone.
+class Scenario {
+ public:
+  Scenario(const graph::Graph& topology, ScenarioOptions options);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  sim::Simulator& sim() { return *sim_; }
+  eth::Chain& chain() { return *chain_; }
+  p2p::Network& net() { return *net_; }
+  p2p::MeasurementNode& m() { return *m_; }
+  eth::AccountManager& accounts() { return accounts_; }
+  eth::TxFactory& factory() { return factory_; }
+  CostTracker& costs() { return costs_; }
+  const ScenarioOptions& options() const { return options_; }
+
+  /// Peer ids of the regular nodes, in ground-truth graph order.
+  const std::vector<p2p::PeerId>& targets() const { return targets_; }
+
+  /// The ground truth the scenario was built from.
+  const graph::Graph& truth() const { return truth_; }
+
+  /// Fills every node's pool with the shared background set and lets the
+  /// network settle for a moment.
+  void seed_background();
+
+  /// Starts Poisson organic traffic: fresh transactions at `rate_per_sec`,
+  /// each submitted through a random node and propagated normally, priced
+  /// log-uniformly like the background. Organic load is what erodes
+  /// long-running measurements (the Fig 4b recall decline at large groups).
+  void start_organic_traffic(double rate_per_sec);
+  void stop_organic_traffic() { organic_on_ = false; }
+
+  /// Realistic live-network churn: organic traffic plus periodic mining by
+  /// a *dedicated* miner node wired into the overlay but excluded from the
+  /// measurement targets — like a real mining pool, its mempool is never
+  /// flooded, so blocks only skim the expensive top of the fee market and
+  /// residue from past probes drains away without touching live
+  /// measurement state. Returns the miner's peer id.
+  p2p::PeerId start_churn(double organic_rate, double block_interval = 13.0,
+                          size_t miner_links = 8);
+
+  /// MeasureConfig scaled to this scenario (Z = capacity, client R/U).
+  MeasureConfig default_measure_config() const;
+
+  /// Measurement entry points (cost-tracked).
+  OneLinkResult measure_one_link(p2p::PeerId a, p2p::PeerId b, const MeasureConfig& cfg);
+  ParallelResult measure_parallel(const std::vector<p2p::PeerId>& sources,
+                                  const std::vector<p2p::PeerId>& sinks,
+                                  const std::vector<ParallelEdge>& edges,
+                                  const MeasureConfig& cfg);
+  NetworkMeasurementReport measure_network(size_t group_k, const MeasureConfig& cfg,
+                                           const PreprocessReport* pre = nullptr);
+
+  /// Pre-processing pass over all targets.
+  PreprocessReport preprocess(const MeasureConfig& cfg);
+
+ private:
+  ScenarioOptions options_;
+  graph::Graph truth_;
+  util::Rng rng_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<eth::Chain> chain_;
+  std::unique_ptr<p2p::Network> net_;
+  std::unique_ptr<p2p::MeasurementNode> m_;
+  eth::AccountManager accounts_;
+  eth::TxFactory factory_;
+  CostTracker costs_;
+  std::vector<p2p::PeerId> targets_;
+  bool organic_on_ = false;
+
+  eth::Wei sample_organic_price();
+};
+
+}  // namespace topo::core

@@ -1,0 +1,43 @@
+#include "core/validator.h"
+
+namespace topo::core {
+
+void PrecisionRecall::merge(const PrecisionRecall& o) {
+  true_positive += o.true_positive;
+  false_positive += o.false_positive;
+  false_negative += o.false_negative;
+  true_negative += o.true_negative;
+}
+
+PrecisionRecall compare_graphs(const graph::Graph& truth, const graph::Graph& measured) {
+  PrecisionRecall pr;
+  const size_t n = truth.num_nodes();
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = u + 1; v < n; ++v) {
+      const bool real = truth.has_edge(u, v);
+      const bool got = measured.has_edge(u, v);
+      if (real && got) ++pr.true_positive;
+      else if (!real && got) ++pr.false_positive;
+      else if (real && !got) ++pr.false_negative;
+      else ++pr.true_negative;
+    }
+  }
+  return pr;
+}
+
+PrecisionRecall compare_pairs(const graph::Graph& truth,
+                              const std::vector<std::pair<graph::NodeId, graph::NodeId>>& tested,
+                              const std::vector<bool>& positives) {
+  PrecisionRecall pr;
+  for (size_t i = 0; i < tested.size(); ++i) {
+    const bool real = truth.has_edge(tested[i].first, tested[i].second);
+    const bool got = i < positives.size() && positives[i];
+    if (real && got) ++pr.true_positive;
+    else if (!real && got) ++pr.false_positive;
+    else if (real && !got) ++pr.false_negative;
+    else ++pr.true_negative;
+  }
+  return pr;
+}
+
+}  // namespace topo::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topo::core {
+
+/// Confusion counts for measured links vs ground truth.
+struct PrecisionRecall {
+  size_t true_positive = 0;
+  size_t false_positive = 0;
+  size_t false_negative = 0;
+  size_t true_negative = 0;
+
+  /// 1.0 when nothing was reported positive (vacuous precision).
+  double precision() const {
+    const size_t denom = true_positive + false_positive;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positive) / static_cast<double>(denom);
+  }
+  /// 1.0 when there were no real links to find.
+  double recall() const {
+    const size_t denom = true_positive + false_negative;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positive) / static_cast<double>(denom);
+  }
+  size_t tested() const {
+    return true_positive + false_positive + false_negative + true_negative;
+  }
+  void merge(const PrecisionRecall& o);
+};
+
+/// Compares two graphs over the same node indexing, across all node pairs.
+PrecisionRecall compare_graphs(const graph::Graph& truth, const graph::Graph& measured);
+
+/// Compares only the explicitly tested pairs: `positives` is the measured
+/// subset of `tested`.
+PrecisionRecall compare_pairs(const graph::Graph& truth,
+                              const std::vector<std::pair<graph::NodeId, graph::NodeId>>& tested,
+                              const std::vector<bool>& positives);
+
+}  // namespace topo::core

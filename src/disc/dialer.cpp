@@ -1,0 +1,115 @@
+#include "disc/dialer.h"
+
+#include <algorithm>
+
+namespace topo::disc {
+
+graph::Graph form_active_topology(const DiscoverySim& disc, const DialerConfig& cfg,
+                                  util::Rng& rng) {
+  const size_t n = disc.size();
+  graph::Graph g(n);
+  std::vector<size_t> active(n, 0);
+  std::vector<size_t> dialed(n, 0);
+
+  // Candidate pools: own table entries + one level of table-of-table
+  // entries, the §6.2.2 buffer. Crawl-all nodes see the whole network.
+  std::vector<std::vector<uint32_t>> candidates(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint32_t> pool;
+    if (i < cfg.crawl_all.size() && cfg.crawl_all[i]) {
+      pool.reserve(n - 1);
+      for (size_t j = 0; j < n; ++j) {
+        if (j != i) pool.push_back(static_cast<uint32_t>(j));
+      }
+    } else {
+      auto own = disc.table(i).entries();
+      pool = own;
+      for (uint32_t e : own) {
+        const auto& sub = disc.table(e).entries();
+        pool.insert(pool.end(), sub.begin(), sub.end());
+      }
+    }
+    rng.shuffle(pool);
+    candidates[i] = std::move(pool);
+  }
+  std::vector<size_t> cursor(n, 0);
+  std::vector<size_t> passes(n, 0);
+
+  auto out_budget_of = [&](size_t u) {
+    if (u < cfg.max_out.size()) return cfg.max_out[u];
+    return std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(cfg.max_peers[u]) * cfg.dial_ratio));
+  };
+  auto crawls = [&](size_t u) { return u < cfg.crawl_all.size() && cfg.crawl_all[u]; };
+
+  // Crawling nodes pick targets weighted by *remaining* slot capacity —
+  // stub-matching like the configuration model — so late dials do not pile
+  // onto whichever hubs still have room (which would manufacture a
+  // rich-club the measured testnets do not show).
+  auto weighted_target = [&](uint32_t u) -> int64_t {
+    uint64_t total = 0;
+    for (size_t v = 0; v < n; ++v) {
+      if (v == u || active[v] >= cfg.max_peers[v] || g.has_edge(u, static_cast<uint32_t>(v)))
+        continue;
+      if (v < cfg.crawl_skip.size() && cfg.crawl_skip[v]) continue;
+      total += cfg.crawl_weighted ? cfg.max_peers[v] - active[v] : 1;
+    }
+    if (total == 0) return -1;
+    uint64_t pick = rng.uniform_int(0, total - 1);
+    for (size_t v = 0; v < n; ++v) {
+      if (v == u || active[v] >= cfg.max_peers[v] || g.has_edge(u, static_cast<uint32_t>(v)))
+        continue;
+      if (v < cfg.crawl_skip.size() && cfg.crawl_skip[v]) continue;
+      const uint64_t w = cfg.crawl_weighted ? cfg.max_peers[v] - active[v] : 1;
+      if (pick < w) return static_cast<int64_t>(v);
+      pick -= w;
+    }
+    return -1;
+  };
+
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+
+  for (size_t round = 0; round < cfg.rounds; ++round) {
+    rng.shuffle(order);
+    bool progress = false;
+    for (uint32_t u : order) {
+      const size_t budget = cfg.max_peers[u];
+      const size_t out_budget = out_budget_of(u);
+      for (size_t a = 0; a < cfg.attempts_per_round; ++a) {
+        if (active[u] >= budget || dialed[u] >= out_budget) break;
+        uint32_t v = 0;
+        if (crawls(u)) {
+          const int64_t pick = weighted_target(u);
+          if (pick < 0) break;
+          v = static_cast<uint32_t>(pick);
+        } else {
+          if (cursor[u] >= candidates[u].size()) {
+            // Wrap once: remote slots may have freed since the first pass.
+            if (passes[u] >= 2 || candidates[u].empty()) break;
+            ++passes[u];
+            cursor[u] = 0;
+            rng.shuffle(candidates[u]);
+          }
+          v = candidates[u][cursor[u]++];
+        }
+        if (v == u) continue;
+        // Dedup: already an active neighbor (the check the paper credits
+        // for low modularity).
+        if (g.has_edge(u, v)) continue;
+        // Remote accepts only while it has free slots.
+        if (active[v] >= cfg.max_peers[v]) continue;
+        if (g.add_edge(u, v)) {
+          ++active[u];
+          ++active[v];
+          ++dialed[u];
+          progress = true;
+        }
+      }
+    }
+    if (!progress) break;
+  }
+  return g;
+}
+
+}  // namespace topo::disc

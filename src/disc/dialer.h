@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "disc/discovery.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace topo::disc {
+
+/// Active-neighbor formation on top of populated routing tables (the
+/// blockchain overlay of paper Fig. 1): each node repeatedly dials
+/// candidates drawn from its own table *and its table entries' tables*
+/// (the neighbors-of-neighbors candidate buffer of §6.2.2), deduplicating
+/// already-active peers, until its outbound budget or the remote's slot
+/// budget is exhausted.
+struct DialerConfig {
+  /// Per-node max active peers; indexed by node, so heterogeneous budgets
+  /// (testnet supernodes with hundreds of slots) are expressible.
+  std::vector<size_t> max_peers;
+
+  /// Fraction of slots a node fills by dialing out (Geth dials ~1/3 and
+  /// accepts the rest).
+  double dial_ratio = 1.0 / 3.0;
+
+  /// Per-node outbound-dial budget override; empty = max_peers * dial_ratio.
+  /// Supernodes (relays, pools) dial out for their whole budget.
+  std::vector<size_t> max_out;
+
+  /// Nodes flagged here crawl the entire network as their candidate pool
+  /// (aggressively connecting services), not just their routing-table
+  /// neighborhood.
+  std::vector<uint8_t> crawl_all;
+
+  /// Crawl target choice: weighted by remaining slot capacity
+  /// (stub-matching, builds a dense core) vs uniform over non-full nodes
+  /// (hubs spread across the whole network).
+  bool crawl_weighted = true;
+
+  /// Targets crawlers must skip (e.g. hub nodes, so hubs do not form a
+  /// club: each hub's links come only from its own outbound dials).
+  std::vector<uint8_t> crawl_skip;
+
+  /// Dial attempts per round per node.
+  size_t attempts_per_round = 8;
+
+  size_t rounds = 64;
+};
+
+/// Runs the dial scheduler; returns the resulting active-link topology.
+graph::Graph form_active_topology(const DiscoverySim& disc, const DialerConfig& cfg,
+                                  util::Rng& rng);
+
+}  // namespace topo::disc

@@ -1,0 +1,80 @@
+#include "disc/discovery.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace topo::disc {
+
+DiscoverySim::DiscoverySim(size_t n, util::Rng rng, size_t boot_fanout, size_t num_buckets,
+                           size_t bucket_size)
+    : rng_(rng) {
+  ids_.reserve(n);
+  tables_.reserve(n);
+  for (size_t i = 0; i < n; ++i) ids_.push_back(random_id(rng_));
+  for (size_t i = 0; i < n; ++i) tables_.emplace_back(ids_[i], num_buckets, bucket_size);
+  // Bootstrap: each node learns a few random seeds (the bootnode handshake).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t b = 0; b < boot_fanout; ++b) {
+      const size_t j = rng_.index(n);
+      if (j != i) tables_[i].add(static_cast<uint32_t>(j), ids_[j]);
+    }
+  }
+}
+
+void DiscoverySim::lookup(size_t node, const NodeId256& target) {
+  constexpr size_t kAlpha = 3;
+  const size_t k = 16;
+  auto frontier = tables_[node].closest(target, kAlpha);
+  std::unordered_set<uint32_t> asked;
+  size_t hops = 0;
+  while (!frontier.empty() && hops++ < 8) {
+    std::vector<uint32_t> next;
+    for (uint32_t peer : frontier) {
+      if (!asked.insert(peer).second) continue;
+      // FIND_NODE(peer, target): peer answers with its k closest entries.
+      for (uint32_t found : tables_[peer].closest(target, k)) {
+        if (found == node) continue;
+        tables_[node].add(found, ids_[found]);
+        next.push_back(found);
+      }
+      // The queried peer also learns about the asker (devp2p ping/pong).
+      tables_[peer].add(static_cast<uint32_t>(node), ids_[node]);
+    }
+    // Continue toward the closest unasked responders.
+    std::sort(next.begin(), next.end(), [&](uint32_t a, uint32_t b) {
+      return distance_less(xor_distance(ids_[a], target), xor_distance(ids_[b], target));
+    });
+    frontier.clear();
+    for (uint32_t c : next) {
+      if (!asked.count(c)) frontier.push_back(c);
+      if (frontier.size() >= kAlpha) break;
+    }
+  }
+}
+
+void DiscoverySim::run_round(size_t lookups) {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    // One self-lookup plus random-target lookups, like discv4 refresh.
+    lookup(i, ids_[i]);
+    for (size_t l = 1; l < lookups; ++l) lookup(i, random_id(rng_));
+  }
+}
+
+void DiscoverySim::run_until_filled(double fill, size_t max_rounds) {
+  for (size_t r = 0; r < max_rounds; ++r) {
+    if (average_fill() >= fill) return;
+    run_round();
+  }
+}
+
+double DiscoverySim::average_fill() const {
+  if (tables_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& t : tables_) {
+    const size_t cap = std::min(t.capacity(), tables_.size() - 1);
+    if (cap > 0) s += static_cast<double>(t.size()) / static_cast<double>(cap);
+  }
+  return s / static_cast<double>(tables_.size());
+}
+
+}  // namespace topo::disc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "disc/kademlia_table.h"
+#include "util/rng.h"
+
+namespace topo::disc {
+
+/// Round-based discv4 emulation: every node repeatedly runs iterative
+/// FIND_NODE lookups toward random targets, filling its routing table from
+/// the responses (the platform overlay of paper Fig. 1). This is a
+/// substrate for topology *formation*; the blockchain overlay dynamics stay
+/// in the event-driven p2p simulator.
+class DiscoverySim {
+ public:
+  /// `n` nodes, each bootstrapped with `boot_fanout` random seed entries.
+  DiscoverySim(size_t n, util::Rng rng, size_t boot_fanout = 4, size_t num_buckets = 17,
+               size_t bucket_size = 16);
+
+  /// One discovery round: every node runs `lookups` iterative lookups with
+  /// concurrency alpha = 3 and response size k = bucket_size.
+  void run_round(size_t lookups = 3);
+
+  /// Runs rounds until the average table fill ratio reaches `fill` (or
+  /// `max_rounds`).
+  void run_until_filled(double fill = 0.8, size_t max_rounds = 32);
+
+  const KademliaTable& table(size_t node) const { return tables_[node]; }
+
+  /// Inserts a known (node -> entry) relation directly — used to mirror a
+  /// protocol-built discv4 table into this snapshot form.
+  void adopt_entry(size_t node, uint32_t entry) {
+    if (entry < ids_.size()) tables_[node].add(entry, ids_[entry]);
+  }
+  const NodeId256& node_id(size_t node) const { return ids_[node]; }
+  size_t size() const { return tables_.size(); }
+
+  /// Mean table occupancy in [0, 1].
+  double average_fill() const;
+
+ private:
+  void lookup(size_t node, const NodeId256& target);
+
+  std::vector<NodeId256> ids_;
+  std::vector<KademliaTable> tables_;
+  util::Rng rng_;
+};
+
+}  // namespace topo::disc

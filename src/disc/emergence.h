@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace topo::disc {
+
+/// Recipe for letting a testnet-like topology *emerge* from the discovery +
+/// dial substrate (rather than synthesizing it from a generator). Degree
+/// heterogeneity is expressed as per-node active-slot budgets.
+struct EmergenceConfig {
+  std::string name = "testnet";
+  size_t nodes = 588;
+
+  /// Baseline budget range (uniform, inclusive) for ordinary nodes.
+  size_t base_budget_lo = 1;
+  size_t base_budget_hi = 55;
+
+  /// Fraction of ordinary nodes drawn from the low range instead (leaf-ish
+  /// nodes with single-digit degrees).
+  double low_fraction = 0.0;
+  size_t low_budget_lo = 1;
+  size_t low_budget_hi = 12;
+
+  /// Explicit budgets for supernodes (e.g. Goerli's 697/711-degree nodes);
+  /// assigned to the first nodes in order.
+  std::vector<size_t> supernode_budgets;
+
+  /// Fraction of an ordinary node's budget it fills by dialing out.
+  double out_fraction = 1.0 / 3.0;
+
+  /// Ordinary nodes whose budget reaches this threshold behave like
+  /// services: crawl the whole network and dial out their full budget.
+  size_t crawl_budget_threshold = SIZE_MAX;
+
+  /// Whether crawlers pick targets weighted by remaining capacity (dense
+  /// core, Rinkeby-like) or uniformly (spread hubs, Goerli-like).
+  bool crawl_weighted = true;
+
+  /// Crawler hubs avoid each other (no hub club; keeps clustering at
+  /// ER level, Goerli-like).
+  bool crawl_avoid_crawl = false;
+
+  /// Every node picks dial targets uniformly from the whole network
+  /// instead of its routing-table neighborhood (kills the table-locality
+  /// triangles; Goerli's clustering sits at the ER level).
+  bool global_candidates = false;
+
+  /// Discovery table fill target before dialing starts.
+  double table_fill = 0.7;
+  size_t boot_fanout = 4;
+
+  /// Connect stray components to the giant one afterwards (the paper's
+  /// model assumes a connected network).
+  bool ensure_connected = true;
+};
+
+/// Ropsten-like recipe: n=588, avg degree ~25, ten 90-200 degree nodes.
+EmergenceConfig ropsten_like(size_t scale_nodes = 588);
+
+/// Rinkeby-like: n=446, avg degree ~69, many leaves, even spread 15-180.
+EmergenceConfig rinkeby_like(size_t scale_nodes = 446);
+
+/// Goerli-like: n=1025, avg degree ~36, heavy tail up to ~711.
+EmergenceConfig goerli_like(size_t scale_nodes = 1025);
+
+/// Runs discovery + dialing and returns the active-link topology.
+graph::Graph emerge_topology(const EmergenceConfig& cfg, util::Rng& rng);
+
+/// Same recipe, but the routing tables are built by the event-driven
+/// discv4 protocol (PING/PONG/FINDNODE with timeouts and loss) instead of
+/// the round-based bulk simulation — slower, protocol-exact. `loss` is the
+/// datagram drop probability.
+graph::Graph emerge_topology_discv4(const EmergenceConfig& cfg, util::Rng& rng,
+                                    double protocol_seconds = 90.0, double loss = 0.0);
+
+}  // namespace topo::disc

@@ -1,0 +1,54 @@
+#include "disc/kademlia_table.h"
+
+#include <algorithm>
+
+namespace topo::disc {
+
+KademliaTable::KademliaTable(NodeId256 self, size_t num_buckets, size_t bucket_size)
+    : self_(self), bucket_size_(bucket_size), buckets_(num_buckets) {}
+
+size_t KademliaTable::bucket_of(const NodeId256& id) const {
+  const int ld = log_distance(self_, id);
+  if (ld < 0) return 0;
+  // Geth maps log-distances <= 239 into bucket 0 and spreads the closest 17
+  // distances over the buckets; mirror that scheme for any bucket count.
+  const int base = 256 - static_cast<int>(buckets_.size());
+  const int idx = ld - base;
+  return static_cast<size_t>(std::max(idx, 0));
+}
+
+bool KademliaTable::add(uint32_t node, const NodeId256& id) {
+  if (id == self_ || known_.count(node)) return false;
+  auto& bucket = buckets_[bucket_of(id)];
+  if (bucket.size() >= bucket_size_) return false;
+  bucket.push_back(Entry{node, id});
+  known_.insert(node);
+  ++count_;
+  return true;
+}
+
+std::vector<uint32_t> KademliaTable::closest(const NodeId256& target, size_t k) const {
+  std::vector<const Entry*> all;
+  all.reserve(count_);
+  for (const auto& bucket : buckets_) {
+    for (const auto& e : bucket) all.push_back(&e);
+  }
+  std::sort(all.begin(), all.end(), [&](const Entry* a, const Entry* b) {
+    return distance_less(xor_distance(a->id, target), xor_distance(b->id, target));
+  });
+  std::vector<uint32_t> out;
+  out.reserve(std::min(k, all.size()));
+  for (size_t i = 0; i < all.size() && i < k; ++i) out.push_back(all[i]->node);
+  return out;
+}
+
+std::vector<uint32_t> KademliaTable::entries() const {
+  std::vector<uint32_t> out;
+  out.reserve(count_);
+  for (const auto& bucket : buckets_) {
+    for (const auto& e : bucket) out.push_back(e.node);
+  }
+  return out;
+}
+
+}  // namespace topo::disc

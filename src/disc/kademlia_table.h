@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "disc/node_id.h"
+
+namespace topo::disc {
+
+/// A Geth-style Kademlia routing table: 17 buckets of 16 entries each, i.e.
+/// up to 272 *inactive* neighbors — exactly the number the paper contrasts
+/// with the ~50 active ones. Buckets cover the closest 17 log-distances;
+/// anything farther maps into the outermost bucket.
+class KademliaTable {
+ public:
+  KademliaTable() = default;
+  KademliaTable(NodeId256 self, size_t num_buckets = 17, size_t bucket_size = 16);
+
+  /// Inserts a (node index, id) pair; returns false when the bucket is full
+  /// or the node is already present / self.
+  bool add(uint32_t node, const NodeId256& id);
+
+  bool contains(uint32_t node) const { return known_.count(node) > 0; }
+
+  /// The `k` table entries closest (XOR metric) to `target` — FIND_NODE.
+  std::vector<uint32_t> closest(const NodeId256& target, size_t k) const;
+
+  /// All entries, bucket order.
+  std::vector<uint32_t> entries() const;
+
+  size_t size() const { return count_; }
+  size_t capacity() const { return buckets_.size() * bucket_size_; }
+  const NodeId256& self() const { return self_; }
+
+ private:
+  struct Entry {
+    uint32_t node = 0;
+    NodeId256 id;
+  };
+  size_t bucket_of(const NodeId256& id) const;
+
+  NodeId256 self_;
+  size_t bucket_size_ = 16;
+  std::vector<std::vector<Entry>> buckets_;
+  std::unordered_set<uint32_t> known_;
+  size_t count_ = 0;
+};
+
+}  // namespace topo::disc

@@ -1,0 +1,37 @@
+#include "disc/node_id.h"
+
+#include <bit>
+
+namespace topo::disc {
+
+NodeId256 random_id(util::Rng& rng) {
+  NodeId256 id;
+  for (auto& w : id.words) w = rng.next();
+  return id;
+}
+
+NodeId256 xor_distance(const NodeId256& a, const NodeId256& b) {
+  NodeId256 d;
+  for (size_t i = 0; i < 4; ++i) d.words[i] = a.words[i] ^ b.words[i];
+  return d;
+}
+
+int log_distance(const NodeId256& a, const NodeId256& b) {
+  const NodeId256 d = xor_distance(a, b);
+  for (size_t i = 0; i < 4; ++i) {
+    if (d.words[i] != 0) {
+      const int msb = 63 - std::countl_zero(d.words[i]);
+      return static_cast<int>((3 - i) * 64) + msb;
+    }
+  }
+  return -1;
+}
+
+bool distance_less(const NodeId256& a, const NodeId256& b) {
+  for (size_t i = 0; i < 4; ++i) {
+    if (a.words[i] != b.words[i]) return a.words[i] < b.words[i];
+  }
+  return false;
+}
+
+}  // namespace topo::disc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace topo::disc {
+
+/// 256-bit Kademlia node identifier (the keccak of a devp2p public key in
+/// real Ethereum).
+struct NodeId256 {
+  std::array<uint64_t, 4> words{};
+
+  bool operator==(const NodeId256& o) const { return words == o.words; }
+};
+
+/// Uniformly random id.
+NodeId256 random_id(util::Rng& rng);
+
+/// XOR metric distance.
+NodeId256 xor_distance(const NodeId256& a, const NodeId256& b);
+
+/// Kademlia log-distance: index of the highest set bit of a^b, in [0, 255];
+/// -1 when a == b.
+int log_distance(const NodeId256& a, const NodeId256& b);
+
+/// Lexicographic (big-endian) comparison of distances.
+bool distance_less(const NodeId256& a, const NodeId256& b);
+
+}  // namespace topo::disc

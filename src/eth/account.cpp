@@ -1,0 +1,39 @@
+#include "eth/account.h"
+
+#include <algorithm>
+
+namespace topo::eth {
+
+Nonce MapState::next_nonce(Address a) const {
+  auto it = next_.find(a);
+  return it == next_.end() ? 0 : it->second;
+}
+
+void MapState::set_next_nonce(Address a, Nonce n) { next_[a] = n; }
+
+void MapState::confirm(Address a, Nonce n) {
+  Nonce& cur = next_[a];
+  cur = std::max(cur, n + 1);
+}
+
+std::vector<Address> AccountManager::create(size_t n) {
+  std::vector<Address> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(create_one());
+  return out;
+}
+
+Address AccountManager::create_one() { return next_addr_++; }
+
+Nonce AccountManager::next_nonce(Address a) const {
+  auto it = nonces_.find(a);
+  return it == nonces_.end() ? 0 : it->second;
+}
+
+Nonce AccountManager::allocate_nonce(Address a) { return nonces_[a]++; }
+
+Nonce AccountManager::future_nonce(Address a, Nonce gap) const {
+  return next_nonce(a) + gap;
+}
+
+}  // namespace topo::eth

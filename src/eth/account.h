@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "eth/types.h"
+
+namespace topo::eth {
+
+/// View of confirmed account state a mempool consults to classify incoming
+/// transactions as pending vs future (paper §2).
+class StateView {
+ public:
+  virtual ~StateView() = default;
+
+  /// The next nonce the chain expects from `a` (number of confirmed txs).
+  virtual Nonce next_nonce(Address a) const = 0;
+};
+
+/// Trivial state view backed by a map; used in unit tests and by nodes that
+/// are not attached to a chain.
+class MapState final : public StateView {
+ public:
+  Nonce next_nonce(Address a) const override;
+  void set_next_nonce(Address a, Nonce n);
+  /// Marks `n` consumed: next_nonce becomes max(next, n+1).
+  void confirm(Address a, Nonce n);
+
+ private:
+  std::unordered_map<Address, Nonce> next_;
+};
+
+/// Allocates fresh externally-owned accounts and tracks the next unused
+/// nonce per account on the *sender* side (what the measurement node uses to
+/// craft pending vs deliberately-future transactions).
+class AccountManager {
+ public:
+  /// Creates `n` fresh accounts, each notionally funded.
+  std::vector<Address> create(size_t n);
+
+  /// Creates one fresh account.
+  Address create_one();
+
+  /// Next unused nonce for the account (confirmed + locally allocated).
+  Nonce next_nonce(Address a) const;
+
+  /// Allocates and returns the next nonce for `a`.
+  Nonce allocate_nonce(Address a);
+
+  /// Reserves a future nonce `gap` positions past the next one without
+  /// allocating the intermediate ones (how TopoShot crafts future txs).
+  Nonce future_nonce(Address a, Nonce gap = 1) const;
+
+  size_t count() const { return static_cast<size_t>(next_addr_ - 1); }
+
+ private:
+  Address next_addr_ = 1;  // 0 is kNoAddress
+  std::unordered_map<Address, Nonce> nonces_;
+};
+
+}  // namespace topo::eth

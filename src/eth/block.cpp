@@ -1,0 +1,33 @@
+#include "eth/block.h"
+
+#include <algorithm>
+
+namespace topo::eth {
+
+Wei Block::min_included_price() const {
+  Wei lo = 0;
+  for (const auto& tx : txs) {
+    const Wei p = tx.effective_price(base_fee);
+    if (lo == 0 || p < lo) lo = p;
+  }
+  return lo;
+}
+
+Wei next_base_fee(const Block& parent) {
+  if (parent.base_fee == 0) return 0;  // chain without EIP-1559
+  const uint64_t target = parent.gas_limit / 2;
+  if (target == 0) return parent.base_fee;
+  const Wei base = parent.base_fee;
+  if (parent.gas_used == target) return base;
+  if (parent.gas_used > target) {
+    const uint64_t delta_gas = parent.gas_used - target;
+    Wei delta = base * delta_gas / target / 8;
+    if (delta == 0) delta = 1;
+    return base + delta;
+  }
+  const uint64_t delta_gas = target - parent.gas_used;
+  const Wei delta = base * delta_gas / target / 8;
+  return base > delta ? base - delta : 0;
+}
+
+}  // namespace topo::eth

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "eth/transaction.h"
+
+namespace topo::eth {
+
+/// A mined block. Simulation blocks carry the full transaction bodies.
+struct Block {
+  uint64_t number = 0;
+  double timestamp = 0.0;  ///< simulation seconds
+  uint64_t gas_limit = 0;
+  uint64_t gas_used = 0;
+  Wei base_fee = 0;  ///< 0 for pre-EIP-1559 chains
+  uint64_t miner_node = 0;
+  std::vector<Transaction> txs;
+
+  /// True when gas_used fills the gas limit to within one transfer — the
+  /// paper's condition V1 ("the Gas limit of each block is filled").
+  bool is_full() const { return gas_used + kTransferGas > gas_limit; }
+
+  /// Lowest effective gas price among included transactions (0 if empty).
+  Wei min_included_price() const;
+};
+
+/// EIP-1559 base-fee update rule: +-1/8 of the parent base fee proportional
+/// to how far gas_used deviates from the half-limit target.
+Wei next_base_fee(const Block& parent);
+
+}  // namespace topo::eth

@@ -1,0 +1,41 @@
+#include "eth/chain.h"
+
+#include <algorithm>
+
+namespace topo::eth {
+
+Chain::Chain(uint64_t block_gas_limit, Wei base_fee)
+    : gas_limit_(block_gas_limit), base_fee_(base_fee) {}
+
+Nonce Chain::next_nonce(Address a) const {
+  auto it = next_nonce_.find(a);
+  return it == next_nonce_.end() ? 0 : it->second;
+}
+
+const Block& Chain::commit(Block b) {
+  b.number = blocks_.size();
+  b.gas_limit = gas_limit_;
+  b.base_fee = base_fee_;
+  b.gas_used = 0;
+  for (const auto& tx : b.txs) {
+    b.gas_used += tx.gas;
+    Nonce& n = next_nonce_[tx.sender];
+    n = std::max(n, tx.nonce + 1);
+    included_[tx.hash()] = b.number;
+  }
+  base_fee_ = next_base_fee(b);
+  blocks_.push_back(std::move(b));
+  const Block& stored = blocks_.back();
+  for (const auto& fn : observers_) fn(stored);
+  return stored;
+}
+
+std::vector<const Block*> Chain::blocks_in(double t1, double t2) const {
+  std::vector<const Block*> out;
+  for (const auto& b : blocks_) {
+    if (b.timestamp >= t1 && b.timestamp <= t2) out.push_back(&b);
+  }
+  return out;
+}
+
+}  // namespace topo::eth

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "eth/account.h"
+#include "eth/block.h"
+
+namespace topo::eth {
+
+/// The (single, shared) blockchain of a simulated network. Consensus is
+/// abstracted away: committed blocks are immediately visible to every node,
+/// which is sufficient because TopoShot's correctness argument only involves
+/// mempool state and transaction propagation, not fork dynamics.
+class Chain final : public StateView {
+ public:
+  /// `base_fee` = 0 disables EIP-1559 (legacy fee market).
+  explicit Chain(uint64_t block_gas_limit = 8'000'000, Wei base_fee = 0);
+
+  /// Confirmed next-nonce for an account.
+  Nonce next_nonce(Address a) const override;
+
+  /// Appends a block: assigns number/base-fee bookkeeping and advances the
+  /// confirmed nonces of every included sender. Returns the stored block.
+  const Block& commit(Block b);
+
+  /// Base fee the *next* block will charge.
+  Wei base_fee() const { return base_fee_; }
+
+  uint64_t gas_limit() const { return gas_limit_; }
+  uint64_t height() const { return blocks_.size(); }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// All blocks with timestamp in [t1, t2].
+  std::vector<const Block*> blocks_in(double t1, double t2) const;
+
+  /// True if a transaction with this hash has been included in any block.
+  bool includes(TxHash h) const { return included_.count(h) > 0; }
+
+  /// Observer invoked after each commit (nodes subscribe to prune mempools).
+  void subscribe(std::function<void(const Block&)> fn) { observers_.push_back(std::move(fn)); }
+
+ private:
+  uint64_t gas_limit_;
+  Wei base_fee_;
+  std::vector<Block> blocks_;
+  std::unordered_map<Address, Nonce> next_nonce_;
+  std::unordered_map<TxHash, uint64_t> included_;  // hash -> block number
+  std::vector<std::function<void(const Block&)>> observers_;
+};
+
+}  // namespace topo::eth

@@ -1,0 +1,70 @@
+#include "eth/miner.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace topo::eth {
+
+namespace {
+
+struct Head {
+  Wei price;
+  uint64_t tie;  // lower tx id wins ties for determinism
+  Address sender;
+  bool operator<(const Head& o) const {
+    if (price != o.price) return price < o.price;  // max-heap on price
+    return tie > o.tie;
+  }
+};
+
+}  // namespace
+
+std::vector<Transaction> pack_block(const std::vector<Transaction>& candidates,
+                                    const StateView& state, uint64_t gas_limit, Wei base_fee) {
+  // Per-sender nonce-ordered queues. A later duplicate (same sender+nonce)
+  // with a higher price wins, mirroring mempool replacement.
+  std::unordered_map<Address, std::map<Nonce, const Transaction*>> by_sender;
+  for (const auto& tx : candidates) {
+    if (!tx.includable(base_fee)) continue;
+    auto& q = by_sender[tx.sender];
+    auto [it, inserted] = q.try_emplace(tx.nonce, &tx);
+    if (!inserted && tx.pool_price() > it->second->pool_price()) it->second = &tx;
+  }
+
+  std::priority_queue<Head> heap;
+  std::unordered_map<Address, Nonce> expect;
+  for (auto& [sender, q] : by_sender) {
+    const Nonce n = state.next_nonce(sender);
+    expect[sender] = n;
+    auto it = q.find(n);
+    if (it != q.end())
+      heap.push(Head{it->second->effective_price(base_fee), it->second->id, sender});
+  }
+
+  std::vector<Transaction> out;
+  uint64_t gas_used = 0;
+  while (!heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    auto& q = by_sender[head.sender];
+    auto it = q.find(expect[head.sender]);
+    if (it == q.end()) continue;  // stale heap entry
+    const Transaction& tx = *it->second;
+    if (gas_used + tx.gas > gas_limit) {
+      // Price-priority packing: do not skip ahead to cheaper transactions;
+      // a full block is full (keeps V1 semantics simple and conservative).
+      break;
+    }
+    out.push_back(tx);
+    gas_used += tx.gas;
+    const Nonce next = ++expect[head.sender];
+    auto nit = q.find(next);
+    if (nit != q.end())
+      heap.push(Head{nit->second->effective_price(base_fee), nit->second->id, head.sender});
+  }
+  return out;
+}
+
+}  // namespace topo::eth

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "eth/account.h"
+#include "eth/block.h"
+
+namespace topo::eth {
+
+/// Greedy price-priority block packing, the policy both Geth and Parity
+/// implement and the property Theorem C.2's proof rests on: a miner never
+/// includes a lower-priced transaction while a higher-priced includable one
+/// is executable.
+///
+/// `candidates` is any set of unconfirmed transactions (a mempool pending
+/// snapshot). Packing respects per-sender nonce order starting from
+/// `state.next_nonce(sender)`, skips EIP-1559 transactions whose max fee is
+/// below `base_fee`, and stops when no executable transaction fits in the
+/// remaining gas.
+std::vector<Transaction> pack_block(const std::vector<Transaction>& candidates,
+                                    const StateView& state, uint64_t gas_limit, Wei base_fee);
+
+}  // namespace topo::eth

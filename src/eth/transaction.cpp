@@ -1,0 +1,81 @@
+#include "eth/transaction.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace topo::eth {
+
+namespace {
+
+uint64_t mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+TxHash Transaction::hash() const {
+  uint64_t h = 0x45d9f3b3335b369ULL;
+  h = mix(h, id);
+  h = mix(h, sender);
+  h = mix(h, to);
+  h = mix(h, nonce);
+  h = mix(h, gas_price);
+  h = mix(h, gas);
+  h = mix(h, value);
+  if (fee1559) {
+    h = mix(h, fee1559->max_fee);
+    h = mix(h, fee1559->priority_fee);
+  }
+  return h;
+}
+
+Wei Transaction::effective_price(Wei base_fee) const {
+  if (!fee1559) return gas_price;
+  if (fee1559->max_fee < base_fee) return 0;  // underpriced, not includable
+  return std::min(fee1559->max_fee, base_fee + fee1559->priority_fee);
+}
+
+bool Transaction::includable(Wei base_fee) const {
+  if (!fee1559) return true;  // legacy txs are price-takers
+  return fee1559->max_fee >= base_fee;
+}
+
+std::string Transaction::to_string() const {
+  std::ostringstream ss;
+  ss << "tx{id=" << id << " from=" << sender << " nonce=" << nonce;
+  if (fee1559) {
+    ss << " maxFee=" << fee1559->max_fee << " prio=" << fee1559->priority_fee;
+  } else {
+    ss << " price=" << gas_price;
+  }
+  ss << "}";
+  return ss.str();
+}
+
+Transaction TxFactory::make(Address sender, Nonce nonce, Wei gas_price, Address to, Wei value) {
+  Transaction tx;
+  tx.id = next_id_++;
+  tx.sender = sender;
+  tx.to = to;
+  tx.nonce = nonce;
+  tx.gas_price = gas_price;
+  tx.value = value;
+  return tx;
+}
+
+Transaction TxFactory::make1559(Address sender, Nonce nonce, Wei max_fee, Wei priority_fee,
+                                Address to, Wei value) {
+  Transaction tx;
+  tx.id = next_id_++;
+  tx.sender = sender;
+  tx.to = to;
+  tx.nonce = nonce;
+  tx.value = value;
+  tx.fee1559 = Fee1559{max_fee, priority_fee};
+  return tx;
+}
+
+}  // namespace topo::eth

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "eth/types.h"
+
+namespace topo::eth {
+
+/// EIP-1559 fee fields. When present, mempool admission and eviction use
+/// max_fee (as Geth's txpool does) and block inclusion requires
+/// max_fee >= base_fee (Appendix E of the paper).
+struct Fee1559 {
+  Wei max_fee = 0;       ///< maxFeePerGas
+  Wei priority_fee = 0;  ///< maxPriorityFeePerGas
+};
+
+/// An Ethereum transaction in the account/nonce model. Plain transfers only:
+/// the measurement technique never needs contract calls.
+struct Transaction {
+  uint64_t id = 0;  ///< process-unique creation id (simulation bookkeeping)
+  Address sender = kNoAddress;
+  Address to = kNoAddress;
+  Nonce nonce = 0;
+  Wei gas_price = 0;  ///< legacy gas price; ignored if fee1559 is set
+  uint64_t gas = kTransferGas;
+  Wei value = 0;
+  std::optional<Fee1559> fee1559;
+
+  /// Content hash; distinct transactions (any differing field) get distinct
+  /// hashes with overwhelming probability.
+  TxHash hash() const;
+
+  /// Price used for mempool ordering/admission: legacy gas price, or the
+  /// EIP-1559 max fee (what Geth's txpool compares).
+  Wei pool_price() const { return fee1559 ? fee1559->max_fee : gas_price; }
+
+  /// Price per gas the sender effectively pays if included at `base_fee`
+  /// (min(max_fee, base_fee + priority_fee) under EIP-1559).
+  Wei effective_price(Wei base_fee) const;
+
+  /// True if the transaction could be included at the given base fee.
+  bool includable(Wei base_fee) const;
+
+  std::string to_string() const;
+};
+
+/// Monotonic factory for transactions; guarantees unique ids within a run.
+class TxFactory {
+ public:
+  /// Legacy transaction.
+  Transaction make(Address sender, Nonce nonce, Wei gas_price, Address to = kNoAddress,
+                   Wei value = 0);
+
+  /// EIP-1559 transaction.
+  Transaction make1559(Address sender, Nonce nonce, Wei max_fee, Wei priority_fee,
+                       Address to = kNoAddress, Wei value = 0);
+
+  uint64_t created() const { return next_id_; }
+
+ private:
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace topo::eth

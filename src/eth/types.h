@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace topo::eth {
+
+/// Simulated externally-owned-account address. Real Ethereum addresses are
+/// 160-bit; a 64-bit id is sufficient for a closed simulation and keeps
+/// containers compact.
+using Address = uint64_t;
+
+/// Per-sender monotonically increasing transaction counter.
+using Nonce = uint64_t;
+
+/// Gas price (wei per gas unit). 1 Gwei = 1e9 wei, so sub-Gwei prices such
+/// as the paper's Y = 0.1 Gwei are exactly representable.
+using Wei = uint64_t;
+
+/// Transaction hash. Derived from all transaction fields; unique per
+/// distinct transaction in a run.
+using TxHash = uint64_t;
+
+inline constexpr Wei kWei = 1;
+inline constexpr Wei kGwei = 1'000'000'000ULL;
+inline constexpr Wei kEther = 1'000'000'000ULL * kGwei;
+
+/// Intrinsic gas of a plain value transfer; every measurement transaction in
+/// the paper is a plain transfer.
+inline constexpr uint64_t kTransferGas = 21'000;
+
+/// Converts a fractional Gwei amount to wei (e.g. gwei(0.1)).
+constexpr Wei gwei(double g) { return static_cast<Wei>(g * static_cast<double>(kGwei)); }
+
+/// The sentinel "no address".
+inline constexpr Address kNoAddress = 0;
+
+}  // namespace topo::eth

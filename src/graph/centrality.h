@@ -1,0 +1,47 @@
+#pragma once
+
+// Centrality and robustness analytics backing the paper's §3 use cases:
+// targeted eclipse exposure (use case 1), single points of failure
+// (use case 2), and neighbor-set fingerprinting for deanonymization
+// (use case 3).
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topo::graph {
+
+/// Betweenness centrality via Brandes' algorithm (unweighted). Values are
+/// unnormalized pair counts; divide by (n-1)(n-2)/2 to normalize.
+std::vector<double> betweenness_centrality(const Graph& g);
+
+/// Articulation points (cut vertices): nodes whose removal disconnects
+/// their component — the paper's topology-critical nodes.
+std::vector<NodeId> articulation_points(const Graph& g);
+
+/// K-core number of every node (largest k such that the node survives in
+/// the k-core).
+std::vector<size_t> core_numbers(const Graph& g);
+
+/// Closeness centrality (reciprocal of mean distance within the
+/// component); 0 for isolated nodes.
+std::vector<double> closeness_centrality(const Graph& g);
+
+/// Size of the largest connected component after removing `remove` nodes.
+size_t largest_component_after_removal(const Graph& g, const std::vector<NodeId>& remove);
+
+/// Neighbor-set fingerprint analysis (use case 3): how many nodes have a
+/// neighbor set shared with no other node — such nodes can be identified
+/// (and their clients deanonymized) purely from who they peer with.
+struct FingerprintStats {
+  size_t unique = 0;      ///< nodes whose neighbor set is unique
+  size_t ambiguous = 0;   ///< nodes sharing a neighbor set with another
+  double unique_fraction() const {
+    const size_t total = unique + ambiguous;
+    return total ? static_cast<double>(unique) / static_cast<double>(total) : 0.0;
+  }
+};
+
+FingerprintStats neighbor_fingerprints(const Graph& g);
+
+}  // namespace topo::graph

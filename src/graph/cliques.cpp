@@ -1,0 +1,76 @@
+#include "graph/cliques.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace topo::graph {
+
+namespace {
+
+struct BkState {
+  const Graph* g = nullptr;
+  uint64_t cap = 0;
+  CliqueStats stats;
+
+  /// Bron–Kerbosch with the max-degree pivot rule. R is implicit (only its
+  /// size matters); P and X are candidate/excluded sets.
+  void expand(size_t r_size, std::vector<NodeId>& p, std::vector<NodeId>& x) {
+    if (stats.truncated) return;
+    if (p.empty() && x.empty()) {
+      ++stats.maximal_cliques;
+      stats.max_clique_size = std::max(stats.max_clique_size, r_size);
+      if (stats.maximal_cliques >= cap) stats.truncated = true;
+      return;
+    }
+    // Pivot: vertex of P union X with most neighbors in P.
+    NodeId pivot = 0;
+    size_t best = 0;
+    bool have = false;
+    auto consider = [&](NodeId u) {
+      size_t cnt = 0;
+      for (NodeId v : p) {
+        if (g->has_edge(u, v)) ++cnt;
+      }
+      if (!have || cnt > best) {
+        have = true;
+        best = cnt;
+        pivot = u;
+      }
+    };
+    for (NodeId u : p) consider(u);
+    for (NodeId u : x) consider(u);
+
+    std::vector<NodeId> candidates;
+    for (NodeId u : p) {
+      if (!g->has_edge(pivot, u)) candidates.push_back(u);
+    }
+    for (NodeId u : candidates) {
+      std::vector<NodeId> p2, x2;
+      for (NodeId v : p) {
+        if (g->has_edge(u, v)) p2.push_back(v);
+      }
+      for (NodeId v : x) {
+        if (g->has_edge(u, v)) x2.push_back(v);
+      }
+      expand(r_size + 1, p2, x2);
+      if (stats.truncated) return;
+      p.erase(std::find(p.begin(), p.end(), u));
+      x.push_back(u);
+    }
+  }
+};
+
+}  // namespace
+
+CliqueStats count_maximal_cliques(const Graph& g, uint64_t cap) {
+  BkState state;
+  state.g = &g;
+  state.cap = cap;
+  std::vector<NodeId> p(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) p[u] = u;
+  std::vector<NodeId> x;
+  state.expand(0, p, x);
+  return state.stats;
+}
+
+}  // namespace topo::graph

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace topo::graph {
+
+/// Result of maximal-clique enumeration (Bron–Kerbosch with pivoting).
+struct CliqueStats {
+  uint64_t maximal_cliques = 0;  ///< count of maximal cliques found
+  size_t max_clique_size = 0;    ///< size of the largest clique (omega)
+  bool truncated = false;        ///< hit the enumeration cap
+};
+
+/// Counts maximal cliques, stopping after `cap` (Rinkeby-like graphs have
+/// hundreds of thousands; Table 9 reports 274 775). The paper's
+/// "clique number" rows report this count, not omega.
+CliqueStats count_maximal_cliques(const Graph& g, uint64_t cap = 2'000'000);
+
+}  // namespace topo::graph

@@ -1,0 +1,97 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace topo::graph {
+
+Graph erdos_renyi_gnm(size_t n, size_t m, util::Rng& rng) {
+  Graph g(n);
+  const size_t max_edges = n < 2 ? 0 : n * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  size_t added = 0;
+  while (added < m) {
+    const NodeId u = static_cast<NodeId>(rng.index(n));
+    const NodeId v = static_cast<NodeId>(rng.index(n));
+    if (g.add_edge(u, v)) ++added;
+  }
+  return g;
+}
+
+Graph erdos_renyi_gnp(size_t n, double p, util::Rng& rng) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph configuration_model(const std::vector<size_t>& degrees, util::Rng& rng) {
+  Graph g(degrees.size());
+  std::vector<NodeId> stubs;
+  stubs.reserve(std::accumulate(degrees.begin(), degrees.end(), size_t{0}));
+  for (NodeId u = 0; u < degrees.size(); ++u) {
+    for (size_t i = 0; i < degrees[u]; ++i) stubs.push_back(u);
+  }
+  if (stubs.size() % 2 == 1) stubs.pop_back();  // drop one stub if odd sum
+  rng.shuffle(stubs);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    g.add_edge(stubs[i], stubs[i + 1]);  // self/multi edges silently dropped
+  }
+  return g;
+}
+
+Graph barabasi_albert(size_t n, size_t m_attach, util::Rng& rng) {
+  if (m_attach < 1) m_attach = 1;
+  Graph g(n);
+  if (n == 0) return g;
+  const size_t seed_nodes = std::min(n, m_attach + 1);
+  // Seed clique so early nodes have attachment mass.
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) g.add_edge(u, v);
+  }
+  // Repeated-endpoint list implements preferential attachment.
+  std::vector<NodeId> targets;
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (size_t i = 0; i < g.degree(u); ++i) targets.push_back(u);
+  }
+  for (NodeId u = static_cast<NodeId>(seed_nodes); u < n; ++u) {
+    size_t added = 0;
+    size_t guard = 0;
+    while (added < m_attach && guard++ < 50 * m_attach) {
+      const NodeId v = targets.empty() ? static_cast<NodeId>(rng.index(u))
+                                       : targets[rng.index(targets.size())];
+      if (g.add_edge(u, v)) {
+        targets.push_back(u);
+        targets.push_back(v);
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+Graph watts_strogatz(size_t n, size_t k, double rewire_p, util::Rng& rng) {
+  Graph g(n);
+  if (n < 3) return g;
+  const size_t half = std::max<size_t>(1, k / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (size_t j = 1; j <= half; ++j) {
+      g.add_edge(u, static_cast<NodeId>((u + j) % n));
+    }
+  }
+  // Rewire each edge with probability p.
+  for (const auto& [u, v] : g.edges()) {
+    if (!rng.chance(rewire_p)) continue;
+    const NodeId w = static_cast<NodeId>(rng.index(n));
+    if (w != u && !g.has_edge(u, w)) {
+      g.remove_edge(u, v);
+      g.add_edge(u, w);
+    }
+  }
+  return g;
+}
+
+}  // namespace topo::graph

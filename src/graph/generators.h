@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace topo::graph {
+
+/// Erdos-Renyi G(n, m): m distinct edges chosen uniformly at random — the
+/// paper's first baseline (Table 4).
+Graph erdos_renyi_gnm(size_t n, size_t m, util::Rng& rng);
+
+/// Erdos-Renyi G(n, p).
+Graph erdos_renyi_gnp(size_t n, double p, util::Rng& rng);
+
+/// Configuration model over the given degree sequence, collapsed to a simple
+/// graph (self-loops and multi-edges dropped), matching
+/// `nx.Graph(nx.configuration_model(seq))` — the paper's CM baseline.
+Graph configuration_model(const std::vector<size_t>& degrees, util::Rng& rng);
+
+/// Barabasi-Albert preferential attachment with `m_attach` edges per new
+/// node — the paper's BA baseline (they use the measured average degree
+/// l' as 2*m_attach).
+Graph barabasi_albert(size_t n, size_t m_attach, util::Rng& rng);
+
+/// A Watts-Strogatz small-world ring (extra comparison graph used by tests
+/// and the topology examples).
+Graph watts_strogatz(size_t n, size_t k, double rewire_p, util::Rng& rng);
+
+}  // namespace topo::graph

@@ -1,0 +1,67 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace topo::graph {
+
+Graph::Graph(size_t n) : adj_(n), adj_set_(n) {}
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  adj_set_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  if (u == v) return false;
+  if (adj_set_[u].count(v)) return false;
+  adj_set_[u].insert(v);
+  adj_set_[v].insert(u);
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  if (u == v || !adj_set_[u].count(v)) return false;
+  adj_set_[u].erase(v);
+  adj_set_[v].erase(u);
+  auto drop = [](std::vector<NodeId>& vec, NodeId x) {
+    vec.erase(std::find(vec.begin(), vec.end(), x));
+  };
+  drop(adj_[u], v);
+  drop(adj_[v], u);
+  --num_edges_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  return adj_set_[u].count(v) > 0;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges_);
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+double Graph::average_degree() const {
+  if (adj_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) / static_cast<double>(adj_.size());
+}
+
+double Graph::density() const {
+  const size_t n = adj_.size();
+  if (n < 2) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+}  // namespace topo::graph

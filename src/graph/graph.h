@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace topo::graph {
+
+using NodeId = uint32_t;
+
+/// Simple undirected graph (no self-loops, no multi-edges) with O(1) edge
+/// lookup and cache-friendly neighbor iteration. Node ids are dense
+/// [0, num_nodes).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(size_t n);
+
+  NodeId add_node();
+
+  /// Adds an undirected edge; returns false (and does nothing) for
+  /// self-loops and duplicates. Nodes must exist.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes an edge if present; returns whether it existed.
+  bool remove_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  size_t num_nodes() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  const std::vector<NodeId>& neighbors(NodeId u) const { return adj_[u]; }
+  size_t degree(NodeId u) const { return adj_[u].size(); }
+
+  /// All edges as (u, v) with u < v.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// Average degree 2m/n (0 for the empty graph).
+  double average_degree() const;
+
+  /// Edge density 2m / (n (n-1)).
+  double density() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<std::unordered_set<NodeId>> adj_set_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace topo::graph

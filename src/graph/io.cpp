@@ -1,0 +1,46 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace topo::graph {
+
+void write_edge_csv(const Graph& g, std::ostream& os) {
+  os << "# nodes=" << g.num_nodes() << " edges=" << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edges()) os << u << ',' << v << '\n';
+}
+
+bool write_edge_csv(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_edge_csv(g, out);
+  return static_cast<bool>(out);
+}
+
+Graph read_edge_csv(std::istream& is) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId max_id = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    NodeId u = 0, v = 0;
+    char comma = 0;
+    if (!(ss >> u >> comma >> v) || comma != ',') return Graph();
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+  Graph g(edges.empty() ? 0 : max_id + 1);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+void write_dot(const Graph& g, std::ostream& os, const std::string& name) {
+  os << "graph " << name << " {\n";
+  for (const auto& [u, v] : g.edges()) os << "  n" << u << " -- n" << v << ";\n";
+  os << "}\n";
+}
+
+}  // namespace topo::graph

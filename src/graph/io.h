@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace topo::graph {
+
+/// Writes "u,v" edge lines (one per undirected edge, u < v).
+void write_edge_csv(const Graph& g, std::ostream& os);
+bool write_edge_csv(const Graph& g, const std::string& path);
+
+/// Reads an edge CSV produced by write_edge_csv. Node count is inferred from
+/// the max id. Returns an empty graph on parse failure.
+Graph read_edge_csv(std::istream& is);
+
+/// Graphviz DOT output for quick visual inspection.
+void write_dot(const Graph& g, std::ostream& os, const std::string& name = "topology");
+
+}  // namespace topo::graph

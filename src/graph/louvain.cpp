@@ -1,0 +1,214 @@
+#include "graph/louvain.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace topo::graph {
+
+double modularity(const Graph& g, const std::vector<uint32_t>& assignment) {
+  const double m = static_cast<double>(g.num_edges());
+  if (m == 0.0) return 0.0;
+  // Q = sum_c [ e_c/m - (d_c/2m)^2 ]
+  std::unordered_map<uint32_t, double> intra, deg;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    deg[assignment[u]] += static_cast<double>(g.degree(u));
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v && assignment[u] == assignment[v]) intra[assignment[u]] += 1.0;
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, d] : deg) {
+    const double e = intra.count(c) ? intra.at(c) : 0.0;
+    const double frac = d / (2.0 * m);
+    q += e / m - frac * frac;
+  }
+  return q;
+}
+
+namespace {
+
+/// Weighted multigraph used between Louvain levels.
+struct WGraph {
+  size_t n = 0;
+  std::vector<std::vector<std::pair<uint32_t, double>>> adj;  // (nbr, weight)
+  std::vector<double> self_loop;                              // intra weight
+  double total_weight = 0.0;                                  // sum of edge weights (undirected)
+};
+
+WGraph from_graph(const Graph& g) {
+  WGraph w;
+  w.n = g.num_nodes();
+  w.adj.resize(w.n);
+  w.self_loop.assign(w.n, 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) {
+        w.adj[u].push_back({v, 1.0});
+        w.adj[v].push_back({u, 1.0});
+        w.total_weight += 1.0;
+      }
+    }
+  }
+  return w;
+}
+
+double node_weight(const WGraph& w, uint32_t u) {
+  double d = 2.0 * w.self_loop[u];
+  for (const auto& [v, wt] : w.adj[u]) d += wt;
+  return d;
+}
+
+/// One Louvain level: local moves until no gain. Returns (assignment, moved).
+std::pair<std::vector<uint32_t>, bool> one_level(const WGraph& w, util::Rng& rng) {
+  std::vector<uint32_t> comm(w.n);
+  std::vector<double> comm_weight(w.n);  // total degree weight per community
+  std::vector<double> k(w.n);
+  for (uint32_t u = 0; u < w.n; ++u) {
+    comm[u] = u;
+    k[u] = node_weight(w, u);
+    comm_weight[u] = k[u];
+  }
+  const double two_m = 2.0 * w.total_weight + [&] {
+    double s = 0.0;
+    for (double x : w.self_loop) s += 2.0 * x;
+    return s;
+  }();
+  if (two_m == 0.0) return {comm, false};
+
+  std::vector<uint32_t> order(w.n);
+  for (uint32_t i = 0; i < w.n; ++i) order[i] = i;
+  rng.shuffle(order);
+
+  bool any_move = false;
+  bool improved = true;
+  size_t rounds = 0;
+  while (improved && rounds++ < 64) {
+    improved = false;
+    for (uint32_t u : order) {
+      const uint32_t cu = comm[u];
+      // Weights from u to each neighboring community.
+      std::unordered_map<uint32_t, double> links;
+      for (const auto& [v, wt] : w.adj[u]) links[comm[v]] += wt;
+      // Remove u from its community.
+      comm_weight[cu] -= k[u];
+      const double base = links.count(cu) ? links[cu] : 0.0;
+      uint32_t best_comm = cu;
+      double best_gain = 0.0;
+      for (const auto& [c, l] : links) {
+        const double gain = (l - base) - k[u] * (comm_weight[c] - comm_weight[cu]) / two_m;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_comm = c;
+        }
+      }
+      comm[u] = best_comm;
+      comm_weight[best_comm] += k[u];
+      if (best_comm != cu) {
+        improved = true;
+        any_move = true;
+      }
+    }
+  }
+  return {comm, any_move};
+}
+
+/// Densifies community labels to [0, count).
+size_t densify(std::vector<uint32_t>& labels) {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (uint32_t& l : labels) {
+    auto [it, inserted] = remap.try_emplace(l, static_cast<uint32_t>(remap.size()));
+    l = it->second;
+  }
+  return remap.size();
+}
+
+WGraph aggregate(const WGraph& w, const std::vector<uint32_t>& comm, size_t n_comm) {
+  WGraph out;
+  out.n = n_comm;
+  out.adj.resize(n_comm);
+  out.self_loop.assign(n_comm, 0.0);
+  std::map<std::pair<uint32_t, uint32_t>, double> agg;
+  for (uint32_t u = 0; u < w.n; ++u) {
+    out.self_loop[comm[u]] += w.self_loop[u];
+    for (const auto& [v, wt] : w.adj[u]) {
+      if (u > v) continue;
+      const uint32_t cu = comm[u], cv = comm[v];
+      if (cu == cv) {
+        out.self_loop[cu] += wt;
+      } else {
+        agg[{std::min(cu, cv), std::max(cu, cv)}] += wt;
+      }
+    }
+  }
+  for (const auto& [e, wt] : agg) {
+    out.adj[e.first].push_back({e.second, wt});
+    out.adj[e.second].push_back({e.first, wt});
+    out.total_weight += wt;
+  }
+  return out;
+}
+
+}  // namespace
+
+Communities louvain(const Graph& g, util::Rng& rng, size_t max_levels) {
+  Communities result;
+  result.assignment.resize(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) result.assignment[u] = u;
+  if (g.num_nodes() == 0) {
+    result.count = 0;
+    return result;
+  }
+
+  WGraph w = from_graph(g);
+  std::vector<uint32_t> global = result.assignment;
+  densify(global);
+
+  for (size_t level = 0; level < max_levels; ++level) {
+    auto [comm, moved] = one_level(w, rng);
+    if (!moved) break;
+    const size_t n_comm = densify(comm);
+    // Compose: node -> current super-node -> new community.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) global[u] = comm[global[u]];
+    w = aggregate(w, comm, n_comm);
+    if (n_comm == w.n && n_comm == comm.size()) break;
+  }
+
+  result.count = densify(global);
+  result.assignment = std::move(global);
+  result.modularity = modularity(g, result.assignment);
+  return result;
+}
+
+std::vector<CommunityStats> community_stats(const Graph& g,
+                                            const std::vector<uint32_t>& assignment) {
+  uint32_t n_comm = 0;
+  for (uint32_t c : assignment) n_comm = std::max(n_comm, c + 1);
+  std::vector<CommunityStats> stats(n_comm);
+  for (uint32_t c = 0; c < n_comm; ++c) stats[c].index = c;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto& s = stats[assignment[u]];
+    ++s.nodes;
+    s.average_degree += static_cast<double>(g.degree(u));
+    if (g.degree(u) == 1) ++s.degree_one;
+    for (NodeId v : g.neighbors(u)) {
+      if (assignment[u] == assignment[v]) {
+        if (u < v) ++s.intra_edges;
+      } else {
+        ++s.inter_edges;  // counted from each side once
+      }
+    }
+  }
+  for (auto& s : stats) {
+    if (s.nodes > 0) s.average_degree /= static_cast<double>(s.nodes);
+    if (s.nodes > 1) {
+      s.intra_density = static_cast<double>(s.intra_edges) /
+                        (static_cast<double>(s.nodes) * static_cast<double>(s.nodes - 1) / 2.0);
+    }
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const CommunityStats& a, const CommunityStats& b) { return a.nodes > b.nodes; });
+  return stats;
+}
+
+}  // namespace topo::graph

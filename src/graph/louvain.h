@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace topo::graph {
+
+/// A node -> community assignment with its Newman modularity.
+struct Communities {
+  std::vector<uint32_t> assignment;  ///< community index per node, dense [0, count)
+  size_t count = 0;
+  double modularity = 0.0;
+};
+
+/// Newman modularity Q of a partition.
+double modularity(const Graph& g, const std::vector<uint32_t>& assignment);
+
+/// Louvain community detection (Blondel et al. 2008), the algorithm the
+/// paper runs via python-louvain. Node visit order is shuffled by `rng`;
+/// results are deterministic per seed.
+Communities louvain(const Graph& g, util::Rng& rng, size_t max_levels = 32);
+
+/// Per-community statistics behind paper Table 5.
+struct CommunityStats {
+  size_t index = 0;
+  size_t nodes = 0;
+  size_t intra_edges = 0;
+  size_t inter_edges = 0;
+  double intra_density = 0.0;   ///< intra edges / C(n,2)
+  double average_degree = 0.0;  ///< mean full-graph degree of members
+  size_t degree_one = 0;        ///< members with graph degree 1
+};
+
+std::vector<CommunityStats> community_stats(const Graph& g,
+                                            const std::vector<uint32_t>& assignment);
+
+}  // namespace topo::graph

@@ -1,0 +1,198 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace topo::graph {
+
+namespace {
+
+/// BFS eccentricity of `src` within its component; -1 entries mean
+/// unreachable.
+size_t bfs_eccentricity(const Graph& g, NodeId src, std::vector<int>& dist) {
+  std::fill(dist.begin(), dist.end(), -1);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  size_t ecc = 0;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        ecc = std::max(ecc, static_cast<size_t>(dist[v]));
+        q.push(v);
+      }
+    }
+  }
+  return ecc;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<bool> seen(n, false);
+  std::vector<std::vector<NodeId>> comps;
+  for (NodeId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    std::vector<NodeId> comp;
+    std::queue<NodeId> q;
+    seen[s] = true;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      comp.push_back(u);
+      for (NodeId v : g.neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          q.push(v);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    comps.push_back(std::move(comp));
+  }
+  return comps;
+}
+
+std::vector<NodeId> largest_component(const Graph& g) {
+  auto comps = connected_components(g);
+  if (comps.empty()) return {};
+  auto it = std::max_element(comps.begin(), comps.end(),
+                             [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  return *it;
+}
+
+Graph subgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  Graph sub(nodes.size());
+  std::vector<int64_t> remap(g.num_nodes(), -1);
+  for (size_t i = 0; i < nodes.size(); ++i) remap[nodes[i]] = static_cast<int64_t>(i);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (NodeId v : g.neighbors(nodes[i])) {
+      const int64_t j = remap[v];
+      if (j >= 0 && static_cast<int64_t>(i) < j)
+        sub.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return sub;
+}
+
+DistanceStats distance_stats(const Graph& g) {
+  DistanceStats out;
+  if (g.num_nodes() == 0) return out;
+
+  auto comps = connected_components(g);
+  const auto& big = *std::max_element(
+      comps.begin(), comps.end(),
+      [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  out.connected = comps.size() == 1;
+  out.component_size = big.size();
+
+  const Graph cc = out.connected ? g : subgraph(g, big);
+  const size_t n = cc.num_nodes();
+  std::vector<int> dist(n);
+  std::vector<size_t> ecc(n, 0);
+  size_t diameter = 0;
+  size_t radius = std::numeric_limits<size_t>::max();
+  double ecc_sum = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    ecc[u] = bfs_eccentricity(cc, u, dist);
+    diameter = std::max(diameter, ecc[u]);
+    radius = std::min(radius, ecc[u]);
+    ecc_sum += static_cast<double>(ecc[u]);
+  }
+  out.diameter = diameter;
+  out.radius = (radius == std::numeric_limits<size_t>::max()) ? 0 : radius;
+  out.mean_eccentricity = n ? ecc_sum / static_cast<double>(n) : 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (ecc[u] == out.radius) ++out.center_size;
+    if (ecc[u] == out.diameter) ++out.periphery_size;
+  }
+  return out;
+}
+
+double clustering_coefficient(const Graph& g) {
+  const size_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& nbrs = g.neighbors(u);
+    const size_t d = nbrs.size();
+    if (d < 2) continue;  // local coefficient 0
+    size_t links = 0;
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i + 1; j < d; ++j) {
+        if (g.has_edge(nbrs[i], nbrs[j])) ++links;
+      }
+    }
+    sum += 2.0 * static_cast<double>(links) / (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return sum / static_cast<double>(n);
+}
+
+uint64_t triangle_count(const Graph& g) {
+  // Each triangle counted once via the ordered-neighbor rule u < v < w.
+  uint64_t tri = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto& nbrs = g.neighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] <= u) continue;
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (nbrs[j] <= u) continue;
+        if (g.has_edge(nbrs[i], nbrs[j])) ++tri;
+      }
+    }
+  }
+  return tri;
+}
+
+double transitivity(const Graph& g) {
+  uint64_t triples = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const uint64_t d = g.degree(u);
+    triples += d * (d - 1) / 2;
+  }
+  if (triples == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangle_count(g)) / static_cast<double>(triples);
+}
+
+double degree_assortativity(const Graph& g) {
+  // Pearson correlation over directed edge endpoint degrees (each undirected
+  // edge contributes both orientations), the standard Newman r.
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  uint64_t m2 = 0;  // number of directed edges
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const double du = static_cast<double>(g.degree(u));
+    for (NodeId v : g.neighbors(u)) {
+      const double dv = static_cast<double>(g.degree(v));
+      sum_xy += du * dv;
+      sum_x += du;
+      sum_x2 += du * du;
+      ++m2;
+    }
+  }
+  if (m2 == 0) return 0.0;
+  const double inv = 1.0 / static_cast<double>(m2);
+  const double num = inv * sum_xy - (inv * sum_x) * (inv * sum_x);
+  const double den = inv * sum_x2 - (inv * sum_x) * (inv * sum_x);
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+util::Histogram degree_histogram(const Graph& g) {
+  util::Histogram h;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) h.add(static_cast<long long>(g.degree(u)));
+  return h;
+}
+
+std::vector<size_t> degree_sequence(const Graph& g) {
+  std::vector<size_t> deg(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) deg[u] = g.degree(u);
+  return deg;
+}
+
+}  // namespace topo::graph

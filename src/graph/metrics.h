@@ -1,0 +1,51 @@
+#pragma once
+
+#include "graph/graph.h"
+#include "util/stats.h"
+
+namespace topo::graph {
+
+/// Eccentricity-derived distance statistics (paper Table 4). Computed on the
+/// largest connected component when the graph is disconnected (`connected`
+/// reports which case applies), matching how NetworkX-based analyses treat
+/// measured snapshots.
+struct DistanceStats {
+  bool connected = true;
+  size_t component_size = 0;
+  size_t diameter = 0;
+  size_t radius = 0;
+  double mean_eccentricity = 0.0;
+  size_t center_size = 0;     ///< nodes with eccentricity == radius
+  size_t periphery_size = 0;  ///< nodes with eccentricity == diameter
+};
+
+DistanceStats distance_stats(const Graph& g);
+
+/// Connected components; each component is a sorted node list.
+std::vector<std::vector<NodeId>> connected_components(const Graph& g);
+
+/// Nodes of the largest connected component.
+std::vector<NodeId> largest_component(const Graph& g);
+
+/// Induced subgraph; node ids are re-densified in `nodes` order.
+Graph subgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Average local clustering coefficient (NetworkX `average_clustering`).
+double clustering_coefficient(const Graph& g);
+
+/// Global transitivity: 3 * triangles / connected triples.
+double transitivity(const Graph& g);
+
+/// Number of triangles in the graph.
+uint64_t triangle_count(const Graph& g);
+
+/// Degree (Pearson) assortativity coefficient.
+double degree_assortativity(const Graph& g);
+
+/// Histogram of node degrees.
+util::Histogram degree_histogram(const Graph& g);
+
+/// Degree sequence, one entry per node.
+std::vector<size_t> degree_sequence(const Graph& g);
+
+}  // namespace topo::graph

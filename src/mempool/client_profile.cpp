@@ -1,0 +1,106 @@
+#include "mempool/client_profile.h"
+
+#include <limits>
+
+namespace topo::mempool {
+
+namespace {
+
+ClientProfile make_geth() {
+  ClientProfile p;
+  p.kind = ClientKind::kGeth;
+  p.name = "Geth";
+  p.mainnet_share = 0.8324;
+  p.policy.replace_bump_bp = 1000;  // 10%
+  p.policy.max_futures_per_account = 4096;
+  p.policy.min_pending_for_eviction = 0;
+  p.policy.capacity = 5120;      // 4096 pending + 1024 queued
+  p.policy.future_cap = 1024;    // GlobalQueue
+  p.supports_announcements = true;
+  return p;
+}
+
+ClientProfile make_parity() {
+  ClientProfile p;
+  p.kind = ClientKind::kParity;
+  p.name = "Parity";
+  p.mainnet_share = 0.1457;
+  p.policy.replace_bump_bp = 1250;  // 12.5%
+  p.policy.max_futures_per_account = 81;
+  p.policy.min_pending_for_eviction = 2000;
+  p.policy.capacity = 8192;
+  p.policy.future_cap = 1024;
+  return p;
+}
+
+ClientProfile make_nethermind() {
+  ClientProfile p;
+  p.kind = ClientKind::kNethermind;
+  p.name = "Nethermind";
+  p.mainnet_share = 0.0153;
+  p.policy.replace_bump_bp = 0;  // the flawed zero-bump setting (§5.1)
+  p.policy.max_futures_per_account = 17;
+  p.policy.min_pending_for_eviction = 0;
+  p.policy.capacity = 2048;
+  p.policy.future_cap = 1024;
+  return p;
+}
+
+ClientProfile make_besu() {
+  ClientProfile p;
+  p.kind = ClientKind::kBesu;
+  p.name = "Besu";
+  p.mainnet_share = 0.0052;
+  p.policy.replace_bump_bp = 1000;  // 10%
+  p.policy.max_futures_per_account = std::numeric_limits<uint64_t>::max();
+  p.policy.min_pending_for_eviction = 0;
+  p.policy.capacity = 4096;
+  p.policy.future_cap = 1024;
+  return p;
+}
+
+ClientProfile make_aleth() {
+  ClientProfile p;
+  p.kind = ClientKind::kAleth;
+  p.name = "Aleth";
+  p.mainnet_share = 0.0;
+  p.policy.replace_bump_bp = 0;  // flawed zero-bump
+  p.policy.max_futures_per_account = 1;
+  p.policy.min_pending_for_eviction = 0;
+  p.policy.capacity = 2048;
+  p.policy.future_cap = 512;
+  return p;
+}
+
+}  // namespace
+
+const ClientProfile& profile_for(ClientKind kind) {
+  static const ClientProfile geth = make_geth();
+  static const ClientProfile parity = make_parity();
+  static const ClientProfile nethermind = make_nethermind();
+  static const ClientProfile besu = make_besu();
+  static const ClientProfile aleth = make_aleth();
+  switch (kind) {
+    case ClientKind::kGeth: return geth;
+    case ClientKind::kParity: return parity;
+    case ClientKind::kNethermind: return nethermind;
+    case ClientKind::kBesu: return besu;
+    case ClientKind::kAleth: return aleth;
+  }
+  return geth;
+}
+
+const std::string& client_name(ClientKind kind) { return profile_for(kind).name; }
+
+std::string client_version_string(ClientKind kind) {
+  switch (kind) {
+    case ClientKind::kGeth: return "Geth/v1.10.3-stable/linux-amd64/go1.16";
+    case ClientKind::kParity: return "OpenEthereum/v3.2.5/x86_64-linux";
+    case ClientKind::kNethermind: return "Nethermind/v1.10.66/linux-x64/dotnet5";
+    case ClientKind::kBesu: return "besu/v21.1.2/linux-x86_64/oracle-java-11";
+    case ClientKind::kAleth: return "aleth/1.8.0/linux/gnu";
+  }
+  return "unknown";
+}
+
+}  // namespace topo::mempool

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "mempool/policy.h"
+
+namespace topo::mempool {
+
+/// The Ethereum client implementations profiled in paper Table 3.
+enum class ClientKind { kGeth, kParity, kNethermind, kBesu, kAleth };
+
+inline constexpr std::array<ClientKind, 5> kAllClients = {
+    ClientKind::kGeth, ClientKind::kParity, ClientKind::kNethermind, ClientKind::kBesu,
+    ClientKind::kAleth};
+
+/// Static description of a client: its mempool policy (Table 3) plus the
+/// propagation traits TopoShot's analysis depends on (§2, §4.1).
+struct ClientProfile {
+  ClientKind kind = ClientKind::kGeth;
+  std::string name;
+  double mainnet_share = 0.0;  ///< fraction of mainnet nodes (Table 3 col 2)
+  MempoolPolicy policy;
+
+  /// Geth >= 1.9.11 announces hashes to most peers and pushes full bodies to
+  /// sqrt(peers); older clients push to everyone.
+  bool supports_announcements = false;
+
+  /// True if TopoShot can measure this client (requires R > 0, §5.1).
+  bool measurable() const { return policy.replace_bump_bp > 0; }
+};
+
+/// Canonical Table 3 profile for a client.
+const ClientProfile& profile_for(ClientKind kind);
+
+/// Human-readable client name ("Geth", "Parity", ...).
+const std::string& client_name(ClientKind kind);
+
+/// Simulated web3_clientVersion string, e.g. "Geth/v1.10.3" — used by the
+/// critical-node discovery step of the mainnet study (§6.3).
+std::string client_version_string(ClientKind kind);
+
+}  // namespace topo::mempool

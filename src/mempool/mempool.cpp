@@ -1,0 +1,361 @@
+#include "mempool/mempool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace topo::mempool {
+
+const char* admit_code_name(AdmitCode code) {
+  switch (code) {
+    case AdmitCode::kAddedPending: return "added-pending";
+    case AdmitCode::kAddedFuture: return "added-future";
+    case AdmitCode::kReplaced: return "replaced";
+    case AdmitCode::kRejectedDuplicate: return "rejected-duplicate";
+    case AdmitCode::kRejectedStaleNonce: return "rejected-stale-nonce";
+    case AdmitCode::kRejectedUnderpricedReplacement: return "rejected-underpriced-replacement";
+    case AdmitCode::kRejectedPoolFull: return "rejected-pool-full";
+    case AdmitCode::kRejectedEvictionForbidden: return "rejected-eviction-forbidden";
+    case AdmitCode::kRejectedFutureLimit: return "rejected-future-limit";
+    case AdmitCode::kRejectedUnderBaseFee: return "rejected-under-base-fee";
+  }
+  return "?";
+}
+
+Mempool::Mempool(MempoolPolicy policy, const eth::StateView* state)
+    : policy_(policy), state_(state) {
+  assert(state_ != nullptr);
+}
+
+void Mempool::reclassify(eth::Address sender, std::vector<eth::Transaction>* promoted) {
+  auto ait = accounts_.find(sender);
+  if (ait == accounts_.end()) return;
+  AccountQueue& q = ait->second;
+  eth::Nonce expected = state_->next_nonce(sender);
+  size_t futures = 0;
+  for (auto& [nonce, entry] : q.txs) {
+    const bool now_pending = (nonce == expected);
+    if (now_pending) ++expected;
+    if (now_pending && !entry.pending) {
+      entry.pending = true;
+      ++pending_count_;
+      future_index_.erase({entry.tx.pool_price(), entry.tx.id});
+      if (promoted) promoted->push_back(entry.tx);
+    } else if (!now_pending && entry.pending) {
+      entry.pending = false;
+      --pending_count_;
+      future_index_.insert({entry.tx.pool_price(), entry.tx.id});
+    }
+    if (!entry.pending) ++futures;
+  }
+  q.futures = futures;
+}
+
+eth::Transaction Mempool::remove_entry(eth::Address sender, eth::Nonce nonce) {
+  auto ait = accounts_.find(sender);
+  assert(ait != accounts_.end());
+  auto eit = ait->second.txs.find(nonce);
+  assert(eit != ait->second.txs.end());
+  Entry entry = std::move(eit->second);
+  if (entry.pending) --pending_count_;
+  if (!entry.pending && ait->second.futures > 0) --ait->second.futures;
+  if (!entry.pending) future_index_.erase({entry.tx.pool_price(), entry.tx.id});
+  price_index_.erase({entry.tx.pool_price(), entry.tx.id});
+  by_id_.erase(entry.tx.id);
+  by_hash_.erase(entry.tx.hash());
+  ait->second.txs.erase(eit);
+  if (ait->second.txs.empty()) accounts_.erase(ait);
+  --size_;
+  return entry.tx;
+}
+
+std::optional<std::pair<eth::Address, eth::Nonce>> Mempool::pick_victim(
+    eth::Wei incoming_price, bool incoming_is_pending) const {
+  auto cheaper = [&](const std::pair<eth::Wei, uint64_t>& key) {
+    return key.first < incoming_price;
+  };
+  if (policy_.victim == EvictionVictim::kFuturesFirst && !incoming_is_pending) {
+    // Futures-only eviction: a future incomer may never displace a pending
+    // transaction (the DETER countermeasure; defeats TopoShot's flood).
+    if (future_index_.empty()) return std::nullopt;
+    const auto& key = *future_index_.begin();
+    if (!cheaper(key)) return std::nullopt;
+    return by_id_.at(key.second);
+  }
+  if (price_index_.empty()) return std::nullopt;
+  const auto& key = *price_index_.begin();
+  if (!cheaper(key)) return std::nullopt;
+  return by_id_.at(key.second);
+}
+
+AdmitResult Mempool::add(const eth::Transaction& tx, double now) {
+  AdmitResult result;
+
+  if (by_hash_.count(tx.hash())) {
+    result.code = AdmitCode::kRejectedDuplicate;
+    return result;
+  }
+  if (policy_.eip1559 && tx.fee1559 && tx.fee1559->max_fee < base_fee_) {
+    result.code = AdmitCode::kRejectedUnderBaseFee;
+    return result;
+  }
+  const eth::Nonce chain_next = state_->next_nonce(tx.sender);
+  if (tx.nonce < chain_next) {
+    result.code = AdmitCode::kRejectedStaleNonce;
+    return result;
+  }
+
+  auto ait = accounts_.find(tx.sender);
+  if (ait != accounts_.end()) {
+    auto eit = ait->second.txs.find(tx.nonce);
+    if (eit != ait->second.txs.end()) {
+      // Replacement path: same sender and nonce (§2 event 1b).
+      Entry& old = eit->second;
+      if (!policy_.accepts_replacement(old.tx.pool_price(), tx.pool_price())) {
+        result.code = AdmitCode::kRejectedUnderpricedReplacement;
+        return result;
+      }
+      result.replaced = old.tx;
+      price_index_.erase({old.tx.pool_price(), old.tx.id});
+      if (!old.pending) future_index_.erase({old.tx.pool_price(), old.tx.id});
+      by_id_.erase(old.tx.id);
+      by_hash_.erase(old.tx.hash());
+      old.tx = tx;
+      old.added_at = now;
+      price_index_.insert({tx.pool_price(), tx.id});
+      if (!old.pending) future_index_.insert({tx.pool_price(), tx.id});
+      by_id_[tx.id] = {tx.sender, tx.nonce};
+      by_hash_[tx.hash()] = tx.id;
+      track_added_at(now);
+      result.code = AdmitCode::kReplaced;
+      return result;
+    }
+  }
+
+  // Fresh entry: decide pending vs future by the consecutive-nonce rule.
+  bool is_pending = (tx.nonce == chain_next);
+  if (!is_pending && ait != accounts_.end()) {
+    // Pending if every nonce in [chain_next, tx.nonce) is already buffered.
+    eth::Nonce expected = chain_next;
+    for (auto it = ait->second.txs.lower_bound(chain_next);
+         it != ait->second.txs.end() && it->first == expected && expected < tx.nonce; ++it) {
+      ++expected;
+    }
+    is_pending = (expected == tx.nonce);
+  }
+
+  if (!is_pending) {
+    const size_t have = futures_of(tx.sender);
+    if (have >= policy_.max_futures_per_account) {
+      result.code = AdmitCode::kRejectedFutureLimit;
+      return result;
+    }
+  }
+
+  if (size_ >= policy_.capacity) {
+    // Eviction path (§2 event 1a). A future incomer additionally requires at
+    // least P pending transactions in the pool.
+    if (!is_pending && pending_count_ < policy_.min_pending_for_eviction) {
+      result.code = AdmitCode::kRejectedEvictionForbidden;
+      return result;
+    }
+    auto victim = pick_victim(tx.pool_price(), is_pending);
+    if (!victim && is_pending && !future_index_.empty()) {
+      // Executable transactions outrank queued ones: when the pool is full
+      // and nothing is cheaper, a pending incomer still displaces the
+      // cheapest *future* (Geth's pending/queue split — the queue is
+      // second-class and would be truncated by the next reorg anyway).
+      victim = by_id_.at(future_index_.begin()->second);
+    }
+    if (!victim) {
+      result.code = AdmitCode::kRejectedPoolFull;
+      return result;
+    }
+    result.evicted.push_back(remove_entry(victim->first, victim->second));
+    // Removing a mid-queue pending entry demotes its followers.
+    if (victim->first != tx.sender) reclassify(victim->first, nullptr);
+  }
+
+  Entry entry;
+  entry.tx = tx;
+  entry.added_at = now;
+  entry.pending = false;  // reclassify() sets the final flag
+  AccountQueue& q = accounts_[tx.sender];
+  q.txs.emplace(tx.nonce, std::move(entry));
+  ++q.futures;  // provisional; fixed by reclassify
+  price_index_.insert({tx.pool_price(), tx.id});
+  future_index_.insert({tx.pool_price(), tx.id});  // reclassify removes if pending
+  by_id_[tx.id] = {tx.sender, tx.nonce};
+  by_hash_[tx.hash()] = tx.id;
+  ++size_;
+  track_added_at(now);
+
+  std::vector<eth::Transaction> promoted;
+  reclassify(tx.sender, &promoted);
+
+  // The incoming tx itself is not a "promotion"; separate it out.
+  const eth::TxHash self = tx.hash();
+  bool self_pending = false;
+  for (auto it = promoted.begin(); it != promoted.end();) {
+    if (it->hash() == self) {
+      self_pending = true;
+      it = promoted.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  result.promoted = std::move(promoted);
+  result.code = self_pending ? AdmitCode::kAddedPending : AdmitCode::kAddedFuture;
+  return result;
+}
+
+void Mempool::track_added_at(double now) {
+  if (!min_added_valid_ || now < min_added_at_) {
+    min_added_at_ = now;
+    min_added_valid_ = true;
+  }
+}
+
+PoolUpdate Mempool::maintain(double now) {
+  PoolUpdate update;
+
+  // 1. Expiry (Geth drops unconfirmed transactions after e hours). The
+  // min_added_at_ guard makes the common no-expiry call O(1).
+  if (policy_.expiry_seconds > 0.0 && min_added_valid_ &&
+      min_added_at_ + policy_.expiry_seconds <= now) {
+    std::vector<std::pair<eth::Address, eth::Nonce>> expired;
+    double oldest_remaining = now;
+    for (const auto& [sender, q] : accounts_) {
+      for (const auto& [nonce, entry] : q.txs) {
+        if (entry.added_at + policy_.expiry_seconds <= now) {
+          expired.emplace_back(sender, nonce);
+        } else {
+          oldest_remaining = std::min(oldest_remaining, entry.added_at);
+        }
+      }
+    }
+    for (const auto& [sender, nonce] : expired) {
+      update.dropped.push_back(remove_entry(sender, nonce));
+      reclassify(sender, nullptr);
+    }
+    min_added_at_ = oldest_remaining;
+    min_added_valid_ = size_ > 0;
+  }
+
+  // 2. EIP-1559: entries whose max fee fell below the base fee are dropped.
+  // Only rescanned when the base fee actually moved.
+  if (policy_.eip1559 && base_fee_ > 0 && base_fee_ != last_pruned_base_fee_) {
+    std::vector<std::pair<eth::Address, eth::Nonce>> under;
+    for (const auto& [sender, q] : accounts_) {
+      for (const auto& [nonce, entry] : q.txs) {
+        if (entry.tx.fee1559 && entry.tx.fee1559->max_fee < base_fee_)
+          under.emplace_back(sender, nonce);
+      }
+    }
+    for (const auto& [sender, nonce] : under) {
+      update.dropped.push_back(remove_entry(sender, nonce));
+      reclassify(sender, nullptr);
+    }
+    last_pruned_base_fee_ = base_fee_;
+  }
+
+  // 3. Future-subpool truncation to future_cap, cheapest first.
+  while (future_count() > policy_.future_cap && !future_index_.empty()) {
+    const auto key = *future_index_.begin();
+    const auto loc = by_id_.at(key.second);
+    update.dropped.push_back(remove_entry(loc.first, loc.second));
+    reclassify(loc.first, nullptr);
+  }
+
+  return update;
+}
+
+PoolUpdate Mempool::on_block() {
+  PoolUpdate update;
+  // Drop entries the chain has consumed (mined or made stale), account by
+  // account, then re-run classification to promote unblocked futures.
+  std::vector<eth::Address> senders;
+  senders.reserve(accounts_.size());
+  for (const auto& [sender, q] : accounts_) senders.push_back(sender);
+  for (eth::Address sender : senders) {
+    const eth::Nonce next = state_->next_nonce(sender);
+    auto ait = accounts_.find(sender);
+    if (ait == accounts_.end()) continue;
+    std::vector<eth::Nonce> stale;
+    for (const auto& [nonce, entry] : ait->second.txs) {
+      if (nonce < next) stale.push_back(nonce);
+      else break;  // map is nonce-ordered
+    }
+    for (eth::Nonce n : stale) update.dropped.push_back(remove_entry(sender, n));
+    reclassify(sender, &update.promoted);
+  }
+  return update;
+}
+
+const eth::Transaction* Mempool::find(eth::Address sender, eth::Nonce nonce) const {
+  auto ait = accounts_.find(sender);
+  if (ait == accounts_.end()) return nullptr;
+  auto eit = ait->second.txs.find(nonce);
+  return eit == ait->second.txs.end() ? nullptr : &eit->second.tx;
+}
+
+const eth::Transaction* Mempool::find_hash(eth::TxHash h) const {
+  auto it = by_hash_.find(h);
+  if (it == by_hash_.end()) return nullptr;
+  const auto loc = by_id_.at(it->second);
+  return find(loc.first, loc.second);
+}
+
+size_t Mempool::futures_of(eth::Address sender) const {
+  auto it = accounts_.find(sender);
+  return it == accounts_.end() ? 0 : it->second.futures;
+}
+
+eth::Wei Mempool::lowest_price() const {
+  return price_index_.empty() ? 0 : price_index_.begin()->first;
+}
+
+eth::Wei Mempool::median_pending_price() const {
+  std::vector<eth::Wei> prices;
+  prices.reserve(pending_count_);
+  for (const auto& [sender, q] : accounts_) {
+    for (const auto& [nonce, entry] : q.txs) {
+      if (entry.pending) prices.push_back(entry.tx.pool_price());
+    }
+  }
+  if (prices.empty()) return 0;
+  std::sort(prices.begin(), prices.end());
+  return prices[prices.size() / 2];
+}
+
+std::vector<eth::Transaction> Mempool::pending_snapshot() const {
+  std::vector<eth::Transaction> out;
+  out.reserve(pending_count_);
+  for (const auto& [sender, q] : accounts_) {
+    for (const auto& [nonce, entry] : q.txs) {
+      if (entry.pending) out.push_back(entry.tx);
+    }
+  }
+  return out;
+}
+
+std::vector<eth::Transaction> Mempool::future_snapshot() const {
+  std::vector<eth::Transaction> out;
+  out.reserve(future_count());
+  for (const auto& [sender, q] : accounts_) {
+    for (const auto& [nonce, entry] : q.txs) {
+      if (!entry.pending) out.push_back(entry.tx);
+    }
+  }
+  return out;
+}
+
+std::vector<eth::Transaction> Mempool::all_snapshot() const {
+  std::vector<eth::Transaction> out;
+  out.reserve(size_);
+  for (const auto& [sender, q] : accounts_) {
+    for (const auto& [nonce, entry] : q.txs) out.push_back(entry.tx);
+  }
+  return out;
+}
+
+}  // namespace topo::mempool

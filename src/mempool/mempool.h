@@ -1,0 +1,162 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "eth/account.h"
+#include "eth/transaction.h"
+#include "mempool/policy.h"
+
+namespace topo::mempool {
+
+/// Outcome of offering a transaction to the pool.
+enum class AdmitCode {
+  kAddedPending,                   ///< admitted, executable, will be propagated
+  kAddedFuture,                    ///< admitted with a nonce gap, not propagated
+  kReplaced,                       ///< replaced a same-sender same-nonce entry
+  kRejectedDuplicate,              ///< hash already known
+  kRejectedStaleNonce,             ///< nonce already confirmed on chain
+  kRejectedUnderpricedReplacement, ///< bump below R
+  kRejectedPoolFull,               ///< full and incoming price <= cheapest entry
+  kRejectedEvictionForbidden,      ///< full, future incomer, pending count < P
+  kRejectedFutureLimit,            ///< sender already has U futures
+  kRejectedUnderBaseFee,           ///< EIP-1559 max fee below current base fee
+};
+
+const char* admit_code_name(AdmitCode code);
+
+/// Result of Mempool::add. `evicted`/`replaced` let the owning node account
+/// for what left the pool; `promoted` lists futures that this admission made
+/// executable (the node must propagate those too, as real clients do).
+struct AdmitResult {
+  AdmitCode code = AdmitCode::kRejectedDuplicate;
+  std::vector<eth::Transaction> evicted;
+  std::optional<eth::Transaction> replaced;
+  std::vector<eth::Transaction> promoted;
+
+  /// True if the transaction now sits in the pool as pending (and should be
+  /// propagated).
+  bool admitted_pending() const {
+    return code == AdmitCode::kAddedPending || code == AdmitCode::kReplaced;
+  }
+  bool admitted() const { return admitted_pending() || code == AdmitCode::kAddedFuture; }
+};
+
+/// Changes made by maintenance or a block commit.
+struct PoolUpdate {
+  std::vector<eth::Transaction> dropped;   ///< truncated / expired / mined / stale
+  std::vector<eth::Transaction> promoted;  ///< future -> pending transitions
+};
+
+/// The parameterized unconfirmed-transaction buffer of paper §2/§5.1.
+///
+/// Semantics implemented:
+///  - pending/future classification against a StateView (consecutive nonce
+///    run from the confirmed next nonce);
+///  - replacement: same (sender, nonce), price bump >= R;
+///  - eviction: a full pool admits a higher-priced transaction by evicting
+///    the policy's victim, gated by P (future incomers) and U (future count
+///    per sender);
+///  - deferred maintenance: future-subpool truncation to `future_cap`,
+///    expiry after `e` seconds, EIP-1559 underpriced drops;
+///  - block commits prune mined/stale entries and promote unblocked futures.
+///
+/// The pool never owns the StateView; callers guarantee it outlives the pool.
+class Mempool {
+ public:
+  Mempool(MempoolPolicy policy, const eth::StateView* state);
+
+  /// Offers a transaction at simulation time `now`.
+  AdmitResult add(const eth::Transaction& tx, double now);
+
+  /// Deferred maintenance (Geth's reorg loop): truncates the future subpool,
+  /// drops expired entries, and (EIP-1559) drops entries priced under the
+  /// base fee.
+  PoolUpdate maintain(double now);
+
+  /// Reacts to a committed block: drops entries whose nonce the chain has
+  /// consumed and promotes newly executable futures. The StateView must
+  /// already reflect the block.
+  PoolUpdate on_block();
+
+  /// Updates the base fee used for EIP-1559 admission (no-op otherwise).
+  void set_base_fee(eth::Wei base_fee) { base_fee_ = base_fee; }
+  eth::Wei base_fee() const { return base_fee_; }
+
+  bool contains(eth::TxHash h) const { return by_hash_.count(h) > 0; }
+  const eth::Transaction* find(eth::Address sender, eth::Nonce nonce) const;
+  const eth::Transaction* find_hash(eth::TxHash h) const;
+
+  size_t size() const { return size_; }
+  size_t pending_count() const { return pending_count_; }
+  size_t future_count() const { return size_ - pending_count_; }
+  size_t futures_of(eth::Address sender) const;
+  bool full() const { return size_ >= policy_.capacity; }
+
+  /// Cheapest pool price currently buffered (0 when empty).
+  eth::Wei lowest_price() const;
+
+  /// Median pool price of pending entries — the paper's Y estimator (§5.2.1).
+  eth::Wei median_pending_price() const;
+
+  /// Snapshot of pending transactions (miner candidates).
+  std::vector<eth::Transaction> pending_snapshot() const;
+
+  /// Snapshot of future (queued) transactions.
+  std::vector<eth::Transaction> future_snapshot() const;
+
+  /// Snapshot of everything buffered.
+  std::vector<eth::Transaction> all_snapshot() const;
+
+  const MempoolPolicy& policy() const { return policy_; }
+
+ private:
+  struct Entry {
+    eth::Transaction tx;
+    double added_at = 0.0;
+    bool pending = false;
+  };
+  struct AccountQueue {
+    std::map<eth::Nonce, Entry> txs;
+    size_t futures = 0;
+  };
+
+  /// Recomputes pending flags for one account; appends promotions to `out`
+  /// when non-null. Maintains pending_count_ and the account future count.
+  void reclassify(eth::Address sender, std::vector<eth::Transaction>* promoted);
+
+  /// Removes one entry (must exist); does not reclassify.
+  eth::Transaction remove_entry(eth::Address sender, eth::Nonce nonce);
+
+  /// Chooses the eviction victim per policy; nullopt if no entry is cheaper
+  /// than `incoming_price` (or, under futures-only eviction, no future is).
+  std::optional<std::pair<eth::Address, eth::Nonce>> pick_victim(eth::Wei incoming_price,
+                                                                 bool incoming_is_pending) const;
+
+  /// Records an insertion time for the O(1) expiry guard.
+  void track_added_at(double now);
+
+  MempoolPolicy policy_;
+  const eth::StateView* state_;
+  eth::Wei base_fee_ = 0;
+
+  std::unordered_map<eth::Address, AccountQueue> accounts_;
+  // (pool price, tx id) -> locator; ordered cheapest-first for eviction.
+  std::set<std::pair<eth::Wei, uint64_t>> price_index_;
+  // Subset of price_index_ holding only future entries (truncation order).
+  std::set<std::pair<eth::Wei, uint64_t>> future_index_;
+  std::unordered_map<uint64_t, std::pair<eth::Address, eth::Nonce>> by_id_;
+  std::unordered_map<eth::TxHash, uint64_t> by_hash_;
+  size_t size_ = 0;
+  size_t pending_count_ = 0;
+  // Cheap guards so maintain() skips full scans when nothing can have
+  // expired / the base fee has not moved.
+  double min_added_at_ = 0.0;
+  bool min_added_valid_ = false;
+  eth::Wei last_pruned_base_fee_ = 0;
+};
+
+}  // namespace topo::mempool

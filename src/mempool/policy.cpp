@@ -1,0 +1,20 @@
+#include "mempool/policy.h"
+
+namespace topo::mempool {
+
+bool MempoolPolicy::accepts_replacement(eth::Wei old_price, eth::Wei new_price) const {
+  // new >= old * (10000 + bump) / 10000, computed without overflow.
+  const unsigned __int128 lhs = static_cast<unsigned __int128>(new_price) * 10000;
+  const unsigned __int128 rhs =
+      static_cast<unsigned __int128>(old_price) * (10000 + replace_bump_bp);
+  return lhs >= rhs;
+}
+
+eth::Wei MempoolPolicy::min_replacement_price(eth::Wei old_price) const {
+  const unsigned __int128 num =
+      static_cast<unsigned __int128>(old_price) * (10000 + replace_bump_bp);
+  // Ceiling division.
+  return static_cast<eth::Wei>((num + 9999) / 10000);
+}
+
+}  // namespace topo::mempool

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "eth/types.h"
+
+namespace topo::mempool {
+
+/// Which entry a full mempool sacrifices to admit a higher-priced incoming
+/// transaction. The paper's model (§5.1) evicts the globally lowest-priced
+/// transaction; the futures-only variant is the ablation of DESIGN.md §5 —
+/// a pool that shields pending transactions from future-driven eviction,
+/// i.e. the natural countermeasure to DETER-style flooding, which also
+/// defeats TopoShot's txC eviction.
+enum class EvictionVictim {
+  kLowestPriceGlobal,  ///< cheapest entry, pending or future (paper model)
+  kFuturesFirst,       ///< future incomers may only evict other futures
+};
+
+/// The parameterized mempool model of paper Table 2, extended with the two
+/// knobs the protocol implicitly relies on:
+///  - `future_cap`: clients bound the future/queued sub-pool (Geth's
+///    GlobalQueue = 1024 of the 5120 total). Deferred truncation of that
+///    sub-pool is what leaves room for txB after TopoShot's future flood.
+///  - `expiry_seconds`: unconfirmed transactions are dropped after `e`
+///    (3 h in Geth), used by the non-interference window [t1, t2+e].
+struct MempoolPolicy {
+  /// R — minimal price bump to replace a same-sender same-nonce transaction,
+  /// in basis points (Geth 10% -> 1000, Parity 12.5% -> 1250). A zero bump
+  /// reproduces the Aleth/Nethermind flaw: an equal-priced transaction
+  /// replaces (the DoS weakness reported in §5.1).
+  uint32_t replace_bump_bp = 1000;
+
+  /// U — max future transactions admitted per sender account.
+  uint64_t max_futures_per_account = 4096;
+
+  /// P — minimal number of pending transactions required before a *future*
+  /// transaction may evict (Parity: 2000; Geth: 0).
+  size_t min_pending_for_eviction = 0;
+
+  /// L — total mempool capacity in transactions.
+  size_t capacity = 5120;
+
+  /// Bound on the future sub-pool, enforced lazily by maintain().
+  size_t future_cap = 1024;
+
+  /// e — unconfirmed transaction lifetime (seconds). 0 disables expiry.
+  double expiry_seconds = 3.0 * 3600.0;
+
+  /// Enables EIP-1559 handling (Appendix E): admission/eviction use max fee,
+  /// and transactions whose max fee drops below the base fee are removed.
+  bool eip1559 = false;
+
+  EvictionVictim victim = EvictionVictim::kLowestPriceGlobal;
+
+  /// Replacement acceptance: new_price >= old_price * (1 + R). Exact
+  /// integer arithmetic; no floating point.
+  bool accepts_replacement(eth::Wei old_price, eth::Wei new_price) const;
+
+  /// The minimal price that replaces `old_price` under this policy.
+  eth::Wei min_replacement_price(eth::Wei old_price) const;
+};
+
+}  // namespace topo::mempool

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mempool/client_profile.h"
+
+namespace topo::p2p {
+
+/// Per-node behaviour knobs. Defaults model a stock Geth node; the optional
+/// overrides model exactly the non-default configurations the paper blames
+/// for recall loss (§6.1): custom mempool size, custom price bump,
+/// non-forwarding nodes, and future-forwarding misconfigurations (§6.2.1).
+struct NodeConfig {
+  mempool::ClientKind client = mempool::ClientKind::kGeth;
+
+  /// Replaces the client's stock mempool policy (custom L / R / caps).
+  std::optional<mempool::MempoolPolicy> policy_override;
+
+  /// A node that buffers but never forwards transactions (recall culprit 3
+  /// in §6.1).
+  bool forwards_transactions = true;
+
+  /// Misconfigured node that forwards future transactions (filtered out by
+  /// pre-processing in §6.2.1).
+  bool forwards_future = false;
+
+  /// Geth >= 1.9.11: push full bodies to sqrt(peers), announce hashes to the
+  /// rest (§2). Off = push to everyone (the default protocol).
+  bool use_announcements = false;
+
+  /// Bitcoin-style propagation: announce to every peer, push to none. Used
+  /// by the §4.1 TxProbe comparison — Ethereum never runs like this, which
+  /// is exactly why TxProbe's isolation fails on it.
+  bool announce_only = false;
+
+  /// Seconds a peer ignores repeat announcements of a hash it has already
+  /// requested (§2 says 5 s).
+  double announce_timeout = 5.0;
+
+  /// Cadence of the deferred txpool maintenance loop (Geth's reorg loop):
+  /// future-queue truncation, expiry, 1559 pruning.
+  double maintenance_interval = 0.1;
+
+  /// Periodic re-gossip of a random pending transaction to a random peer
+  /// (models pool re-announcement on reconnect/churn). 0 disables. This is
+  /// the txC re-propagation race source discussed in §5.2.1.
+  double regossip_interval = 0.0;
+
+  /// Blockchain overlay membership (paper Fig. 1): the devp2p Status
+  /// handshake carries a networkID (1 mainnet, 3 Ropsten, 4 Rinkeby,
+  /// 5 Goerli); nodes on different networks disconnect at handshake, so
+  /// transactions never cross overlays even though the platform overlay
+  /// (discovery) is shared.
+  uint64_t network_id = 1;
+
+  /// Active-neighbor budget (Geth default ~50).
+  size_t max_peers = 50;
+
+  /// Service label for the mainnet critical-subnetwork study ("SrvR1", ...).
+  std::string service;
+
+  /// Convenience: the effective mempool policy.
+  const mempool::MempoolPolicy& policy() const {
+    return policy_override ? *policy_override : mempool::profile_for(client).policy;
+  }
+};
+
+}  // namespace topo::p2p

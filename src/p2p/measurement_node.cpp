@@ -1,0 +1,88 @@
+#include "p2p/measurement_node.h"
+
+#include <algorithm>
+
+#include "p2p/network.h"
+
+namespace topo::p2p {
+
+MeasurementNode::MeasurementNode(Network* net, const eth::StateView* state, double send_spacing,
+                                 std::optional<mempool::MempoolPolicy> view_policy)
+    : net_(net),
+      view_(view_policy ? *view_policy : mempool::profile_for(mempool::ClientKind::kGeth).policy,
+            state),
+      send_spacing_(send_spacing) {}
+
+void MeasurementNode::deliver_tx(const eth::Transaction& tx, PeerId from) {
+  log_[tx.hash()].emplace_back(from, net_->simulator().now());
+  view_.add(tx, net_->simulator().now());
+}
+
+void MeasurementNode::deliver_announce(eth::TxHash hash, PeerId from) {
+  // Always request announced bodies: M wants to observe everything.
+  if (view_.contains(hash)) return;
+  net_->send_get_tx(id(), from, hash);
+}
+
+void MeasurementNode::deliver_get_tx(eth::TxHash hash, PeerId from) {
+  // M never serves transactions; it is a passive endpoint.
+  (void)hash;
+  (void)from;
+}
+
+void MeasurementNode::on_block_commit() {
+  view_.set_base_fee(net_->chain().base_fee());
+  view_.on_block();
+}
+
+double MeasurementNode::send_to(PeerId peer, const eth::Transaction& tx) {
+  auto& sim = net_->simulator();
+  next_free_send_ = std::max(next_free_send_, sim.now()) + send_spacing_;
+  const double extra = next_free_send_ - sim.now();
+  net_->send_tx(id(), peer, tx, extra);
+  ++txs_sent_;
+  return next_free_send_;
+}
+
+double MeasurementNode::send_batch_to(PeerId peer, const std::vector<eth::Transaction>& txs) {
+  double t = net_->simulator().now();
+  for (const auto& tx : txs) t = send_to(peer, tx);
+  return t;
+}
+
+bool MeasurementNode::received_from(eth::TxHash hash, PeerId peer) const {
+  return received_from_since(hash, peer, 0.0);
+}
+
+bool MeasurementNode::received_from_since(eth::TxHash hash, PeerId peer, double since) const {
+  auto it = log_.find(hash);
+  if (it == log_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](const auto& rec) { return rec.first == peer && rec.second >= since; });
+}
+
+bool MeasurementNode::received_only_from(eth::TxHash hash, PeerId peer, double since) const {
+  auto it = log_.find(hash);
+  if (it == log_.end()) return false;
+  bool from_peer = false;
+  for (const auto& rec : it->second) {
+    if (rec.second < since) continue;
+    if (rec.first != peer) return false;  // leak observed: isolation broken
+    from_peer = true;
+  }
+  return from_peer;
+}
+
+std::vector<std::pair<PeerId, double>> MeasurementNode::receptions(eth::TxHash hash) const {
+  auto it = log_.find(hash);
+  if (it == log_.end()) return {};
+  return it->second;
+}
+
+void MeasurementNode::clear_log() { log_.clear(); }
+
+void MeasurementNode::connect_to_all() {
+  for (PeerId n : net_->regular_nodes()) net_->connect(id(), n);
+}
+
+}  // namespace topo::p2p

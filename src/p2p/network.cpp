@@ -1,0 +1,218 @@
+#include "p2p/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "eth/miner.h"
+#include "p2p/node.h"
+#include "wire/messages.h"
+
+namespace topo::p2p {
+
+Network::Network(sim::Simulator* sim, eth::Chain* chain, util::Rng rng, sim::LatencyModel latency)
+    : sim_(sim), chain_(chain), rng_(rng), latency_(latency) {
+  assert(sim_ != nullptr && chain_ != nullptr);
+}
+
+PeerId Network::add_node(const NodeConfig& config) {
+  auto node = std::make_unique<Node>(config, this, chain_, rng_.split());
+  Node* raw = node.get();
+  owned_.push_back(std::move(node));
+  const PeerId id = register_peer(raw);
+  network_id_of_[id] = config.network_id;
+  regular_.push_back(id);
+  raw->start();
+  return id;
+}
+
+PeerId Network::register_peer(Peer* peer) {
+  const PeerId id = static_cast<PeerId>(peers_.size());
+  peer->id_ = id;
+  peers_.push_back(peer);
+  adj_.emplace_back();
+  adj_set_.emplace_back();
+  network_id_of_.push_back(0);  // externally registered peers observe any overlay
+  return id;
+}
+
+namespace {
+
+/// Inert stand-in for detached peers.
+class SinkPeer final : public Peer {
+ public:
+  void deliver_tx(const eth::Transaction&, PeerId) override {}
+  void deliver_announce(eth::TxHash, PeerId) override {}
+  void deliver_get_tx(eth::TxHash, PeerId) override {}
+};
+
+}  // namespace
+
+void Network::detach_peer(PeerId id) {
+  static SinkPeer sink;
+  while (!adj_[id].empty()) disconnect(id, adj_[id].back());
+  peers_[id] = &sink;
+}
+
+bool Network::connect(PeerId a, PeerId b) {
+  if (a == b || a >= peers_.size() || b >= peers_.size()) return false;
+  if (adj_set_[a].count(b)) return false;
+  // Simulated Status handshake (paper Fig. 1): different blockchain
+  // overlays disconnect immediately. networkID 0 is the wildcard observer.
+  const uint64_t net_a = network_id_of_[a];
+  const uint64_t net_b = network_id_of_[b];
+  if (net_a != 0 && net_b != 0 && net_a != net_b) return false;
+  adj_set_[a].insert(b);
+  adj_set_[b].insert(a);
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  peers_[a]->on_peer_connected(b);
+  peers_[b]->on_peer_connected(a);
+  return true;
+}
+
+bool Network::disconnect(PeerId a, PeerId b) {
+  if (a >= peers_.size() || b >= peers_.size() || !adj_set_[a].count(b)) return false;
+  adj_set_[a].erase(b);
+  adj_set_[b].erase(a);
+  auto drop = [](std::vector<PeerId>& v, PeerId x) {
+    v.erase(std::find(v.begin(), v.end(), x));
+  };
+  drop(adj_[a], b);
+  drop(adj_[b], a);
+  return true;
+}
+
+bool Network::linked(PeerId a, PeerId b) const {
+  if (a >= peers_.size() || b >= peers_.size()) return false;
+  return adj_set_[a].count(b) > 0;
+}
+
+Node& Network::node(PeerId n) {
+  Node* p = dynamic_cast<Node*>(peers_[n]);
+  assert(p != nullptr && "peer id does not refer to a regular Node");
+  return *p;
+}
+
+const Node& Network::node(PeerId n) const {
+  const Node* p = dynamic_cast<const Node*>(peers_[n]);
+  assert(p != nullptr && "peer id does not refer to a regular Node");
+  return *p;
+}
+
+double Network::fifo_delivery_time(PeerId from, PeerId to, double delay) {
+  const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  double& last = last_delivery_[key];
+  const double at = std::max(sim_->now() + delay, last + 1e-6);
+  last = at;
+  return at;
+}
+
+void Network::send_tx(PeerId from, PeerId to, const eth::Transaction& tx, double extra_delay) {
+  const double at = fifo_delivery_time(from, to, latency_.sample(rng_) + extra_delay);
+  ++messages_;
+  bytes_ += wire::transaction_wire_size(tx);
+  sim_->at(at, [this, to, tx, from] { peers_[to]->deliver_tx(tx, from); });
+}
+
+void Network::send_announce(PeerId from, PeerId to, eth::TxHash hash) {
+  const double at = fifo_delivery_time(from, to, latency_.sample(rng_));
+  ++messages_;
+  bytes_ += wire::announcement_wire_size();
+  sim_->at(at, [this, to, hash, from] { peers_[to]->deliver_announce(hash, from); });
+}
+
+void Network::send_get_tx(PeerId from, PeerId to, eth::TxHash hash) {
+  const double at = fifo_delivery_time(from, to, latency_.sample(rng_));
+  ++messages_;
+  bytes_ += wire::announcement_wire_size();
+  sim_->at(at, [this, to, hash, from] { peers_[to]->deliver_get_tx(hash, from); });
+}
+
+void Network::seed_mempools(const std::vector<eth::Transaction>& txs,
+                            const std::unordered_set<PeerId>& except) {
+  const double now = sim_->now();
+  for (PeerId id : regular_) {
+    if (except.count(id)) continue;
+    auto& pool = node(id).pool();
+    for (const auto& tx : txs) pool.add(tx, now);
+  }
+}
+
+graph::Graph Network::snapshot_topology() const {
+  graph::Graph g(regular_.size());
+  std::vector<int64_t> remap(peers_.size(), -1);
+  for (size_t i = 0; i < regular_.size(); ++i) remap[regular_[i]] = static_cast<int64_t>(i);
+  for (size_t i = 0; i < regular_.size(); ++i) {
+    for (PeerId nbr : adj_[regular_[i]]) {
+      const int64_t j = remap[nbr];
+      if (j >= 0 && static_cast<int64_t>(i) < j)
+        g.add_edge(static_cast<graph::NodeId>(i), static_cast<graph::NodeId>(j));
+    }
+  }
+  return g;
+}
+
+int64_t Network::graph_index(PeerId n) const {
+  for (size_t i = 0; i < regular_.size(); ++i) {
+    if (regular_[i] == n) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+const eth::Block& Network::mine_block(PeerId miner) {
+  eth::Block b;
+  b.timestamp = sim_->now();
+  b.miner_node = miner;
+  const auto candidates = node(miner).pool().pending_snapshot();
+  b.txs = eth::pack_block(candidates, *chain_, chain_->gas_limit(), chain_->base_fee());
+  const eth::Block& committed = chain_->commit(std::move(b));
+  // Block propagation is fast relative to the 13 s interval; deliver the
+  // commit to every participant after one link latency.
+  for (Peer* p : peers_) {
+    sim_->after(latency_.sample(rng_), [p] { p->on_block_commit(); });
+  }
+  return committed;
+}
+
+void Network::start_link_churn(double events_per_sec) {
+  if (events_per_sec <= 0.0 || regular_.size() < 4) return;
+  churn_on_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, events_per_sec, tick] {
+    if (!churn_on_) return;
+    // Drop one random link between regular nodes.
+    std::unordered_set<PeerId> regular_set(regular_.begin(), regular_.end());
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const PeerId u = regular_[rng_.index(regular_.size())];
+      if (adj_[u].empty()) continue;
+      const PeerId v = adj_[u][rng_.index(adj_[u].size())];
+      if (!regular_set.count(v)) continue;  // never churn measurement links
+      disconnect(u, v);
+      ++churn_events_;
+      break;
+    }
+    // Dial one random replacement link (reconnect gossip fires).
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const PeerId a = regular_[rng_.index(regular_.size())];
+      const PeerId b = regular_[rng_.index(regular_.size())];
+      if (a == b || linked(a, b)) continue;
+      connect(a, b);
+      break;
+    }
+    sim_->after(rng_.exponential(1.0 / events_per_sec), *tick);
+  };
+  sim_->after(rng_.exponential(1.0 / events_per_sec), *tick);
+}
+
+void Network::start_mining(std::vector<PeerId> miners, double interval) {
+  if (miners.empty()) return;
+  mining_on_ = true;
+  next_miner_ = 0;
+  sim_->every(sim_->now() + interval, interval, [this, miners = std::move(miners)] {
+    if (!mining_on_) return false;
+    mine_block(miners[next_miner_++ % miners.size()]);
+    return true;
+  });
+}
+
+}  // namespace topo::p2p

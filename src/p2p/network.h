@@ -1,0 +1,135 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "eth/chain.h"
+#include "graph/graph.h"
+#include "p2p/config.h"
+#include "p2p/peer.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace topo::p2p {
+
+class Node;
+
+/// The simulated Ethereum blockchain overlay: owns the participants, the
+/// link set, and message delivery with per-message latency. Ground truth
+/// (the adjacency) is what TopoShot's validator compares measurements
+/// against.
+class Network {
+ public:
+  Network(sim::Simulator* sim, eth::Chain* chain, util::Rng rng,
+          sim::LatencyModel latency = sim::LatencyModel::lognormal(0.05, 0.4));
+
+  /// Creates a regular node; returns its id.
+  PeerId add_node(const NodeConfig& config);
+
+  /// Registers an externally owned participant (e.g. a MeasurementNode).
+  /// The Network does not take ownership; the peer must outlive it or be
+  /// detached before destruction.
+  PeerId register_peer(Peer* peer);
+
+  /// Severs all links of an externally registered peer and replaces it with
+  /// an inert sink, so the peer object may be destroyed while messages are
+  /// still in flight.
+  void detach_peer(PeerId id);
+
+  /// Undirected link management. Returns false on duplicates/self-links —
+  /// or when the devp2p Status handshake fails because the two peers run
+  /// different blockchain overlays (networkIDs, paper Fig. 1).
+  bool connect(PeerId a, PeerId b);
+
+  /// networkID a peer announced at registration (0 = wildcard observer,
+  /// e.g. the measurement node, which joins any overlay).
+  uint64_t network_id_of(PeerId n) const { return network_id_of_[n]; }
+  bool disconnect(PeerId a, PeerId b);
+  bool linked(PeerId a, PeerId b) const;
+  const std::vector<PeerId>& peers_of(PeerId n) const { return adj_[n]; }
+
+  size_t size() const { return peers_.size(); }
+  Node& node(PeerId n);              ///< aborts if n is not a regular Node
+  const Node& node(PeerId n) const;
+  Peer& peer(PeerId n) { return *peers_[n]; }
+
+  /// Message primitives (latency applied; extra fixed `delay` optional).
+  void send_tx(PeerId from, PeerId to, const eth::Transaction& tx, double extra_delay = 0.0);
+  void send_announce(PeerId from, PeerId to, eth::TxHash hash);
+  void send_get_tx(PeerId from, PeerId to, eth::TxHash hash);
+
+  /// Inserts transactions directly into every regular node's pool (steady
+  /// state background load; see DESIGN.md on seeding). Skips peers in
+  /// `except`.
+  void seed_mempools(const std::vector<eth::Transaction>& txs,
+                     const std::unordered_set<PeerId>& except = {});
+
+  /// Ground-truth topology over regular nodes only. Node i of the graph is
+  /// the i-th *regular* node; use graph_index/peer_of_graph to map.
+  graph::Graph snapshot_topology() const;
+  /// Graph index of a regular node id (-1 for externally registered peers).
+  int64_t graph_index(PeerId n) const;
+  /// Peer id of graph node gi.
+  PeerId peer_of_graph(size_t gi) const { return regular_[gi]; }
+  const std::vector<PeerId>& regular_nodes() const { return regular_; }
+
+  sim::Simulator& simulator() { return *sim_; }
+  eth::Chain& chain() { return *chain_; }
+  const eth::Chain& chain() const { return *chain_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Commits a block mined from node `miner`'s pending snapshot and fans
+  /// out on_block_commit to every participant.
+  const eth::Block& mine_block(PeerId miner);
+
+  /// Schedules periodic mining every `interval` seconds (round-robin over
+  /// `miners`), for the lifetime of the run.
+  void start_mining(std::vector<PeerId> miners, double interval);
+  void stop_mining() { mining_on_ = false; }
+
+  /// Peer churn: at `events_per_sec` (Poisson), a random active link
+  /// between regular nodes drops and a random non-adjacent pair dials a
+  /// replacement. Reconnect gossip (pool announcements to the new peer) is
+  /// exactly the txC re-propagation hazard of §5.2.1; link loss is what
+  /// erodes long-running measurements.
+  void start_link_churn(double events_per_sec);
+  void stop_link_churn() { churn_on_ = false; }
+  uint64_t churn_events() const { return churn_events_; }
+
+  /// Total messages delivered (diagnostics).
+  uint64_t messages_delivered() const { return messages_; }
+
+  /// Total wire bytes sent, sized by the RLP codec (devp2p framing):
+  /// bandwidth accounting for the measurement-overhead analyses.
+  uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  sim::Simulator* sim_;
+  eth::Chain* chain_;
+  util::Rng rng_;
+  sim::LatencyModel latency_;
+
+  std::vector<Peer*> peers_;                   // all participants (non-owning view)
+  std::vector<std::unique_ptr<Node>> owned_;   // regular nodes we own
+  std::vector<PeerId> regular_;                // ids of regular nodes, insert order
+  std::vector<std::vector<PeerId>> adj_;
+  std::vector<std::unordered_set<PeerId>> adj_set_;
+  std::vector<uint64_t> network_id_of_;
+  uint64_t messages_ = 0;
+  uint64_t bytes_ = 0;
+  bool mining_on_ = false;
+  size_t next_miner_ = 0;
+  bool churn_on_ = false;
+  uint64_t churn_events_ = 0;
+
+  /// Enforces in-order delivery per directed (from, to) stream — messages
+  /// share a TCP connection in the real protocol, so a later send can never
+  /// overtake an earlier one.
+  double fifo_delivery_time(PeerId from, PeerId to, double delay);
+  std::unordered_map<uint64_t, double> last_delivery_;
+};
+
+}  // namespace topo::p2p

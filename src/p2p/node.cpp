@@ -1,0 +1,161 @@
+#include "p2p/node.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "p2p/network.h"
+
+namespace topo::p2p {
+
+Node::Node(NodeConfig config, Network* net, const eth::StateView* state, util::Rng rng)
+    : config_(std::move(config)), net_(net), pool_(config_.policy(), state), rng_(rng) {}
+
+void Node::start() {
+  auto& sim = net_->simulator();
+  // Maintenance loop (Geth's deferred reorg work). Jittered start so nodes
+  // do not run in lockstep.
+  const double jitter = rng_.uniform() * config_.maintenance_interval;
+  sim.every(sim.now() + jitter, config_.maintenance_interval, [this] {
+    pool_.maintain(net_->simulator().now());
+    return true;
+  });
+  if (config_.regossip_interval > 0.0) {
+    const double gj = rng_.uniform() * config_.regossip_interval;
+    sim.every(sim.now() + gj, config_.regossip_interval, [this] {
+      if (unresponsive_) return true;
+      const auto& peers = net_->peers_of(id());
+      if (peers.empty() || pool_.pending_count() == 0) return true;
+      // Re-gossip one random pending transaction to one random peer —
+      // the txC re-propagation race source (§5.2.1).
+      const auto snapshot = pool_.pending_snapshot();
+      const auto& tx = snapshot[rng_.index(snapshot.size())];
+      net_->send_tx(id(), peers[rng_.index(peers.size())], tx);
+      return true;
+    });
+  }
+}
+
+std::string Node::client_version() const {
+  return mempool::client_version_string(config_.client);
+}
+
+mempool::AdmitResult Node::submit(const eth::Transaction& tx) {
+  const auto result = pool_.add(tx, net_->simulator().now());
+  if (!unresponsive_ && config_.forwards_transactions) {
+    if (result.admitted_pending()) propagate(tx, id());
+    for (const auto& p : result.promoted) propagate(p, id());
+    if (result.code == mempool::AdmitCode::kAddedFuture && config_.forwards_future)
+      propagate(tx, id());
+  }
+  return result;
+}
+
+void Node::admit_and_propagate(const eth::Transaction& tx, PeerId from) {
+  const auto result = pool_.add(tx, net_->simulator().now());
+  if (unresponsive_ || !config_.forwards_transactions) return;
+  if (result.admitted_pending()) propagate(tx, from);
+  for (const auto& p : result.promoted) propagate(p, from);
+  if (result.code == mempool::AdmitCode::kAddedFuture && config_.forwards_future)
+    propagate(tx, from);
+}
+
+void Node::deliver_tx(const eth::Transaction& tx, PeerId from) {
+  if (unresponsive_) return;
+  admit_and_propagate(tx, from);
+}
+
+void Node::deliver_announce(eth::TxHash hash, PeerId from) {
+  if (unresponsive_) return;
+  if (pool_.contains(hash)) return;
+  const double now = net_->simulator().now();
+  auto it = announce_block_until_.find(hash);
+  if (it != announce_block_until_.end() && it->second > now) {
+    // Blocked window: remember the alternate announcer for fail-over.
+    announce_sources_[hash].push_back(from);
+    return;
+  }
+  announce_block_until_[hash] = now + config_.announce_timeout;
+  announce_sources_[hash].clear();
+  net_->send_get_tx(id(), from, hash);
+  // Fetcher fail-over: if the body has not arrived when the window closes,
+  // ask the next peer that announced it.
+  net_->simulator().after(config_.announce_timeout, [this, hash] {
+    if (!pool_.contains(hash)) request_body(hash);
+  });
+}
+
+void Node::request_body(eth::TxHash hash) {
+  if (unresponsive_ || pool_.contains(hash)) return;
+  auto it = announce_sources_.find(hash);
+  if (it == announce_sources_.end() || it->second.empty()) return;
+  const PeerId next = it->second.front();
+  it->second.erase(it->second.begin());
+  const double now = net_->simulator().now();
+  announce_block_until_[hash] = now + config_.announce_timeout;
+  net_->send_get_tx(id(), next, hash);
+  net_->simulator().after(config_.announce_timeout, [this, hash] {
+    if (!pool_.contains(hash)) request_body(hash);
+  });
+}
+
+void Node::deliver_get_tx(eth::TxHash hash, PeerId from) {
+  if (unresponsive_) return;
+  const eth::Transaction* tx = pool_.find_hash(hash);
+  if (tx != nullptr) net_->send_tx(id(), from, *tx);
+}
+
+void Node::on_peer_connected(PeerId peer) {
+  if (unresponsive_ || !config_.forwards_transactions) return;
+  // Real clients gossip their pool to a fresh peer. Announce (or push) a
+  // bounded sample to keep simulated connect storms cheap.
+  const auto snapshot = pool_.pending_snapshot();
+  const size_t limit = std::min<size_t>(snapshot.size(), 256);
+  for (size_t i = 0; i < limit; ++i) {
+    if (config_.use_announcements) {
+      net_->send_announce(id(), peer, snapshot[i].hash());
+    } else {
+      net_->send_tx(id(), peer, snapshot[i]);
+    }
+  }
+}
+
+void Node::on_block_commit() {
+  pool_.set_base_fee(net_->chain().base_fee());
+  const auto update = pool_.on_block();
+  if (unresponsive_ || !config_.forwards_transactions) return;
+  for (const auto& p : update.promoted) propagate(p, id());
+}
+
+void Node::propagate(const eth::Transaction& tx, PeerId exclude) {
+  const auto& peers = net_->peers_of(id());
+  if (peers.empty()) return;
+  if (config_.announce_only) {
+    // Bitcoin-style: hashes only; bodies travel by request.
+    for (PeerId p : peers) {
+      if (p != exclude) net_->send_announce(id(), p, tx.hash());
+    }
+    return;
+  }
+  if (!config_.use_announcements) {
+    for (PeerId p : peers) {
+      if (p != exclude) net_->send_tx(id(), p, tx);
+    }
+    return;
+  }
+  // Geth >= 1.9.11: direct push to sqrt(#peers) randomly chosen peers,
+  // hash announcement to the rest.
+  std::vector<PeerId> order(peers.begin(), peers.end());
+  rng_.shuffle(order);
+  const size_t push_count = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(std::sqrt(static_cast<double>(order.size())))));
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == exclude) continue;
+    if (i < push_count) {
+      net_->send_tx(id(), order[i], tx);
+    } else {
+      net_->send_announce(id(), order[i], tx.hash());
+    }
+  }
+}
+
+}  // namespace topo::p2p

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "eth/transaction.h"
+
+namespace topo::p2p {
+
+/// Dense id of a participant in the simulated network.
+using PeerId = uint32_t;
+
+/// Message-delivery interface every network participant implements. The
+/// Network invokes these after the simulated link latency has elapsed.
+class Peer {
+ public:
+  virtual ~Peer() = default;
+
+  /// A full transaction pushed by `from` (devp2p Transactions message).
+  virtual void deliver_tx(const eth::Transaction& tx, PeerId from) = 0;
+
+  /// A hash announcement (NewPooledTransactionHashes).
+  virtual void deliver_announce(eth::TxHash hash, PeerId from) = 0;
+
+  /// A body request for an announced hash (GetPooledTransactions).
+  virtual void deliver_get_tx(eth::TxHash hash, PeerId from) = 0;
+
+  /// A new link to `peer` has been established.
+  virtual void on_peer_connected(PeerId peer) { (void)peer; }
+
+  /// The shared chain committed a block (state view already updated).
+  virtual void on_block_commit() {}
+
+  PeerId id() const { return id_; }
+
+ private:
+  friend class Network;
+  PeerId id_ = 0;
+};
+
+}  // namespace topo::p2p

@@ -1,0 +1,86 @@
+#pragma once
+
+// Simulated Ethereum JSON-RPC endpoint over a p2p::Node — the interface the
+// paper's tooling drives:
+//
+//   web3_clientVersion        — client/codename matching (§6.3 discovery)
+//   net_version, net_peerCount
+//   eth_blockNumber, eth_getBlockByNumber
+//   eth_getTransactionByHash  — the §6.1 validation check ("is txC evicted?")
+//   eth_sendRawTransaction    — RLP-encoded submission through the wire codec
+//   txpool_status, txpool_content
+//   admin_peers               — the controlled node's ground-truth peer list
+//
+// Requests and responses are JSON-RPC 2.0 documents; RpcServer::handle takes
+// and returns serialized strings, exactly what an HTTP transport would carry.
+
+#include <string>
+
+#include "p2p/network.h"
+#include "rpc/json.h"
+
+namespace topo::rpc {
+
+/// JSON-RPC 2.0 error codes used by the endpoint.
+inline constexpr int kParseError = -32700;
+inline constexpr int kInvalidRequest = -32600;
+inline constexpr int kMethodNotFound = -32601;
+inline constexpr int kInvalidParams = -32602;
+
+/// One endpoint per simulated node.
+class RpcServer {
+ public:
+  /// `network_id` mirrors the chain being served (1 mainnet, 3 Ropsten...).
+  RpcServer(p2p::Network* net, p2p::PeerId node, uint64_t network_id = 1);
+
+  /// Handles one serialized JSON-RPC request; always returns a serialized
+  /// response (result or error).
+  std::string handle(const std::string& request);
+
+  /// Structured entry point (skips serialization), useful in-process.
+  Json handle_json(const Json& request);
+
+  p2p::PeerId node_id() const { return node_; }
+
+ private:
+  Json dispatch(const std::string& method, const Json& params);
+  Json error(const Json& id, int code, const std::string& message) const;
+  Json result(const Json& id, Json value) const;
+
+  Json tx_to_json(const eth::Transaction& tx, bool include_pool_state) const;
+
+  p2p::Network* net_;
+  p2p::PeerId node_;
+  uint64_t network_id_;
+};
+
+/// Thin client: builds JSON-RPC requests, dispatches to a server (the
+/// in-process stand-in for HTTP), and unwraps results.
+class RpcClient {
+ public:
+  explicit RpcClient(RpcServer* server) : server_(server) {}
+
+  /// Calls `method` with positional params; returns the `result` field, or
+  /// nullopt if the server returned an error.
+  std::optional<Json> call(const std::string& method, JsonArray params = {});
+
+  /// Convenience wrappers mirroring the paper's usage.
+  std::optional<std::string> client_version();
+  std::optional<uint64_t> block_number();
+  /// True if the hash is known (pooled or mined) on the node.
+  bool has_transaction(eth::TxHash hash);
+  /// Submits an RLP-encoded transaction; returns its hash string.
+  std::optional<std::string> send_raw_transaction(const eth::Transaction& tx);
+  /// Peer ids of the node's active neighbors (admin_peers).
+  std::vector<p2p::PeerId> peers();
+
+ private:
+  RpcServer* server_;
+  uint64_t next_id_ = 1;
+};
+
+/// Formats a simulated 64-bit hash in Ethereum's 32-byte hex convention.
+std::string hash_to_hex(eth::TxHash h);
+std::optional<eth::TxHash> hash_from_hex(const std::string& s);
+
+}  // namespace topo::rpc

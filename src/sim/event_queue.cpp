@@ -1,0 +1,21 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace topo::sim {
+
+void EventQueue::push(Time t, Action action) {
+  heap_.push(Item{t, next_seq_++, std::move(action)});
+}
+
+Time EventQueue::next_time() const { return heap_.empty() ? 0.0 : heap_.top().t; }
+
+std::pair<Time, EventQueue::Action> EventQueue::pop() {
+  // priority_queue::top() is const; the action must be moved out via a
+  // const_cast-free copy of the item. Items are cheap (one std::function).
+  Item item = std::move(const_cast<Item&>(heap_.top()));
+  heap_.pop();
+  return {item.t, std::move(item.action)};
+}
+
+}  // namespace topo::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace topo::sim {
+
+/// Simulation clock, in seconds.
+using Time = double;
+
+/// Deterministic time-ordered event queue. Events at equal timestamps run in
+/// insertion order (a monotonically increasing sequence number breaks ties),
+/// which keeps whole-network runs reproducible for a given seed.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void push(Time t, Action action);
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  Time next_time() const;
+
+  /// Pops the earliest event; undefined if empty.
+  std::pair<Time, Action> pop();
+
+ private:
+  struct Item {
+    Time t;
+    uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace topo::sim

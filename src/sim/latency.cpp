@@ -1,0 +1,39 @@
+#include "sim/latency.h"
+
+#include <algorithm>
+
+namespace topo::sim {
+
+namespace {
+constexpr double kFloor = 1e-4;  // 0.1 ms
+}
+
+LatencyModel LatencyModel::fixed(double seconds) {
+  return LatencyModel(Kind::kFixed, seconds, 0.0);
+}
+
+LatencyModel LatencyModel::uniform(double lo, double hi) {
+  return LatencyModel(Kind::kUniform, lo, hi);
+}
+
+LatencyModel LatencyModel::lognormal(double median, double sigma) {
+  return LatencyModel(Kind::kLogNormal, median, sigma);
+}
+
+double LatencyModel::sample(util::Rng& rng) const {
+  double v = 0.0;
+  switch (kind_) {
+    case Kind::kFixed:
+      v = a_;
+      break;
+    case Kind::kUniform:
+      v = a_ + (b_ - a_) * rng.uniform();
+      break;
+    case Kind::kLogNormal:
+      v = rng.lognormal(a_, b_);
+      break;
+  }
+  return std::max(v, kFloor);
+}
+
+}  // namespace topo::sim

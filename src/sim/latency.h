@@ -1,0 +1,38 @@
+#pragma once
+
+#include "util/rng.h"
+
+namespace topo::sim {
+
+/// Per-message network delay model. P2P links between Ethereum nodes show a
+/// right-skewed delay distribution; a log-normal around a configurable
+/// median is the standard fit and is what we default to.
+class LatencyModel {
+ public:
+  enum class Kind { kFixed, kUniform, kLogNormal };
+
+  /// Fixed delay of `seconds` per message.
+  static LatencyModel fixed(double seconds);
+
+  /// Uniform in [lo, hi] seconds.
+  static LatencyModel uniform(double lo, double hi);
+
+  /// Log-normal with the given median (seconds) and log-space sigma.
+  static LatencyModel lognormal(double median, double sigma);
+
+  /// Draws one delay; always >= min_floor (default 0.1 ms) so event ordering
+  /// between distinct hops stays strict.
+  double sample(util::Rng& rng) const;
+
+  Kind kind() const { return kind_; }
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  LatencyModel(Kind kind, double a, double b) : kind_(kind), a_(a), b_(b) {}
+  Kind kind_ = Kind::kFixed;
+  double a_ = 0.05;
+  double b_ = 0.0;
+};
+
+}  // namespace topo::sim

@@ -1,0 +1,57 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace topo::sim {
+
+void Simulator::at(Time t, EventQueue::Action action) {
+  queue_.push(std::max(t, now_), std::move(action));
+}
+
+void Simulator::after(Time delay, EventQueue::Action action) {
+  at(now_ + std::max(delay, 0.0), std::move(action));
+}
+
+void Simulator::every(Time start, Time interval, std::function<bool()> action) {
+  auto holder = std::make_shared<std::function<void()>>();
+  auto fn = std::move(action);
+  *holder = [this, interval, holder, fn = std::move(fn)]() {
+    if (fn()) after(interval, *holder);
+  };
+  at(start, *holder);
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    auto [t, action] = queue_.pop();
+    now_ = std::max(now_, t);
+    ++processed_;
+    action();
+  }
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    auto [et, action] = queue_.pop();
+    now_ = std::max(now_, et);
+    ++processed_;
+    action();
+  }
+  now_ = std::max(now_, t);
+}
+
+bool Simulator::run_capped(size_t max_events) {
+  size_t n = 0;
+  while (!queue_.empty()) {
+    if (n++ >= max_events) return false;
+    auto [t, action] = queue_.pop();
+    now_ = std::max(now_, t);
+    ++processed_;
+    action();
+  }
+  return true;
+}
+
+}  // namespace topo::sim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "sim/event_queue.h"
+
+namespace topo::sim {
+
+/// Discrete-event simulation driver. All network and protocol activity is
+/// expressed as events; wall-clock quantities reported by benches (e.g. the
+/// Fig 5 speedup) are simulation seconds.
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedules at an absolute time (clamped to now if in the past).
+  void at(Time t, EventQueue::Action action);
+
+  /// Schedules `delay` seconds from now (delay < 0 treated as 0).
+  void after(Time delay, EventQueue::Action action);
+
+  /// Repeats `action` every `interval` seconds starting at `start`, for as
+  /// long as it returns true.
+  void every(Time start, Time interval, std::function<bool()> action);
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// Runs events with timestamp <= t, then advances the clock to t.
+  void run_until(Time t);
+
+  /// Runs until the queue drains or the event budget is exhausted; returns
+  /// true if drained.
+  bool run_capped(size_t max_events);
+
+  size_t processed() const { return processed_; }
+  size_t queued() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  size_t processed_ = 0;
+};
+
+}  // namespace topo::sim

@@ -1,0 +1,54 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace topo::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unrecognized argument: %s (expected --key=value)\n", argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      kv_[std::string(arg)] = "1";
+    } else {
+      kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+int64_t Cli::get_int(const std::string& key, int64_t def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+uint64_t Cli::get_uint(const std::string& key, uint64_t def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& key, const std::string& def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+}  // namespace topo::util

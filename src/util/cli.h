@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace topo::util {
+
+/// Tiny --key=value / --flag argument parser for the bench and example
+/// binaries. Unrecognized positional arguments are rejected so typos fail
+/// loudly.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  int64_t get_int(const std::string& key, int64_t def) const;
+  uint64_t get_uint(const std::string& key, uint64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  std::string get_string(const std::string& key, const std::string& def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace topo::util

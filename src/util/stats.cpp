@@ -1,0 +1,92 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topo::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (q <= 0.0) return xs.front();
+  if (q >= 100.0) return xs.back();
+  const double pos = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::add(long long v, size_t weight) {
+  buckets_[v] += weight;
+  total_ += weight;
+}
+
+double Histogram::fraction(long long v) const {
+  if (total_ == 0) return 0.0;
+  auto it = buckets_.find(v);
+  if (it == buckets_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+long long Histogram::min() const { return buckets_.empty() ? 0 : buckets_.begin()->first; }
+
+long long Histogram::max() const { return buckets_.empty() ? 0 : buckets_.rbegin()->first; }
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double s = 0.0;
+  for (const auto& [v, c] : buckets_) s += static_cast<double>(v) * static_cast<double>(c);
+  return s / static_cast<double>(total_);
+}
+
+}  // namespace topo::util

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace topo::util {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// Population variance; 0 for fewer than two samples.
+double variance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double stddev(const std::vector<double>& xs);
+
+/// Median (average of the middle two for even sizes); 0 for empty input.
+double median(std::vector<double> xs);
+
+/// q-th percentile in [0, 100] with linear interpolation; 0 for empty input.
+double percentile(std::vector<double> xs, double q);
+
+/// Pearson correlation coefficient of two equally sized series.
+/// Returns 0 when either series is constant or sizes mismatch.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Online accumulator for mean / variance / min / max (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Integer histogram keyed by value (used for degree distributions).
+class Histogram {
+ public:
+  void add(long long v, size_t weight = 1);
+  size_t total() const { return total_; }
+  const std::map<long long, size_t>& buckets() const { return buckets_; }
+  /// Fraction of samples equal to v.
+  double fraction(long long v) const;
+  long long min() const;
+  long long max() const;
+  double mean() const;
+
+ private:
+  std::map<long long, size_t> buckets_;
+  size_t total_ = 0;
+};
+
+}  // namespace topo::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace topo::util {
+
+/// Minimal fixed-width ASCII table printer used by the bench harnesses to
+/// emit the paper's tables. Columns are sized to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders to the stream with a header separator line.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string.
+  std::string to_string() const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+std::string fmt(double v, int decimals = 3);
+
+/// Formats an integral count with no decoration.
+std::string fmt(long long v);
+std::string fmt(unsigned long long v);
+std::string fmt(size_t v);
+std::string fmt(int v);
+
+/// Formats a ratio as a percentage string, e.g. 0.884 -> "88.4%".
+std::string fmt_pct(double ratio, int decimals = 1);
+
+}  // namespace topo::util

@@ -1,0 +1,293 @@
+#include "wire/messages.h"
+
+namespace topo::wire {
+
+namespace {
+
+/// 32-byte big-endian field from a 64-bit simulated hash.
+Bytes hash_bytes(eth::TxHash h) {
+  Bytes out(32, 0);
+  for (int i = 0; i < 8; ++i) {
+    out[31 - i] = static_cast<uint8_t>(h >> (8 * i));
+  }
+  return out;
+}
+
+std::optional<eth::TxHash> hash_from_bytes(const Bytes& b) {
+  if (b.size() != 32) return std::nullopt;
+  for (size_t i = 0; i < 24; ++i) {
+    if (b[i] != 0) return std::nullopt;  // simulator hashes are 64-bit
+  }
+  eth::TxHash h = 0;
+  for (size_t i = 24; i < 32; ++i) h = (h << 8) | b[i];
+  return h;
+}
+
+/// 20-byte address field from the simulated 64-bit address.
+Bytes address_bytes(eth::Address a) {
+  Bytes out(20, 0);
+  for (int i = 0; i < 8; ++i) out[19 - i] = static_cast<uint8_t>(a >> (8 * i));
+  return out;
+}
+
+std::optional<eth::Address> address_from_bytes(const Bytes& b) {
+  if (b.size() != 20) return std::nullopt;
+  eth::Address a = 0;
+  for (size_t i = 12; i < 20; ++i) a = (a << 8) | b[i];
+  for (size_t i = 0; i < 12; ++i) {
+    if (b[i] != 0) return std::nullopt;
+  }
+  return a;
+}
+
+constexpr uint8_t kType1559 = 0x02;
+
+}  // namespace
+
+Bytes encode_transaction(const eth::Transaction& tx) {
+  if (!tx.fee1559) {
+    // Legacy: [nonce, gasPrice, gas, to, value, data, v, r, s]; the
+    // simulated sender/id ride in r/s (no cryptography in the simulator).
+    const RlpItem item = RlpItem::list({
+        RlpItem::uint(tx.nonce),
+        RlpItem::uint(tx.gas_price),
+        RlpItem::uint(tx.gas),
+        RlpItem::str(address_bytes(tx.to)),
+        RlpItem::uint(tx.value),
+        RlpItem::str(Bytes{}),      // data
+        RlpItem::uint(27),          // v
+        RlpItem::uint(tx.sender),   // r (simulated)
+        RlpItem::uint(tx.id),       // s (simulated)
+    });
+    return rlp_encode(item);
+  }
+  // EIP-2718 typed envelope: 0x02 || rlp([chainId, nonce, maxPriorityFee,
+  // maxFee, gas, to, value, data, accessList, v, r, s]).
+  const RlpItem item = RlpItem::list({
+      RlpItem::uint(1),  // chainId
+      RlpItem::uint(tx.nonce),
+      RlpItem::uint(tx.fee1559->priority_fee),
+      RlpItem::uint(tx.fee1559->max_fee),
+      RlpItem::uint(tx.gas),
+      RlpItem::str(address_bytes(tx.to)),
+      RlpItem::uint(tx.value),
+      RlpItem::str(Bytes{}),             // data
+      RlpItem::list({}),                 // accessList
+      RlpItem::uint(1),                  // v
+      RlpItem::uint(tx.sender),          // r (simulated)
+      RlpItem::uint(tx.id),              // s (simulated)
+  });
+  Bytes out{kType1559};
+  const Bytes body = rlp_encode(item);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<eth::Transaction> decode_transaction(const Bytes& bytes) {
+  if (bytes.empty()) return std::nullopt;
+
+  if (bytes[0] == kType1559) {
+    const Bytes body(bytes.begin() + 1, bytes.end());
+    auto item = rlp_decode(body);
+    if (!item || !item->is_list() || item->items().size() != 12) return std::nullopt;
+    const auto& f = item->items();
+    eth::Transaction tx;
+    auto nonce = f[1].to_uint();
+    auto prio = f[2].to_uint();
+    auto max_fee = f[3].to_uint();
+    auto gas = f[4].to_uint();
+    auto to = f[5].is_string() ? address_from_bytes(f[5].bytes()) : std::nullopt;
+    auto value = f[6].to_uint();
+    auto sender = f[10].to_uint();
+    auto id = f[11].to_uint();
+    if (!nonce || !prio || !max_fee || !gas || !to || !value || !sender || !id)
+      return std::nullopt;
+    tx.nonce = *nonce;
+    tx.fee1559 = eth::Fee1559{*max_fee, *prio};
+    tx.gas = *gas;
+    tx.to = *to;
+    tx.value = *value;
+    tx.sender = *sender;
+    tx.id = *id;
+    return tx;
+  }
+
+  auto item = rlp_decode(bytes);
+  if (!item || !item->is_list() || item->items().size() != 9) return std::nullopt;
+  const auto& f = item->items();
+  eth::Transaction tx;
+  auto nonce = f[0].to_uint();
+  auto price = f[1].to_uint();
+  auto gas = f[2].to_uint();
+  auto to = f[3].is_string() ? address_from_bytes(f[3].bytes()) : std::nullopt;
+  auto value = f[4].to_uint();
+  auto sender = f[7].to_uint();
+  auto id = f[8].to_uint();
+  if (!nonce || !price || !gas || !to || !value || !sender || !id) return std::nullopt;
+  tx.nonce = *nonce;
+  tx.gas_price = *price;
+  tx.gas = *gas;
+  tx.to = *to;
+  tx.value = *value;
+  tx.sender = *sender;
+  tx.id = *id;
+  return tx;
+}
+
+Bytes encode_status(const StatusMessage& status) {
+  return rlp_encode(RlpItem::list({
+      RlpItem::uint(status.protocol_version),
+      RlpItem::uint(status.network_id),
+      RlpItem::uint(status.head_block),
+      RlpItem::str(status.client_version),
+  }));
+}
+
+std::optional<StatusMessage> decode_status(const Bytes& bytes) {
+  auto item = rlp_decode(bytes);
+  if (!item || !item->is_list() || item->items().size() != 4) return std::nullopt;
+  const auto& f = item->items();
+  auto ver = f[0].to_uint();
+  auto net = f[1].to_uint();
+  auto head = f[2].to_uint();
+  if (!ver || !net || !head || !f[3].is_string()) return std::nullopt;
+  StatusMessage status;
+  status.protocol_version = *ver;
+  status.network_id = *net;
+  status.head_block = *head;
+  status.client_version = f[3].to_string();
+  return status;
+}
+
+Bytes encode_transactions(const std::vector<eth::Transaction>& txs, MsgId id) {
+  std::vector<RlpItem> items;
+  items.reserve(txs.size());
+  for (const auto& tx : txs) items.push_back(RlpItem::str(encode_transaction(tx)));
+  return wrap_message(id, rlp_encode(RlpItem::list(std::move(items))));
+}
+
+std::optional<std::vector<eth::Transaction>> decode_transactions(const Bytes& frame) {
+  auto unwrapped = unwrap_message(frame);
+  if (!unwrapped) return std::nullopt;
+  auto item = rlp_decode(unwrapped->second);
+  if (!item || !item->is_list()) return std::nullopt;
+  std::vector<eth::Transaction> txs;
+  for (const auto& sub : item->items()) {
+    if (!sub.is_string()) return std::nullopt;
+    auto tx = decode_transaction(sub.bytes());
+    if (!tx) return std::nullopt;
+    txs.push_back(std::move(*tx));
+  }
+  return txs;
+}
+
+Bytes encode_hashes(const std::vector<eth::TxHash>& hashes, MsgId id) {
+  std::vector<RlpItem> items;
+  items.reserve(hashes.size());
+  for (const auto h : hashes) items.push_back(RlpItem::str(hash_bytes(h)));
+  return wrap_message(id, rlp_encode(RlpItem::list(std::move(items))));
+}
+
+std::optional<std::vector<eth::TxHash>> decode_hashes(const Bytes& frame) {
+  auto unwrapped = unwrap_message(frame);
+  if (!unwrapped) return std::nullopt;
+  auto item = rlp_decode(unwrapped->second);
+  if (!item || !item->is_list()) return std::nullopt;
+  std::vector<eth::TxHash> hashes;
+  for (const auto& sub : item->items()) {
+    if (!sub.is_string()) return std::nullopt;
+    auto h = hash_from_bytes(sub.bytes());
+    if (!h) return std::nullopt;
+    hashes.push_back(*h);
+  }
+  return hashes;
+}
+
+Bytes wrap_message(MsgId id, Bytes payload) {
+  return rlp_encode(RlpItem::list({
+      RlpItem::uint(static_cast<uint64_t>(id)),
+      RlpItem::str(std::move(payload)),
+  }));
+}
+
+std::optional<std::pair<MsgId, Bytes>> unwrap_message(const Bytes& frame) {
+  auto item = rlp_decode(frame);
+  if (!item || !item->is_list() || item->items().size() != 2) return std::nullopt;
+  auto id = item->items()[0].to_uint();
+  if (!id || !item->items()[1].is_string()) return std::nullopt;
+  switch (*id) {
+    case 0x00:
+    case 0x02:
+    case 0x08:
+    case 0x09:
+    case 0x0a:
+      break;
+    default:
+      return std::nullopt;
+  }
+  return std::make_pair(static_cast<MsgId>(*id), item->items()[1].bytes());
+}
+
+namespace {
+
+/// RLP size of a uint field without materializing it.
+size_t uint_field_size(uint64_t v) {
+  if (v == 0) return 1;         // 0x80
+  if (v <= 0x7f) return 1;      // the byte itself
+  size_t n = 0;
+  while (v > 0) {
+    ++n;
+    v >>= 8;
+  }
+  return 1 + n;  // short-string prefix + payload
+}
+
+size_t short_payload_size(size_t payload) {
+  return (payload <= 55 ? 1 : 1 + [&] {
+    size_t n = 0, v = payload;
+    while (v > 0) {
+      ++n;
+      v >>= 8;
+    }
+    return n;
+  }()) + payload;
+}
+
+}  // namespace
+
+size_t transaction_wire_size(const eth::Transaction& tx) {
+  // Arithmetic twin of encode_transaction + wrap_message (hot path: every
+  // simulated push is sized); verified against the codec in tests.
+  size_t body;
+  if (!tx.fee1559) {
+    const size_t fields = uint_field_size(tx.nonce) + uint_field_size(tx.gas_price) +
+                          uint_field_size(tx.gas) + 21 /* to */ +
+                          uint_field_size(tx.value) + 1 /* data */ + uint_field_size(27) +
+                          uint_field_size(tx.sender) + uint_field_size(tx.id);
+    body = short_payload_size(fields);
+  } else {
+    const size_t fields = uint_field_size(1) + uint_field_size(tx.nonce) +
+                          uint_field_size(tx.fee1559->priority_fee) +
+                          uint_field_size(tx.fee1559->max_fee) + uint_field_size(tx.gas) +
+                          21 /* to */ + uint_field_size(tx.value) + 1 /* data */ +
+                          1 /* accessList */ + uint_field_size(1) +
+                          uint_field_size(tx.sender) + uint_field_size(tx.id);
+    body = 1 /* type byte */ + short_payload_size(fields);
+  }
+  // frame = list(uint msg-id, str(body)).
+  const size_t frame_payload = uint_field_size(0x02) + short_payload_size(body);
+  return short_payload_size(frame_payload);
+}
+
+size_t announcement_wire_size() {
+  static const size_t size = [] {
+    const RlpItem frame = RlpItem::list({
+        RlpItem::uint(static_cast<uint64_t>(MsgId::kNewPooledTransactionHashes)),
+        RlpItem::str(Bytes(32, 0xab)),
+    });
+    return rlp_encoded_size(frame);
+  }();
+  return size;
+}
+
+}  // namespace topo::wire

@@ -1,0 +1,72 @@
+#pragma once
+
+// devp2p eth-subprotocol message codec over RLP: the messages TopoShot's
+// propagation model exchanges (eth/65 namespace):
+//
+//   Transactions (0x02)                 — full transaction bodies, pushed
+//   NewPooledTransactionHashes (0x08)   — hash announcements
+//   GetPooledTransactions (0x09)        — body requests
+//   PooledTransactions (0x0a)           — body responses
+//   Status (0x00)                       — handshake (networkId, head)
+//
+// Transactions are encoded in the canonical field order of the Yellow
+// Paper (legacy) and EIP-2718/1559 (type-2). In place of an ECDSA
+// signature, the simulated sender address and creation id ride in the
+// v/r/s slots — the simulator has no cryptography, but every byte is
+// otherwise laid out like the real wire format, so message sizes (used
+// for bandwidth accounting) are faithful.
+
+#include <optional>
+#include <vector>
+
+#include "eth/transaction.h"
+#include "wire/rlp.h"
+
+namespace topo::wire {
+
+enum class MsgId : uint8_t {
+  kStatus = 0x00,
+  kTransactions = 0x02,
+  kNewPooledTransactionHashes = 0x08,
+  kGetPooledTransactions = 0x09,
+  kPooledTransactions = 0x0a,
+};
+
+/// Encodes one transaction (legacy or EIP-1559 type-2 envelope).
+Bytes encode_transaction(const eth::Transaction& tx);
+
+/// Decodes one transaction; nullopt on malformed input.
+std::optional<eth::Transaction> decode_transaction(const Bytes& bytes);
+
+/// Handshake payload.
+struct StatusMessage {
+  uint64_t protocol_version = 65;
+  uint64_t network_id = 1;
+  uint64_t head_block = 0;
+  std::string client_version;
+};
+
+Bytes encode_status(const StatusMessage& status);
+std::optional<StatusMessage> decode_status(const Bytes& bytes);
+
+/// Transactions / PooledTransactions payload: an RLP list of transactions.
+Bytes encode_transactions(const std::vector<eth::Transaction>& txs,
+                          MsgId id = MsgId::kTransactions);
+std::optional<std::vector<eth::Transaction>> decode_transactions(const Bytes& bytes);
+
+/// NewPooledTransactionHashes / GetPooledTransactions payload: a list of
+/// 32-byte hashes (the simulator's 8-byte hashes are zero-extended).
+Bytes encode_hashes(const std::vector<eth::TxHash>& hashes, MsgId id);
+std::optional<std::vector<eth::TxHash>> decode_hashes(const Bytes& bytes);
+
+/// Message envelope: [msg-id, payload-bytes]. Returns the id and the raw
+/// payload for dispatch.
+Bytes wrap_message(MsgId id, Bytes payload);
+std::optional<std::pair<MsgId, Bytes>> unwrap_message(const Bytes& frame);
+
+/// Wire size of a pushed transaction / an announcement of one hash —
+/// used by the network's bandwidth accounting.
+size_t transaction_wire_size(const eth::Transaction& tx);
+size_t announcement_wire_size();
+
+}  // namespace topo::wire

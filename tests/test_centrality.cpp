@@ -1,0 +1,142 @@
+// Tests for centrality / robustness analytics (the §3 use-case toolkit).
+
+#include <gtest/gtest.h>
+
+#include "graph/centrality.h"
+#include "graph/generators.h"
+
+namespace topo::graph {
+namespace {
+
+Graph path4() {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Betweenness, PathGraphValues) {
+  const auto bc = betweenness_centrality(path4());
+  // Endpoints lie on no shortest paths; node1 carries (0-2),(0-3);
+  // node2 carries (0-3),(1-3).
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 2.0);
+  EXPECT_DOUBLE_EQ(bc[2], 2.0);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+TEST(Betweenness, StarCenterCarriesAllPairs) {
+  Graph star(5);
+  for (NodeId v = 1; v < 5; ++v) star.add_edge(0, v);
+  const auto bc = betweenness_centrality(star);
+  EXPECT_DOUBLE_EQ(bc[0], 6.0);  // C(4,2) leaf pairs
+  for (NodeId v = 1; v < 5; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(Betweenness, SplitPathsShareCredit) {
+  // Diamond: 0-1-3, 0-2-3; each middle node carries half of pair (0,3).
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto bc = betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+}
+
+TEST(Articulation, PathInteriorNodesAreCuts) {
+  const auto cuts = articulation_points(path4());
+  EXPECT_EQ(cuts, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Articulation, CycleHasNone) {
+  Graph ring(5);
+  for (NodeId u = 0; u < 5; ++u) ring.add_edge(u, (u + 1) % 5);
+  EXPECT_TRUE(articulation_points(ring).empty());
+}
+
+TEST(Articulation, BridgeNodeBetweenCliques) {
+  // Two triangles joined through node 3.
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  g.add_edge(4, 6);
+  const auto cuts = articulation_points(g);
+  EXPECT_EQ(cuts, (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(CoreNumbers, CliqueWithTail) {
+  // K4 (core 3) with a pendant chain (core 1).
+  Graph g(6);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  }
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  const auto core = core_numbers(g);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(core[u], 3u) << "clique member " << u;
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(CoreNumbers, RegularRingIsTwoCore) {
+  Graph ring(8);
+  for (NodeId u = 0; u < 8; ++u) ring.add_edge(u, (u + 1) % 8);
+  for (size_t c : core_numbers(ring)) EXPECT_EQ(c, 2u);
+}
+
+TEST(Closeness, StarCenterHighest) {
+  Graph star(5);
+  for (NodeId v = 1; v < 5; ++v) star.add_edge(0, v);
+  const auto cc = closeness_centrality(star);
+  EXPECT_DOUBLE_EQ(cc[0], 1.0);           // distance 1 to all
+  EXPECT_DOUBLE_EQ(cc[1], 4.0 / 7.0);     // 1 + 2*3
+  EXPECT_GT(cc[0], cc[1]);
+}
+
+TEST(Removal, LargestComponentShrinks) {
+  const auto g = path4();
+  EXPECT_EQ(largest_component_after_removal(g, {}), 4u);
+  EXPECT_EQ(largest_component_after_removal(g, {1}), 2u);
+  EXPECT_EQ(largest_component_after_removal(g, {0}), 3u);
+  EXPECT_EQ(largest_component_after_removal(g, {0, 1, 2, 3}), 0u);
+}
+
+TEST(Fingerprints, UniqueAndAmbiguousSets) {
+  // Star: every leaf has the identical neighbor set {0} -> ambiguous; the
+  // center is unique.
+  Graph star(5);
+  for (NodeId v = 1; v < 5; ++v) star.add_edge(0, v);
+  const auto fp = neighbor_fingerprints(star);
+  EXPECT_EQ(fp.unique, 1u);
+  EXPECT_EQ(fp.ambiguous, 4u);
+  EXPECT_NEAR(fp.unique_fraction(), 0.2, 1e-12);
+
+  // A path: all neighbor sets differ.
+  const auto fp2 = neighbor_fingerprints(path4());
+  EXPECT_EQ(fp2.unique, 4u);
+  EXPECT_EQ(fp2.ambiguous, 0u);
+}
+
+TEST(Centrality, RandomGraphSanity) {
+  util::Rng rng(7);
+  const auto g = erdos_renyi_gnm(60, 180, rng);
+  const auto bc = betweenness_centrality(g);
+  const auto cc = closeness_centrality(g);
+  const auto cores = core_numbers(g);
+  ASSERT_EQ(bc.size(), 60u);
+  for (double v : bc) EXPECT_GE(v, 0.0);
+  for (double v : cc) EXPECT_GE(v, 0.0);
+  // Core number never exceeds degree.
+  for (NodeId u = 0; u < 60; ++u) EXPECT_LE(cores[u], g.degree(u));
+}
+
+}  // namespace
+}  // namespace topo::graph

@@ -1,0 +1,175 @@
+// Remaining core-layer coverage: schedule slot budgeting, cost windows,
+// simulator determinism across identical runs, bandwidth accounting, and
+// Scenario plumbing (churn, organic traffic, miner isolation).
+
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+#include "core/toposhot.h"
+#include "core/validator.h"
+#include "graph/generators.h"
+#include "p2p/node.h"
+
+namespace topo::core {
+namespace {
+
+TEST(ScheduleBudget, SplitsOversizedIterationsAndStillCoversAllPairs) {
+  // n=20, K=10: round 1 has a 10x10=100-pair iteration; budget 16 forces
+  // chunking, but coverage must remain exactly-once.
+  util::Rng grng(3);
+  graph::Graph g = graph::erdos_renyi_gnm(20, 40, grng);
+  ScenarioOptions opt;
+  opt.seed = 3;
+  opt.mempool_capacity = 256;
+  opt.future_cap = 64;
+  opt.background_txs = 128;
+  Scenario sc(g, opt);
+  sc.seed_background();
+
+  MeasureConfig cfg = sc.default_measure_config();
+  ParallelMeasurement par(sc.net(), sc.m(), sc.accounts(), sc.factory(), cfg);
+  NetworkMeasurement nm(par, /*max_edges_per_call=*/16);
+  const auto report = nm.measure_all(sc.net(), sc.targets(), 10);
+  EXPECT_EQ(report.pairs_tested, 20u * 19 / 2);
+  EXPECT_GT(report.iterations, make_schedule(20, 10).size()) << "budget forced extra batches";
+  const auto pr = compare_graphs(g, report.measured);
+  EXPECT_DOUBLE_EQ(pr.precision(), 1.0);
+  EXPECT_GE(pr.recall(), 0.9);
+}
+
+TEST(ScheduleBudget, DefaultBudgetDerivesFromFloodSize) {
+  graph::Graph g(4);
+  ScenarioOptions opt;
+  opt.seed = 4;
+  Scenario sc(g, opt);
+  MeasureConfig cfg = sc.default_measure_config();
+  cfg.flood_Z = 100;
+  ParallelMeasurement par(sc.net(), sc.m(), sc.accounts(), sc.factory(), cfg);
+  NetworkMeasurement nm(par);  // derive: 2/5 of Z = 40
+  // Nothing to assert structurally without running; the derivation is
+  // covered by the chunked coverage test above plus this smoke call.
+  const auto report = nm.measure_all(sc.net(), sc.targets(), 2);
+  EXPECT_EQ(report.pairs_tested, 6u);
+}
+
+TEST(CostTracker, WindowsAndAccounts) {
+  eth::Chain chain(1'000'000);
+  eth::TxFactory f;
+  CostTracker tracker;
+  tracker.track_account(1);
+  tracker.track_account(2);
+  EXPECT_EQ(tracker.tracked_accounts(), 2u);
+  EXPECT_TRUE(tracker.tracks(1));
+  EXPECT_FALSE(tracker.tracks(3));
+
+  eth::Block b1;
+  b1.timestamp = 10.0;
+  b1.txs.push_back(f.make(1, 0, 100));
+  chain.commit(std::move(b1));
+  eth::Block b2;
+  b2.timestamp = 20.0;
+  b2.txs.push_back(f.make(2, 0, 50));
+  b2.txs.push_back(f.make(3, 0, 999));  // untracked
+  chain.commit(std::move(b2));
+
+  EXPECT_EQ(tracker.included_txs(chain, 0.0, 30.0), 2u);
+  EXPECT_EQ(tracker.included_txs(chain, 15.0, 30.0), 1u);
+  EXPECT_EQ(tracker.wei_spent(chain, 0.0, 30.0),
+            eth::kTransferGas * 100 + eth::kTransferGas * 50);
+  EXPECT_EQ(tracker.wei_spent(chain, 0.0, 5.0), 0u);
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTraffic) {
+  auto run = [] {
+    util::Rng rng(9);
+    graph::Graph g = graph::erdos_renyi_gnm(12, 30, rng);
+    ScenarioOptions opt;
+    opt.seed = 9;
+    opt.mempool_capacity = 128;
+    opt.future_cap = 32;
+    opt.background_txs = 96;
+    Scenario sc(g, opt);
+    sc.seed_background();
+    const auto r = sc.measure_one_link(sc.targets()[0], sc.targets()[1],
+                                       sc.default_measure_config());
+    return std::tuple{r.connected, sc.net().messages_delivered(), sc.net().bytes_sent(),
+                      sc.sim().processed()};
+  };
+  EXPECT_EQ(run(), run()) << "same seed must reproduce the run bit-for-bit";
+}
+
+TEST(Bandwidth, BytesGrowWithTraffic) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  ScenarioOptions opt;
+  opt.seed = 10;
+  opt.background_txs = 0;
+  Scenario sc(g, opt);
+  EXPECT_EQ(sc.net().bytes_sent(), 0u);
+  const eth::Address a = sc.accounts().create_one();
+  sc.m().send_to(sc.targets()[0], sc.factory().make(a, 0, 100));
+  sc.sim().run_until(3.0);
+  const uint64_t bytes = sc.net().bytes_sent();
+  EXPECT_GT(bytes, 100u) << "one tx push + propagation";
+  // Small simulated transactions frame to ~40-60 wire bytes; at least three
+  // pushes happened (M->0, 0->1, 1->2 and echoes to M).
+  EXPECT_GE(bytes, 3 * 40u);
+  EXPECT_LE(bytes, 20'000u);
+}
+
+TEST(Scenario, ChurnMinerIsNotATarget) {
+  util::Rng grng(11);
+  graph::Graph g = graph::erdos_renyi_gnm(8, 16, grng);
+  ScenarioOptions opt;
+  opt.seed = 11;
+  opt.background_txs = 64;
+  opt.block_gas_limit = 10 * eth::kTransferGas;
+  Scenario sc(g, opt);
+  sc.seed_background();
+  const auto miner = sc.start_churn(2.0);
+  for (auto t : sc.targets()) EXPECT_NE(t, miner);
+  sc.sim().run_until(60.0);
+  EXPECT_GT(sc.chain().height(), 2u) << "blocks are being produced";
+  EXPECT_GT(sc.net().peers_of(miner).size(), 0u) << "miner is wired into the overlay";
+}
+
+TEST(Scenario, OrganicTrafficFillsPools) {
+  util::Rng grng(12);
+  graph::Graph g = graph::erdos_renyi_gnm(6, 10, grng);
+  ScenarioOptions opt;
+  opt.seed = 12;
+  opt.background_txs = 0;
+  opt.mempool_capacity = 256;
+  Scenario sc(g, opt);
+  sc.start_organic_traffic(20.0);
+  sc.sim().run_until(30.0);
+  size_t total = 0;
+  for (auto t : sc.targets()) total += sc.net().node(t).pool().size();
+  EXPECT_GT(total, 6u * 100) << "~600 organic txs propagated to every pool";
+  sc.stop_organic_traffic();
+  sc.sim().run_until(sc.sim().now() + 5.0);  // drain in-flight propagation
+  const size_t before = sc.net().messages_delivered();
+  sc.sim().run_until(sc.sim().now() + 10.0);
+  // Only maintenance remains; no new organic floods.
+  EXPECT_EQ(sc.net().messages_delivered(), before);
+}
+
+TEST(Scenario, LinkChurnPreservesMeasurementLinks) {
+  util::Rng grng(13);
+  graph::Graph g = graph::erdos_renyi_gnm(10, 20, grng);
+  ScenarioOptions opt;
+  opt.seed = 13;
+  opt.background_txs = 0;
+  Scenario sc(g, opt);
+  sc.net().start_link_churn(50.0);
+  sc.sim().run_until(20.0);
+  EXPECT_GT(sc.net().churn_events(), 100u);
+  // M must still be connected to every regular node.
+  for (auto t : sc.targets()) {
+    EXPECT_TRUE(sc.net().linked(sc.m().id(), t)) << "churn severed a measurement link";
+  }
+}
+
+}  // namespace
+}  // namespace topo::core

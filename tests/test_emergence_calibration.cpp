@@ -1,0 +1,64 @@
+// Pins the calibrated full-scale testnet recipes to the paper's headline
+// properties (Table 4/9/10): edge counts near the measured networks and —
+// the partition-resilience result — Louvain modularity *below* a same-size
+// Erdos-Renyi baseline, in the paper's cross-testnet order.
+
+#include <gtest/gtest.h>
+
+#include "disc/emergence.h"
+#include "graph/generators.h"
+#include "graph/louvain.h"
+#include "graph/metrics.h"
+
+namespace topo::disc {
+namespace {
+
+struct Emerged {
+  graph::Graph g;
+  double q = 0.0;
+  double q_er = 0.0;
+};
+
+Emerged emerge_and_score(EmergenceConfig cfg, uint64_t seed) {
+  util::Rng rng(seed);
+  Emerged out{emerge_topology(cfg, rng)};
+  util::Rng er_rng(seed + 1000);
+  const auto er = graph::erdos_renyi_gnm(out.g.num_nodes(), out.g.num_edges(), er_rng);
+  util::Rng l1(1), l2(2);
+  out.q = graph::louvain(out.g, l1).modularity;
+  out.q_er = graph::louvain(er, l2).modularity;
+  return out;
+}
+
+TEST(EmergenceCalibration, RopstenMatchesPaperShape) {
+  const auto r = emerge_and_score(ropsten_like(588), 588);
+  EXPECT_NEAR(static_cast<double>(r.g.num_edges()), 7496.0, 900.0) << "paper m = 7496";
+  EXPECT_NEAR(r.g.average_degree(), 25.5, 3.0);
+  EXPECT_LT(r.q, r.q_er) << "modularity must sit below the ER baseline (Table 4)";
+  EXPECT_GT(graph::clustering_coefficient(r.g), 0.12) << "paper clustering 0.207";
+  EXPECT_LT(graph::degree_assortativity(r.g), 0.0) << "paper assortativity -0.152";
+}
+
+TEST(EmergenceCalibration, RinkebyIsTheMostPartitionResilient) {
+  const auto rop = emerge_and_score(ropsten_like(588), 588);
+  const auto rin = emerge_and_score(rinkeby_like(446), 446);
+  EXPECT_NEAR(static_cast<double>(rin.g.num_edges()), 15380.0, 1800.0) << "paper m = 15380";
+  EXPECT_LT(rin.q, rin.q_er) << "Table 9's headline";
+  EXPECT_LT(rin.q, rop.q) << "paper: Rinkeby (0.0106) < Ropsten (0.0605)";
+  EXPECT_GT(graph::transitivity(rin.g), 0.35) << "paper transitivity 0.498";
+}
+
+TEST(EmergenceCalibration, GoerliSitsBetween) {
+  const auto goe = emerge_and_score(goerli_like(1025), 1025);
+  EXPECT_LT(goe.q, goe.q_er) << "Table 10's headline";
+  // Heavy tail: the top node's degree dwarfs the mean (paper: 711 vs ~36).
+  size_t max_deg = 0;
+  for (graph::NodeId u = 0; u < goe.g.num_nodes(); ++u) {
+    max_deg = std::max(max_deg, goe.g.degree(u));
+  }
+  EXPECT_GT(static_cast<double>(max_deg), 8.0 * goe.g.average_degree());
+  EXPECT_LT(graph::degree_assortativity(goe.g), 0.0) << "paper -0.157";
+}
+
+}  // namespace
+}  // namespace topo::disc

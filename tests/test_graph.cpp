@@ -1,0 +1,209 @@
+// Unit tests for graph structure, metrics, generators, cliques, and I/O.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/cliques.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+
+namespace topo::graph {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle with a tail 2-3.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Graph, EdgeBasics) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1)) << "duplicate";
+  EXPECT_FALSE(g.add_edge(1, 0)) << "duplicate reversed";
+  EXPECT_FALSE(g.add_edge(1, 1)) << "self loop";
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, EdgesListAndDensity) {
+  auto g = triangle_plus_tail();
+  EXPECT_EQ(g.edges().size(), 4u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+  EXPECT_DOUBLE_EQ(g.density(), 2.0 * 4 / (4 * 3));
+}
+
+TEST(Metrics, DistanceStatsOnPath) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = distance_stats(g);
+  EXPECT_TRUE(d.connected);
+  EXPECT_EQ(d.diameter, 3u);
+  EXPECT_EQ(d.radius, 2u);
+  EXPECT_EQ(d.center_size, 2u);     // nodes 1, 2
+  EXPECT_EQ(d.periphery_size, 2u);  // nodes 0, 3
+}
+
+TEST(Metrics, DisconnectedGraphUsesLargestComponent) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto d = distance_stats(g);
+  EXPECT_FALSE(d.connected);
+  EXPECT_EQ(d.component_size, 3u);
+  EXPECT_EQ(d.diameter, 2u);
+}
+
+TEST(Metrics, ComponentsAndSubgraph) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.size(), 3u);  // {0,1}, {2}, {3,4}
+  const auto big = largest_component(g);
+  EXPECT_EQ(big.size(), 2u);
+  const Graph sub = subgraph(g, {3, 4});
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+}
+
+TEST(Metrics, ClusteringOnKnownGraphs) {
+  // Complete K4: clustering and transitivity are 1.
+  Graph k4(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) k4.add_edge(u, v);
+  }
+  EXPECT_DOUBLE_EQ(clustering_coefficient(k4), 1.0);
+  EXPECT_DOUBLE_EQ(transitivity(k4), 1.0);
+  EXPECT_EQ(triangle_count(k4), 4u);
+
+  // Star: no triangles.
+  Graph star(5);
+  for (NodeId v = 1; v < 5; ++v) star.add_edge(0, v);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(star), 0.0);
+  EXPECT_DOUBLE_EQ(transitivity(star), 0.0);
+  EXPECT_EQ(triangle_count(star), 0u);
+}
+
+TEST(Metrics, TrianglePlusTailClustering) {
+  const auto g = triangle_plus_tail();
+  EXPECT_EQ(triangle_count(g), 1u);
+  // Local: node0=1, node1=1, node2=1/3, node3=0 -> mean 0.5833..
+  EXPECT_NEAR(clustering_coefficient(g), (1.0 + 1.0 + 1.0 / 3.0) / 4.0, 1e-12);
+  // Triples: deg (2,2,3,1) -> 1+1+3+0 = 5; 3*1/5 = 0.6
+  EXPECT_NEAR(transitivity(g), 0.6, 1e-12);
+}
+
+TEST(Metrics, AssortativityOfStarIsNegative) {
+  Graph star(6);
+  for (NodeId v = 1; v < 6; ++v) star.add_edge(0, v);
+  EXPECT_LT(degree_assortativity(star), -0.99);
+}
+
+TEST(Metrics, DegreeHistogram) {
+  const auto g = triangle_plus_tail();
+  const auto h = degree_histogram(g);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+  const auto seq = degree_sequence(g);
+  EXPECT_EQ(seq, (std::vector<size_t>{2, 2, 3, 1}));
+}
+
+TEST(Cliques, CountsMaximalCliques) {
+  const auto g = triangle_plus_tail();
+  const auto stats = count_maximal_cliques(g);
+  EXPECT_EQ(stats.maximal_cliques, 2u);  // {0,1,2} and {2,3}
+  EXPECT_EQ(stats.max_clique_size, 3u);
+  EXPECT_FALSE(stats.truncated);
+}
+
+TEST(Cliques, CapTruncates) {
+  util::Rng rng(5);
+  const auto g = erdos_renyi_gnm(30, 200, rng);
+  const auto stats = count_maximal_cliques(g, 5);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_GE(stats.maximal_cliques, 5u);
+}
+
+TEST(Generators, GnmExactCounts) {
+  util::Rng rng(1);
+  const auto g = erdos_renyi_gnm(50, 120, rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_EQ(g.num_edges(), 120u);
+}
+
+TEST(Generators, GnmClampsToMaxEdges) {
+  util::Rng rng(2);
+  const auto g = erdos_renyi_gnm(5, 100, rng);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(Generators, GnpDensityNearP) {
+  util::Rng rng(3);
+  const auto g = erdos_renyi_gnp(200, 0.1, rng);
+  EXPECT_NEAR(g.density(), 0.1, 0.02);
+}
+
+TEST(Generators, ConfigurationModelPreservesDegreesApproximately) {
+  util::Rng rng(4);
+  std::vector<size_t> degrees(100, 6);
+  const auto g = configuration_model(degrees, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  // Multi-edges/self-loops are collapsed, so slightly fewer than 300.
+  EXPECT_GT(g.num_edges(), 250u);
+  EXPECT_LE(g.num_edges(), 300u);
+}
+
+TEST(Generators, BarabasiAlbertHasHubs) {
+  util::Rng rng(5);
+  const auto g = barabasi_albert(300, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 300u);
+  size_t max_deg = 0;
+  for (NodeId u = 0; u < 300; ++u) max_deg = std::max(max_deg, g.degree(u));
+  EXPECT_GT(max_deg, 20u) << "preferential attachment should create hubs";
+  const auto d = distance_stats(g);
+  EXPECT_TRUE(d.connected);
+}
+
+TEST(Generators, WattsStrogatzRingDegree) {
+  util::Rng rng(6);
+  const auto g = watts_strogatz(100, 4, 0.0, rng);
+  for (NodeId u = 0; u < 100; ++u) EXPECT_EQ(g.degree(u), 4u);
+}
+
+TEST(Io, CsvRoundTrip) {
+  const auto g = triangle_plus_tail();
+  std::stringstream ss;
+  write_edge_csv(g, ss);
+  const Graph back = read_edge_csv(ss);
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (const auto& [u, v] : g.edges()) EXPECT_TRUE(back.has_edge(u, v));
+}
+
+TEST(Io, DotContainsAllEdges) {
+  const auto g = triangle_plus_tail();
+  std::stringstream ss;
+  write_dot(g, ss);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -- n3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topo::graph

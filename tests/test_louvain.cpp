@@ -1,0 +1,115 @@
+// Tests for modularity and Louvain community detection.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/louvain.h"
+#include "graph/metrics.h"
+
+namespace topo::graph {
+namespace {
+
+/// Two K5 cliques joined by one bridge edge — an unambiguous 2-community
+/// graph.
+Graph two_cliques() {
+  Graph g(10);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) g.add_edge(u, v);
+  }
+  for (NodeId u = 5; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) g.add_edge(u, v);
+  }
+  g.add_edge(4, 5);
+  return g;
+}
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const auto g = two_cliques();
+  std::vector<uint32_t> all_same(10, 0);
+  EXPECT_NEAR(modularity(g, all_same), 0.0, 1e-12);
+}
+
+TEST(Modularity, PlantedPartitionScoresHigh) {
+  const auto g = two_cliques();
+  std::vector<uint32_t> planted(10, 0);
+  for (NodeId u = 5; u < 10; ++u) planted[u] = 1;
+  const double q = modularity(g, planted);
+  EXPECT_GT(q, 0.4);
+  // Random split scores much worse.
+  std::vector<uint32_t> alternating(10);
+  for (NodeId u = 0; u < 10; ++u) alternating[u] = u % 2;
+  EXPECT_LT(modularity(g, alternating), q - 0.3);
+}
+
+TEST(Louvain, RecoversPlantedCommunities) {
+  const auto g = two_cliques();
+  util::Rng rng(1);
+  const auto result = louvain(g, rng);
+  EXPECT_EQ(result.count, 2u);
+  // All of 0..4 together, all of 5..9 together.
+  for (NodeId u = 1; u < 5; ++u) EXPECT_EQ(result.assignment[u], result.assignment[0]);
+  for (NodeId u = 6; u < 10; ++u) EXPECT_EQ(result.assignment[u], result.assignment[5]);
+  EXPECT_NE(result.assignment[0], result.assignment[5]);
+  EXPECT_GT(result.modularity, 0.4);
+}
+
+TEST(Louvain, ModularityFieldMatchesRecomputation) {
+  util::Rng grng(2);
+  const auto g = erdos_renyi_gnm(60, 180, grng);
+  util::Rng rng(3);
+  const auto result = louvain(g, rng);
+  EXPECT_NEAR(result.modularity, modularity(g, result.assignment), 1e-9);
+}
+
+TEST(Louvain, DeterministicPerSeed) {
+  util::Rng grng(4);
+  const auto g = erdos_renyi_gnm(80, 240, grng);
+  util::Rng r1(7), r2(7);
+  const auto a = louvain(g, r1);
+  const auto b = louvain(g, r2);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(Louvain, EmptyAndTinyGraphs) {
+  Graph empty;
+  util::Rng rng(1);
+  const auto r = louvain(empty, rng);
+  EXPECT_EQ(r.count, 0u);
+
+  Graph singleton(1);
+  const auto r1 = louvain(singleton, rng);
+  EXPECT_EQ(r1.count, 1u);
+}
+
+TEST(Louvain, CommunityStatsConsistency) {
+  const auto g = two_cliques();
+  std::vector<uint32_t> planted(10, 0);
+  for (NodeId u = 5; u < 10; ++u) planted[u] = 1;
+  const auto stats = community_stats(g, planted);
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.nodes, 5u);
+    EXPECT_EQ(s.intra_edges, 10u);  // K5
+    EXPECT_EQ(s.inter_edges, 1u);   // the bridge
+    EXPECT_DOUBLE_EQ(s.intra_density, 1.0);
+    EXPECT_EQ(s.degree_one, 0u);
+  }
+  // Total intra edges + bridge = all edges.
+  EXPECT_EQ(stats[0].intra_edges + stats[1].intra_edges + 1, g.num_edges());
+}
+
+TEST(Louvain, RandomGraphModularityModerate) {
+  // ER graphs have no real community structure; Louvain still finds
+  // partitions with modest positive modularity (paper Table 4 reports
+  // ~0.16 for ER n=588 m=7496).
+  util::Rng grng(5);
+  const auto g = erdos_renyi_gnm(200, 2400, grng);
+  util::Rng rng(6);
+  const auto result = louvain(g, rng);
+  EXPECT_GT(result.modularity, 0.05);
+  EXPECT_LT(result.modularity, 0.5);
+}
+
+}  // namespace
+}  // namespace topo::graph

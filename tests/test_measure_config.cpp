@@ -1,0 +1,94 @@
+// Unit tests for the measurement configuration: the §5.2 price ladder, the
+// isolation inequalities it must satisfy for every client bump, and flood
+// sharding into per-account future batches.
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "mempool/client_profile.h"
+
+namespace topo::core {
+namespace {
+
+TEST(MeasureConfig, PriceLadderAtGethBump) {
+  MeasureConfig cfg;
+  cfg.price_Y = eth::gwei(0.1);  // the Fig. 2 example
+  cfg.bump_bp = 1000;            // R = 10%
+  EXPECT_EQ(cfg.price_txC(), eth::gwei(0.1));
+  EXPECT_EQ(cfg.price_future(), eth::gwei(0.11));
+  EXPECT_EQ(cfg.price_txA(), eth::gwei(0.105));
+  EXPECT_EQ(cfg.price_txB(), eth::gwei(0.095));
+}
+
+class LadderInvariants : public ::testing::TestWithParam<mempool::ClientKind> {};
+
+TEST_P(LadderInvariants, IsolationInequalitiesHold) {
+  const auto& policy = mempool::profile_for(GetParam()).policy;
+  if (policy.replace_bump_bp == 0) GTEST_SKIP() << "zero-bump clients are unmeasurable";
+
+  MeasureConfig cfg;
+  cfg.bump_bp = policy.replace_bump_bp;
+  // Below min_viable_Y the integer ladder collapses — assert that the
+  // degenerate case is what the guard protects against.
+  cfg.price_Y = 1;
+  EXPECT_TRUE(policy.accepts_replacement(cfg.price_txC(), cfg.price_txA()))
+      << "1-wei Y must indeed be degenerate (why min_viable_Y exists)";
+
+  for (const eth::Wei y : {eth::gwei(0.1), eth::gwei(1.0), eth::gwei(37.123),
+                           cfg.min_viable_Y(), eth::Wei{999'999'999'999ULL}}) {
+    cfg.price_Y = y;
+    // 1. txA must replace txB on the sink.
+    EXPECT_TRUE(policy.accepts_replacement(cfg.price_txB(), cfg.price_txA()))
+        << "Y=" << y << ": txA cannot take txB's slot";
+    // 2. txA must NOT replace txC anywhere else (isolation).
+    EXPECT_FALSE(policy.accepts_replacement(cfg.price_txC(), cfg.price_txA()))
+        << "Y=" << y << ": txA would leak through txC";
+    // 3. txC must not displace txB once planted.
+    EXPECT_FALSE(policy.accepts_replacement(cfg.price_txB(), cfg.price_txC()))
+        << "Y=" << y << ": re-propagated txC would kill txB";
+    // 4. The flood futures must price above txA (so txA never evicts them
+    //    spuriously) and satisfy the full bump over txC.
+    EXPECT_GE(cfg.price_future(), cfg.price_txA());
+    EXPECT_TRUE(policy.accepts_replacement(cfg.price_txC(), cfg.price_future()));
+    // 5. Strict ordering of the whole ladder.
+    EXPECT_LT(cfg.price_txB(), cfg.price_txC());
+    EXPECT_LT(cfg.price_txC(), cfg.price_txA());
+    EXPECT_LE(cfg.price_txA(), cfg.price_future());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clients, LadderInvariants, ::testing::ValuesIn(mempool::kAllClients),
+                         [](const ::testing::TestParamInfo<mempool::ClientKind>& info) {
+                           return mempool::client_name(info.param);
+                         });
+
+TEST(MeasureConfig, FloodAccountSharding) {
+  MeasureConfig cfg;
+  cfg.flood_Z = 5120;
+  cfg.futures_per_account_U = 4096;
+  EXPECT_EQ(cfg.flood_accounts(), 2u);
+  cfg.futures_per_account_U = 1;  // the Fig. 2 configuration
+  EXPECT_EQ(cfg.flood_accounts(), 5120u);
+  cfg.futures_per_account_U = 81;  // Parity
+  EXPECT_EQ(cfg.flood_accounts(), (5120 + 80) / 81);
+  cfg.futures_per_account_U = 0;  // degenerate: one per account
+  EXPECT_EQ(cfg.flood_accounts(), 5120u);
+}
+
+TEST(MeasureConfig, CraftTxRespectsFeeMode) {
+  eth::TxFactory f;
+  MeasureConfig cfg;
+  cfg.price_Y = eth::gwei(1.0);
+  auto legacy = craft_tx(f, cfg, 7, 0, cfg.price_txA());
+  EXPECT_FALSE(legacy.fee1559.has_value());
+  EXPECT_EQ(legacy.gas_price, cfg.price_txA());
+
+  cfg.eip1559 = true;
+  auto typed = craft_tx(f, cfg, 7, 0, cfg.price_txA());
+  ASSERT_TRUE(typed.fee1559.has_value());
+  EXPECT_EQ(typed.fee1559->max_fee, cfg.price_txA());
+  EXPECT_EQ(typed.pool_price(), cfg.price_txA()) << "pool compares max fees";
+}
+
+}  // namespace
+}  // namespace topo::core

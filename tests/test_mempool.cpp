@@ -1,0 +1,367 @@
+// Unit and property tests for the parameterized mempool (paper Table 2
+// semantics): classification, replacement, eviction, maintenance, EIP-1559.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "eth/account.h"
+#include "eth/transaction.h"
+#include "mempool/client_profile.h"
+#include "mempool/mempool.h"
+#include "util/rng.h"
+
+namespace topo::mempool {
+namespace {
+
+using eth::Address;
+using eth::Nonce;
+using eth::Transaction;
+using eth::TxFactory;
+using eth::Wei;
+
+MempoolPolicy small_policy() {
+  MempoolPolicy p;
+  p.capacity = 8;
+  p.future_cap = 4;
+  p.replace_bump_bp = 1000;
+  p.max_futures_per_account = 4;
+  p.min_pending_for_eviction = 0;
+  p.expiry_seconds = 100.0;
+  return p;
+}
+
+class MempoolTest : public ::testing::Test {
+ protected:
+  eth::MapState state;
+  TxFactory f;
+
+  Mempool make(MempoolPolicy p = small_policy()) { return Mempool(p, &state); }
+};
+
+TEST_F(MempoolTest, PendingVsFutureClassification) {
+  auto pool = make();
+  EXPECT_EQ(pool.add(f.make(1, 0, 100), 0.0).code, AdmitCode::kAddedPending);
+  EXPECT_EQ(pool.add(f.make(1, 1, 100), 0.0).code, AdmitCode::kAddedPending);
+  EXPECT_EQ(pool.add(f.make(1, 3, 100), 0.0).code, AdmitCode::kAddedFuture);
+  EXPECT_EQ(pool.pending_count(), 2u);
+  EXPECT_EQ(pool.future_count(), 1u);
+}
+
+TEST_F(MempoolTest, GapFillPromotesFutures) {
+  auto pool = make();
+  pool.add(f.make(1, 0, 100), 0.0);
+  pool.add(f.make(1, 2, 100), 0.0);
+  pool.add(f.make(1, 3, 100), 0.0);
+  EXPECT_EQ(pool.future_count(), 2u);
+  const auto result = pool.add(f.make(1, 1, 100), 0.0);
+  EXPECT_EQ(result.code, AdmitCode::kAddedPending);
+  EXPECT_EQ(result.promoted.size(), 2u) << "nonces 2 and 3 should promote";
+  EXPECT_EQ(pool.pending_count(), 4u);
+  EXPECT_EQ(pool.future_count(), 0u);
+}
+
+TEST_F(MempoolTest, StaleNonceRejected) {
+  state.set_next_nonce(1, 5);
+  auto pool = make();
+  EXPECT_EQ(pool.add(f.make(1, 4, 100), 0.0).code, AdmitCode::kRejectedStaleNonce);
+  EXPECT_EQ(pool.add(f.make(1, 5, 100), 0.0).code, AdmitCode::kAddedPending);
+}
+
+TEST_F(MempoolTest, DuplicateHashRejected) {
+  auto pool = make();
+  const auto tx = f.make(1, 0, 100);
+  EXPECT_TRUE(pool.add(tx, 0.0).admitted());
+  EXPECT_EQ(pool.add(tx, 0.0).code, AdmitCode::kRejectedDuplicate);
+}
+
+TEST_F(MempoolTest, ReplacementRequiresBump) {
+  auto pool = make();
+  pool.add(f.make(1, 0, 1000), 0.0);
+  // 9.99% bump: rejected.
+  EXPECT_EQ(pool.add(f.make(1, 0, 1099), 0.0).code,
+            AdmitCode::kRejectedUnderpricedReplacement);
+  // Exactly 10%: accepted.
+  const auto result = pool.add(f.make(1, 0, 1100), 0.0);
+  EXPECT_EQ(result.code, AdmitCode::kReplaced);
+  ASSERT_TRUE(result.replaced.has_value());
+  EXPECT_EQ(result.replaced->gas_price, 1000u);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.find(1, 0)->gas_price, 1100u);
+}
+
+TEST_F(MempoolTest, ReplacementAllowedWhenPoolFull) {
+  auto pool = make();
+  for (int i = 0; i < 8; ++i) pool.add(f.make(10 + i, 0, 100), 0.0);
+  EXPECT_TRUE(pool.full());
+  EXPECT_EQ(pool.add(f.make(10, 0, 200), 0.0).code, AdmitCode::kReplaced);
+  EXPECT_EQ(pool.size(), 8u);
+}
+
+TEST_F(MempoolTest, ZeroBumpAllowsEqualPriceReplacement) {
+  // The Aleth/Nethermind flaw reported in §5.1.
+  MempoolPolicy p = small_policy();
+  p.replace_bump_bp = 0;
+  auto pool = make(p);
+  pool.add(f.make(1, 0, 1000), 0.0);
+  EXPECT_EQ(pool.add(f.make(1, 0, 1000), 0.0).code, AdmitCode::kReplaced);
+  EXPECT_EQ(pool.add(f.make(1, 0, 999), 0.0).code,
+            AdmitCode::kRejectedUnderpricedReplacement);
+}
+
+TEST_F(MempoolTest, EvictionRemovesCheapestWhenFull) {
+  auto pool = make();
+  for (int i = 0; i < 8; ++i) pool.add(f.make(10 + i, 0, 100 + i), 0.0);
+  const auto result = pool.add(f.make(99, 0, 500), 0.0);
+  EXPECT_EQ(result.code, AdmitCode::kAddedPending);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0].gas_price, 100u);
+  EXPECT_EQ(pool.size(), 8u);
+}
+
+TEST_F(MempoolTest, UnderpricedIncomerRejectedWhenFull) {
+  auto pool = make();
+  for (int i = 0; i < 8; ++i) pool.add(f.make(10 + i, 0, 100), 0.0);
+  EXPECT_EQ(pool.add(f.make(99, 0, 100), 0.0).code, AdmitCode::kRejectedPoolFull);
+  EXPECT_EQ(pool.add(f.make(99, 0, 50), 0.0).code, AdmitCode::kRejectedPoolFull);
+}
+
+TEST_F(MempoolTest, FutureEvictionGatedByMinPending) {
+  MempoolPolicy p = small_policy();
+  p.min_pending_for_eviction = 5;
+  auto pool = make(p);
+  // 4 pending + 4 futures = full, pending below the P=5 gate.
+  for (int i = 0; i < 4; ++i) pool.add(f.make(10 + i, 0, 100), 0.0);
+  for (int i = 0; i < 4; ++i) pool.add(f.make(20 + i, 1, 100), 0.0);
+  EXPECT_TRUE(pool.full());
+  EXPECT_EQ(pool.add(f.make(99, 1, 500), 0.0).code, AdmitCode::kRejectedEvictionForbidden);
+  // A pending incomer is not gated by P.
+  EXPECT_EQ(pool.add(f.make(99, 0, 500), 0.0).code, AdmitCode::kAddedPending);
+}
+
+TEST_F(MempoolTest, FutureLimitPerAccount) {
+  auto pool = make();  // U = 4
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pool.add(f.make(1, 1 + i, 100), 0.0).code, AdmitCode::kAddedFuture);
+  }
+  EXPECT_EQ(pool.add(f.make(1, 10, 100), 0.0).code, AdmitCode::kRejectedFutureLimit);
+  // Other accounts are unaffected.
+  EXPECT_EQ(pool.add(f.make(2, 1, 100), 0.0).code, AdmitCode::kAddedFuture);
+}
+
+TEST_F(MempoolTest, EvictingMidNonceDemotesFollowers) {
+  auto pool = make();
+  pool.add(f.make(1, 0, 50), 0.0);   // cheapest, will be evicted
+  pool.add(f.make(1, 1, 500), 0.0);
+  pool.add(f.make(1, 2, 500), 0.0);
+  for (int i = 0; i < 5; ++i) pool.add(f.make(10 + i, 0, 400), 0.0);
+  EXPECT_TRUE(pool.full());
+  EXPECT_EQ(pool.pending_count(), 8u);
+  const auto result = pool.add(f.make(99, 0, 600), 0.0);
+  EXPECT_EQ(result.code, AdmitCode::kAddedPending);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0].gas_price, 50u);
+  // Sender 1's nonces 1 and 2 now have a gap -> futures.
+  EXPECT_EQ(pool.future_count(), 2u);
+}
+
+TEST_F(MempoolTest, MaintainTruncatesFutureOverflow) {
+  auto pool = make();  // future_cap = 4
+  for (int i = 0; i < 6; ++i) pool.add(f.make(10 + i, 1, 100 + i), 0.0);
+  EXPECT_EQ(pool.future_count(), 6u);
+  const auto update = pool.maintain(1.0);
+  EXPECT_EQ(update.dropped.size(), 2u);
+  EXPECT_EQ(pool.future_count(), 4u);
+  // Cheapest futures were dropped first.
+  EXPECT_EQ(update.dropped[0].gas_price, 100u);
+  EXPECT_EQ(update.dropped[1].gas_price, 101u);
+}
+
+TEST_F(MempoolTest, MaintainDropsExpired) {
+  auto pool = make();  // expiry 100 s
+  pool.add(f.make(1, 0, 100), 0.0);
+  pool.add(f.make(2, 0, 100), 50.0);
+  auto update = pool.maintain(99.0);
+  EXPECT_TRUE(update.dropped.empty());
+  update = pool.maintain(120.0);
+  ASSERT_EQ(update.dropped.size(), 1u);
+  EXPECT_EQ(update.dropped[0].sender, 1u);
+  update = pool.maintain(151.0);
+  ASSERT_EQ(update.dropped.size(), 1u);
+  EXPECT_EQ(update.dropped[0].sender, 2u);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST_F(MempoolTest, OnBlockDropsMinedAndPromotes) {
+  auto pool = make();
+  pool.add(f.make(1, 0, 100), 0.0);
+  pool.add(f.make(1, 1, 100), 0.0);
+  pool.add(f.make(1, 3, 100), 0.0);  // future
+  // Chain confirms nonces 0..2 (2 was mined elsewhere).
+  state.set_next_nonce(1, 3);
+  const auto update = pool.on_block();
+  EXPECT_EQ(update.dropped.size(), 2u);
+  ASSERT_EQ(update.promoted.size(), 1u);
+  EXPECT_EQ(update.promoted[0].nonce, 3u);
+  EXPECT_EQ(pool.pending_count(), 1u);
+}
+
+TEST_F(MempoolTest, MedianAndLowestPrice) {
+  auto pool = make();
+  pool.add(f.make(1, 0, 100), 0.0);
+  pool.add(f.make(2, 0, 300), 0.0);
+  pool.add(f.make(3, 0, 200), 0.0);
+  EXPECT_EQ(pool.lowest_price(), 100u);
+  EXPECT_EQ(pool.median_pending_price(), 200u);
+}
+
+TEST_F(MempoolTest, SnapshotsSeparatePendingFromFutures) {
+  auto pool = make();
+  pool.add(f.make(1, 0, 100), 0.0);
+  pool.add(f.make(1, 2, 100), 0.0);
+  EXPECT_EQ(pool.pending_snapshot().size(), 1u);
+  EXPECT_EQ(pool.all_snapshot().size(), 2u);
+}
+
+TEST_F(MempoolTest, Eip1559AdmissionAndPruning) {
+  MempoolPolicy p = small_policy();
+  p.eip1559 = true;
+  auto pool = make(p);
+  pool.set_base_fee(100);
+  EXPECT_EQ(pool.add(f.make1559(1, 0, 90, 5), 0.0).code, AdmitCode::kRejectedUnderBaseFee);
+  EXPECT_EQ(pool.add(f.make1559(2, 0, 150, 5), 0.0).code, AdmitCode::kAddedPending);
+  // Base fee rises above the buffered max fee -> dropped at maintenance.
+  pool.set_base_fee(200);
+  const auto update = pool.maintain(0.0);
+  ASSERT_EQ(update.dropped.size(), 1u);
+  EXPECT_EQ(update.dropped[0].sender, 2u);
+}
+
+TEST_F(MempoolTest, FuturesOnlyEvictionVariant) {
+  // The DETER-countermeasure ablation: a future incomer may only displace
+  // other futures, never pending transactions.
+  MempoolPolicy p = small_policy();
+  p.victim = EvictionVictim::kFuturesFirst;
+  auto pool = make(p);
+  for (int i = 0; i < 7; ++i) pool.add(f.make(10 + i, 0, 100), 0.0);  // pending @100
+  pool.add(f.make(50, 1, 150), 0.0);                                  // future @150
+  EXPECT_TRUE(pool.full());
+
+  // Future incomer: evicts the cheapest future, not the cheaper pendings.
+  auto result = pool.add(f.make(99, 1, 500), 0.0);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0].gas_price, 150u);
+
+  // Another future incomer: the only future left costs 500 — too pricey to
+  // evict at 400, and pendings are protected.
+  EXPECT_EQ(pool.add(f.make(98, 1, 400), 0.0).code, AdmitCode::kRejectedPoolFull);
+
+  // A pending incomer still evicts the globally cheapest entry.
+  result = pool.add(f.make(97, 0, 600), 0.0);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0].gas_price, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Property-style sweeps over every client profile (paper Table 3).
+// ---------------------------------------------------------------------------
+
+class ClientPolicyTest : public ::testing::TestWithParam<ClientKind> {
+ protected:
+  eth::MapState state;
+  TxFactory f;
+};
+
+TEST_P(ClientPolicyTest, ReplacementThresholdMatchesProfile) {
+  const auto& profile = profile_for(GetParam());
+  Mempool pool(profile.policy, &state);
+  const Wei base = 1'000'000;
+  pool.add(f.make(1, 0, base), 0.0);
+  const Wei min_ok = profile.policy.min_replacement_price(base);
+  if (min_ok > base) {
+    EXPECT_EQ(pool.add(f.make(1, 0, min_ok - 1), 0.0).code,
+              AdmitCode::kRejectedUnderpricedReplacement);
+  }
+  EXPECT_EQ(pool.add(f.make(1, 0, min_ok), 0.0).code, AdmitCode::kReplaced);
+}
+
+TEST_P(ClientPolicyTest, ReplacementMonotoneInPrice) {
+  // If price q replaces, every q' > q must replace too.
+  const auto& policy = profile_for(GetParam()).policy;
+  const Wei base = 777'777;
+  bool seen_accept = false;
+  for (Wei q = base; q <= 2 * base; q += base / 16) {
+    const bool ok = policy.accepts_replacement(base, q);
+    if (seen_accept) {
+      EXPECT_TRUE(ok) << "non-monotone acceptance at " << q;
+    }
+    seen_accept = seen_accept || ok;
+  }
+  EXPECT_TRUE(seen_accept);
+}
+
+TEST_P(ClientPolicyTest, EvictionNeverRemovesPricierThanIncoming) {
+  const auto& profile = profile_for(GetParam());
+  MempoolPolicy policy = profile.policy;
+  policy.capacity = 32;  // scaled for the test
+  policy.future_cap = 16;
+  Mempool pool(policy, &state);
+  for (int i = 0; i < 32; ++i) pool.add(f.make(100 + i, 0, 100 + 10 * i), 0.0);
+  const auto result = pool.add(f.make(999, 0, 250), 0.0);
+  for (const auto& victim : result.evicted) {
+    EXPECT_LT(victim.gas_price, 250u);
+  }
+}
+
+TEST_P(ClientPolicyTest, FutureCapRespectedAfterMaintain) {
+  const auto& profile = profile_for(GetParam());
+  MempoolPolicy policy = profile.policy;
+  policy.capacity = 64;
+  policy.future_cap = 8;
+  Mempool pool(policy, &state);
+  const size_t u = std::min<uint64_t>(policy.max_futures_per_account, 4);
+  for (int acct = 0; acct < 8; ++acct) {
+    for (size_t j = 0; j < u; ++j) pool.add(f.make(10 + acct, 1 + j, 100), 0.0);
+  }
+  pool.maintain(0.0);
+  EXPECT_LE(pool.future_count(), 8u);
+}
+
+TEST_P(ClientPolicyTest, MeasurabilityMatchesPaper) {
+  const auto& profile = profile_for(GetParam());
+  const bool expected = GetParam() != ClientKind::kNethermind && GetParam() != ClientKind::kAleth;
+  EXPECT_EQ(profile.measurable(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClients, ClientPolicyTest, ::testing::ValuesIn(kAllClients),
+                         [](const ::testing::TestParamInfo<ClientKind>& info) {
+                           return client_name(info.param);
+                         });
+
+// Sweep of capacities: eviction keeps the size invariant at L.
+class CapacitySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CapacitySweep, SizeNeverExceedsCapacity) {
+  eth::MapState state;
+  TxFactory f;
+  MempoolPolicy policy = small_policy();
+  policy.capacity = GetParam();
+  policy.future_cap = GetParam();
+  policy.max_futures_per_account = GetParam();
+  Mempool pool(policy, &state);
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const Address sender = 1 + rng.index(20);
+    const Nonce nonce = rng.index(4);
+    const Wei price = 100 + rng.index(1000);
+    pool.add(f.make(sender, nonce, price), 0.0);
+    ASSERT_LE(pool.size(), policy.capacity);
+    ASSERT_EQ(pool.pending_count() + pool.future_count(), pool.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CapacitySweep, ::testing::Values(4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace topo::mempool

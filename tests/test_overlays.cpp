@@ -1,0 +1,82 @@
+// Tests for the multi-overlay structure of paper Fig. 1: several blockchain
+// overlays (networkIDs) share one platform but never exchange transactions,
+// and the measurement supernode can observe any of them.
+
+#include <gtest/gtest.h>
+
+#include "eth/chain.h"
+#include "p2p/measurement_node.h"
+#include "p2p/network.h"
+#include "p2p/node.h"
+
+namespace topo::p2p {
+namespace {
+
+struct MultiWorld {
+  sim::Simulator sim;
+  eth::Chain chain{8'000'000};
+  Network net{&sim, &chain, util::Rng(21), sim::LatencyModel::fixed(0.05)};
+  eth::TxFactory factory;
+  eth::AccountManager accounts;
+
+  PeerId add(uint64_t network_id) {
+    NodeConfig cfg;
+    cfg.network_id = network_id;
+    mempool::MempoolPolicy p = mempool::profile_for(mempool::ClientKind::kGeth).policy;
+    p.capacity = 64;
+    p.future_cap = 16;
+    cfg.policy_override = p;
+    return net.add_node(cfg);
+  }
+};
+
+TEST(Overlays, HandshakeRejectsCrossNetworkLinks) {
+  MultiWorld w;
+  const PeerId mainnet = w.add(1);
+  const PeerId ropsten = w.add(3);
+  const PeerId ropsten2 = w.add(3);
+  EXPECT_FALSE(w.net.connect(mainnet, ropsten)) << "networkID mismatch must disconnect";
+  EXPECT_TRUE(w.net.connect(ropsten, ropsten2));
+  EXPECT_FALSE(w.net.linked(mainnet, ropsten));
+  EXPECT_TRUE(w.net.linked(ropsten, ropsten2));
+  EXPECT_EQ(w.net.network_id_of(mainnet), 1u);
+  EXPECT_EQ(w.net.network_id_of(ropsten), 3u);
+}
+
+TEST(Overlays, TransactionsStayWithinTheirOverlay) {
+  MultiWorld w;
+  // Two overlays: mainnet {0,1}, ropsten {2,3}; all same-network links.
+  const PeerId m0 = w.add(1), m1 = w.add(1);
+  const PeerId r0 = w.add(3), r1 = w.add(3);
+  ASSERT_TRUE(w.net.connect(m0, m1));
+  ASSERT_TRUE(w.net.connect(r0, r1));
+
+  const eth::Address a = w.accounts.create_one();
+  const auto tx = w.factory.make(a, w.accounts.allocate_nonce(a), 500);
+  w.net.node(m0).submit(tx);
+  w.sim.run_until(5.0);
+  EXPECT_TRUE(w.net.node(m1).pool().contains(tx.hash()));
+  EXPECT_FALSE(w.net.node(r0).pool().contains(tx.hash()));
+  EXPECT_FALSE(w.net.node(r1).pool().contains(tx.hash()));
+}
+
+TEST(Overlays, MeasurementNodeObservesAnyOverlay) {
+  MultiWorld w;
+  const PeerId m0 = w.add(1);
+  const PeerId r0 = w.add(3);
+  MeasurementNode m(&w.net, &w.chain);
+  w.net.register_peer(&m);
+  // The wildcard observer handshakes with both overlays.
+  EXPECT_TRUE(w.net.connect(m.id(), m0));
+  EXPECT_TRUE(w.net.connect(m.id(), r0));
+  EXPECT_EQ(w.net.network_id_of(m.id()), 0u);
+
+  const eth::Address a = w.accounts.create_one();
+  const auto tx = w.factory.make(a, w.accounts.allocate_nonce(a), 500);
+  w.net.node(r0).submit(tx);
+  w.sim.run_until(5.0);
+  EXPECT_TRUE(m.received_from(tx.hash(), r0)) << "M hears the Ropsten overlay";
+}
+
+}  // namespace
+}  // namespace topo::p2p

@@ -1,0 +1,67 @@
+// Round-trip tests for measurement-report persistence.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/report_io.h"
+#include "graph/generators.h"
+
+namespace topo::core {
+namespace {
+
+TEST(ReportIo, GraphJsonRoundTrip) {
+  util::Rng rng(1);
+  const auto g = graph::erdos_renyi_gnm(20, 50, rng);
+  const auto j = graph_to_json(g);
+  const auto back = graph_from_json(j);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_nodes(), g.num_nodes());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  for (const auto& [u, v] : g.edges()) EXPECT_TRUE(back->has_edge(u, v));
+}
+
+TEST(ReportIo, GraphJsonRejectsMalformed) {
+  EXPECT_FALSE(graph_from_json(rpc::Json("nope")).has_value());
+  auto j = rpc::Json::parse(R"({"nodes":2,"edges":[[0,5]]})");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_FALSE(graph_from_json(*j).has_value()) << "edge endpoint out of range";
+  j = rpc::Json::parse(R"({"nodes":2,"edges":[[0]]})");
+  EXPECT_FALSE(graph_from_json(*j).has_value()) << "malformed edge";
+}
+
+TEST(ReportIo, ReportFileRoundTrip) {
+  util::Rng rng(2);
+  NetworkMeasurementReport report;
+  report.measured = graph::erdos_renyi_gnm(12, 30, rng);
+  report.iterations = 7;
+  report.pairs_tested = 66;
+  report.sim_seconds = 1234.5;
+  report.txs_sent = 98765;
+
+  const std::string path = "/tmp/toposhot_report_test.json";
+  ASSERT_TRUE(save_report(report, path));
+  const auto back = load_report(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->iterations, 7u);
+  EXPECT_EQ(back->pairs_tested, 66u);
+  EXPECT_DOUBLE_EQ(back->sim_seconds, 1234.5);
+  EXPECT_EQ(back->txs_sent, 98765u);
+  EXPECT_EQ(back->measured.num_edges(), report.measured.num_edges());
+}
+
+TEST(ReportIo, LoadRejectsWrongFormat) {
+  const std::string path = "/tmp/toposhot_report_bad.json";
+  {
+    std::ofstream out(path);
+    out << R"({"format":"something-else"})";
+  }
+  EXPECT_FALSE(load_report(path).has_value());
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_report("/nonexistent/path.json").has_value());
+}
+
+}  // namespace
+}  // namespace topo::core

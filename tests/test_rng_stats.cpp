@@ -1,0 +1,172 @@
+// Unit tests for util: RNG determinism/distributions, stats, histogram.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace topo::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+  }
+  bool all_equal = true;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next() != c.next()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all values in [3,7] should appear";
+}
+
+TEST(Rng, IndexStaysBelowN) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.index(13), 13u);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(4);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.15);
+  EXPECT_NEAR(acc.stddev(), 3.0, 0.15);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.lognormal(0.05, 0.4));
+  EXPECT_NEAR(median(xs), 0.05, 0.005);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(9);
+  const auto s = rng.sample_indices(100, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (size_t i : s) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesClampsToN) {
+  Rng rng(10);
+  EXPECT_EQ(rng.sample_indices(5, 50).size(), 5u);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng a(11);
+  Rng b = a.split();
+  bool differ = false;
+  for (int i = 0; i < 10 && !differ; ++i) differ = a.next() != b.next();
+  EXPECT_TRUE(differ);
+}
+
+TEST(Stats, MeanMedianPercentile) {
+  std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(median(xs), 0.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(xs, xs), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4}, ys{2, 4, 6, 8}, zs{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  std::vector<double> xs{1, 2, 3}, ys{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  std::vector<double> xs{1.5, -2.0, 7.25, 0.0, 3.5};
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(acc.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.25);
+  EXPECT_NEAR(acc.sum(), 10.25, 1e-12);
+}
+
+TEST(Stats, HistogramFractions) {
+  Histogram h;
+  h.add(1);
+  h.add(1);
+  h.add(2);
+  h.add(10, 2);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.4);
+  EXPECT_DOUBLE_EQ(h.fraction(10), 0.4);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.0);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 10);
+  EXPECT_NEAR(h.mean(), (1 + 1 + 2 + 10 + 10) / 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace topo::util

@@ -1,0 +1,105 @@
+// Tests for the §5.3.2 two-round parallel schedule: exact pair coverage and
+// the N/K + log2(K) iteration count.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/schedule.h"
+
+namespace topo::core {
+namespace {
+
+/// Counts how many times each unordered pair is covered by the plan.
+std::map<std::pair<size_t, size_t>, int> coverage(const std::vector<IterationPlan>& plan) {
+  std::map<std::pair<size_t, size_t>, int> cov;
+  for (const auto& it : plan) {
+    for (const auto& [s, t] : it.pairs) {
+      cov[{std::min(s, t), std::max(s, t)}]++;
+    }
+  }
+  return cov;
+}
+
+class SchedulePairSweep : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SchedulePairSweep, EveryPairExactlyOnce) {
+  const auto [n, k] = GetParam();
+  const auto plan = make_schedule(n, k);
+  const auto cov = coverage(plan);
+  EXPECT_EQ(cov.size(), n * (n - 1) / 2);
+  for (const auto& [pair, count] : cov) {
+    ASSERT_EQ(count, 1) << "pair (" << pair.first << "," << pair.second << ") covered " << count
+                        << " times";
+  }
+}
+
+TEST_P(SchedulePairSweep, SourcesAndSinksDisjointPerIteration) {
+  const auto [n, k] = GetParam();
+  for (const auto& it : make_schedule(n, k)) {
+    std::set<size_t> sources(it.sources.begin(), it.sources.end());
+    for (size_t s : it.sinks) {
+      ASSERT_EQ(sources.count(s), 0u) << "node is both source and sink";
+    }
+    // Every pair references declared sources/sinks.
+    std::set<size_t> sinks(it.sinks.begin(), it.sinks.end());
+    for (const auto& [s, t] : it.pairs) {
+      ASSERT_TRUE(sources.count(s));
+      ASSERT_TRUE(sinks.count(t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SchedulePairSweep,
+                         ::testing::Values(std::pair<size_t, size_t>{8, 3},
+                                           std::pair<size_t, size_t>{8, 4},
+                                           std::pair<size_t, size_t>{10, 2},
+                                           std::pair<size_t, size_t>{17, 5},
+                                           std::pair<size_t, size_t>{32, 8},
+                                           std::pair<size_t, size_t>{33, 8},
+                                           std::pair<size_t, size_t>{5, 10},
+                                           std::pair<size_t, size_t>{2, 2}));
+
+TEST(Schedule, IterationCountMatchesFormula) {
+  // Paper: N/K round-1 iterations (minus the last group, which has nothing
+  // after it) + ceil(log2 K) halving iterations.
+  const auto plan = make_schedule(32, 8);
+  const size_t round1 = 32 / 8 - 1;
+  const size_t round2 = 3;  // log2(8)
+  EXPECT_EQ(plan.size(), round1 + round2);
+}
+
+TEST(Schedule, PaperExampleN8K3) {
+  // §5.3.2's example: N=8, K=3 yields two cross-group iterations plus two
+  // halving iterations.
+  const auto plan = make_schedule(8, 3);
+  ASSERT_GE(plan.size(), 3u);
+  // First iteration: group {0,1,2} vs everything after.
+  EXPECT_EQ(plan[0].sources.size(), 3u);
+  EXPECT_EQ(plan[0].sinks.size(), 5u);
+  EXPECT_EQ(plan[0].pairs.size(), 15u);
+  // Second: group {3,4,5} vs {6,7}.
+  EXPECT_EQ(plan[1].sources.size(), 3u);
+  EXPECT_EQ(plan[1].sinks.size(), 2u);
+  EXPECT_EQ(plan[1].pairs.size(), 6u);
+}
+
+TEST(Schedule, DegenerateInputs) {
+  EXPECT_TRUE(make_schedule(0, 4).empty());
+  EXPECT_TRUE(make_schedule(1, 4).empty());
+  const auto plan = make_schedule(2, 4);  // K clamped to n
+  ASSERT_EQ(coverage(plan).size(), 1u);
+}
+
+TEST(Schedule, LargerKMeansFewerIterations) {
+  const size_t n = 64;
+  size_t prev = SIZE_MAX;
+  for (size_t k : {2, 4, 8, 16}) {
+    const size_t iters = make_schedule(n, k).size();
+    EXPECT_LT(iters, prev) << "iterations should shrink as K grows (Fig 5)";
+    prev = iters;
+  }
+}
+
+}  // namespace
+}  // namespace topo::core

@@ -1,0 +1,126 @@
+// Unit tests for the discrete-event simulator and latency models.
+
+#include <gtest/gtest.h>
+
+#include "sim/latency.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace topo::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(2.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(1.0, [&] { order.push_back(2); });  // same time: insertion order
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunExecutesAllAndAdvancesClock) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.at(5.0, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.processed(), 1u);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  sim.at(2.0, [&] {
+    sim.after(3.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 5.0); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  sim.run_until(10.0);
+  bool ran = false;
+  sim.at(1.0, [&] {
+    ran = true;
+    EXPECT_GE(sim.now(), 10.0);
+  });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1.0, [&] { ++count; });
+  sim.at(2.0, [&] { ++count; });
+  sim.at(3.0, [&] { ++count; });
+  sim.run_until(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, EveryRepeatsUntilFalse) {
+  Simulator sim;
+  int ticks = 0;
+  sim.every(1.0, 1.0, [&] { return ++ticks < 5; });
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunCappedStopsEarly) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.at(static_cast<double>(i), [] {});
+  EXPECT_FALSE(sim.run_capped(5));
+  EXPECT_TRUE(sim.run_capped(100));
+}
+
+TEST(Simulator, NestedSchedulingKeepsOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] {
+    order.push_back(1);
+    sim.at(1.0, [&] { order.push_back(2); });  // same timestamp, runs after
+  });
+  sim.at(2.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Latency, FixedIsConstant) {
+  util::Rng rng(1);
+  const auto model = LatencyModel::fixed(0.25);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(model.sample(rng), 0.25);
+}
+
+TEST(Latency, UniformWithinBounds) {
+  util::Rng rng(2);
+  const auto model = LatencyModel::uniform(0.01, 0.05);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = model.sample(rng);
+    ASSERT_GE(v, 0.01);
+    ASSERT_LE(v, 0.05);
+  }
+}
+
+TEST(Latency, LognormalMedianRoughlyMatches) {
+  util::Rng rng(3);
+  const auto model = LatencyModel::lognormal(0.05, 0.4);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(model.sample(rng));
+  EXPECT_NEAR(util::median(xs), 0.05, 0.005);
+}
+
+TEST(Latency, FloorsAtPositiveValue) {
+  util::Rng rng(4);
+  const auto model = LatencyModel::fixed(0.0);
+  EXPECT_GT(model.sample(rng), 0.0);
+}
+
+}  // namespace
+}  // namespace topo::sim

@@ -1,0 +1,71 @@
+// Coverage for the small util pieces: table rendering, CLI parsing, and
+// log level gating.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace topo::util {
+namespace {
+
+TEST(Table, AlignsColumnsAndPadsShortRows) {
+  Table t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b"});  // short row padded
+  const std::string out = t.to_string();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  // Every line has the same width (trailing spaces trimmed per cell rules
+  // aside, the header separator spans the full width).
+  std::istringstream ss(out);
+  std::string header, sep;
+  std::getline(ss, header);
+  std::getline(ss, sep);
+  EXPECT_GE(sep.size(), header.size() - 2);
+}
+
+TEST(Table, FormattersProduceStableStrings) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(static_cast<long long>(-7)), "-7");
+  EXPECT_EQ(fmt(static_cast<size_t>(42)), "42");
+  EXPECT_EQ(fmt_pct(0.8842), "88.4%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Cli, ParsesFlagsAndTypes) {
+  const char* argv[] = {"prog", "--nodes=50", "--rate=2.5", "--verbose", "--name=ropsten"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.has("nodes"));
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get_uint("nodes", 1), 50u);
+  EXPECT_EQ(cli.get_int("nodes", 1), 50);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(cli.get_string("name", ""), "ropsten");
+  EXPECT_TRUE(cli.get_bool("verbose", false)) << "bare flag means true";
+  EXPECT_EQ(cli.get_uint("absent", 7), 7u);
+  EXPECT_EQ(cli.get_string("absent", "dflt"), "dflt");
+  EXPECT_FALSE(cli.get_bool("absent", false));
+}
+
+TEST(Log, LevelGatesMessages) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold calls must be no-ops (nothing to assert on stderr
+  // portably; this exercises the early-return path).
+  TOPO_DEBUG("dropped %d", 1);
+  TOPO_INFO("dropped");
+  TOPO_WARN("dropped");
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace topo::util

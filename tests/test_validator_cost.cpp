@@ -1,0 +1,118 @@
+// Tests for precision/recall accounting, cost tracking, and the gas
+// estimator.
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/gas_estimator.h"
+#include "core/validator.h"
+#include "eth/chain.h"
+
+namespace topo::core {
+namespace {
+
+TEST(Validator, CompareGraphsCountsAllCells) {
+  graph::Graph truth(4);
+  truth.add_edge(0, 1);
+  truth.add_edge(1, 2);
+  graph::Graph measured(4);
+  measured.add_edge(0, 1);  // TP
+  measured.add_edge(2, 3);  // FP
+  const auto pr = compare_graphs(truth, measured);
+  EXPECT_EQ(pr.true_positive, 1u);
+  EXPECT_EQ(pr.false_positive, 1u);
+  EXPECT_EQ(pr.false_negative, 1u);
+  EXPECT_EQ(pr.true_negative, 3u);
+  EXPECT_EQ(pr.tested(), 6u);
+  EXPECT_DOUBLE_EQ(pr.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall(), 0.5);
+}
+
+TEST(Validator, ComparePairsOnlyCountsTested) {
+  graph::Graph truth(4);
+  truth.add_edge(0, 1);
+  truth.add_edge(2, 3);
+  const std::vector<std::pair<graph::NodeId, graph::NodeId>> tested{{0, 1}, {0, 2}};
+  const std::vector<bool> positives{true, false};
+  const auto pr = compare_pairs(truth, tested, positives);
+  EXPECT_EQ(pr.true_positive, 1u);
+  EXPECT_EQ(pr.true_negative, 1u);
+  EXPECT_EQ(pr.tested(), 2u);
+  EXPECT_DOUBLE_EQ(pr.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall(), 1.0);
+}
+
+TEST(Validator, VacuousCasesAreOne) {
+  PrecisionRecall pr;
+  EXPECT_DOUBLE_EQ(pr.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall(), 1.0);
+}
+
+TEST(Validator, MergeAccumulates) {
+  PrecisionRecall a, b;
+  a.true_positive = 2;
+  b.false_negative = 3;
+  a.merge(b);
+  EXPECT_EQ(a.true_positive, 2u);
+  EXPECT_EQ(a.false_negative, 3u);
+}
+
+TEST(Cost, OnlyTrackedIncludedTransactionsCost) {
+  eth::Chain chain(1'000'000);
+  eth::TxFactory f;
+  CostTracker tracker;
+  tracker.track_account(7);
+
+  eth::Block b;
+  b.timestamp = 5.0;
+  b.txs.push_back(f.make(7, 0, 100));   // tracked
+  b.txs.push_back(f.make(8, 0, 999));   // untracked
+  chain.commit(std::move(b));
+
+  EXPECT_EQ(tracker.included_txs(chain, 0.0, 10.0), 1u);
+  EXPECT_EQ(tracker.wei_spent(chain, 0.0, 10.0), eth::kTransferGas * 100);
+  EXPECT_EQ(tracker.wei_spent(chain, 6.0, 10.0), 0u) << "outside window";
+}
+
+TEST(Cost, ModelConversionsMatchPaperScale) {
+  CostModel model;
+  model.eth_usd = 2690.0;
+  // §6.3: one pair costs 7.1e-4 Ether ~ 1.91 USD at May 2021 prices.
+  EXPECT_NEAR(model.wei_to_usd(static_cast<eth::Wei>(7.1e-4 * 1e18)), 1.91, 0.02);
+  // Full mainnet: 8000 nodes -> > 60 M USD (paper's estimate).
+  EXPECT_GT(model.full_network_usd(8000, 7.1e-4), 60e6);
+  EXPECT_NEAR(model.full_network_ether(8000, 7.1e-4), 22.7e3, 0.5e3);
+}
+
+TEST(GasEstimator, MedianOfView) {
+  eth::MapState state;
+  eth::TxFactory f;
+  mempool::MempoolPolicy p;
+  p.capacity = 100;
+  mempool::Mempool view(p, &state);
+  for (int i = 1; i <= 9; ++i) view.add(f.make(i, 0, i * 100), 0.0);
+  EXPECT_EQ(estimate_price_Y(view), 500u);
+}
+
+TEST(GasEstimator, FallbackWhenEmpty) {
+  eth::MapState state;
+  mempool::MempoolPolicy p;
+  mempool::Mempool view(p, &state);
+  EXPECT_EQ(estimate_price_Y(view, 1234), 1234u);
+}
+
+TEST(GasEstimator, Y0StaysBelowInclusionFloor) {
+  eth::MapState state;
+  eth::TxFactory f;
+  mempool::MempoolPolicy p;
+  p.capacity = 100;
+  mempool::Mempool view(p, &state);
+  for (int i = 1; i <= 9; ++i) view.add(f.make(i, 0, 1'000'000), 0.0);
+  // Median is 1e6 but blocks only included >= 100k: Y0 must sit below.
+  EXPECT_EQ(estimate_price_Y0(view, 100'000, 0.5), 50'000u);
+  // When the median is already low, keep it.
+  EXPECT_EQ(estimate_price_Y0(view, 10'000'000, 0.5), 1'000'000u);
+}
+
+}  // namespace
+}  // namespace topo::core
