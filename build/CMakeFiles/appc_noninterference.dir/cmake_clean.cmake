@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appc_noninterference.dir/bench/appc_noninterference.cpp.o"
+  "CMakeFiles/appc_noninterference.dir/bench/appc_noninterference.cpp.o.d"
+  "bench/appc_noninterference"
+  "bench/appc_noninterference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appc_noninterference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appe_eip1559.dir/bench/appe_eip1559.cpp.o"
+  "CMakeFiles/appe_eip1559.dir/bench/appe_eip1559.cpp.o.d"
+  "bench/appe_eip1559"
+  "bench/appe_eip1559.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appe_eip1559.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

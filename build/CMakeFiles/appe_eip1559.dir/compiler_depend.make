@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appe_eip1559.
+# This may be replaced when dependencies are built.

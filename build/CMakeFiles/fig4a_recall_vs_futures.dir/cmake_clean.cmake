@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_recall_vs_futures.dir/bench/fig4a_recall_vs_futures.cpp.o"
+  "CMakeFiles/fig4a_recall_vs_futures.dir/bench/fig4a_recall_vs_futures.cpp.o.d"
+  "bench/fig4a_recall_vs_futures"
+  "bench/fig4a_recall_vs_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_recall_vs_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_group_size.dir/bench/fig4b_group_size.cpp.o"
+  "CMakeFiles/fig4b_group_size.dir/bench/fig4b_group_size.cpp.o.d"
+  "bench/fig4b_group_size"
+  "bench/fig4b_group_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

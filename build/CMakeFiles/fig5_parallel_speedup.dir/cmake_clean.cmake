@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_parallel_speedup.dir/bench/fig5_parallel_speedup.cpp.o"
+  "CMakeFiles/fig5_parallel_speedup.dir/bench/fig5_parallel_speedup.cpp.o.d"
+  "bench/fig5_parallel_speedup"
+  "bench/fig5_parallel_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_parallel_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

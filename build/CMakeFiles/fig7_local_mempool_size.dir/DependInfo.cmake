@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_local_mempool_size.cpp" "CMakeFiles/fig7_local_mempool_size.dir/bench/fig7_local_mempool_size.cpp.o" "gcc" "CMakeFiles/fig7_local_mempool_size.dir/bench/fig7_local_mempool_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_disc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_mempool.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

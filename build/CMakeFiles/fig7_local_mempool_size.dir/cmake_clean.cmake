@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_local_mempool_size.dir/bench/fig7_local_mempool_size.cpp.o"
+  "CMakeFiles/fig7_local_mempool_size.dir/bench/fig7_local_mempool_size.cpp.o.d"
+  "bench/fig7_local_mempool_size"
+  "bench/fig7_local_mempool_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_local_mempool_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

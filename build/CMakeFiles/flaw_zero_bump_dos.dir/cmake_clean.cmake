@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flaw_zero_bump_dos.dir/bench/flaw_zero_bump_dos.cpp.o"
+  "CMakeFiles/flaw_zero_bump_dos.dir/bench/flaw_zero_bump_dos.cpp.o.d"
+  "bench/flaw_zero_bump_dos"
+  "bench/flaw_zero_bump_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flaw_zero_bump_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

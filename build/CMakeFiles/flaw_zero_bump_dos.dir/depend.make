@@ -1,0 +1,2 @@
+# Empty dependencies file for flaw_zero_bump_dos.
+# This may be replaced when dependencies are built.

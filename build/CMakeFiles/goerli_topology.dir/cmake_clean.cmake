@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goerli_topology.dir/bench/goerli_topology.cpp.o"
+  "CMakeFiles/goerli_topology.dir/bench/goerli_topology.cpp.o.d"
+  "bench/goerli_topology"
+  "bench/goerli_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goerli_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mempool.dir/bench/micro_mempool.cpp.o"
+  "CMakeFiles/micro_mempool.dir/bench/micro_mempool.cpp.o.d"
+  "bench/micro_mempool"
+  "bench/micro_mempool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mempool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

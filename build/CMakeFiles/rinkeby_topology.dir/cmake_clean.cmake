@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rinkeby_topology.dir/bench/rinkeby_topology.cpp.o"
+  "CMakeFiles/rinkeby_topology.dir/bench/rinkeby_topology.cpp.o.d"
+  "bench/rinkeby_topology"
+  "bench/rinkeby_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rinkeby_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropsten_topology.dir/bench/ropsten_topology.cpp.o"
+  "CMakeFiles/ropsten_topology.dir/bench/ropsten_topology.cpp.o.d"
+  "bench/ropsten_topology"
+  "bench/ropsten_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropsten_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

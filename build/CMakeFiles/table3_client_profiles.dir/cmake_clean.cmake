@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_client_profiles.dir/bench/table3_client_profiles.cpp.o"
+  "CMakeFiles/table3_client_profiles.dir/bench/table3_client_profiles.cpp.o.d"
+  "bench/table3_client_profiles"
+  "bench/table3_client_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_client_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

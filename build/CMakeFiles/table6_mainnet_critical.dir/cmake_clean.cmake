@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_mainnet_critical.dir/bench/table6_mainnet_critical.cpp.o"
+  "CMakeFiles/table6_mainnet_critical.dir/bench/table6_mainnet_critical.cpp.o.d"
+  "bench/table6_mainnet_critical"
+  "bench/table6_mainnet_critical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_mainnet_critical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_costs.dir/bench/table7_costs.cpp.o"
+  "CMakeFiles/table7_costs.dir/bench/table7_costs.cpp.o.d"
+  "bench/table7_costs"
+  "bench/table7_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_local_parallel.dir/bench/table8_local_parallel.cpp.o"
+  "CMakeFiles/table8_local_parallel.dir/bench/table8_local_parallel.cpp.o.d"
+  "bench/table8_local_parallel"
+  "bench/table8_local_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_local_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

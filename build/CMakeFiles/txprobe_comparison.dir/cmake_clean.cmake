@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txprobe_comparison.dir/bench/txprobe_comparison.cpp.o"
+  "CMakeFiles/txprobe_comparison.dir/bench/txprobe_comparison.cpp.o.d"
+  "bench/txprobe_comparison"
+  "bench/txprobe_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txprobe_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

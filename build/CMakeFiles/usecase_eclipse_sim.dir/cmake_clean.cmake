@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usecase_eclipse_sim.dir/bench/usecase_eclipse_sim.cpp.o"
+  "CMakeFiles/usecase_eclipse_sim.dir/bench/usecase_eclipse_sim.cpp.o.d"
+  "bench/usecase_eclipse_sim"
+  "bench/usecase_eclipse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usecase_eclipse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

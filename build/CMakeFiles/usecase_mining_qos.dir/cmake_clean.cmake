@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usecase_mining_qos.dir/bench/usecase_mining_qos.cpp.o"
+  "CMakeFiles/usecase_mining_qos.dir/bench/usecase_mining_qos.cpp.o.d"
+  "bench/usecase_mining_qos"
+  "bench/usecase_mining_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usecase_mining_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usecase_security_analysis.dir/bench/usecase_security_analysis.cpp.o"
+  "CMakeFiles/usecase_security_analysis.dir/bench/usecase_security_analysis.cpp.o.d"
+  "bench/usecase_security_analysis"
+  "bench/usecase_security_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usecase_security_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

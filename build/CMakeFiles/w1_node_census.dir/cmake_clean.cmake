@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w1_node_census.dir/bench/w1_node_census.cpp.o"
+  "CMakeFiles/w1_node_census.dir/bench/w1_node_census.cpp.o.d"
+  "bench/w1_node_census"
+  "bench/w1_node_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w1_node_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for w1_node_census.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w2_inactive_links_survey.dir/bench/w2_inactive_links_survey.cpp.o"
+  "CMakeFiles/w2_inactive_links_survey.dir/bench/w2_inactive_links_survey.cpp.o.d"
+  "bench/w2_inactive_links_survey"
+  "bench/w2_inactive_links_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w2_inactive_links_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

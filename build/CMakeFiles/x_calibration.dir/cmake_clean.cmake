@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x_calibration.dir/bench/x_calibration.cpp.o"
+  "CMakeFiles/x_calibration.dir/bench/x_calibration.cpp.o.d"
+  "bench/x_calibration"
+  "bench/x_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

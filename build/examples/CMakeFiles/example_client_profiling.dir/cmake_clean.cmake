@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_client_profiling.dir/client_profiling.cpp.o"
+  "CMakeFiles/example_client_profiling.dir/client_profiling.cpp.o.d"
+  "example_client_profiling"
+  "example_client_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_client_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mainnet_critical.dir/mainnet_critical.cpp.o"
+  "CMakeFiles/example_mainnet_critical.dir/mainnet_critical.cpp.o.d"
+  "example_mainnet_critical"
+  "example_mainnet_critical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mainnet_critical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_testnet_topology.dir/testnet_topology.cpp.o"
+  "CMakeFiles/example_testnet_topology.dir/testnet_topology.cpp.o.d"
+  "example_testnet_topology"
+  "example_testnet_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_testnet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_toposhot_cli.dir/toposhot_cli.cpp.o"
+  "CMakeFiles/example_toposhot_cli.dir/toposhot_cli.cpp.o.d"
+  "example_toposhot_cli"
+  "example_toposhot_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_toposhot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

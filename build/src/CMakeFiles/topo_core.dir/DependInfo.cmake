@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/topo_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/CMakeFiles/topo_core.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/cost.cpp.o.d"
+  "/root/repo/src/core/gas_estimator.cpp" "src/CMakeFiles/topo_core.dir/core/gas_estimator.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/gas_estimator.cpp.o.d"
+  "/root/repo/src/core/mainnet.cpp" "src/CMakeFiles/topo_core.dir/core/mainnet.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/mainnet.cpp.o.d"
+  "/root/repo/src/core/noninterference.cpp" "src/CMakeFiles/topo_core.dir/core/noninterference.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/noninterference.cpp.o.d"
+  "/root/repo/src/core/one_link.cpp" "src/CMakeFiles/topo_core.dir/core/one_link.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/one_link.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/CMakeFiles/topo_core.dir/core/parallel.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/parallel.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/CMakeFiles/topo_core.dir/core/preprocess.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/preprocess.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/CMakeFiles/topo_core.dir/core/profiler.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/profiler.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/CMakeFiles/topo_core.dir/core/report_io.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/report_io.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/topo_core.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/toposhot.cpp" "src/CMakeFiles/topo_core.dir/core/toposhot.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/toposhot.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/CMakeFiles/topo_core.dir/core/validator.cpp.o" "gcc" "src/CMakeFiles/topo_core.dir/core/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_disc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_mempool.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

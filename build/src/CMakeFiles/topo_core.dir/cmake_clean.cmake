@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_core.dir/core/config.cpp.o"
+  "CMakeFiles/topo_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/cost.cpp.o"
+  "CMakeFiles/topo_core.dir/core/cost.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/gas_estimator.cpp.o"
+  "CMakeFiles/topo_core.dir/core/gas_estimator.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/mainnet.cpp.o"
+  "CMakeFiles/topo_core.dir/core/mainnet.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/noninterference.cpp.o"
+  "CMakeFiles/topo_core.dir/core/noninterference.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/one_link.cpp.o"
+  "CMakeFiles/topo_core.dir/core/one_link.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/parallel.cpp.o"
+  "CMakeFiles/topo_core.dir/core/parallel.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/preprocess.cpp.o"
+  "CMakeFiles/topo_core.dir/core/preprocess.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/profiler.cpp.o"
+  "CMakeFiles/topo_core.dir/core/profiler.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/report_io.cpp.o"
+  "CMakeFiles/topo_core.dir/core/report_io.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/schedule.cpp.o"
+  "CMakeFiles/topo_core.dir/core/schedule.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/toposhot.cpp.o"
+  "CMakeFiles/topo_core.dir/core/toposhot.cpp.o.d"
+  "CMakeFiles/topo_core.dir/core/validator.cpp.o"
+  "CMakeFiles/topo_core.dir/core/validator.cpp.o.d"
+  "libtopo_core.a"
+  "libtopo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disc/dialer.cpp" "src/CMakeFiles/topo_disc.dir/disc/dialer.cpp.o" "gcc" "src/CMakeFiles/topo_disc.dir/disc/dialer.cpp.o.d"
+  "/root/repo/src/disc/discovery.cpp" "src/CMakeFiles/topo_disc.dir/disc/discovery.cpp.o" "gcc" "src/CMakeFiles/topo_disc.dir/disc/discovery.cpp.o.d"
+  "/root/repo/src/disc/discv4.cpp" "src/CMakeFiles/topo_disc.dir/disc/discv4.cpp.o" "gcc" "src/CMakeFiles/topo_disc.dir/disc/discv4.cpp.o.d"
+  "/root/repo/src/disc/emergence.cpp" "src/CMakeFiles/topo_disc.dir/disc/emergence.cpp.o" "gcc" "src/CMakeFiles/topo_disc.dir/disc/emergence.cpp.o.d"
+  "/root/repo/src/disc/kademlia_table.cpp" "src/CMakeFiles/topo_disc.dir/disc/kademlia_table.cpp.o" "gcc" "src/CMakeFiles/topo_disc.dir/disc/kademlia_table.cpp.o.d"
+  "/root/repo/src/disc/node_id.cpp" "src/CMakeFiles/topo_disc.dir/disc/node_id.cpp.o" "gcc" "src/CMakeFiles/topo_disc.dir/disc/node_id.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_disc.dir/disc/dialer.cpp.o"
+  "CMakeFiles/topo_disc.dir/disc/dialer.cpp.o.d"
+  "CMakeFiles/topo_disc.dir/disc/discovery.cpp.o"
+  "CMakeFiles/topo_disc.dir/disc/discovery.cpp.o.d"
+  "CMakeFiles/topo_disc.dir/disc/discv4.cpp.o"
+  "CMakeFiles/topo_disc.dir/disc/discv4.cpp.o.d"
+  "CMakeFiles/topo_disc.dir/disc/emergence.cpp.o"
+  "CMakeFiles/topo_disc.dir/disc/emergence.cpp.o.d"
+  "CMakeFiles/topo_disc.dir/disc/kademlia_table.cpp.o"
+  "CMakeFiles/topo_disc.dir/disc/kademlia_table.cpp.o.d"
+  "CMakeFiles/topo_disc.dir/disc/node_id.cpp.o"
+  "CMakeFiles/topo_disc.dir/disc/node_id.cpp.o.d"
+  "libtopo_disc.a"
+  "libtopo_disc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_disc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eth/account.cpp" "src/CMakeFiles/topo_eth.dir/eth/account.cpp.o" "gcc" "src/CMakeFiles/topo_eth.dir/eth/account.cpp.o.d"
+  "/root/repo/src/eth/block.cpp" "src/CMakeFiles/topo_eth.dir/eth/block.cpp.o" "gcc" "src/CMakeFiles/topo_eth.dir/eth/block.cpp.o.d"
+  "/root/repo/src/eth/chain.cpp" "src/CMakeFiles/topo_eth.dir/eth/chain.cpp.o" "gcc" "src/CMakeFiles/topo_eth.dir/eth/chain.cpp.o.d"
+  "/root/repo/src/eth/miner.cpp" "src/CMakeFiles/topo_eth.dir/eth/miner.cpp.o" "gcc" "src/CMakeFiles/topo_eth.dir/eth/miner.cpp.o.d"
+  "/root/repo/src/eth/transaction.cpp" "src/CMakeFiles/topo_eth.dir/eth/transaction.cpp.o" "gcc" "src/CMakeFiles/topo_eth.dir/eth/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

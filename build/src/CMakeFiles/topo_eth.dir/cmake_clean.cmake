@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_eth.dir/eth/account.cpp.o"
+  "CMakeFiles/topo_eth.dir/eth/account.cpp.o.d"
+  "CMakeFiles/topo_eth.dir/eth/block.cpp.o"
+  "CMakeFiles/topo_eth.dir/eth/block.cpp.o.d"
+  "CMakeFiles/topo_eth.dir/eth/chain.cpp.o"
+  "CMakeFiles/topo_eth.dir/eth/chain.cpp.o.d"
+  "CMakeFiles/topo_eth.dir/eth/miner.cpp.o"
+  "CMakeFiles/topo_eth.dir/eth/miner.cpp.o.d"
+  "CMakeFiles/topo_eth.dir/eth/transaction.cpp.o"
+  "CMakeFiles/topo_eth.dir/eth/transaction.cpp.o.d"
+  "libtopo_eth.a"
+  "libtopo_eth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_graph.dir/graph/centrality.cpp.o"
+  "CMakeFiles/topo_graph.dir/graph/centrality.cpp.o.d"
+  "CMakeFiles/topo_graph.dir/graph/cliques.cpp.o"
+  "CMakeFiles/topo_graph.dir/graph/cliques.cpp.o.d"
+  "CMakeFiles/topo_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/topo_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/topo_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/topo_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/topo_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/topo_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/topo_graph.dir/graph/louvain.cpp.o"
+  "CMakeFiles/topo_graph.dir/graph/louvain.cpp.o.d"
+  "CMakeFiles/topo_graph.dir/graph/metrics.cpp.o"
+  "CMakeFiles/topo_graph.dir/graph/metrics.cpp.o.d"
+  "libtopo_graph.a"
+  "libtopo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mempool/client_profile.cpp" "src/CMakeFiles/topo_mempool.dir/mempool/client_profile.cpp.o" "gcc" "src/CMakeFiles/topo_mempool.dir/mempool/client_profile.cpp.o.d"
+  "/root/repo/src/mempool/mempool.cpp" "src/CMakeFiles/topo_mempool.dir/mempool/mempool.cpp.o" "gcc" "src/CMakeFiles/topo_mempool.dir/mempool/mempool.cpp.o.d"
+  "/root/repo/src/mempool/policy.cpp" "src/CMakeFiles/topo_mempool.dir/mempool/policy.cpp.o" "gcc" "src/CMakeFiles/topo_mempool.dir/mempool/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_mempool.dir/mempool/client_profile.cpp.o"
+  "CMakeFiles/topo_mempool.dir/mempool/client_profile.cpp.o.d"
+  "CMakeFiles/topo_mempool.dir/mempool/mempool.cpp.o"
+  "CMakeFiles/topo_mempool.dir/mempool/mempool.cpp.o.d"
+  "CMakeFiles/topo_mempool.dir/mempool/policy.cpp.o"
+  "CMakeFiles/topo_mempool.dir/mempool/policy.cpp.o.d"
+  "libtopo_mempool.a"
+  "libtopo_mempool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_mempool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_p2p.dir/p2p/measurement_node.cpp.o"
+  "CMakeFiles/topo_p2p.dir/p2p/measurement_node.cpp.o.d"
+  "CMakeFiles/topo_p2p.dir/p2p/network.cpp.o"
+  "CMakeFiles/topo_p2p.dir/p2p/network.cpp.o.d"
+  "CMakeFiles/topo_p2p.dir/p2p/node.cpp.o"
+  "CMakeFiles/topo_p2p.dir/p2p/node.cpp.o.d"
+  "libtopo_p2p.a"
+  "libtopo_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/json.cpp" "src/CMakeFiles/topo_rpc.dir/rpc/json.cpp.o" "gcc" "src/CMakeFiles/topo_rpc.dir/rpc/json.cpp.o.d"
+  "/root/repo/src/rpc/rpc.cpp" "src/CMakeFiles/topo_rpc.dir/rpc/rpc.cpp.o" "gcc" "src/CMakeFiles/topo_rpc.dir/rpc/rpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_mempool.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_rpc.dir/rpc/json.cpp.o"
+  "CMakeFiles/topo_rpc.dir/rpc/json.cpp.o.d"
+  "CMakeFiles/topo_rpc.dir/rpc/rpc.cpp.o"
+  "CMakeFiles/topo_rpc.dir/rpc/rpc.cpp.o.d"
+  "libtopo_rpc.a"
+  "libtopo_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

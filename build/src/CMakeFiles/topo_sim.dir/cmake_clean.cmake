@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/topo_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/topo_sim.dir/sim/latency.cpp.o"
+  "CMakeFiles/topo_sim.dir/sim/latency.cpp.o.d"
+  "CMakeFiles/topo_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/topo_sim.dir/sim/simulator.cpp.o.d"
+  "libtopo_sim.a"
+  "libtopo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

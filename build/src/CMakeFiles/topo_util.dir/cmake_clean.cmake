@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_util.dir/util/cli.cpp.o"
+  "CMakeFiles/topo_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/topo_util.dir/util/log.cpp.o"
+  "CMakeFiles/topo_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/topo_util.dir/util/rng.cpp.o"
+  "CMakeFiles/topo_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/topo_util.dir/util/stats.cpp.o"
+  "CMakeFiles/topo_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/topo_util.dir/util/table.cpp.o"
+  "CMakeFiles/topo_util.dir/util/table.cpp.o.d"
+  "libtopo_util.a"
+  "libtopo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_wire.dir/wire/messages.cpp.o"
+  "CMakeFiles/topo_wire.dir/wire/messages.cpp.o.d"
+  "CMakeFiles/topo_wire.dir/wire/rlp.cpp.o"
+  "CMakeFiles/topo_wire.dir/wire/rlp.cpp.o.d"
+  "libtopo_wire.a"
+  "libtopo_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_centrality.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_centrality.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_centrality.cpp.o.d"
+  "/root/repo/tests/test_clients_e2e.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_clients_e2e.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_clients_e2e.cpp.o.d"
+  "/root/repo/tests/test_core_misc.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_core_misc.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_core_misc.cpp.o.d"
+  "/root/repo/tests/test_disc.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_disc.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_disc.cpp.o.d"
+  "/root/repo/tests/test_discv4.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_discv4.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_discv4.cpp.o.d"
+  "/root/repo/tests/test_emergence_calibration.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_emergence_calibration.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_emergence_calibration.cpp.o.d"
+  "/root/repo/tests/test_eth.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_eth.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_eth.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_louvain.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_louvain.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_louvain.cpp.o.d"
+  "/root/repo/tests/test_mainnet.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_mainnet.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_mainnet.cpp.o.d"
+  "/root/repo/tests/test_measure_config.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_measure_config.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_measure_config.cpp.o.d"
+  "/root/repo/tests/test_mempool.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_mempool.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_mempool.cpp.o.d"
+  "/root/repo/tests/test_mempool_fuzz.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_mempool_fuzz.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_mempool_fuzz.cpp.o.d"
+  "/root/repo/tests/test_noninterference.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_noninterference.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_noninterference.cpp.o.d"
+  "/root/repo/tests/test_one_link_edge_cases.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_one_link_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_one_link_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_overlays.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_overlays.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_overlays.cpp.o.d"
+  "/root/repo/tests/test_p2p.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_p2p.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_preprocess.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_preprocess.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_preprocess.cpp.o.d"
+  "/root/repo/tests/test_profiler.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_profiler.cpp.o.d"
+  "/root/repo/tests/test_report_io.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_report_io.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_report_io.cpp.o.d"
+  "/root/repo/tests/test_rng_stats.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_rng_stats.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_rng_stats.cpp.o.d"
+  "/root/repo/tests/test_rpc.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_rpc.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_rpc.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_smoke_one_link.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_smoke_one_link.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_smoke_one_link.cpp.o.d"
+  "/root/repo/tests/test_testnets_integration.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_testnets_integration.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_testnets_integration.cpp.o.d"
+  "/root/repo/tests/test_util_misc.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_util_misc.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_util_misc.cpp.o.d"
+  "/root/repo/tests/test_validator_cost.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_validator_cost.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_validator_cost.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/toposhot_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/toposhot_tests.dir/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_disc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_mempool.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
