@@ -8,11 +8,13 @@
 #include <iostream>
 #include <string>
 
+#include "core/session.h"
 #include "core/toposhot.h"
 #include "core/validator.h"
 #include "disc/emergence.h"
 #include "graph/louvain.h"
 #include "graph/metrics.h"
+#include "obs/export.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -46,6 +48,20 @@ inline core::ScenarioOptions fullscale_options(uint64_t seed) {
   opt.future_cap = 1024;
   opt.background_txs = 4000;
   return opt;
+}
+
+/// Dumps the scenario's cumulative metrics snapshot as JSON when the bench
+/// was run with --metrics-out=PATH; no-op otherwise. Benches that build
+/// several scenarios call this once per scenario — the last write wins, so
+/// the file always holds the snapshot of the final world.
+inline void write_metrics_if_requested(const util::Cli& cli, core::Scenario& sc) {
+  const std::string path = cli.get_string("metrics-out", "");
+  if (path.empty()) return;
+  if (obs::write_json_file(path, obs::snapshot_to_json(sc.snapshot_metrics()))) {
+    std::cout << "[metrics: " << path << "]\n";
+  } else {
+    std::cerr << "failed to write " << path << "\n";
+  }
 }
 
 /// Row of graph statistics as printed in paper Tables 4/9/10.

@@ -58,23 +58,24 @@ int main(int argc, char** argv) {
     core::Scenario sc(g, fig4a_options(seed));
     sc.seed_background();
     sc.start_churn(2.0);
-    core::MeasureConfig cfg = sc.default_measure_config();
-    cfg.flood_Z = z;
+    core::MeasurementSession session(
+        sc, core::MeasureConfig::Builder(sc.default_measure_config()).flood_Z(z).build());
 
     size_t detected = 0;
     size_t false_pos = 0;
     size_t non_neighbors_tested = 0;
     for (size_t i = 0; i < tested; ++i) {
-      const auto r = sc.measure_one_link(sc.targets()[neighbors[i]], sc.targets()[b_idx], cfg);
-      if (r.connected) ++detected;
+      const auto r = session.one_link(sc.targets()[neighbors[i]], sc.targets()[b_idx]);
+      if (r.value.connected) ++detected;
     }
     // Also probe a few non-neighbors to confirm precision.
     for (graph::NodeId u = 0; u < g.num_nodes() && non_neighbors_tested < 6; ++u) {
       if (u == b_idx || g.has_edge(u, b_idx)) continue;
       ++non_neighbors_tested;
-      const auto r = sc.measure_one_link(sc.targets()[u], sc.targets()[b_idx], cfg);
-      if (r.connected) ++false_pos;
+      const auto r = session.one_link(sc.targets()[u], sc.targets()[b_idx]);
+      if (r.value.connected) ++false_pos;
     }
+    bench::write_metrics_if_requested(cli, sc);
     const double recall = tested ? static_cast<double>(detected) / tested : 1.0;
     const double precision =
         (detected + false_pos) ? static_cast<double>(detected) / (detected + false_pos) : 1.0;
@@ -90,11 +91,11 @@ int main(int argc, char** argv) {
     core::Scenario sc(g, fig4a_options(seed));
     sc.seed_background();
     sc.start_churn(2.0);
-    core::MeasureConfig cfg = sc.default_measure_config();
-    core::Preprocessor pre(sc.net(), sc.m(), sc.accounts(), sc.factory(), cfg);
+    core::MeasurementSession session(sc);
+    core::Preprocessor pre(sc.net(), sc.m(), sc.accounts(), sc.factory(), session.config());
     size_t recovered = 0, detected = 0;
     for (size_t i = 0; i < tested; ++i) {
-      const auto base = sc.measure_one_link(sc.targets()[neighbors[i]], sc.targets()[b_idx], cfg);
+      const auto base = session.one_link(sc.targets()[neighbors[i]], sc.targets()[b_idx]).value;
       if (base.connected) {
         ++detected;
         continue;

@@ -43,10 +43,12 @@ int main(int argc, char** argv) {
     sc.seed_background();
     sc.start_churn(2.0);
 
+    core::MeasurementSession session(sc);
     const double t1 = sc.sim().now();
-    const auto report = sc.measure_network(3, sc.default_measure_config());
+    const auto report = session.network(3).value;
     const double t2 = sc.sim().now();
     sc.sim().run_until(t2 + 60.0);  // let stragglers mine
+    bench::write_metrics_if_requested(cli, sc);
 
     const eth::Wei wei = sc.costs().wei_spent(sc.chain(), t1, sc.sim().now());
     const uint64_t mined = sc.costs().included_txs(sc.chain(), t1, sc.sim().now());

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "core/session.h"
 #include "core/toposhot.h"
 
 int main() {
@@ -29,22 +30,26 @@ int main() {
   core::Scenario scenario(topology, options);
   scenario.seed_background();  // populate mempools like a live network
 
-  // Measure two pairs: a real link and a non-link.
-  const auto cfg = scenario.default_measure_config();
-  const auto linked =
-      scenario.measure_one_link(scenario.targets()[1], scenario.targets()[3], cfg);
-  const auto unlinked =
-      scenario.measure_one_link(scenario.targets()[0], scenario.targets()[2], cfg);
+  // A MeasurementSession owns the MeasureConfig and annotates each result
+  // with the metrics delta of producing it.
+  core::MeasurementSession session(scenario);
+  const auto linked = session.one_link(scenario.targets()[1], scenario.targets()[3]);
+  const auto unlinked = session.one_link(scenario.targets()[0], scenario.targets()[2]);
 
-  std::cout << "node1 <-> node3: " << (linked.connected ? "CONNECTED" : "not connected")
+  std::cout << "node1 <-> node3: " << (linked.value.connected ? "CONNECTED" : "not connected")
             << "  (ground truth: connected)\n";
-  std::cout << "node0 <-> node2: " << (unlinked.connected ? "CONNECTED" : "not connected")
+  std::cout << "node0 <-> node2: " << (unlinked.value.connected ? "CONNECTED" : "not connected")
             << "  (ground truth: not connected)\n";
   std::cout << "\nDiagnostics for the positive measurement:\n"
-            << "  txC evicted on A: " << (linked.txc_evicted_on_a ? "yes" : "no") << "\n"
-            << "  txC evicted on B: " << (linked.txc_evicted_on_b ? "yes" : "no") << "\n"
-            << "  txA planted on A: " << (linked.txa_planted_on_a ? "yes" : "no") << "\n"
-            << "  transactions sent: " << linked.txs_sent << "\n"
-            << "  sim duration: " << (linked.finished_at - linked.started_at) << " s\n";
+            << "  txC evicted on A: " << (linked.value.txc_evicted_on_a ? "yes" : "no") << "\n"
+            << "  txC evicted on B: " << (linked.value.txc_evicted_on_b ? "yes" : "no") << "\n"
+            << "  txA planted on A: " << (linked.value.txa_planted_on_a ? "yes" : "no") << "\n"
+            << "  transactions sent: " << linked.value.txs_sent << "\n"
+            << "  sim duration: " << (linked.value.finished_at - linked.value.started_at)
+            << " s\n"
+            << "  net messages (this call): "
+            << linked.metrics.counters.at("net.messages") << "\n"
+            << "  mempool evictions (this call): "
+            << linked.metrics.counters.at("mempool.evictions") << "\n";
   return 0;
 }

@@ -8,13 +8,17 @@
 //   --mode=export --nodes=N --out=PATH  emerge a topology and write CSV/DOT
 //
 // Common flags: --seed, --recipe=ropsten|rinkeby|goerli, --repetitions.
+// measure/pair also accept --metrics-out=PATH to dump the scenario's
+// metrics snapshot (counters, gauges, probe-phase histograms) as JSON.
 
 #include <fstream>
 #include <iostream>
 
 #include "core/profiler.h"
+#include "core/session.h"
 #include "core/toposhot.h"
 #include "core/validator.h"
+#include "obs/export.h"
 #include "disc/emergence.h"
 #include "graph/centrality.h"
 #include "graph/io.h"
@@ -31,6 +35,19 @@ disc::EmergenceConfig recipe_for(const std::string& name, size_t nodes) {
   if (name == "rinkeby") return disc::rinkeby_like(nodes);
   if (name == "goerli") return disc::goerli_like(nodes);
   return disc::ropsten_like(nodes);
+}
+
+/// Writes the session's cumulative metrics snapshot when --metrics-out was
+/// given; returns false only on I/O failure.
+bool maybe_write_metrics(const util::Cli& cli, core::MeasurementSession& session) {
+  const std::string path = cli.get_string("metrics-out", "");
+  if (path.empty()) return true;
+  if (!obs::write_json_file(path, obs::snapshot_to_json(session.snapshot()))) {
+    std::cerr << "failed to write " << path << "\n";
+    return false;
+  }
+  std::cout << "metrics written to " << path << "\n";
+  return true;
 }
 
 int mode_profile() {
@@ -62,9 +79,12 @@ int mode_measure(const util::Cli& cli) {
   sc.seed_background();
   sc.start_churn(3.0);
 
-  core::MeasureConfig cfg = sc.default_measure_config();
-  cfg.repetitions = cli.get_uint("repetitions", 3);
-  const auto report = sc.measure_network(group, cfg);
+  core::MeasurementSession session(
+      sc, core::MeasureConfig::Builder(sc.default_measure_config())
+              .repetitions(cli.get_uint("repetitions", 3))
+              .build());
+  const auto measured = session.network(group);
+  const auto& report = measured.value;
   const auto pr = core::compare_graphs(truth, report.measured);
 
   util::Table table({"Metric", "Value"});
@@ -76,8 +96,10 @@ int mode_measure(const util::Cli& cli) {
   table.add_row({"iterations", util::fmt(report.iterations)});
   table.add_row({"sim seconds", util::fmt(report.sim_seconds, 0)});
   table.add_row({"txs sent", util::fmt(report.txs_sent)});
+  table.add_row({"net messages", util::fmt(measured.metrics.counters.at("net.messages"))});
+  table.add_row({"pool evictions", util::fmt(measured.metrics.counters.at("mempool.evictions"))});
   table.print(std::cout);
-  return 0;
+  return maybe_write_metrics(cli, session) ? 0 : 1;
 }
 
 int mode_analyze(const util::Cli& cli) {
@@ -125,8 +147,9 @@ int mode_pair(const util::Cli& cli) {
   opt.seed = seed;
   core::Scenario sc(truth, opt);
   sc.seed_background();
-  const auto r = sc.measure_one_link(sc.targets()[a], sc.targets()[b],
-                                     sc.default_measure_config());
+  core::MeasurementSession session(sc);
+  const auto measured = session.one_link(sc.targets()[a], sc.targets()[b]);
+  const auto& r = measured.value;
   std::cout << "pair " << a << " <-> " << b << ": "
             << (r.connected ? "CONNECTED" : "not connected")
             << " (ground truth: " << (truth.has_edge(static_cast<graph::NodeId>(a),
@@ -136,7 +159,7 @@ int mode_pair(const util::Cli& cli) {
             << ")\n"
             << "  txC evicted on A/B: " << r.txc_evicted_on_a << "/" << r.txc_evicted_on_b
             << ", txA planted: " << r.txa_planted_on_a << ", txs sent: " << r.txs_sent << "\n";
-  return 0;
+  return maybe_write_metrics(cli, session) ? 0 : 1;
 }
 
 int mode_export(const util::Cli& cli) {
@@ -159,15 +182,21 @@ int mode_export(const util::Cli& cli) {
 int main(int argc, char** argv) {
   topo::util::Cli cli(argc, argv);
   const std::string mode = cli.get_string("mode", "help");
-  if (mode == "profile") return mode_profile();
-  if (mode == "measure") return mode_measure(cli);
-  if (mode == "analyze") return mode_analyze(cli);
-  if (mode == "pair") return mode_pair(cli);
-  if (mode == "export") return mode_export(cli);
+  try {
+    if (mode == "profile") return mode_profile();
+    if (mode == "measure") return mode_measure(cli);
+    if (mode == "analyze") return mode_analyze(cli);
+    if (mode == "pair") return mode_pair(cli);
+    if (mode == "export") return mode_export(cli);
+  } catch (const std::invalid_argument& e) {
+    // MeasureConfig::Builder / ScenarioOptions validation.
+    std::cerr << "invalid parameters: " << e.what() << "\n";
+    return 2;
+  }
   std::cout << "toposhot_cli --mode=profile|measure|analyze|pair|export\n"
                "  common: --seed=N --nodes=N --recipe=ropsten|rinkeby|goerli\n"
-               "  measure: --group=K --repetitions=R\n"
-               "  pair:    --a=I --b=J\n"
+               "  measure: --group=K --repetitions=R --metrics-out=PATH\n"
+               "  pair:    --a=I --b=J --metrics-out=PATH\n"
                "  export:  --out=PATH\n";
   return mode == "help" ? 0 : 2;
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Strict local verification: the tier-1 build/test cycle with warnings as
+# errors, then the same test suite under address + UB sanitizers.
+#
+#   scripts/check.sh          # both passes
+#   scripts/check.sh --fast   # -Werror pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_pass() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" > /dev/null
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+echo "== pass 1: -Wall -Wextra -Werror =="
+run_pass build-strict -DCMAKE_CXX_FLAGS=-Werror
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "== pass 2: AddressSanitizer + UBSan =="
+  run_pass build-asan -DCMAKE_BUILD_TYPE=Asan
+fi
+
+echo "All checks passed."

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <stdexcept>
 
 #include "eth/transaction.h"
 #include "eth/types.h"
@@ -79,11 +80,69 @@ struct MeasureConfig {
     return (flood_Z + futures_per_account_U - 1) / futures_per_account_U;
   }
 
+  class Builder;
+
  private:
   static eth::Wei scale(eth::Wei y, uint64_t factor_bp) {
     return static_cast<eth::Wei>(
         (static_cast<unsigned __int128>(y) * factor_bp + 9999) / 10000);
   }
+};
+
+/// Fluent construction of a MeasureConfig, with the cross-field checks a
+/// plain aggregate cannot express:
+///
+///   auto cfg = MeasureConfig::Builder()
+///                  .wait_X(15.0)
+///                  .flood_Z(5120)
+///                  .bump_bp(1000)
+///                  .repetitions(2)
+///                  .build();
+///
+/// Start from an existing config (e.g. Scenario::default_measure_config)
+/// by passing it to the constructor.
+class MeasureConfig::Builder {
+ public:
+  Builder() = default;
+  explicit Builder(MeasureConfig base) : cfg_(base) {}
+
+  Builder& wait_X(double v) { cfg_.wait_X = v; return *this; }
+  Builder& price_Y(eth::Wei v) { cfg_.price_Y = v; return *this; }
+  Builder& flood_Z(size_t v) { cfg_.flood_Z = v; return *this; }
+  Builder& bump_bp(uint32_t v) { cfg_.bump_bp = v; return *this; }
+  Builder& futures_per_account_U(uint64_t v) { cfg_.futures_per_account_U = v; return *this; }
+  Builder& post_flood_gap(double v) { cfg_.post_flood_gap = v; return *this; }
+  Builder& detect_wait(double v) { cfg_.detect_wait = v; return *this; }
+  Builder& repetitions(size_t v) { cfg_.repetitions = v; return *this; }
+  Builder& eip1559(bool v) { cfg_.eip1559 = v; return *this; }
+  Builder& strict_isolation_check(bool v) { cfg_.strict_isolation_check = v; return *this; }
+
+  /// Validates and returns the config. Throws std::invalid_argument when
+  /// the parameters cannot yield a sound measurement: non-positive timing
+  /// windows, an empty flood, a bump too large for the price ladder
+  /// (R >= 200% makes txB's price (1 - R/2)Y hit zero), or a dynamic Y
+  /// (price_Y = 0) that the ladder cannot later clamp.
+  MeasureConfig build() const {
+    if (cfg_.wait_X <= 0.0) throw std::invalid_argument("MeasureConfig: wait_X must be > 0");
+    if (cfg_.detect_wait <= 0.0)
+      throw std::invalid_argument("MeasureConfig: detect_wait must be > 0");
+    if (cfg_.post_flood_gap < 0.0)
+      throw std::invalid_argument("MeasureConfig: post_flood_gap must be >= 0");
+    if (cfg_.flood_Z == 0) throw std::invalid_argument("MeasureConfig: flood_Z must be > 0");
+    if (cfg_.repetitions == 0)
+      throw std::invalid_argument("MeasureConfig: repetitions must be > 0");
+    if (cfg_.bump_bp >= 20000)
+      throw std::invalid_argument("MeasureConfig: bump_bp must be < 20000 (txB price > 0)");
+    if (cfg_.price_Y != 0 && cfg_.price_Y < cfg_.min_viable_Y()) {
+      throw std::invalid_argument(
+          "MeasureConfig: price_Y below min_viable_Y(); the integer price "
+          "ladder would collapse");
+    }
+    return cfg_;
+  }
+
+ private:
+  MeasureConfig cfg_;
 };
 
 /// Crafts a measurement transaction per the config's fee mode: legacy gas

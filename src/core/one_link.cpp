@@ -7,6 +7,22 @@
 
 namespace topo::core {
 
+ProbeObs ProbeObs::wire(obs::MetricsRegistry& reg) {
+  ProbeObs o;
+  o.runs = &reg.counter("probe.runs");
+  o.parallel_runs = &reg.counter("probe.parallel.runs");
+  o.retries = &reg.counter("probe.retries");
+  o.verdict_connected = &reg.counter("probe.verdicts.connected");
+  o.verdict_negative = &reg.counter("probe.verdicts.negative");
+  o.flood_seconds = &reg.histogram("probe.phase.flood_seconds", obs::duration_bounds());
+  o.wait_seconds = &reg.histogram("probe.phase.wait_seconds", obs::duration_bounds());
+  o.plant_seconds = &reg.histogram("probe.phase.plant_seconds", obs::duration_bounds());
+  o.detect_seconds = &reg.histogram("probe.phase.detect_seconds", obs::duration_bounds());
+  o.link_seconds = &reg.histogram("probe.link_seconds", obs::duration_bounds());
+  o.trace = &reg.trace();
+  return o;
+}
+
 OneLinkMeasurement::OneLinkMeasurement(p2p::Network& net, p2p::MeasurementNode& m,
                                        eth::AccountManager& accounts, eth::TxFactory& factory,
                                        MeasureConfig config)
@@ -31,6 +47,7 @@ std::vector<eth::Transaction> OneLinkMeasurement::make_flood(const MeasureConfig
 OneLinkResult OneLinkMeasurement::measure(p2p::PeerId a, p2p::PeerId b) {
   OneLinkResult final_result;
   for (size_t rep = 0; rep < std::max<size_t>(1, config_.repetitions); ++rep) {
+    if (rep > 0 && obs_.enabled()) obs_.retries->inc();
     OneLinkResult r = measure_once(a, b);
     if (rep == 0) {
       final_result = r;
@@ -52,6 +69,9 @@ OneLinkResult OneLinkMeasurement::measure_once(p2p::PeerId a, p2p::PeerId b) {
   OneLinkResult result;
   result.started_at = sim.now();
   const uint64_t sent_before = m_.txs_sent();
+  const obs::PhaseTimer timer([&sim] { return sim.now(); });
+  obs::ScopedPhase whole_link = timer.phase(obs_.link_seconds);
+  if (obs_.enabled()) obs_.runs->inc();
 
   MeasureConfig cfg = config_;
   if (cfg.price_Y == 0) cfg.price_Y = estimate_price_Y(m_.view());
@@ -63,31 +83,51 @@ OneLinkResult OneLinkMeasurement::measure_once(p2p::PeerId a, p2p::PeerId b) {
   const eth::Transaction tx_c = craft_tx(factory_, cfg, acct_c, nonce_c, cfg.price_txC());
   result.txc_hash = tx_c.hash();
   m_.send_to(a, tx_c);
-  sim.run_until(sim.now() + cfg.wait_X);
+  {
+    obs::ScopedPhase phase = timer.phase(obs_.wait_seconds);
+    sim.run_until(sim.now() + cfg.wait_X);
+  }
 
   // Step 2: evict txC on B with the future flood, wait out the deferred
   // queue truncation, then plant txB (same sender+nonce as txC).
   const auto flood = make_flood(cfg);
-  m_.send_batch_to(b, flood);
-  sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+  {
+    obs::ScopedPhase phase = timer.phase(obs_.flood_seconds);
+    m_.send_batch_to(b, flood);
+    sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+  }
   const eth::Transaction tx_b = craft_tx(factory_, cfg, acct_c, nonce_c, cfg.price_txB());
   result.txb_hash = tx_b.hash();
-  m_.send_to(b, tx_b);
-  sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+  {
+    obs::ScopedPhase phase = timer.phase(obs_.plant_seconds);
+    m_.send_to(b, tx_b);
+    sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+  }
 
   // Step 3: the same on A, then plant txA.
-  m_.send_batch_to(a, flood);
-  sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+  {
+    obs::ScopedPhase phase = timer.phase(obs_.flood_seconds);
+    m_.send_batch_to(a, flood);
+    sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+  }
   const eth::Transaction tx_a = craft_tx(factory_, cfg, acct_c, nonce_c, cfg.price_txA());
   result.txa_hash = tx_a.hash();
   const double txa_sent_at = m_.send_to(a, tx_a);
 
   // Step 4: wait for propagation, then check arrival of txA from B.
-  sim.run_until(sim.now() + cfg.detect_wait);
+  {
+    obs::ScopedPhase phase = timer.phase(obs_.detect_seconds);
+    sim.run_until(sim.now() + cfg.detect_wait);
+  }
   result.connected =
       cfg.strict_isolation_check
           ? m_.received_only_from(result.txa_hash, b, txa_sent_at)
           : m_.received_from_since(result.txa_hash, b, txa_sent_at);
+  if (obs_.enabled()) {
+    (result.connected ? obs_.verdict_connected : obs_.verdict_negative)->inc();
+    obs_.trace->push(sim.now(), obs::TraceKind::kTxMeasured, tx_a.id,
+                     result.connected ? 1 : 0);
+  }
 
   // Simulated-RPC diagnostics (§6.1's eth_getTransactionByHash checks).
   result.txc_evicted_on_a = !net_.node(a).pool().contains(result.txc_hash);

@@ -45,6 +45,7 @@ ParallelResult ParallelMeasurement::measure(const std::vector<p2p::PeerId>& sour
                     [](bool b) { return b; })) {
       break;
     }
+    if (obs_.enabled()) obs_.retries->inc();
     const ParallelResult next = measure_once(sources, sinks, edges);
     for (size_t i = 0; i < result.connected.size(); ++i) {
       result.connected[i] = result.connected[i] || next.connected[i];
@@ -67,6 +68,8 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
   result.connected.assign(r, false);
   result.txa_planted.assign(r, false);
   if (r == 0) return result;
+  const obs::PhaseTimer timer([&sim] { return sim.now(); });
+  if (obs_.enabled()) obs_.parallel_runs->inc();
 
   MeasureConfig cfg = config_;
   if (cfg.price_Y == 0) cfg.price_Y = estimate_price_Y(m_.view());
@@ -86,7 +89,10 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
     tx_b[i] = craft_tx(factory_, cfg, edge_accounts[i], nonce, cfg.price_txB());
     m_.send_to(sources[edges[i].source], tx_c[i]);
   }
-  sim.run_until(m_.send_backlog_until() + cfg.wait_X);
+  {
+    obs::ScopedPhase phase = timer.phase(obs_.wait_seconds);
+    sim.run_until(m_.send_backlog_until() + cfg.wait_X);
+  }
 
   const auto flood = make_flood(cfg, cfg.flood_Z);
 
@@ -97,14 +103,18 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
   // a txB propagating from it meets an intact txC everywhere else and
   // cannot leak into a concurrently evicted sink.
   for (size_t l = 0; l < sinks.size(); ++l) {
-    const size_t z = flood_z_for(sinks[l], cfg);
-    if (z > flood.size()) {
-      const auto big = make_flood(cfg, z);
-      m_.send_batch_to(sinks[l], big);
-    } else {
-      m_.send_batch_to(sinks[l], flood);
+    {
+      obs::ScopedPhase phase = timer.phase(obs_.flood_seconds);
+      const size_t z = flood_z_for(sinks[l], cfg);
+      if (z > flood.size()) {
+        const auto big = make_flood(cfg, z);
+        m_.send_batch_to(sinks[l], big);
+      } else {
+        m_.send_batch_to(sinks[l], flood);
+      }
+      sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
     }
-    sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+    obs::ScopedPhase phase = timer.phase(obs_.plant_seconds);
     for (size_t i = 0; i < r; ++i) {
       m_.send_to(sinks[l], edges[i].sink == l ? tx_b[i] : tx_c[i]);
     }
@@ -114,14 +124,18 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
   // Source phase: strictly one source at a time (see header note).
   std::vector<double> txa_sent_at(r, 0.0);
   for (size_t k = 0; k < sources.size(); ++k) {
-    const size_t z = flood_z_for(sources[k], cfg);
-    if (z > flood.size()) {
-      const auto big = make_flood(cfg, z);
-      m_.send_batch_to(sources[k], big);
-    } else {
-      m_.send_batch_to(sources[k], flood);
+    {
+      obs::ScopedPhase phase = timer.phase(obs_.flood_seconds);
+      const size_t z = flood_z_for(sources[k], cfg);
+      if (z > flood.size()) {
+        const auto big = make_flood(cfg, z);
+        m_.send_batch_to(sources[k], big);
+      } else {
+        m_.send_batch_to(sources[k], flood);
+      }
+      sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
     }
-    sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+    obs::ScopedPhase phase = timer.phase(obs_.plant_seconds);
     for (size_t i = 0; i < r; ++i) {
       if (edges[i].source != k) m_.send_to(sources[k], tx_c[i]);
     }
@@ -134,13 +148,21 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
   }
 
   // p4: detect.
-  sim.run_until(sim.now() + cfg.detect_wait);
+  {
+    obs::ScopedPhase phase = timer.phase(obs_.detect_seconds);
+    sim.run_until(sim.now() + cfg.detect_wait);
+  }
   for (size_t i = 0; i < r; ++i) {
     result.connected[i] =
         cfg.strict_isolation_check
             ? m_.received_only_from(tx_a[i].hash(), sinks[edges[i].sink], txa_sent_at[i])
             : m_.received_from_since(tx_a[i].hash(), sinks[edges[i].sink], txa_sent_at[i]);
     result.txa_planted[i] = net_.node(sources[edges[i].source]).pool().contains(tx_a[i].hash());
+    if (obs_.enabled()) {
+      (result.connected[i] ? obs_.verdict_connected : obs_.verdict_negative)->inc();
+      obs_.trace->push(sim.now(), obs::TraceKind::kTxMeasured, tx_a[i].id,
+                       result.connected[i] ? 1 : 0);
+    }
   }
 
   result.finished_at = sim.now();

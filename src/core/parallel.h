@@ -5,6 +5,7 @@
 
 #include "core/config.h"
 #include "core/cost.h"
+#include "core/probe_obs.h"
 #include "eth/account.h"
 #include "eth/transaction.h"
 #include "p2p/measurement_node.h"
@@ -52,6 +53,13 @@ class ParallelMeasurement {
                          const std::vector<ParallelEdge>& edges);
 
   void set_cost_tracker(CostTracker* tracker) { cost_ = tracker; }
+
+  /// Wires per-phase probe timing (`probe.*`, keyed to sim seconds) into
+  /// `reg`; null disables. The registry must outlive the measurement.
+  void set_metrics(obs::MetricsRegistry* reg) {
+    obs_ = reg != nullptr ? ProbeObs::wire(*reg) : ProbeObs{};
+  }
+
   const MeasureConfig& config() const { return config_; }
   MeasureConfig& config() { return config_; }
 
@@ -75,6 +83,7 @@ class ParallelMeasurement {
   eth::TxFactory& factory_;
   MeasureConfig config_;
   CostTracker* cost_ = nullptr;
+  ProbeObs obs_;
   std::unordered_map<p2p::PeerId, size_t> flood_overrides_;
 };
 

@@ -1,0 +1,32 @@
+#pragma once
+
+// Interned handles for the measurement-primitive metrics (`probe.*`).
+// Shared by the serial (OneLinkMeasurement) and parallel
+// (ParallelMeasurement) drivers so their phase timings land in the same
+// histograms and the per-link cost analyses see one namespace.
+
+#include "obs/metrics.h"
+#include "obs/phase.h"
+
+namespace topo::core {
+
+struct ProbeObs {
+  obs::Counter* runs = nullptr;               ///< probe.runs (serial passes)
+  obs::Counter* parallel_runs = nullptr;      ///< probe.parallel.runs
+  obs::Counter* retries = nullptr;            ///< probe.retries (extra repetitions)
+  obs::Counter* verdict_connected = nullptr;  ///< probe.verdicts.connected
+  obs::Counter* verdict_negative = nullptr;   ///< probe.verdicts.negative
+  obs::Histogram* flood_seconds = nullptr;    ///< probe.phase.flood_seconds
+  obs::Histogram* wait_seconds = nullptr;     ///< probe.phase.wait_seconds
+  obs::Histogram* plant_seconds = nullptr;    ///< probe.phase.plant_seconds
+  obs::Histogram* detect_seconds = nullptr;   ///< probe.phase.detect_seconds
+  obs::Histogram* link_seconds = nullptr;     ///< probe.link_seconds (whole call)
+  obs::TraceRing* trace = nullptr;
+
+  /// Interns the `probe.*` handles in `reg` (idempotent).
+  static ProbeObs wire(obs::MetricsRegistry& reg);
+
+  bool enabled() const { return runs != nullptr; }
+};
+
+}  // namespace topo::core

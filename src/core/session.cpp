@@ -1,0 +1,34 @@
+#include "core/session.h"
+
+#include <utility>
+
+namespace topo::core {
+
+template <typename Fn>
+auto MeasurementSession::annotated(Fn&& fn) -> Annotated<decltype(fn())> {
+  const obs::MetricsSnapshot before = scenario_.snapshot_metrics();
+  auto value = fn();
+  const obs::MetricsSnapshot after = scenario_.snapshot_metrics();
+  return {std::move(value), after.diff_since(before)};
+}
+
+Annotated<OneLinkResult> MeasurementSession::one_link(p2p::PeerId a, p2p::PeerId b) {
+  return annotated([&] { return scenario_.measure_one_link(a, b, config_); });
+}
+
+Annotated<ParallelResult> MeasurementSession::parallel(
+    const std::vector<p2p::PeerId>& sources, const std::vector<p2p::PeerId>& sinks,
+    const std::vector<ParallelEdge>& edges) {
+  return annotated([&] { return scenario_.measure_parallel(sources, sinks, edges, config_); });
+}
+
+Annotated<NetworkMeasurementReport> MeasurementSession::network(size_t group_k,
+                                                               const PreprocessReport* pre) {
+  return annotated([&] { return scenario_.measure_network(group_k, config_, pre); });
+}
+
+Annotated<PreprocessReport> MeasurementSession::preprocess() {
+  return annotated([&] { return scenario_.preprocess(config_); });
+}
+
+}  // namespace topo::core

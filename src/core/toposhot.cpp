@@ -4,6 +4,8 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "p2p/node.h"
 
@@ -32,11 +34,29 @@ mempool::MempoolPolicy scaled_policy(const ScenarioOptions& opt, mempool::Client
 
 Scenario::Scenario(const graph::Graph& topology, ScenarioOptions options)
     : options_(options), truth_(topology), rng_(options.seed) {
+  // Validate against the *effective* policy: mempool_capacity = 0 means the
+  // client stock capacity, so the raw option values cannot be compared
+  // directly.
+  const mempool::MempoolPolicy effective = scaled_policy(options_, options_.client);
+  if (options_.background_txs > effective.capacity) {
+    throw std::invalid_argument(
+        "ScenarioOptions: background_txs (" + std::to_string(options_.background_txs) +
+        ") exceeds the effective mempool capacity (" + std::to_string(effective.capacity) +
+        "); background seeding would evict itself");
+  }
+  if (effective.future_cap > effective.capacity) {
+    throw std::invalid_argument(
+        "ScenarioOptions: future_cap (" + std::to_string(effective.future_cap) +
+        ") exceeds the effective mempool capacity (" + std::to_string(effective.capacity) +
+        "); the future flood could never fill the pool");
+  }
+
   sim_ = std::make_unique<sim::Simulator>();
   chain_ = std::make_unique<eth::Chain>(options_.block_gas_limit, options_.initial_base_fee);
   net_ = std::make_unique<p2p::Network>(
       sim_.get(), chain_.get(), rng_.split(),
       sim::LatencyModel::lognormal(options_.latency_median, options_.latency_sigma));
+  net_->enable_metrics(metrics_);
 
   util::Rng het = rng_.split();
   for (size_t i = 0; i < topology.num_nodes(); ++i) {
@@ -61,6 +81,20 @@ Scenario::Scenario(const graph::Graph& topology, ScenarioOptions options)
                                               scaled_policy(options_, options_.client));
   net_->register_peer(m_.get());
   m_->connect_to_all();
+  m_->set_metrics(metrics_);
+}
+
+obs::MetricsSnapshot Scenario::snapshot_metrics() {
+  metrics_.gauge("sim.now_seconds").set(sim_->now());
+  metrics_.gauge("sim.events_processed").set(static_cast<double>(sim_->processed()));
+  metrics_.gauge("sim.queue_depth").set(static_cast<double>(sim_->queued()));
+  metrics_.gauge("sim.queue_high_water").set(static_cast<double>(sim_->queue_high_water()));
+  metrics_.gauge("cost.wei_spent")
+      .set(static_cast<double>(costs_.wei_spent(*chain_, 0.0, sim_->now())));
+  metrics_.gauge("cost.tracked_accounts").set(static_cast<double>(costs_.tracked_accounts()));
+  metrics_.gauge("cost.txs_included")
+      .set(static_cast<double>(costs_.included_txs(*chain_, 0.0, sim_->now())));
+  return metrics_.snapshot();
 }
 
 Scenario::~Scenario() = default;
@@ -140,6 +174,7 @@ OneLinkResult Scenario::measure_one_link(p2p::PeerId a, p2p::PeerId b,
                                          const MeasureConfig& cfg) {
   OneLinkMeasurement one(*net_, *m_, accounts_, factory_, cfg);
   one.set_cost_tracker(&costs_);
+  one.set_metrics(&metrics_);
   return one.measure(a, b);
 }
 
@@ -149,6 +184,7 @@ ParallelResult Scenario::measure_parallel(const std::vector<p2p::PeerId>& source
                                           const MeasureConfig& cfg) {
   ParallelMeasurement par(*net_, *m_, accounts_, factory_, cfg);
   par.set_cost_tracker(&costs_);
+  par.set_metrics(&metrics_);
   return par.measure(sources, sinks, edges);
 }
 
@@ -156,6 +192,7 @@ NetworkMeasurementReport Scenario::measure_network(size_t group_k, const Measure
                                                    const PreprocessReport* pre) {
   ParallelMeasurement par(*net_, *m_, accounts_, factory_, cfg);
   par.set_cost_tracker(&costs_);
+  par.set_metrics(&metrics_);
   std::vector<p2p::PeerId> targets = targets_;
   if (pre != nullptr) {
     // §5.2.3: skip excluded nodes and enlarge the flood for nodes whose

@@ -10,6 +10,7 @@
 #include "core/preprocess.h"
 #include "core/schedule.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "p2p/measurement_node.h"
 #include "p2p/network.h"
 
@@ -62,8 +63,16 @@ struct ScenarioOptions {
 
 /// A fully wired measurement world: simulator + chain + network instantiated
 /// from a ground-truth topology + measurement node M connected to everyone.
+///
+/// Every scenario carries a MetricsRegistry wired through the network,
+/// mempools, and measurement node at construction; measurements driven
+/// through it (or through a MeasurementSession) accumulate `mempool.*`,
+/// `net.*`, and `probe.*` metrics for free.
 class Scenario {
  public:
+  /// Throws std::invalid_argument when the options are inconsistent:
+  /// background_txs or future_cap exceeding the *effective* (scaled)
+  /// mempool capacity would silently break the eviction protocol.
   Scenario(const graph::Graph& topology, ScenarioOptions options);
   ~Scenario();
 
@@ -78,6 +87,15 @@ class Scenario {
   eth::TxFactory& factory() { return factory_; }
   CostTracker& costs() { return costs_; }
   const ScenarioOptions& options() const { return options_; }
+
+  /// The scenario-wide metrics registry (always on; handles are wired into
+  /// the network and mempools at construction).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Publishes the point-in-time gauges (`sim.*`, `cost.*`) into the
+  /// registry and returns a name-sorted snapshot of everything.
+  obs::MetricsSnapshot snapshot_metrics();
 
   /// Peer ids of the regular nodes, in ground-truth graph order.
   const std::vector<p2p::PeerId>& targets() const { return targets_; }
@@ -108,22 +126,31 @@ class Scenario {
   /// MeasureConfig scaled to this scenario (Z = capacity, client R/U).
   MeasureConfig default_measure_config() const;
 
-  /// Measurement entry points (cost-tracked).
+  /// Measurement entry points (cost-tracked, metrics-wired).
+  ///
+  /// \deprecated Prefer core::MeasurementSession (core/session.h), which
+  /// owns the MeasureConfig and annotates every result with a per-call
+  /// metrics delta. These remain as thin equivalents for existing callers
+  /// and produce identical results on identical seeds.
   OneLinkResult measure_one_link(p2p::PeerId a, p2p::PeerId b, const MeasureConfig& cfg);
+  /// \deprecated See measure_one_link.
   ParallelResult measure_parallel(const std::vector<p2p::PeerId>& sources,
                                   const std::vector<p2p::PeerId>& sinks,
                                   const std::vector<ParallelEdge>& edges,
                                   const MeasureConfig& cfg);
+  /// \deprecated See measure_one_link.
   NetworkMeasurementReport measure_network(size_t group_k, const MeasureConfig& cfg,
                                            const PreprocessReport* pre = nullptr);
 
   /// Pre-processing pass over all targets.
+  /// \deprecated See measure_one_link.
   PreprocessReport preprocess(const MeasureConfig& cfg);
 
  private:
   ScenarioOptions options_;
   graph::Graph truth_;
   util::Rng rng_;
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<eth::Chain> chain_;
   std::unique_ptr<p2p::Network> net_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 
 namespace topo::mempool {
 
@@ -19,6 +20,23 @@ const char* admit_code_name(AdmitCode code) {
     case AdmitCode::kRejectedUnderBaseFee: return "rejected-under-base-fee";
   }
   return "?";
+}
+
+PoolObs PoolObs::wire(obs::MetricsRegistry& reg) {
+  PoolObs o;
+  o.admits_pending = &reg.counter("mempool.admits.pending");
+  o.admits_future = &reg.counter("mempool.admits.future");
+  o.replacements = &reg.counter("mempool.replacements");
+  o.rejects = &reg.counter("mempool.rejects");
+  o.evictions = &reg.counter("mempool.evictions");
+  o.evictions_price = &reg.counter("mempool.evictions.price");
+  o.evictions_truncated = &reg.counter("mempool.evictions.truncated");
+  o.evictions_expired = &reg.counter("mempool.evictions.expired");
+  o.evictions_basefee = &reg.counter("mempool.evictions.basefee");
+  o.drops_mined = &reg.counter("mempool.drops.mined");
+  o.occupancy = &reg.histogram("mempool.occupancy", obs::fraction_bounds());
+  o.trace = &reg.trace();
+  return o;
 }
 
 Mempool::Mempool(MempoolPolicy policy, const eth::StateView* state)
@@ -88,6 +106,32 @@ std::optional<std::pair<eth::Address, eth::Nonce>> Mempool::pick_victim(
 }
 
 AdmitResult Mempool::add(const eth::Transaction& tx, double now) {
+  AdmitResult result = add_impl(tx, now);
+  if (obs_ != nullptr) record_admit(tx, result, now);
+  return result;
+}
+
+void Mempool::record_admit(const eth::Transaction& tx, const AdmitResult& result, double now) {
+  switch (result.code) {
+    case AdmitCode::kAddedPending: obs_->admits_pending->inc(); break;
+    case AdmitCode::kAddedFuture: obs_->admits_future->inc(); break;
+    case AdmitCode::kReplaced: obs_->replacements->inc(); break;
+    default: obs_->rejects->inc(); break;
+  }
+  if (result.replaced && obs_->trace != nullptr) {
+    obs_->trace->push(now, obs::TraceKind::kTxReplaced, tx.id, result.replaced->id);
+  }
+  if (!result.evicted.empty()) {
+    obs_->evictions->inc(result.evicted.size());
+    obs_->evictions_price->inc(result.evicted.size());
+    if (obs_->trace != nullptr) {
+      for (const auto& e : result.evicted)
+        obs_->trace->push(now, obs::TraceKind::kTxEvicted, e.id);
+    }
+  }
+}
+
+AdmitResult Mempool::add_impl(const eth::Transaction& tx, double now) {
   AdmitResult result;
 
   if (by_hash_.count(tx.hash())) {
@@ -217,6 +261,10 @@ void Mempool::track_added_at(double now) {
 
 PoolUpdate Mempool::maintain(double now) {
   PoolUpdate update;
+  if (obs_ != nullptr && obs_->occupancy != nullptr && policy_.capacity > 0) {
+    obs_->occupancy->observe(static_cast<double>(size_) /
+                             static_cast<double>(policy_.capacity));
+  }
 
   // 1. Expiry (Geth drops unconfirmed transactions after e hours). The
   // min_added_at_ guard makes the common no-expiry call O(1).
@@ -237,6 +285,10 @@ PoolUpdate Mempool::maintain(double now) {
       update.dropped.push_back(remove_entry(sender, nonce));
       reclassify(sender, nullptr);
     }
+    if (obs_ != nullptr && !expired.empty()) {
+      obs_->evictions->inc(expired.size());
+      obs_->evictions_expired->inc(expired.size());
+    }
     min_added_at_ = oldest_remaining;
     min_added_valid_ = size_ > 0;
   }
@@ -255,15 +307,31 @@ PoolUpdate Mempool::maintain(double now) {
       update.dropped.push_back(remove_entry(sender, nonce));
       reclassify(sender, nullptr);
     }
+    if (obs_ != nullptr && !under.empty()) {
+      obs_->evictions->inc(under.size());
+      obs_->evictions_basefee->inc(under.size());
+    }
     last_pruned_base_fee_ = base_fee_;
   }
 
   // 3. Future-subpool truncation to future_cap, cheapest first.
+  size_t truncated = 0;
   while (future_count() > policy_.future_cap && !future_index_.empty()) {
     const auto key = *future_index_.begin();
     const auto loc = by_id_.at(key.second);
     update.dropped.push_back(remove_entry(loc.first, loc.second));
     reclassify(loc.first, nullptr);
+    ++truncated;
+  }
+  if (obs_ != nullptr && truncated > 0) {
+    obs_->evictions->inc(truncated);
+    obs_->evictions_truncated->inc(truncated);
+    if (obs_->trace != nullptr) {
+      for (auto it = update.dropped.end() - static_cast<ptrdiff_t>(truncated);
+           it != update.dropped.end(); ++it) {
+        obs_->trace->push(now, obs::TraceKind::kTxEvicted, it->id);
+      }
+    }
   }
 
   return update;
@@ -288,6 +356,7 @@ PoolUpdate Mempool::on_block() {
     for (eth::Nonce n : stale) update.dropped.push_back(remove_entry(sender, n));
     reclassify(sender, &update.promoted);
   }
+  if (obs_ != nullptr && !update.dropped.empty()) obs_->drops_mined->inc(update.dropped.size());
   return update;
 }
 

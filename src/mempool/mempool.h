@@ -9,8 +9,31 @@
 #include "eth/account.h"
 #include "eth/transaction.h"
 #include "mempool/policy.h"
+#include "obs/metrics.h"
 
 namespace topo::mempool {
+
+/// Interned observability handles shared by every pool of one world (the
+/// registry aggregates across nodes; per-node metrics would explode
+/// cardinality at network scale). All pointers may be null; a pool without
+/// obs wiring pays only one branch per operation.
+struct PoolObs {
+  obs::Counter* admits_pending = nullptr;
+  obs::Counter* admits_future = nullptr;
+  obs::Counter* replacements = nullptr;
+  obs::Counter* rejects = nullptr;
+  obs::Counter* evictions = nullptr;            ///< all removals below, summed
+  obs::Counter* evictions_price = nullptr;      ///< displaced by a pricier incomer
+  obs::Counter* evictions_truncated = nullptr;  ///< future-subpool truncation
+  obs::Counter* evictions_expired = nullptr;    ///< lifetime `e` exceeded
+  obs::Counter* evictions_basefee = nullptr;    ///< EIP-1559 underpriced drop
+  obs::Counter* drops_mined = nullptr;          ///< consumed by a block
+  obs::Histogram* occupancy = nullptr;          ///< size/capacity at maintenance
+  obs::TraceRing* trace = nullptr;
+
+  /// Interns the `mempool.*` handles in `reg` (idempotent).
+  static PoolObs wire(obs::MetricsRegistry& reg);
+};
 
 /// Outcome of offering a transaction to the pool.
 enum class AdmitCode {
@@ -72,6 +95,10 @@ class Mempool {
   /// Offers a transaction at simulation time `now`.
   AdmitResult add(const eth::Transaction& tx, double now);
 
+  /// Attaches shared observability handles (null detaches). The pointee
+  /// must outlive the pool; typically owned by the p2p::Network.
+  void set_obs(const PoolObs* o) { obs_ = o; }
+
   /// Deferred maintenance (Geth's reorg loop): truncates the future subpool,
   /// drops expired entries, and (EIP-1559) drops entries priced under the
   /// base fee.
@@ -119,6 +146,11 @@ class Mempool {
     double added_at = 0.0;
     bool pending = false;
   };
+
+  /// add() minus the accounting: the instrumented wrapper stays off the
+  /// profile when obs_ is null.
+  AdmitResult add_impl(const eth::Transaction& tx, double now);
+  void record_admit(const eth::Transaction& tx, const AdmitResult& result, double now);
   struct AccountQueue {
     std::map<eth::Nonce, Entry> txs;
     size_t futures = 0;
@@ -141,6 +173,7 @@ class Mempool {
 
   MempoolPolicy policy_;
   const eth::StateView* state_;
+  const PoolObs* obs_ = nullptr;
   eth::Wei base_fee_ = 0;
 
   std::unordered_map<eth::Address, AccountQueue> accounts_;

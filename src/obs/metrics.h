@@ -1,0 +1,155 @@
+#pragma once
+
+// The observability substrate (DESIGN: docs/ARCHITECTURE.md, "Observability").
+//
+// A MetricsRegistry holds named counters, gauges, and fixed-bucket
+// histograms. Lookup by name interns the metric and returns a stable
+// handle; instrumented hot paths resolve their handles once (at wiring
+// time) and afterwards touch only a pointer — registry access never sits
+// on the critical-path profile.
+//
+// All values are keyed to *simulation* quantities (sim seconds, event
+// counts, wei), never wall clock, so two identically seeded runs produce
+// byte-identical exports.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace topo::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-value metric with high-water tracking (queue depths, wei spent).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(double v) { set(value_ + v); }
+  /// Raises the high-water mark without moving the current value.
+  void update_max(double v) {
+    if (v > max_) max_ = v;
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+  void reset() { value_ = max_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges; one
+/// implicit overflow bucket catches everything above the last edge.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Point-in-time copy of one histogram (exportable / diffable).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  bool operator==(const HistogramSnapshot& o) const = default;
+};
+
+/// Point-in-time copy of a whole registry, name-sorted so exports are
+/// deterministic. `diff_since` turns a cumulative snapshot into a per-call
+/// delta (counters and histogram counts subtract; gauges keep the current
+/// value, as they are levels, not flows).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, double> gauge_maxes;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  MetricsSnapshot diff_since(const MetricsSnapshot& before) const;
+
+  bool operator==(const MetricsSnapshot& o) const = default;
+};
+
+/// Owner of every metric plus the bounded trace ring. Handles returned by
+/// counter()/gauge()/histogram() stay valid (and keep accumulating across
+/// reset_values()) for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(size_t trace_capacity = kDefaultTraceCapacity);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Interned lookup: creates on first use, O(1) (amortized hash) after.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` are only consulted on first use; later lookups return the
+  /// existing histogram unchanged.
+  Histogram& histogram(const std::string& name, const std::vector<double>& bounds);
+
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value and clears the trace; handles stay valid.
+  void reset_values();
+
+  size_t metric_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  static constexpr size_t kDefaultTraceCapacity = 4096;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  TraceRing trace_;
+};
+
+/// Standard duration buckets (sim seconds) for the probe-phase histograms.
+const std::vector<double>& duration_bounds();
+
+/// Standard occupancy buckets (fractions of capacity in [0, 1]).
+const std::vector<double>& fraction_bounds();
+
+}  // namespace topo::obs

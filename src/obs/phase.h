@@ -1,0 +1,58 @@
+#pragma once
+
+// RAII phase timing keyed to an arbitrary clock — in this codebase always
+// sim::Simulator::now(), never wall clock, so the recorded durations are
+// deterministic across runs.
+
+#include <functional>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace topo::obs {
+
+/// Times a phase from construction to finish()/destruction and records the
+/// duration into `hist`. Null histogram or clock makes it a no-op, so
+/// instrumented code needs no branches of its own.
+class ScopedPhase {
+ public:
+  ScopedPhase(Histogram* hist, std::function<double()> clock)
+      : hist_(hist), clock_(std::move(clock)) {
+    if (hist_ != nullptr && clock_) start_ = clock_();
+  }
+  ~ScopedPhase() { finish(); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  void finish() {
+    if (done_) return;
+    done_ = true;
+    if (hist_ != nullptr && clock_) hist_->observe(clock_() - start_);
+  }
+
+  double started_at() const { return start_; }
+
+ private:
+  Histogram* hist_;
+  std::function<double()> clock_;
+  double start_ = 0.0;
+  bool done_ = false;
+};
+
+/// Reusable factory bound to one clock; hands out ScopedPhases for the
+/// per-phase histograms of a probe.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::function<double()> clock) : clock_(std::move(clock)) {}
+
+  /// C++17 guaranteed elision lets the non-movable ScopedPhase travel.
+  ScopedPhase phase(Histogram* hist) const { return ScopedPhase(hist, clock_); }
+
+  double now() const { return clock_ ? clock_() : 0.0; }
+
+ private:
+  std::function<double()> clock_;
+};
+
+}  // namespace topo::obs

@@ -1,0 +1,41 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace topo::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kTxInjected: return "tx-injected";
+    case TraceKind::kTxReplaced: return "tx-replaced";
+    case TraceKind::kTxEvicted: return "tx-evicted";
+    case TraceKind::kTxForwarded: return "tx-forwarded";
+    case TraceKind::kTxMeasured: return "tx-measured";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(size_t capacity) : ring_(std::max<size_t>(1, capacity)) {}
+
+void TraceRing::push(const TraceEvent& e) {
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  const size_t n = size();
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  // Oldest entry sits at head_ once the ring has wrapped, at 0 before.
+  const size_t start = total_ > ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void TraceRing::clear() {
+  head_ = 0;
+  total_ = 0;
+}
+
+}  // namespace topo::obs

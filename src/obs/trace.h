@@ -1,0 +1,59 @@
+#pragma once
+
+// Bounded ring of structured trace events. Pushing is O(1) and never
+// allocates after construction; when the ring is full the oldest event is
+// overwritten and counted as dropped, so instrumentation can stay on even
+// in long runs.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace topo::obs {
+
+/// What happened to a transaction as it moved through the system.
+enum class TraceKind : uint8_t {
+  kTxInjected = 0,  ///< measurement node queued a send   (subject=tx id, actor=target peer)
+  kTxReplaced,      ///< pool replacement, §2 event 1b    (subject=new tx id, actor=old tx id)
+  kTxEvicted,       ///< pool eviction / truncation       (subject=evicted tx id, actor=0)
+  kTxForwarded,     ///< node propagated a transaction    (subject=tx id, actor=forwarding peer)
+  kTxMeasured,      ///< probe verdict recorded           (subject=txA id, actor=1 connected / 0 not)
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  double time = 0.0;  ///< simulation seconds
+  TraceKind kind = TraceKind::kTxInjected;
+  uint64_t subject = 0;
+  uint64_t actor = 0;
+
+  bool operator==(const TraceEvent& o) const = default;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  void push(const TraceEvent& e);
+  void push(double time, TraceKind kind, uint64_t subject, uint64_t actor = 0) {
+    push(TraceEvent{time, kind, subject, actor});
+  }
+
+  size_t capacity() const { return ring_.size(); }
+  size_t size() const { return total_ < ring_.size() ? static_cast<size_t>(total_) : ring_.size(); }
+  uint64_t total_pushed() const { return total_; }
+  uint64_t dropped() const { return total_ - size(); }
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;      // next write slot
+  uint64_t total_ = 0;   // lifetime pushes
+};
+
+}  // namespace topo::obs

@@ -35,12 +35,21 @@ void MeasurementNode::on_block_commit() {
   view_.on_block();
 }
 
+void MeasurementNode::set_metrics(obs::MetricsRegistry& reg) {
+  injected_counter_ = &reg.counter("probe.txs_injected");
+  trace_ = &reg.trace();
+}
+
 double MeasurementNode::send_to(PeerId peer, const eth::Transaction& tx) {
   auto& sim = net_->simulator();
   next_free_send_ = std::max(next_free_send_, sim.now()) + send_spacing_;
   const double extra = next_free_send_ - sim.now();
   net_->send_tx(id(), peer, tx, extra);
   ++txs_sent_;
+  if (injected_counter_ != nullptr) {
+    injected_counter_->inc();
+    trace_->push(sim.now(), obs::TraceKind::kTxInjected, tx.id, peer);
+  }
   return next_free_send_;
 }
 

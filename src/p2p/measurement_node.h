@@ -6,6 +6,7 @@
 
 #include "eth/account.h"
 #include "mempool/mempool.h"
+#include "obs/metrics.h"
 #include "p2p/peer.h"
 
 namespace topo::p2p {
@@ -80,12 +81,20 @@ class MeasurementNode final : public Peer {
 
   uint64_t txs_sent() const { return txs_sent_; }
 
+  /// Wires injection accounting (`probe.txs_injected`, tx-injected trace
+  /// events) into `reg`, which must outlive the node. M's passive view is
+  /// deliberately *not* wired: its pool mirrors traffic other nodes already
+  /// account for and would double-count every mempool metric.
+  void set_metrics(obs::MetricsRegistry& reg);
+
  private:
   Network* net_;
   mempool::Mempool view_;
   double send_spacing_;
   double next_free_send_ = 0.0;
   uint64_t txs_sent_ = 0;
+  obs::Counter* injected_counter_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
   std::unordered_map<eth::TxHash, std::vector<std::pair<PeerId, double>>> log_;
 };
 

@@ -21,8 +21,21 @@ PeerId Network::add_node(const NodeConfig& config) {
   const PeerId id = register_peer(raw);
   network_id_of_[id] = config.network_id;
   regular_.push_back(id);
+  if (metrics_enabled_) raw->pool().set_obs(&pool_obs_);
   raw->start();
   return id;
+}
+
+void Network::enable_metrics(obs::MetricsRegistry& reg) {
+  obs_.messages = &reg.counter("net.messages");
+  obs_.messages_tx = &reg.counter("net.messages.tx");
+  obs_.messages_announce = &reg.counter("net.messages.announce");
+  obs_.messages_get_tx = &reg.counter("net.messages.get_tx");
+  obs_.bytes = &reg.counter("net.bytes");
+  obs_.trace = &reg.trace();
+  pool_obs_ = mempool::PoolObs::wire(reg);
+  metrics_enabled_ = true;
+  for (auto& node : owned_) node->pool().set_obs(&pool_obs_);
 }
 
 PeerId Network::register_peer(Peer* peer) {
@@ -110,7 +123,13 @@ double Network::fifo_delivery_time(PeerId from, PeerId to, double delay) {
 void Network::send_tx(PeerId from, PeerId to, const eth::Transaction& tx, double extra_delay) {
   const double at = fifo_delivery_time(from, to, latency_.sample(rng_) + extra_delay);
   ++messages_;
-  bytes_ += wire::transaction_wire_size(tx);
+  const uint64_t size = wire::transaction_wire_size(tx);
+  bytes_ += size;
+  if (obs_.messages != nullptr) {
+    obs_.messages->inc();
+    obs_.messages_tx->inc();
+    obs_.bytes->inc(size);
+  }
   sim_->at(at, [this, to, tx, from] { peers_[to]->deliver_tx(tx, from); });
 }
 
@@ -118,6 +137,11 @@ void Network::send_announce(PeerId from, PeerId to, eth::TxHash hash) {
   const double at = fifo_delivery_time(from, to, latency_.sample(rng_));
   ++messages_;
   bytes_ += wire::announcement_wire_size();
+  if (obs_.messages != nullptr) {
+    obs_.messages->inc();
+    obs_.messages_announce->inc();
+    obs_.bytes->inc(wire::announcement_wire_size());
+  }
   sim_->at(at, [this, to, hash, from] { peers_[to]->deliver_announce(hash, from); });
 }
 
@@ -125,6 +149,11 @@ void Network::send_get_tx(PeerId from, PeerId to, eth::TxHash hash) {
   const double at = fifo_delivery_time(from, to, latency_.sample(rng_));
   ++messages_;
   bytes_ += wire::announcement_wire_size();
+  if (obs_.messages != nullptr) {
+    obs_.messages->inc();
+    obs_.messages_get_tx->inc();
+    obs_.bytes->inc(wire::announcement_wire_size());
+  }
   sim_->at(at, [this, to, hash, from] { peers_[to]->deliver_get_tx(hash, from); });
 }
 

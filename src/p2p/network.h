@@ -7,6 +7,8 @@
 
 #include "eth/chain.h"
 #include "graph/graph.h"
+#include "mempool/mempool.h"
+#include "obs/metrics.h"
 #include "p2p/config.h"
 #include "p2p/peer.h"
 #include "sim/latency.h"
@@ -16,6 +18,17 @@
 namespace topo::p2p {
 
 class Node;
+
+/// Interned message-layer observability handles (all null when metrics are
+/// disabled, which costs the hot send paths a single pointer test).
+struct NetObs {
+  obs::Counter* messages = nullptr;           ///< net.messages (all kinds)
+  obs::Counter* messages_tx = nullptr;        ///< full-transaction pushes
+  obs::Counter* messages_announce = nullptr;  ///< hash announcements
+  obs::Counter* messages_get_tx = nullptr;    ///< body requests
+  obs::Counter* bytes = nullptr;              ///< RLP wire bytes
+  obs::TraceRing* trace = nullptr;
+};
 
 /// The simulated Ethereum blockchain overlay: owns the participants, the
 /// link set, and message delivery with per-message latency. Ground truth
@@ -99,6 +112,15 @@ class Network {
   void stop_link_churn() { churn_on_ = false; }
   uint64_t churn_events() const { return churn_events_; }
 
+  /// Wires message-volume and (shared, aggregate) mempool instrumentation
+  /// into `reg`. Nodes that already exist are wired retroactively; nodes
+  /// added later inherit the handles. The registry must outlive the
+  /// network.
+  void enable_metrics(obs::MetricsRegistry& reg);
+
+  /// Null when metrics are disabled.
+  obs::TraceRing* obs_trace() const { return obs_.trace; }
+
   /// Total messages delivered (diagnostics).
   uint64_t messages_delivered() const { return messages_; }
 
@@ -118,6 +140,9 @@ class Network {
   std::vector<std::vector<PeerId>> adj_;
   std::vector<std::unordered_set<PeerId>> adj_set_;
   std::vector<uint64_t> network_id_of_;
+  NetObs obs_;
+  mempool::PoolObs pool_obs_;  ///< shared by every owned node's pool
+  bool metrics_enabled_ = false;
   uint64_t messages_ = 0;
   uint64_t bytes_ = 0;
   bool mining_on_ = false;

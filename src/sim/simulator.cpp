@@ -8,6 +8,7 @@ namespace topo::sim {
 
 void Simulator::at(Time t, EventQueue::Action action) {
   queue_.push(std::max(t, now_), std::move(action));
+  if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
 }
 
 void Simulator::after(Time delay, EventQueue::Action action) {

@@ -34,10 +34,16 @@ class Simulator {
   size_t processed() const { return processed_; }
   size_t queued() const { return queue_.size(); }
 
+  /// Deepest the event queue has ever been — the memory high-water mark a
+  /// production deployment must provision for (observability snapshot
+  /// publishes it as `sim.queue_high_water`).
+  size_t queue_high_water() const { return queue_high_water_; }
+
  private:
   EventQueue queue_;
   Time now_ = 0.0;
   size_t processed_ = 0;
+  size_t queue_high_water_ = 0;
 };
 
 }  // namespace topo::sim

@@ -15,10 +15,12 @@ Cli::Cli(int argc, char** argv) {
     }
     arg.remove_prefix(2);
     const size_t eq = arg.find('=');
+    // insert_or_assign with materialized strings: the operator[]-then-assign
+    // form trips a GCC 12 -Wrestrict false positive at -O2.
     if (eq == std::string_view::npos) {
-      kv_[std::string(arg)] = "1";
+      kv_.insert_or_assign(std::string(arg), std::string("1"));
     } else {
-      kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      kv_.insert_or_assign(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
     }
   }
 }

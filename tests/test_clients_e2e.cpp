@@ -63,6 +63,8 @@ TEST(ClientEndToEnd, ParityPendingGateScalesWithPool) {
   ScenarioOptions opt;
   opt.client = mempool::ClientKind::kParity;
   opt.mempool_capacity = 256;
+  opt.future_cap = 64;
+  opt.background_txs = 192;  // must fit the shrunken pool (ctor validates)
   graph::Graph g(2);
   Scenario sc(g, opt);
   const auto& pool = sc.net().node(sc.targets()[0]).pool();

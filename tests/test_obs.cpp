@@ -1,0 +1,250 @@
+// Unit tests of the observability substrate (src/obs): metric semantics,
+// trace-ring wraparound, export round-trips, and the determinism guarantee
+// (two identically seeded runs produce identical metric values).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/toposhot.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
+
+namespace topo {
+namespace {
+
+TEST(Metrics, CounterSemantics) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeTracksHighWater) {
+  obs::Gauge g;
+  g.set(3.0);
+  g.set(7.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 7.0);
+  g.update_max(100.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 100.0);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  obs::Histogram h({1.0, 10.0});
+  h.observe(0.5);   // bucket <= 1
+  h.observe(1.0);   // bucket <= 1 (inclusive upper edge)
+  h.observe(5.0);   // bucket <= 10
+  h.observe(50.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 56.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 56.5 / 4.0);
+}
+
+TEST(Metrics, EmptyHistogramStatsAreZero) {
+  obs::Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Metrics, RegistryInternsHandles) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b) << "same name must return the same handle";
+  a.inc();
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+  // Histogram bounds are only consulted on first use.
+  obs::Histogram& h1 = reg.histogram("h", {1.0, 2.0});
+  obs::Histogram& h2 = reg.histogram("h", {9.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(Metrics, ResetValuesKeepsHandlesValid) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  c.inc(5);
+  reg.trace().push(1.0, obs::TraceKind::kTxInjected, 1, 2);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.trace().size(), 0u);
+  c.inc();
+  EXPECT_EQ(reg.counter("c").value(), 1u);
+}
+
+TEST(Metrics, SnapshotDiffSince) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  obs::Gauge& g = reg.gauge("g");
+  obs::Histogram& h = reg.histogram("h", {1.0});
+  c.inc(10);
+  g.set(5.0);
+  h.observe(0.5);
+  const obs::MetricsSnapshot before = reg.snapshot();
+  c.inc(7);
+  g.set(2.0);
+  h.observe(3.0);
+  const obs::MetricsSnapshot delta = reg.snapshot().diff_since(before);
+  EXPECT_EQ(delta.counters.at("c"), 7u);           // counters are flows
+  EXPECT_DOUBLE_EQ(delta.gauges.at("g"), 2.0);     // gauges are levels
+  EXPECT_EQ(delta.histograms.at("h").count, 1u);   // one new observation
+  EXPECT_EQ(delta.histograms.at("h").counts[1], 1u);
+  EXPECT_EQ(delta.histograms.at("h").counts[0], 0u);
+}
+
+TEST(Trace, RingWrapsAroundOldestFirst) {
+  obs::TraceRing ring(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.push(static_cast<double>(i), obs::TraceKind::kTxInjected, i, 0);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving event first: 6, 7, 8, 9.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].subject, 6u + i);
+    EXPECT_DOUBLE_EQ(events[i].time, 6.0 + static_cast<double>(i));
+  }
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(Phase, ScopedPhaseRecordsClockDelta) {
+  double clock = 0.0;
+  obs::Histogram h({1.0, 10.0});
+  const obs::PhaseTimer timer([&clock] { return clock; });
+  {
+    obs::ScopedPhase p = timer.phase(&h);
+    clock = 2.5;
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.5);
+  // Null histogram: no-op, no crash.
+  {
+    obs::ScopedPhase p = timer.phase(nullptr);
+    clock = 9.0;
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Export, JsonRoundTrip) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("b.level").set(1.5);
+  reg.gauge("b.level").set(0.5);
+  reg.histogram("c.hist", obs::duration_bounds()).observe(0.2);
+  reg.histogram("c.hist", obs::duration_bounds()).observe(42.0);
+  const obs::MetricsSnapshot s = reg.snapshot();
+  const rpc::Json j = obs::snapshot_to_json(s);
+  const auto back = obs::snapshot_from_json(j);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+  // Serialization itself is stable.
+  EXPECT_EQ(j.dump(), obs::snapshot_to_json(*back).dump());
+}
+
+TEST(Export, CsvContainsEveryScalar) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").inc(3);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h", {1.0}).observe(0.5);
+  const std::string csv = obs::snapshot_to_csv(reg.snapshot());
+  EXPECT_NE(csv.find("a,counter,3"), std::string::npos);
+  EXPECT_NE(csv.find("g,gauge,2"), std::string::npos);
+  EXPECT_NE(csv.find("h.count,histogram,1"), std::string::npos);
+  EXPECT_NE(csv.find("h.le_1,histogram,1"), std::string::npos);
+  EXPECT_NE(csv.find("h.le_inf,histogram,0"), std::string::npos);
+}
+
+TEST(Export, TraceToJson) {
+  obs::TraceRing ring(8);
+  ring.push(1.5, obs::TraceKind::kTxEvicted, 7, 3);
+  const rpc::Json j = obs::trace_to_json(ring);
+  ASSERT_TRUE(j.is_object());
+  EXPECT_DOUBLE_EQ(j["dropped"].as_number(), 0.0);
+  const rpc::Json& events = j["events"];
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.as_array().size(), 1u);
+  EXPECT_EQ(events[0]["kind"].as_string(), "tx-evicted");
+  EXPECT_DOUBLE_EQ(events[0]["subject"].as_number(), 7.0);
+}
+
+// The paper-level guarantee the subsystem is built around: metrics are
+// keyed to simulation quantities only, so identically seeded runs export
+// byte-identical documents.
+TEST(ObsDeterminism, SameSeedSameMetrics) {
+  auto run = [] {
+    graph::Graph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    core::ScenarioOptions opt;
+    opt.seed = 11;
+    opt.mempool_capacity = 256;
+    opt.future_cap = 64;
+    opt.background_txs = 192;
+    core::Scenario sc(g, opt);
+    sc.seed_background();
+    const auto cfg = sc.default_measure_config();
+    (void)sc.measure_one_link(sc.targets()[0], sc.targets()[1], cfg);
+    return obs::snapshot_to_json(sc.snapshot_metrics()).dump();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("mempool.evictions"), std::string::npos);
+  EXPECT_NE(first.find("probe.phase.flood_seconds"), std::string::npos);
+}
+
+// A scenario measurement populates every layer's metrics.
+TEST(ObsWiring, ScenarioMeasurementTouchesAllLayers) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  core::ScenarioOptions opt;
+  opt.seed = 3;
+  opt.mempool_capacity = 256;
+  opt.future_cap = 64;
+  opt.background_txs = 192;
+  core::Scenario sc(g, opt);
+  sc.seed_background();
+  (void)sc.measure_one_link(sc.targets()[0], sc.targets()[1],
+                            sc.default_measure_config());
+  const obs::MetricsSnapshot s = sc.snapshot_metrics();
+  EXPECT_GT(s.counters.at("net.messages"), 0u);
+  EXPECT_GT(s.counters.at("mempool.evictions"), 0u);
+  EXPECT_GT(s.counters.at("mempool.admits.future"), 0u);
+  EXPECT_GT(s.counters.at("probe.runs"), 0u);
+  EXPECT_GT(s.counters.at("probe.txs_injected"), 0u);
+  EXPECT_GT(s.histograms.at("probe.phase.flood_seconds").count, 0u);
+  EXPECT_GT(s.histograms.at("probe.link_seconds").count, 0u);
+  EXPECT_GT(s.gauges.at("sim.events_processed"), 0.0);
+  EXPECT_GT(s.gauges.at("sim.queue_high_water"), 0.0);
+  EXPECT_GT(sc.metrics().trace().total_pushed(), 0u);
+}
+
+}  // namespace
+}  // namespace topo
