@@ -10,6 +10,7 @@
 // magnitude by K = 30.
 
 #include "bench_common.h"
+#include "exec/worker_pool.h"
 #include "graph/generators.h"
 
 int main(int argc, char** argv) {
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const size_t n = cli.get_uint("nodes", 48);
   const uint64_t seed = cli.get_uint("seed", 5);
+  const size_t threads = cli.get_uint("threads", 1);
   const bool run_serial = cli.get_bool("serial", true);
   bench::banner("Parallel measurement speedup", "Figure 5 (§6.1)");
 
@@ -65,10 +67,15 @@ int main(int argc, char** argv) {
   for (size_t k : {2u, 4u, 8u, 12u, 16u}) {
     if (k < n) ks.push_back(k);
   }
-  for (size_t k : ks) {
-    const auto [elapsed, iterations, pr] = run_with_k(k);
-    if (k == ks.front()) serial_time = elapsed;
-    table.add_row({util::fmt(k), util::fmt(iterations), util::fmt(elapsed, 0),
+  // Each K runs against its own private scenario, so the sweep itself is
+  // embarrassingly parallel; rows are stored by index and printed in order.
+  std::vector<std::tuple<double, size_t, core::PrecisionRecall>> results(ks.size());
+  const exec::WorkerPool pool(threads);
+  pool.run(ks.size(), [&](size_t i) { results[i] = run_with_k(ks[i]); });
+  for (size_t i = 0; i < ks.size(); ++i) {
+    const auto& [elapsed, iterations, pr] = results[i];
+    if (i == 0) serial_time = elapsed;
+    table.add_row({util::fmt(ks[i]), util::fmt(iterations), util::fmt(elapsed, 0),
                    util::fmt(serial_time / elapsed, 1) + "x", util::fmt_pct(pr.recall()),
                    util::fmt_pct(pr.precision())});
   }

@@ -3,7 +3,10 @@
 // A1, A2, B, with repeated runs — expecting 100% recall and precision in
 // every configuration, including when A1 and A2 are themselves connected.
 
+#include <iterator>
+
 #include "bench_common.h"
+#include "exec/worker_pool.h"
 #include "graph/generators.h"
 
 int main(int argc, char** argv) {
@@ -11,6 +14,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const size_t runs = cli.get_uint("runs", 10);
   const uint64_t seed = cli.get_uint("seed", 8);
+  const size_t threads = cli.get_uint("threads", 1);
   bench::banner("Local validation of parallel measurement", "Table 8 (Appendix B.1.1)");
 
   struct Case {
@@ -26,29 +30,46 @@ int main(int argc, char** argv) {
       {"Null", false, false, false},
   };
 
-  util::Table table({"Configuration", "Runs", "Recall", "Precision"});
-  for (const Case& c : cases) {
-    size_t tp = 0, fp = 0, fn = 0, tn = 0;
-    for (size_t run = 0; run < runs; ++run) {
-      graph::Graph g(3);  // 0=A1, 1=A2, 2=B
-      if (c.a1a2) g.add_edge(0, 1);
-      if (c.a1b) g.add_edge(0, 2);
-      if (c.a2b) g.add_edge(1, 2);
+  // Every (configuration, run) pair is an independent 3-node world, so the
+  // whole grid fans out over the worker pool; verdicts land in a slot per
+  // job and are tallied in order afterwards.
+  const size_t n_cases = std::size(cases);
+  struct Verdict {
+    bool a1b = false, a2b = false;
+  };
+  std::vector<Verdict> verdicts(n_cases * runs);
+  const exec::WorkerPool pool(threads);
+  pool.run(verdicts.size(), [&](size_t job) {
+    const Case& c = cases[job / runs];
+    const size_t run = job % runs;
+    graph::Graph g(3);  // 0=A1, 1=A2, 2=B
+    if (c.a1a2) g.add_edge(0, 1);
+    if (c.a1b) g.add_edge(0, 2);
+    if (c.a2b) g.add_edge(1, 2);
 
-      core::ScenarioOptions opt = bench::scaled_options(seed + run * 131);
-      core::Scenario sc(g, opt);
-      sc.seed_background();
-      const auto& t = sc.targets();
-      const auto res = sc.measure_parallel({t[0], t[1]}, {t[2]}, {{0, 0}, {1, 0}},
-                                           sc.default_measure_config());
-      auto tally = [&](bool got, bool real) {
-        if (got && real) ++tp;
-        else if (got && !real) ++fp;
-        else if (!got && real) ++fn;
-        else ++tn;
-      };
-      tally(res.connected[0], c.a1b);
-      tally(res.connected[1], c.a2b);
+    core::ScenarioOptions opt = bench::scaled_options(seed + run * 131);
+    core::Scenario sc(g, opt);
+    sc.seed_background();
+    const auto& t = sc.targets();
+    const auto res = sc.measure_parallel({t[0], t[1]}, {t[2]}, {{0, 0}, {1, 0}},
+                                         sc.default_measure_config());
+    verdicts[job] = {res.connected[0], res.connected[1]};
+  });
+
+  util::Table table({"Configuration", "Runs", "Recall", "Precision"});
+  for (size_t ci = 0; ci < n_cases; ++ci) {
+    const Case& c = cases[ci];
+    size_t tp = 0, fp = 0, fn = 0, tn = 0;
+    auto tally = [&](bool got, bool real) {
+      if (got && real) ++tp;
+      else if (got && !real) ++fp;
+      else if (!got && real) ++fn;
+      else ++tn;
+    };
+    for (size_t run = 0; run < runs; ++run) {
+      const Verdict& v = verdicts[ci * runs + run];
+      tally(v.a1b, c.a1b);
+      tally(v.a2b, c.a2b);
     }
     const double recall = (tp + fn) ? static_cast<double>(tp) / (tp + fn) : 1.0;
     const double precision = (tp + fp) ? static_cast<double>(tp) / (tp + fp) : 1.0;

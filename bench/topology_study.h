@@ -14,8 +14,11 @@
 //     (pre-processing + parallel schedule) and validated against ground
 //     truth, reporting the paper's precision/recall and cost columns.
 
+#include <chrono>
+
 #include "bench_common.h"
 #include "core/cost.h"
+#include "exec/campaign.h"
 #include "graph/cliques.h"
 #include "graph/generators.h"
 #include "graph/louvain.h"
@@ -136,6 +139,8 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   const uint64_t seed = cli.get_uint("seed", cfg.seed);
   const size_t measured_nodes = cli.get_uint("nodes", cfg.measured_nodes);
   const size_t group_k = cli.get_uint("group", cfg.group_k);
+  const size_t threads = cli.get_uint("threads", 1);
+  const size_t shards = cli.get_uint("shards", 0);
   const bool skip_measure = cli.get_bool("analysis-only", false);
 
   banner(cfg.name + " topology study", cfg.paper_reference);
@@ -167,19 +172,36 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
 
   core::ScenarioOptions opt = scaled_options(seed);
   opt.block_gas_limit = 30 * eth::kTransferGas;
-  core::Scenario sc(truth, opt);
-  sc.seed_background();
+
+  // A scout replica reports the pre-processing picture (future-forwarders,
+  // unresponsive nodes) before the sharded campaign fans out.
+  core::MeasureConfig mcfg;
+  {
+    core::Scenario scout(truth, opt);
+    scout.seed_background();
+    scout.start_churn(3.0);
+    mcfg = scout.default_measure_config();
+    const auto pre = scout.preprocess(mcfg);
+    std::cout << "pre-processing: " << pre.future_forwarders.size() << " future-forwarders, "
+              << pre.unresponsive.size() << " unresponsive nodes excluded\n";
+  }
+
+  mcfg.repetitions = 3;  // union of three runs, the paper's validation recipe
+  exec::CampaignOptions copt;
+  copt.group_k = group_k;
+  copt.threads = threads;
+  copt.shards = shards;
+  copt.seed_background = true;
   // Live-network churn: organic traffic + mining drain measurement residue
   // between iterations (the role the testnets' own traffic plays).
-  sc.start_churn(3.0);
+  copt.churn_rate = 3.0;
 
-  const auto pre = sc.preprocess(sc.default_measure_config());
-  std::cout << "pre-processing: " << pre.future_forwarders.size() << " future-forwarders, "
-            << pre.unresponsive.size() << " unresponsive nodes excluded\n";
+  const auto wall0 = std::chrono::steady_clock::now();
+  const auto campaign = exec::run_sharded_campaign(truth, opt, mcfg, copt);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
 
-  core::MeasureConfig mcfg = sc.default_measure_config();
-  mcfg.repetitions = 3;  // union of three runs, the paper's validation recipe
-  const auto report = sc.measure_network(group_k, mcfg);
+  const auto& report = campaign.report;
   const auto pr = core::compare_graphs(truth, report.measured);
   util::Table table({"Metric", "Value"});
   table.add_row({"nodes", util::fmt(truth.num_nodes())});
@@ -190,7 +212,12 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   table.add_row({"precision", util::fmt_pct(pr.precision())});
   table.add_row({"recall", util::fmt_pct(pr.recall())});
   table.add_row({"sim duration (s)", util::fmt(report.sim_seconds, 0)});
+  table.add_row({"sim makespan (s)", util::fmt(campaign.makespan_sim_seconds, 0)});
   table.add_row({"measurement txs sent", util::fmt(report.txs_sent)});
+  table.add_row({"campaign shards", util::fmt(campaign.shards)});
+  table.add_row({"campaign batches", util::fmt(campaign.batches)});
+  table.add_row({"worker threads", util::fmt(threads)});
+  table.add_row({"wall-clock (s)", util::fmt(wall_seconds, 2)});
   table.print(std::cout);
 
   std::cout << "\nMeasured-graph statistics vs baselines (shape check):\n";

@@ -8,7 +8,8 @@
 //   --mode=export --nodes=N --out=PATH  emerge a topology and write CSV/DOT
 //
 // Common flags: --seed, --recipe=ropsten|rinkeby|goerli, --repetitions.
-// measure/pair also accept --metrics-out=PATH to dump the scenario's
+// measure also accepts --threads=N / --shards=S to run the sharded campaign
+// (topo::exec); measure/pair accept --metrics-out=PATH to dump the
 // metrics snapshot (counters, gauges, probe-phase histograms) as JSON.
 
 #include <fstream>
@@ -18,6 +19,7 @@
 #include "core/session.h"
 #include "core/toposhot.h"
 #include "core/validator.h"
+#include "exec/campaign.h"
 #include "obs/export.h"
 #include "disc/emergence.h"
 #include "graph/centrality.h"
@@ -64,10 +66,25 @@ int mode_profile() {
   return 0;
 }
 
+/// Writes an explicit snapshot (the sharded-campaign path, where there is no
+/// single session to snapshot) when --metrics-out was given.
+bool maybe_write_metrics(const util::Cli& cli, const obs::MetricsSnapshot& snapshot) {
+  const std::string path = cli.get_string("metrics-out", "");
+  if (path.empty()) return true;
+  if (!obs::write_json_file(path, obs::snapshot_to_json(snapshot))) {
+    std::cerr << "failed to write " << path << "\n";
+    return false;
+  }
+  std::cout << "metrics written to " << path << "\n";
+  return true;
+}
+
 int mode_measure(const util::Cli& cli) {
   const size_t nodes = cli.get_uint("nodes", 40);
   const size_t group = cli.get_uint("group", 3);
   const uint64_t seed = cli.get_uint("seed", 1);
+  const size_t threads = cli.get_uint("threads", 1);
+  const size_t shards = cli.get_uint("shards", 0);
   util::Rng rng(seed);
   auto recipe = recipe_for(cli.get_string("recipe", "ropsten"), nodes);
   const graph::Graph truth = disc::emerge_topology(recipe, rng);
@@ -75,6 +92,42 @@ int mode_measure(const util::Cli& cli) {
   core::ScenarioOptions opt;
   opt.seed = seed;
   opt.block_gas_limit = 30 * eth::kTransferGas;
+
+  util::Table table({"Metric", "Value"});
+  table.add_row({"nodes", util::fmt(truth.num_nodes())});
+  table.add_row({"true edges", util::fmt(truth.num_edges())});
+
+  if (threads > 1 || shards > 0) {
+    // Sharded campaign: the shard plan (not the pool width) fixes the
+    // decomposition, so any --threads value yields the same merged report.
+    core::Scenario probe(truth, opt);
+    const core::MeasureConfig mcfg =
+        core::MeasureConfig::Builder(probe.default_measure_config())
+            .repetitions(cli.get_uint("repetitions", 3))
+            .build();
+    exec::CampaignOptions copt;
+    copt.group_k = group;
+    copt.threads = threads;
+    copt.shards = shards;
+    copt.churn_rate = 3.0;
+    const auto campaign = exec::run_sharded_campaign(truth, opt, mcfg, copt);
+    const auto& report = campaign.report;
+    const auto pr = core::compare_graphs(truth, report.measured);
+    table.add_row({"measured edges", util::fmt(report.measured.num_edges())});
+    table.add_row({"precision", util::fmt_pct(pr.precision())});
+    table.add_row({"recall", util::fmt_pct(pr.recall())});
+    table.add_row({"iterations", util::fmt(report.iterations)});
+    table.add_row({"sim seconds", util::fmt(report.sim_seconds, 0)});
+    table.add_row({"sim makespan", util::fmt(campaign.makespan_sim_seconds, 0)});
+    table.add_row({"txs sent", util::fmt(report.txs_sent)});
+    table.add_row({"net messages", util::fmt(campaign.metrics.counters.at("net.messages"))});
+    table.add_row(
+        {"pool evictions", util::fmt(campaign.metrics.counters.at("mempool.evictions"))});
+    table.add_row({"shards / threads", util::fmt(campaign.shards) + " / " + util::fmt(threads)});
+    table.print(std::cout);
+    return maybe_write_metrics(cli, campaign.metrics) ? 0 : 1;
+  }
+
   core::Scenario sc(truth, opt);
   sc.seed_background();
   sc.start_churn(3.0);
@@ -87,9 +140,6 @@ int mode_measure(const util::Cli& cli) {
   const auto& report = measured.value;
   const auto pr = core::compare_graphs(truth, report.measured);
 
-  util::Table table({"Metric", "Value"});
-  table.add_row({"nodes", util::fmt(truth.num_nodes())});
-  table.add_row({"true edges", util::fmt(truth.num_edges())});
   table.add_row({"measured edges", util::fmt(report.measured.num_edges())});
   table.add_row({"precision", util::fmt_pct(pr.precision())});
   table.add_row({"recall", util::fmt_pct(pr.recall())});
@@ -195,7 +245,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "toposhot_cli --mode=profile|measure|analyze|pair|export\n"
                "  common: --seed=N --nodes=N --recipe=ropsten|rinkeby|goerli\n"
-               "  measure: --group=K --repetitions=R --metrics-out=PATH\n"
+               "  measure: --group=K --repetitions=R --threads=N --shards=S "
+               "--metrics-out=PATH\n"
                "  pair:    --a=I --b=J --metrics-out=PATH\n"
                "  export:  --out=PATH\n";
   return mode == "help" ? 0 : 2;

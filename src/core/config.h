@@ -33,7 +33,9 @@ struct MeasureConfig {
   uint32_t bump_bp = 1000;
 
   /// U — assumed max futures per account on the target; the flood uses
-  /// ceil(Z/U) distinct sender accounts.
+  /// ceil(Z/U) distinct sender accounts. 0 means "unlimited" (the target
+  /// caps nothing), which the flood crafts as one future per account — see
+  /// flood_plan().
   uint64_t futures_per_account_U = 4096;
 
   /// Seconds to wait after a flood finishes before sending the replacement
@@ -74,11 +76,32 @@ struct MeasureConfig {
     return bump_bp == 0 ? 1 : std::max<eth::Wei>(1, 40000 / bump_bp);
   }
 
-  /// Number of flood sender accounts.
-  size_t flood_accounts() const {
-    if (futures_per_account_U == 0) return flood_Z;
-    return (flood_Z + futures_per_account_U - 1) / futures_per_account_U;
+  /// Shape of a future flood of `z` transactions: how many fresh sender
+  /// accounts to create and how many futures each one crafts. U == 0
+  /// ("unlimited" — the target imposes no per-account future cap) crafts
+  /// one future per account, so the flood is never empty. Both measurement
+  /// drivers derive their flood loops from this plan (core/flood.h), which
+  /// is what keeps them from diverging.
+  struct FloodPlan {
+    size_t accounts = 0;
+    uint64_t per_account = 0;
+
+    /// True when accounts * per_account can hold `z` futures.
+    bool covers(size_t z) const {
+      return per_account > 0 &&
+             static_cast<unsigned __int128>(accounts) * per_account >= z;
+    }
+  };
+
+  FloodPlan flood_plan(size_t z) const {
+    FloodPlan p;
+    p.per_account = futures_per_account_U == 0 ? 1 : futures_per_account_U;
+    p.accounts = (z + p.per_account - 1) / p.per_account;
+    return p;
   }
+
+  /// Number of flood sender accounts.
+  size_t flood_accounts() const { return flood_plan(flood_Z).accounts; }
 
   class Builder;
 
@@ -137,6 +160,11 @@ class MeasureConfig::Builder {
       throw std::invalid_argument(
           "MeasureConfig: price_Y below min_viable_Y(); the integer price "
           "ladder would collapse");
+    }
+    if (!cfg_.flood_plan(cfg_.flood_Z).covers(cfg_.flood_Z)) {
+      throw std::invalid_argument(
+          "MeasureConfig: flood plan cannot cover flood_Z — the eviction "
+          "flood would be silently incomplete");
     }
     return cfg_;
   }

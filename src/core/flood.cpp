@@ -1,0 +1,22 @@
+#include "core/flood.h"
+
+namespace topo::core {
+
+std::vector<eth::Transaction> craft_future_flood(eth::AccountManager& accounts,
+                                                 eth::TxFactory& factory,
+                                                 const MeasureConfig& cfg, size_t z) {
+  std::vector<eth::Transaction> flood;
+  flood.reserve(z);
+  const MeasureConfig::FloodPlan plan = cfg.flood_plan(z);
+  const eth::Wei price = cfg.price_future();
+  for (size_t a = 0; a < plan.accounts && flood.size() < z; ++a) {
+    const eth::Address acct = accounts.create_one();
+    const eth::Nonce base = accounts.future_nonce(acct, 1);  // gap at nonce 0
+    for (uint64_t j = 0; j < plan.per_account && flood.size() < z; ++j) {
+      flood.push_back(craft_tx(factory, cfg, acct, base + j, price));
+    }
+  }
+  return flood;
+}
+
+}  // namespace topo::core

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "eth/account.h"
+#include "eth/transaction.h"
+
+namespace topo::core {
+
+/// Crafts the Step-2 eviction flood (paper §5.2.2): `z` future transactions
+/// priced at cfg.price_future(), spread over fresh accounts according to
+/// cfg.flood_plan(z). Each account leaves a gap at nonce 0 so every crafted
+/// transaction classifies as future on the target.
+///
+/// This is the single flood-crafting path shared by the one-link and
+/// parallel drivers; keeping the U == 0 ("unlimited", one future per
+/// account) degeneration here means neither driver can silently craft an
+/// empty flood again.
+std::vector<eth::Transaction> craft_future_flood(eth::AccountManager& accounts,
+                                                 eth::TxFactory& factory,
+                                                 const MeasureConfig& cfg, size_t z);
+
+}  // namespace topo::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/flood.h"
 #include "core/gas_estimator.h"
 #include "p2p/node.h"
 
@@ -29,19 +30,7 @@ OneLinkMeasurement::OneLinkMeasurement(p2p::Network& net, p2p::MeasurementNode& 
     : net_(net), m_(m), accounts_(accounts), factory_(factory), config_(config) {}
 
 std::vector<eth::Transaction> OneLinkMeasurement::make_flood(const MeasureConfig& cfg) {
-  std::vector<eth::Transaction> flood;
-  flood.reserve(cfg.flood_Z);
-  const size_t n_accounts = cfg.flood_accounts();
-  const eth::Wei price = cfg.price_future();
-  for (size_t a = 0; a < n_accounts && flood.size() < cfg.flood_Z; ++a) {
-    const eth::Address acct = accounts_.create_one();
-    const eth::Nonce base = accounts_.future_nonce(acct, 1);  // gap at nonce 0
-    for (uint64_t j = 0; j < cfg.futures_per_account_U && flood.size() < cfg.flood_Z;
-         ++j) {
-      flood.push_back(craft_tx(factory_, cfg, acct, base + j, price));
-    }
-  }
-  return flood;
+  return craft_future_flood(accounts_, factory_, cfg, cfg.flood_Z);
 }
 
 OneLinkResult OneLinkMeasurement::measure(p2p::PeerId a, p2p::PeerId b) {

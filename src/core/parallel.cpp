@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/flood.h"
 #include "core/gas_estimator.h"
 #include "p2p/node.h"
 
@@ -14,21 +15,7 @@ ParallelMeasurement::ParallelMeasurement(p2p::Network& net, p2p::MeasurementNode
 
 std::vector<eth::Transaction> ParallelMeasurement::make_flood(const MeasureConfig& cfg,
                                                               size_t z) {
-  std::vector<eth::Transaction> flood;
-  flood.reserve(z);
-  const size_t n_accounts =
-      cfg.futures_per_account_U == 0 ? z
-                                     : (z + cfg.futures_per_account_U - 1) /
-                                           cfg.futures_per_account_U;
-  const eth::Wei price = cfg.price_future();
-  for (size_t a = 0; a < n_accounts && flood.size() < z; ++a) {
-    const eth::Address acct = accounts_.create_one();
-    const eth::Nonce base = accounts_.future_nonce(acct, 1);
-    for (uint64_t j = 0; j < cfg.futures_per_account_U && flood.size() < z; ++j) {
-      flood.push_back(craft_tx(factory_, cfg, acct, base + j, price));
-    }
-  }
-  return flood;
+  return craft_future_flood(accounts_, factory_, cfg, z);
 }
 
 size_t ParallelMeasurement::flood_z_for(p2p::PeerId target, const MeasureConfig& cfg) const {

@@ -49,16 +49,38 @@ Json report_to_json(const NetworkMeasurementReport& report) {
   });
 }
 
+namespace {
+
+/// Strict field read for the non-negative numeric report fields; a missing,
+/// wrong-typed, or negative value rejects the whole document (a truncated
+/// or hand-edited report must not load as a zero-filled one).
+bool read_count(const Json& j, const char* key, double& out) {
+  const Json& field = j[key];
+  if (!field.is_number() || field.as_number() < 0.0) return false;
+  out = field.as_number();
+  return true;
+}
+
+}  // namespace
+
 std::optional<NetworkMeasurementReport> report_from_json(const Json& j) {
-  if (!j.is_object() || j["format"].as_string() != "toposhot-report-v1") return std::nullopt;
+  if (!j.is_object() || !j["format"].is_string() ||
+      j["format"].as_string() != "toposhot-report-v1") {
+    return std::nullopt;
+  }
+  double iterations = 0.0, pairs_tested = 0.0, sim_seconds = 0.0, txs_sent = 0.0;
+  if (!read_count(j, "iterations", iterations) || !read_count(j, "pairs_tested", pairs_tested) ||
+      !read_count(j, "sim_seconds", sim_seconds) || !read_count(j, "txs_sent", txs_sent)) {
+    return std::nullopt;
+  }
   auto topo = graph_from_json(j["topology"]);
   if (!topo) return std::nullopt;
   NetworkMeasurementReport report;
   report.measured = std::move(*topo);
-  report.iterations = static_cast<size_t>(j["iterations"].as_number());
-  report.pairs_tested = static_cast<size_t>(j["pairs_tested"].as_number());
-  report.sim_seconds = j["sim_seconds"].as_number();
-  report.txs_sent = static_cast<uint64_t>(j["txs_sent"].as_number());
+  report.iterations = static_cast<size_t>(iterations);
+  report.pairs_tested = static_cast<size_t>(pairs_tested);
+  report.sim_seconds = sim_seconds;
+  report.txs_sent = static_cast<uint64_t>(txs_sent);
   return report;
 }
 

@@ -56,6 +56,53 @@ std::vector<IterationPlan> make_schedule(size_t n, size_t group_k) {
   return plan;
 }
 
+std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budget) {
+  std::vector<MeasurementBatch> batches;
+  budget = std::max<size_t>(1, budget);
+  for (const auto& it : make_schedule(n, group_k)) {
+    // Split into slot-budgeted batches: every concurrent edge pins one txC
+    // in every participating pool.
+    for (size_t start = 0; start < it.pairs.size(); start += budget) {
+      const size_t end = std::min(start + budget, it.pairs.size());
+      MeasurementBatch batch;
+      std::unordered_map<size_t, size_t> src_pos, sink_pos;
+      batch.edges.reserve(end - start);
+      batch.pairs.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        const auto& [s, t] = it.pairs[i];
+        auto [sit, s_new] = src_pos.try_emplace(s, batch.sources.size());
+        if (s_new) batch.sources.push_back(s);
+        auto [tit, t_new] = sink_pos.try_emplace(t, batch.sinks.size());
+        if (t_new) batch.sinks.push_back(t);
+        batch.edges.push_back({sit->second, tit->second});
+        batch.pairs.emplace_back(s, t);
+      }
+      batches.push_back(std::move(batch));
+    }
+  }
+  return batches;
+}
+
+void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
+               const MeasurementBatch& batch, NetworkMeasurementReport& report) {
+  std::vector<p2p::PeerId> sources, sinks;
+  sources.reserve(batch.sources.size());
+  sinks.reserve(batch.sinks.size());
+  for (size_t s : batch.sources) sources.push_back(targets[s]);
+  for (size_t t : batch.sinks) sinks.push_back(targets[t]);
+
+  const ParallelResult res = par.measure(sources, sinks, batch.edges);
+  ++report.iterations;
+  report.txs_sent += res.txs_sent;
+  report.pairs_tested += batch.edges.size();
+  for (size_t i = 0; i < batch.edges.size(); ++i) {
+    if (res.connected[i]) {
+      report.measured.add_edge(static_cast<graph::NodeId>(batch.pairs[i].first),
+                               static_cast<graph::NodeId>(batch.pairs[i].second));
+    }
+  }
+}
+
 NetworkMeasurementReport NetworkMeasurement::measure_all(p2p::Network& net,
                                                          const std::vector<p2p::PeerId>& targets,
                                                          size_t group_k) {
@@ -63,39 +110,10 @@ NetworkMeasurementReport NetworkMeasurement::measure_all(p2p::Network& net,
   report.measured = graph::Graph(targets.size());
   const double t0 = net.simulator().now();
 
-  size_t budget = max_edges_;
-  if (budget == 0) budget = std::max<size_t>(1, par_.config().flood_Z * 2 / 5);
-
-  const auto plan = make_schedule(targets.size(), group_k);
-  for (const auto& it : plan) {
-    // Split into slot-budgeted batches: every concurrent edge pins one txC
-    // in every participating pool.
-    for (size_t start = 0; start < it.pairs.size(); start += budget) {
-      const size_t end = std::min(start + budget, it.pairs.size());
-      std::vector<p2p::PeerId> sources, sinks;
-      std::unordered_map<size_t, size_t> src_pos, sink_pos;
-      std::vector<ParallelEdge> edges;
-      edges.reserve(end - start);
-      for (size_t i = start; i < end; ++i) {
-        const auto& [s, t] = it.pairs[i];
-        auto [sit, s_new] = src_pos.try_emplace(s, sources.size());
-        if (s_new) sources.push_back(targets[s]);
-        auto [tit, t_new] = sink_pos.try_emplace(t, sinks.size());
-        if (t_new) sinks.push_back(targets[t]);
-        edges.push_back({sit->second, tit->second});
-      }
-
-      const ParallelResult res = par_.measure(sources, sinks, edges);
-      ++report.iterations;
-      report.txs_sent += res.txs_sent;
-      report.pairs_tested += edges.size();
-      for (size_t i = 0; i < edges.size(); ++i) {
-        if (res.connected[i]) {
-          report.measured.add_edge(static_cast<graph::NodeId>(it.pairs[start + i].first),
-                                   static_cast<graph::NodeId>(it.pairs[start + i].second));
-        }
-      }
-    }
+  const size_t budget =
+      max_edges_ != 0 ? max_edges_ : slot_budget(par_.config().flood_Z);
+  for (const auto& batch : make_batches(targets.size(), group_k, budget)) {
+    run_batch(par_, targets, batch, report);
   }
   report.sim_seconds = net.simulator().now() - t0;
   return report;

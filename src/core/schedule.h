@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -34,6 +35,34 @@ struct NetworkMeasurementReport {
   double sim_seconds = 0.0;
   uint64_t txs_sent = 0;
 };
+
+/// One slot-budgeted unit of campaign work: a deduplicated source/sink set
+/// plus candidate edges, everything in target-index space so the batch can
+/// be replayed against any replica of the measurement world (the unit the
+/// topo::exec worker pool shards across threads).
+struct MeasurementBatch {
+  std::vector<size_t> sources;  ///< target indices
+  std::vector<size_t> sinks;    ///< target indices
+  std::vector<ParallelEdge> edges;  ///< indices into sources/sinks above
+  std::vector<std::pair<size_t, size_t>> pairs;  ///< (source, sink) target indices, edge order
+};
+
+/// The §5.3.2 slot budget: at most 2Z/5 concurrent candidate edges, since
+/// every concurrent edge pins one txC slot in every participating pool.
+inline size_t slot_budget(size_t flood_z) { return std::max<size_t>(1, flood_z * 2 / 5); }
+
+/// Expands the two-round schedule into slot-budgeted batches. Pure function
+/// of (n, group_k, budget): the sequential driver and the sharded campaign
+/// runner both consume it, so their pair coverage is identical by
+/// construction (every unordered pair appears in exactly one batch).
+std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budget);
+
+/// Runs one batch through `par` (mapping target indices through `targets`)
+/// and folds the outcome into `report`: iteration/pair/tx tallies plus one
+/// measured edge per positive verdict. sim_seconds is left to the caller,
+/// which knows which simulator clock the batch ran on.
+void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
+               const MeasurementBatch& batch, NetworkMeasurementReport& report);
 
 /// Drives the full schedule through ParallelMeasurement.
 ///

@@ -59,21 +59,33 @@ Scenario::Scenario(const graph::Graph& topology, ScenarioOptions options)
   net_->enable_metrics(metrics_);
 
   util::Rng het = rng_.split();
-  for (size_t i = 0; i < topology.num_nodes(); ++i) {
-    p2p::NodeConfig cfg;
-    cfg.client = options_.client;
-    mempool::MempoolPolicy policy = scaled_policy(options_, options_.client);
-    if (het.chance(options_.custom_mempool_fraction)) policy.capacity = options_.custom_capacity;
-    if (het.chance(options_.custom_bump_fraction))
-      policy.replace_bump_bp = options_.custom_bump_bp;
-    cfg.policy_override = policy;
-    cfg.forwards_transactions = !het.chance(options_.nonforwarding_fraction);
-    cfg.maintenance_interval = options_.maintenance_interval;
-    cfg.regossip_interval = options_.regossip_interval;
-    cfg.use_announcements = options_.use_announcements;
-    targets_.push_back(net_->add_node(cfg));
+  p2p::NodeConfig base_cfg;
+  base_cfg.client = options_.client;
+  base_cfg.policy_override = scaled_policy(options_, options_.client);
+  base_cfg.maintenance_interval = options_.maintenance_interval;
+  base_cfg.regossip_interval = options_.regossip_interval;
+  base_cfg.use_announcements = options_.use_announcements;
+  const bool homogeneous = options_.custom_mempool_fraction <= 0.0 &&
+                           options_.custom_bump_fraction <= 0.0 &&
+                           options_.nonforwarding_fraction <= 0.0;
+  if (homogeneous) {
+    // The bulk path sharded-campaign replicas take; byte-identical to the
+    // per-node loop below (chance(0) draws nothing from `het`).
+    targets_ = net_->populate(topology, base_cfg);
+  } else {
+    for (size_t i = 0; i < topology.num_nodes(); ++i) {
+      p2p::NodeConfig cfg = base_cfg;
+      mempool::MempoolPolicy policy = *cfg.policy_override;
+      if (het.chance(options_.custom_mempool_fraction))
+        policy.capacity = options_.custom_capacity;
+      if (het.chance(options_.custom_bump_fraction))
+        policy.replace_bump_bp = options_.custom_bump_bp;
+      cfg.policy_override = policy;
+      cfg.forwards_transactions = !het.chance(options_.nonforwarding_fraction);
+      targets_.push_back(net_->add_node(cfg));
+    }
+    for (const auto& [u, v] : topology.edges()) net_->connect(targets_[u], targets_[v]);
   }
-  for (const auto& [u, v] : topology.edges()) net_->connect(targets_[u], targets_[v]);
 
   // M's passive view runs the same (scaled) pool policy as the network, so
   // the §5.2.1 median-price estimator tracks the live fee market.

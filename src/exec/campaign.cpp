@@ -1,0 +1,71 @@
+#include "exec/campaign.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "exec/worker_pool.h"
+
+namespace topo::exec {
+
+CampaignResult run_sharded_campaign(const graph::Graph& truth,
+                                    const core::ScenarioOptions& base_options,
+                                    const core::MeasureConfig& cfg,
+                                    const CampaignOptions& opt) {
+  const size_t n = truth.num_nodes();
+  const size_t budget =
+      opt.max_edges_per_call != 0 ? opt.max_edges_per_call : core::slot_budget(cfg.flood_Z);
+  const std::vector<core::MeasurementBatch> batches =
+      core::make_batches(n, opt.group_k, budget);
+
+  const size_t want_shards =
+      opt.shards != 0 ? opt.shards
+                      : std::min(CampaignOptions::kDefaultShards, std::max<size_t>(1, batches.size()));
+  const ShardPlan plan = ShardPlan::build(batches.size(), want_shards, base_options.seed);
+
+  std::vector<core::NetworkMeasurementReport> shard_reports(plan.size());
+  std::vector<obs::MetricsSnapshot> shard_metrics(plan.size());
+
+  const WorkerPool pool(opt.threads);
+  pool.run(plan.size(), [&](size_t s) {
+    const ShardPlan::Shard& shard = plan.shards[s];
+
+    core::ScenarioOptions options = base_options;
+    options.seed = shard.seed;
+    core::Scenario sc(truth, options);
+    if (opt.seed_background) sc.seed_background();
+    if (opt.churn_rate > 0.0) sc.start_churn(opt.churn_rate);
+
+    core::ParallelMeasurement par(sc.net(), sc.m(), sc.accounts(), sc.factory(), cfg);
+    par.set_cost_tracker(&sc.costs());
+    par.set_metrics(&sc.metrics());
+
+    core::NetworkMeasurementReport report;
+    report.measured = graph::Graph(n);
+    const double t0 = sc.sim().now();
+    for (size_t b : shard.batch_ids) {
+      core::run_batch(par, sc.targets(), batches[b], report);
+    }
+    report.sim_seconds = sc.sim().now() - t0;
+
+    shard_reports[s] = std::move(report);
+    shard_metrics[s] = sc.snapshot_metrics();
+  });
+
+  // Merge on the caller's thread, in shard order — completion order never
+  // leaks into the artifacts.
+  ReportMerger merger(n);
+  for (size_t s = 0; s < plan.size(); ++s) {
+    merger.add(shard_reports[s]);
+    merger.add_metrics(shard_metrics[s]);
+  }
+
+  CampaignResult result;
+  result.report = merger.report();
+  result.metrics = merger.metrics();
+  result.makespan_sim_seconds = merger.makespan_sim_seconds();
+  result.shards = plan.size();
+  result.batches = batches.size();
+  return result;
+}
+
+}  // namespace topo::exec

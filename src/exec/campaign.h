@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/config.h"
+#include "core/schedule.h"
+#include "core/toposhot.h"
+#include "exec/merge.h"
+#include "exec/shard.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+
+namespace topo::exec {
+
+/// Knobs of a sharded full-topology campaign.
+struct CampaignOptions {
+  /// Group size K of the §5.3.2 schedule.
+  size_t group_k = 3;
+
+  /// Worker pool width. Execution-only: any value produces the same merged
+  /// report, because the shard plan (not the pool) fixes the decomposition.
+  size_t threads = 1;
+
+  /// Shard count; 0 = min(kDefaultShards, batch count). Changing it changes
+  /// which replica measures which batch — and therefore the sampled world —
+  /// so it is part of the campaign's seed-like identity, unlike `threads`.
+  size_t shards = 0;
+
+  /// Max candidate edges per measurePar call; 0 = the 2Z/5 slot budget.
+  size_t max_edges_per_call = 0;
+
+  /// Replica preparation, mirroring what the sequential benches do on their
+  /// single scenario before measuring.
+  bool seed_background = true;
+  double churn_rate = 0.0;  ///< >0: organic traffic + a mining drain per replica
+
+  static constexpr size_t kDefaultShards = 16;
+};
+
+/// Outcome of a sharded campaign. `report` is the merged sequential-
+/// equivalent artifact (`sim_seconds` = summed shard sim time);
+/// `makespan_sim_seconds` is the slowest shard — the campaign's critical
+/// path on an unbounded pool. `report.sim_seconds / makespan_sim_seconds`
+/// bounds the achievable parallel speedup in simulated time.
+struct CampaignResult {
+  core::NetworkMeasurementReport report;
+  obs::MetricsSnapshot metrics;
+  double makespan_sim_seconds = 0.0;
+  size_t shards = 0;
+  size_t batches = 0;
+};
+
+/// Measures the full topology of `truth` with the parallel schedule,
+/// sharded across a worker pool (the scaling direction of the ROADMAP; the
+/// independence it exploits is the paper's own: batches use disjoint EOAs,
+/// Fig. 5 / Table 8).
+///
+/// The batch list comes from core::make_batches over all of truth's nodes;
+/// ShardPlan partitions it; each shard builds a private world replica
+/// (core::Scenario — p2p::Network + sim::Simulator + measurement node) from
+/// `base_options` with its SplitMix-derived seed, prepares it per `opt`,
+/// and drives its batches through core::ParallelMeasurement. Shard results
+/// merge via ReportMerger.
+///
+/// Determinism contract: the result is a pure function of (truth,
+/// base_options, cfg, group_k, shards, max_edges_per_call) — `threads` only
+/// changes wall-clock time, never one byte of the merged report or metrics.
+CampaignResult run_sharded_campaign(const graph::Graph& truth,
+                                    const core::ScenarioOptions& base_options,
+                                    const core::MeasureConfig& cfg,
+                                    const CampaignOptions& opt);
+
+}  // namespace topo::exec

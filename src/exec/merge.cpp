@@ -1,0 +1,23 @@
+#include "exec/merge.h"
+
+#include <algorithm>
+
+namespace topo::exec {
+
+ReportMerger::ReportMerger(size_t n_nodes) { merged_.measured = graph::Graph(n_nodes); }
+
+void ReportMerger::add(const core::NetworkMeasurementReport& shard_report) {
+  for (const auto& [u, v] : shard_report.measured.edges()) merged_.measured.add_edge(u, v);
+  merged_.iterations += shard_report.iterations;
+  merged_.pairs_tested += shard_report.pairs_tested;
+  merged_.txs_sent += shard_report.txs_sent;
+  merged_.sim_seconds += shard_report.sim_seconds;
+  makespan_ = std::max(makespan_, shard_report.sim_seconds);
+  ++shards_;
+}
+
+void ReportMerger::add_metrics(const obs::MetricsSnapshot& shard_snapshot) {
+  metrics_.merge(shard_snapshot);
+}
+
+}  // namespace topo::exec

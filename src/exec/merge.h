@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/schedule.h"
+#include "obs/metrics.h"
+
+namespace topo::exec {
+
+/// Folds per-shard campaign artifacts into one sequential-equivalent
+/// report. Shards measure disjoint pair sets (the shard plan partitions the
+/// batch list), so the merged edge set is the plain union of shard edge
+/// sets and the scalar tallies (iterations, pairs_tested, txs_sent) add.
+///
+/// Time has two meanings after sharding and the merger keeps both:
+/// `report().sim_seconds` is the *sum* of shard simulation time — the total
+/// simulated measurement work, the quantity the paper reports as campaign
+/// duration — while `makespan_sim_seconds()` is the slowest single shard,
+/// the lower bound on the campaign's critical path however many workers
+/// execute it.
+///
+/// Merging is order-insensitive for the edge set and tallies; metrics
+/// snapshots merge per obs::MetricsSnapshot::merge (order-insensitive as
+/// well), so any worker completion order produces the same artifacts.
+class ReportMerger {
+ public:
+  /// `n_nodes` sizes the merged graph: node i = target index i, the same
+  /// index space every shard's batches use.
+  explicit ReportMerger(size_t n_nodes);
+
+  void add(const core::NetworkMeasurementReport& shard_report);
+  void add_metrics(const obs::MetricsSnapshot& shard_snapshot);
+
+  const core::NetworkMeasurementReport& report() const { return merged_; }
+  const obs::MetricsSnapshot& metrics() const { return metrics_; }
+  double makespan_sim_seconds() const { return makespan_; }
+  size_t shards_merged() const { return shards_; }
+
+ private:
+  core::NetworkMeasurementReport merged_;
+  obs::MetricsSnapshot metrics_;
+  double makespan_ = 0.0;
+  size_t shards_ = 0;
+};
+
+}  // namespace topo::exec

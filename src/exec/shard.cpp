@@ -1,0 +1,22 @@
+#include "exec/shard.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace topo::exec {
+
+ShardPlan ShardPlan::build(size_t n_batches, size_t n_shards, uint64_t base_seed) {
+  ShardPlan plan;
+  n_shards = std::clamp<size_t>(n_shards, 1, std::max<size_t>(1, n_batches));
+  plan.shards.resize(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) {
+    plan.shards[s].seed = util::derive_stream_seed(base_seed, s);
+  }
+  for (size_t b = 0; b < n_batches; ++b) {
+    plan.shards[b % n_shards].batch_ids.push_back(b);
+  }
+  return plan;
+}
+
+}  // namespace topo::exec

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace topo::exec {
+
+/// Deterministic partition of a campaign's batch list across shards.
+///
+/// The shard is the unit of reproducibility: each shard owns a private
+/// replica of the measurement world, seeded from a SplitMix stream derived
+/// from (base_seed, shard index), and runs its batches in listed order.
+/// Shard count is a property of the *plan*, never of the worker pool — the
+/// same plan executed on any pool width yields bit-identical per-shard
+/// results, hence a bit-identical merged report. Batches deal round-robin
+/// so the large early (cross-group) and small late (halving) batches of the
+/// §5.3.2 schedule spread evenly across shards.
+struct ShardPlan {
+  struct Shard {
+    uint64_t seed = 0;               ///< replica seed (derive_stream_seed)
+    std::vector<size_t> batch_ids;   ///< indices into the campaign batch list
+  };
+
+  std::vector<Shard> shards;
+
+  size_t size() const { return shards.size(); }
+
+  /// n_shards is clamped to [1, n_batches] (a shard without work would just
+  /// burn a replica). n_batches == 0 yields a single empty shard so callers
+  /// need no special case.
+  static ShardPlan build(size_t n_batches, size_t n_shards, uint64_t base_seed);
+};
+
+}  // namespace topo::exec

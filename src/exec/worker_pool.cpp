@@ -1,0 +1,45 @@
+#include "exec/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace topo::exec {
+
+WorkerPool::WorkerPool(size_t width) : width_(std::max<size_t>(1, width)) {}
+
+void WorkerPool::run(size_t n_jobs, const std::function<void(size_t)>& fn) const {
+  if (n_jobs == 0) return;
+
+  std::atomic<size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (size_t i = cursor.fetch_add(1); i < n_jobs; i = cursor.fetch_add(1)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const size_t spawn = std::min(width_, n_jobs);
+  if (spawn == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(spawn);
+    for (size_t t = 0; t < spawn; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace topo::exec

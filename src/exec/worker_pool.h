@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace topo::exec {
+
+/// Fixed-width pool executing an indexed job list: run(n_jobs, fn) calls
+/// fn(i) exactly once for every i in [0, n_jobs), workers pulling indices
+/// from one shared atomic cursor, and blocks until every job finished.
+///
+/// Jobs must be mutually independent (the campaign runner guarantees this
+/// by giving every shard its own world replica); the pool adds no
+/// synchronization beyond the cursor, so determinism is the job's property,
+/// not the pool's. width == 1 degenerates to an inline loop on the calling
+/// thread — no spawn, identical stacks, so single-threaded runs stay as
+/// debuggable as a plain for loop.
+///
+/// The first exception a job throws is captured and rethrown on the caller
+/// after the pool drains (remaining queued jobs still run; workers never
+/// die silently).
+class WorkerPool {
+ public:
+  /// width == 0 is clamped to 1.
+  explicit WorkerPool(size_t width);
+
+  size_t width() const { return width_; }
+
+  void run(size_t n_jobs, const std::function<void(size_t)>& fn) const;
+
+ private:
+  size_t width_;
+};
+
+}  // namespace topo::exec

@@ -48,6 +48,36 @@ MetricsSnapshot MetricsSnapshot::diff_since(const MetricsSnapshot& before) const
   return out;
 }
 
+MetricsSnapshot& MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, v] : other.gauge_maxes) {
+    auto [it, fresh] = gauge_maxes.try_emplace(name, v);
+    if (!fresh) it->second = std::max(it->second, v);
+  }
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, fresh] = histograms.try_emplace(name, h);
+    if (fresh) continue;
+    HistogramSnapshot& mine = it->second;
+    if (h.count == 0) continue;
+    if (mine.count == 0) {
+      mine.min = h.min;
+      mine.max = h.max;
+    } else {
+      mine.min = std::min(mine.min, h.min);
+      mine.max = std::max(mine.max, h.max);
+    }
+    if (mine.bounds == h.bounds) {
+      for (size_t i = 0; i < mine.counts.size() && i < h.counts.size(); ++i) {
+        mine.counts[i] += h.counts[i];
+      }
+    }
+    mine.count += h.count;
+    mine.sum += h.sum;
+  }
+  return *this;
+}
+
 MetricsRegistry::MetricsRegistry(size_t trace_capacity) : trace_(trace_capacity) {}
 
 Counter& MetricsRegistry::counter(const std::string& name) {

@@ -105,6 +105,17 @@ struct MetricsSnapshot {
 
   MetricsSnapshot diff_since(const MetricsSnapshot& before) const;
 
+  /// Folds another registry's snapshot into this one — the aggregation a
+  /// sharded campaign (topo::exec) applies across its per-shard world
+  /// replicas. Flows accumulate: counters and histogram tallies add
+  /// (bucket-wise; min/max combine). Levels aggregate conservatively:
+  /// gauges sum (disjoint replicas each hold their own share of e.g. sim
+  /// seconds or wei spent) while gauge high-water marks take the max.
+  /// Histograms under the same name with different bucket bounds are
+  /// incompatible; the first-seen bounds win and only count/sum/min/max
+  /// accumulate. Merging is associative and order-independent.
+  MetricsSnapshot& merge(const MetricsSnapshot& other);
+
   bool operator==(const MetricsSnapshot& o) const = default;
 };
 

@@ -26,6 +26,14 @@ PeerId Network::add_node(const NodeConfig& config) {
   return id;
 }
 
+std::vector<PeerId> Network::populate(const graph::Graph& topology, const NodeConfig& config) {
+  std::vector<PeerId> ids;
+  ids.reserve(topology.num_nodes());
+  for (size_t i = 0; i < topology.num_nodes(); ++i) ids.push_back(add_node(config));
+  for (const auto& [u, v] : topology.edges()) connect(ids[u], ids[v]);
+  return ids;
+}
+
 void Network::enable_metrics(obs::MetricsRegistry& reg) {
   obs_.messages = &reg.counter("net.messages");
   obs_.messages_tx = &reg.counter("net.messages.tx");

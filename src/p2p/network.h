@@ -42,6 +42,13 @@ class Network {
   /// Creates a regular node; returns its id.
   PeerId add_node(const NodeConfig& config);
 
+  /// Bulk replica construction: one regular node per vertex of `topology`,
+  /// all sharing `config`, with every graph edge connected — in graph
+  /// order, so two networks populated from the same (topology, seed) are
+  /// indistinguishable. This is how sharded campaigns (topo::exec) stamp
+  /// out per-worker world replicas. Returns the node ids in vertex order.
+  std::vector<PeerId> populate(const graph::Graph& topology, const NodeConfig& config);
+
   /// Registers an externally owned participant (e.g. a MeasurementNode).
   /// The Network does not take ownership; the peer must outlive it or be
   /// detached before destruction.

@@ -7,6 +7,10 @@ namespace topo::util {
 
 namespace {
 
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
 uint64_t splitmix64(uint64_t& x) {
   x += 0x9e3779b97f4a7c15ULL;
   uint64_t z = x;
@@ -15,9 +19,14 @@ uint64_t splitmix64(uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
+uint64_t derive_stream_seed(uint64_t base, uint64_t stream) {
+  // Mix the base first so that stream 0 of base b is unrelated to base b
+  // itself (a shard must never accidentally replay the parent world).
+  uint64_t state = base;
+  const uint64_t mixed_base = splitmix64(state);
+  state ^= (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  return mixed_base ^ splitmix64(state);
+}
 
 Rng::Rng(uint64_t seed) {
   uint64_t x = seed;

@@ -12,6 +12,17 @@ namespace topo::util {
 /// Every stochastic component of the simulator draws from an explicitly
 /// seeded Rng so that all experiments are reproducible bit-for-bit. The
 /// generator is cheap to copy; independent streams are derived with split().
+/// One splitmix64 step: advances `state` and returns the next value of the
+/// stream. The same mixer Rng uses for seeding, exposed for stateless seed
+/// derivation.
+uint64_t splitmix64(uint64_t& state);
+
+/// Derives the seed of child stream `stream` from a base seed, via
+/// splitmix64. Deterministic, and unrelated streams for nearby (base,
+/// stream) pairs — how sharded campaigns (topo::exec) re-seed per-shard
+/// world replicas so results are reproducible for any thread count.
+uint64_t derive_stream_seed(uint64_t base, uint64_t stream);
+
 class Rng {
  public:
   /// Seeds the state via splitmix64 so that nearby seeds give unrelated

@@ -75,6 +75,42 @@ TEST(MeasureConfig, FloodAccountSharding) {
   EXPECT_EQ(cfg.flood_accounts(), 5120u);
 }
 
+TEST(MeasureConfig, FloodPlanNeverEmpty) {
+  MeasureConfig cfg;
+  cfg.flood_Z = 5120;
+
+  cfg.futures_per_account_U = 4096;
+  auto p = cfg.flood_plan(cfg.flood_Z);
+  EXPECT_EQ(p.accounts, 2u);
+  EXPECT_EQ(p.per_account, 4096u);
+  EXPECT_TRUE(p.covers(cfg.flood_Z));
+
+  // U == 0 ("unlimited") is the silent-empty-flood regression: the plan
+  // must degrade to one future per account, never to zero futures total.
+  cfg.futures_per_account_U = 0;
+  p = cfg.flood_plan(cfg.flood_Z);
+  EXPECT_EQ(p.per_account, 1u);
+  EXPECT_EQ(p.accounts, 5120u);
+  EXPECT_TRUE(p.covers(cfg.flood_Z));
+
+  // Partial floods (z < Z) inherit the same guarantee.
+  p = cfg.flood_plan(7);
+  EXPECT_EQ(p.accounts, 7u);
+  EXPECT_TRUE(p.covers(7));
+
+  MeasureConfig::FloodPlan empty;
+  EXPECT_FALSE(empty.covers(1)) << "a zero-wide plan covers nothing";
+}
+
+TEST(MeasureConfig, BuilderAcceptsUnlimitedFutures) {
+  // U = 0 used to produce an empty flood; the Builder must now accept it
+  // (the plan substitutes one-per-account) rather than let it through as a
+  // config that silently measures nothing.
+  const MeasureConfig cfg =
+      MeasureConfig::Builder().futures_per_account_U(0).flood_Z(256).build();
+  EXPECT_TRUE(cfg.flood_plan(cfg.flood_Z).covers(cfg.flood_Z));
+}
+
 TEST(MeasureConfig, CraftTxRespectsFeeMode) {
   eth::TxFactory f;
   MeasureConfig cfg;

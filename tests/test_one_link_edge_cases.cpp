@@ -40,6 +40,21 @@ TEST(OneLinkEdgeCases, InsufficientFloodMissesLink) {
   EXPECT_FALSE(r.txc_evicted_on_b);
 }
 
+TEST(OneLinkEdgeCases, UnlimitedFuturesPerAccountStillFloods) {
+  // Regression: U = 0 ("the target caps nothing") used to make the flood
+  // loop body run zero times — an empty flood, so txC was never evicted and
+  // every link measured as a silent false negative. The flood plan now
+  // crafts one future per account in that case.
+  Scenario sc(triangle(), base_options(10));
+  sc.seed_background();
+  MeasureConfig cfg = sc.default_measure_config();
+  cfg.futures_per_account_U = 0;
+  const auto r = sc.measure_one_link(sc.targets()[0], sc.targets()[1], cfg);
+  EXPECT_TRUE(r.connected) << "U=0 must not silently skip the eviction flood";
+  EXPECT_TRUE(r.txc_evicted_on_a);
+  EXPECT_TRUE(r.txc_evicted_on_b);
+}
+
 TEST(OneLinkEdgeCases, CustomLargerMempoolNeedsLargerFlood) {
   // Culprit 1 of §6.1: the target runs a double-size pool.
   graph::Graph g = triangle();

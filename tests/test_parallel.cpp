@@ -89,6 +89,22 @@ INSTANTIATE_TEST_SUITE_P(
                       LocalCase{"none", false, false, false}),
     [](const ::testing::TestParamInfo<LocalCase>& info) { return info.param.name; });
 
+TEST(Parallel, UnlimitedFuturesPerAccountStillFloods) {
+  // Same U = 0 empty-flood regression as the one-link driver, through the
+  // parallel primitive's shared flood path.
+  graph::Graph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  Scenario sc(g, fast_options(91));
+  sc.seed_background();
+  MeasureConfig cfg = sc.default_measure_config();
+  cfg.futures_per_account_U = 0;
+  const auto& t = sc.targets();
+  const auto res = sc.measure_parallel({t[0], t[1]}, {t[2]}, {{0, 0}, {1, 0}}, cfg);
+  EXPECT_TRUE(res.connected[0]) << "U=0 must not silently skip the eviction flood";
+  EXPECT_TRUE(res.connected[1]);
+}
+
 TEST(Parallel, EmptyEdgeListIsNoop) {
   graph::Graph g(2);
   g.add_edge(0, 1);

@@ -52,6 +52,66 @@ TEST(ReportIo, ReportFileRoundTrip) {
   EXPECT_EQ(back->measured.num_edges(), report.measured.num_edges());
 }
 
+// A well-formed v1 document to mutate field-by-field.
+rpc::Json good_report_json() {
+  auto j = rpc::Json::parse(
+      R"({"format":"toposhot-report-v1","iterations":3,"pairs_tested":10,)"
+      R"("sim_seconds":42.5,"txs_sent":100,)"
+      R"("topology":{"nodes":3,"edges":[[0,1],[1,2]]}})");
+  EXPECT_TRUE(j.has_value());
+  return *j;
+}
+
+TEST(ReportIo, FromJsonAcceptsWellFormed) {
+  const auto r = report_from_json(good_report_json());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->iterations, 3u);
+  EXPECT_EQ(r->pairs_tested, 10u);
+  EXPECT_DOUBLE_EQ(r->sim_seconds, 42.5);
+  EXPECT_EQ(r->txs_sent, 100u);
+  EXPECT_EQ(r->measured.num_edges(), 2u);
+}
+
+TEST(ReportIo, FromJsonRejectsMissingField) {
+  // Regression: as_number() on an absent field used to default to 0, so a
+  // truncated document loaded as a report that claimed zero work.
+  for (const char* key : {"iterations", "pairs_tested", "sim_seconds", "txs_sent"}) {
+    auto j = good_report_json();
+    j.as_object().erase(key);
+    EXPECT_FALSE(report_from_json(j).has_value()) << "missing " << key;
+  }
+}
+
+TEST(ReportIo, FromJsonRejectsWrongTypedField) {
+  for (const char* key : {"iterations", "pairs_tested", "sim_seconds", "txs_sent"}) {
+    auto j = good_report_json();
+    j.as_object()[key] = rpc::Json("not-a-number");
+    EXPECT_FALSE(report_from_json(j).has_value()) << key << " as string";
+  }
+}
+
+TEST(ReportIo, FromJsonRejectsNegativeCounts) {
+  auto j = good_report_json();
+  j.as_object()["txs_sent"] = rpc::Json(-5.0);
+  EXPECT_FALSE(report_from_json(j).has_value());
+}
+
+TEST(ReportIo, FromJsonRejectsMissingOrBadTopology) {
+  auto j = good_report_json();
+  j.as_object().erase("topology");
+  EXPECT_FALSE(report_from_json(j).has_value());
+  j = good_report_json();
+  j.as_object()["topology"] = rpc::Json("nope");
+  EXPECT_FALSE(report_from_json(j).has_value());
+}
+
+TEST(ReportIo, FromJsonIgnoresUnknownFields) {
+  auto j = good_report_json();
+  j.as_object()["future_extension"] = rpc::Json(1.0);
+  EXPECT_TRUE(report_from_json(j).has_value())
+      << "unknown fields are forward-compatible, not errors";
+}
+
 TEST(ReportIo, LoadRejectsWrongFormat) {
   const std::string path = "/tmp/toposhot_report_bad.json";
   {
