@@ -21,6 +21,7 @@ set(EXPERIMENT_BENCHES
   usecase_eclipse_sim
   usecase_mining_qos
   x_calibration
+  fault_recall
 )
 
 foreach(bench ${EXPERIMENT_BENCHES})

@@ -142,6 +142,9 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   const size_t threads = cli.get_uint("threads", 1);
   const size_t shards = cli.get_uint("shards", 0);
   const bool skip_measure = cli.get_bool("analysis-only", false);
+  const double fault_loss = cli.get_double("fault-loss", 0.0);
+  const double fault_churn = cli.get_double("fault-churn", 0.0);
+  const size_t retries = cli.get_uint("retries", 0);
 
   banner(cfg.name + " topology study", cfg.paper_reference);
   util::Rng rng(seed);
@@ -187,6 +190,7 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   }
 
   mcfg.repetitions = 3;  // union of three runs, the paper's validation recipe
+  mcfg.inconclusive_retries = retries;
   exec::CampaignOptions copt;
   copt.group_k = group_k;
   copt.threads = threads;
@@ -195,6 +199,14 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   // Live-network churn: organic traffic + mining drain measurement residue
   // between iterations (the role the testnets' own traffic plays).
   copt.churn_rate = 3.0;
+  // Adversarial conditions: uniform message loss and random node faults
+  // (--fault-loss / --fault-churn), with --retries bounding the per-pair
+  // inconclusive re-measurement budget.
+  copt.fault_plan.drop_tx = fault_loss;
+  copt.fault_plan.drop_announce = fault_loss;
+  copt.fault_plan.drop_get_tx = fault_loss;
+  copt.fault_plan.churn_rate = fault_churn;
+  copt.fault_plan.crash_fraction = 0.5;
 
   const auto wall0 = std::chrono::steady_clock::now();
   const auto campaign = exec::run_sharded_campaign(truth, opt, mcfg, copt);
@@ -218,6 +230,11 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   table.add_row({"campaign batches", util::fmt(campaign.batches)});
   table.add_row({"worker threads", util::fmt(threads)});
   table.add_row({"wall-clock (s)", util::fmt(wall_seconds, 2)});
+  if (report.fault.has_value()) {
+    table.add_row({"probe attempts", util::fmt(report.fault->attempts)});
+    table.add_row({"still inconclusive", util::fmt(report.fault->inconclusive)});
+    table.add_row({"pairs re-measured", util::fmt(report.fault->retried.size())});
+  }
   table.print(std::cout);
 
   std::cout << "\nMeasured-graph statistics vs baselines (shape check):\n";

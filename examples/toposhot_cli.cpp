@@ -9,8 +9,11 @@
 //
 // Common flags: --seed, --recipe=ropsten|rinkeby|goerli, --repetitions.
 // measure also accepts --threads=N / --shards=S to run the sharded campaign
-// (topo::exec); measure/pair accept --metrics-out=PATH to dump the
-// metrics snapshot (counters, gauges, probe-phase histograms) as JSON.
+// (topo::exec), --fault-loss=P / --fault-churn=RATE / --retries=R for
+// deterministic fault injection with bounded inconclusive re-measurement
+// (topo::fault), and --metrics-out=PATH to dump the metrics snapshot
+// (counters, gauges, probe-phase histograms) as JSON; pair accepts
+// --metrics-out too.
 
 #include <fstream>
 #include <iostream>
@@ -20,6 +23,7 @@
 #include "core/toposhot.h"
 #include "core/validator.h"
 #include "exec/campaign.h"
+#include "fault/fault.h"
 #include "obs/export.h"
 #include "disc/emergence.h"
 #include "graph/centrality.h"
@@ -79,12 +83,28 @@ bool maybe_write_metrics(const util::Cli& cli, const obs::MetricsSnapshot& snaps
   return true;
 }
 
+/// Builds the fault plan shared by both measure paths from --fault-loss
+/// (uniform message-drop probability) and --fault-churn (random node faults
+/// per sim second, half of them crash/restarts).
+fault::FaultPlan fault_plan_from(const util::Cli& cli) {
+  fault::FaultPlan plan;
+  const double loss = cli.get_double("fault-loss", 0.0);
+  plan.drop_tx = loss;
+  plan.drop_announce = loss;
+  plan.drop_get_tx = loss;
+  plan.churn_rate = cli.get_double("fault-churn", 0.0);
+  plan.crash_fraction = 0.5;
+  return plan;
+}
+
 int mode_measure(const util::Cli& cli) {
   const size_t nodes = cli.get_uint("nodes", 40);
   const size_t group = cli.get_uint("group", 3);
   const uint64_t seed = cli.get_uint("seed", 1);
   const size_t threads = cli.get_uint("threads", 1);
   const size_t shards = cli.get_uint("shards", 0);
+  const size_t retries = cli.get_uint("retries", 0);
+  const fault::FaultPlan plan = fault_plan_from(cli);
   util::Rng rng(seed);
   auto recipe = recipe_for(cli.get_string("recipe", "ropsten"), nodes);
   const graph::Graph truth = disc::emerge_topology(recipe, rng);
@@ -104,12 +124,14 @@ int mode_measure(const util::Cli& cli) {
     const core::MeasureConfig mcfg =
         core::MeasureConfig::Builder(probe.default_measure_config())
             .repetitions(cli.get_uint("repetitions", 3))
+            .inconclusive_retries(retries)
             .build();
     exec::CampaignOptions copt;
     copt.group_k = group;
     copt.threads = threads;
     copt.shards = shards;
     copt.churn_rate = 3.0;
+    copt.fault_plan = plan;
     const auto campaign = exec::run_sharded_campaign(truth, opt, mcfg, copt);
     const auto& report = campaign.report;
     const auto pr = core::compare_graphs(truth, report.measured);
@@ -124,17 +146,25 @@ int mode_measure(const util::Cli& cli) {
     table.add_row(
         {"pool evictions", util::fmt(campaign.metrics.counters.at("mempool.evictions"))});
     table.add_row({"shards / threads", util::fmt(campaign.shards) + " / " + util::fmt(threads)});
+    if (report.fault.has_value()) {
+      table.add_row({"probe attempts", util::fmt(report.fault->attempts)});
+      table.add_row({"still inconclusive", util::fmt(report.fault->inconclusive)});
+      table.add_row({"pairs re-measured", util::fmt(report.fault->retried.size())});
+    }
     table.print(std::cout);
     return maybe_write_metrics(cli, campaign.metrics) ? 0 : 1;
   }
 
   core::Scenario sc(truth, opt);
+  fault::FaultInjector injector(plan, util::derive_stream_seed(seed, 0xFA01));
   sc.seed_background();
   sc.start_churn(3.0);
+  if (plan.enabled()) injector.install(sc.net(), &sc.metrics());
 
   core::MeasurementSession session(
       sc, core::MeasureConfig::Builder(sc.default_measure_config())
               .repetitions(cli.get_uint("repetitions", 3))
+              .inconclusive_retries(retries)
               .build());
   const auto measured = session.network(group);
   const auto& report = measured.value;
@@ -148,6 +178,11 @@ int mode_measure(const util::Cli& cli) {
   table.add_row({"txs sent", util::fmt(report.txs_sent)});
   table.add_row({"net messages", util::fmt(measured.metrics.counters.at("net.messages"))});
   table.add_row({"pool evictions", util::fmt(measured.metrics.counters.at("mempool.evictions"))});
+  if (report.fault.has_value()) {
+    table.add_row({"probe attempts", util::fmt(report.fault->attempts)});
+    table.add_row({"still inconclusive", util::fmt(report.fault->inconclusive)});
+    table.add_row({"pairs re-measured", util::fmt(report.fault->retried.size())});
+  }
   table.print(std::cout);
   return maybe_write_metrics(cli, session) ? 0 : 1;
 }
@@ -247,6 +282,8 @@ int main(int argc, char** argv) {
                "  common: --seed=N --nodes=N --recipe=ropsten|rinkeby|goerli\n"
                "  measure: --group=K --repetitions=R --threads=N --shards=S "
                "--metrics-out=PATH\n"
+               "           --fault-loss=P --fault-churn=RATE --retries=R "
+               "(deterministic fault injection + re-measurement)\n"
                "  pair:    --a=I --b=J --metrics-out=PATH\n"
                "  export:  --out=PATH\n";
   return mode == "help" ? 0 : 2;

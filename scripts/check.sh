@@ -21,6 +21,12 @@ run_pass build-strict -DCMAKE_CXX_FLAGS=-Werror
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== pass 2: AddressSanitizer + UBSan =="
   run_pass build-asan -DCMAKE_BUILD_TYPE=Asan
+  # The fault-injection layer exercises hook/teardown paths (injector
+  # outliving scheduled sim callbacks, node restarts mid-flight) that only
+  # ASan can vouch for; pin its suite explicitly so a filter change in the
+  # main run can never silently drop it.
+  echo "== pass 3: fault-injection suite under ASan (focused) =="
+  ./build-asan/tests/toposhot_tests --gtest_filter='Fault*'
 fi
 
 echo "All checks passed."

@@ -9,6 +9,19 @@
 
 namespace topo::core {
 
+/// Outcome class of one measurement attempt. A probe can fail two ways:
+/// the preconditions held and txA never arrived from the sink (a genuine
+/// negative), or the probe state itself never materialized — txA was not
+/// planted on the source, the payload never reached the sink, or txC was
+/// not evicted there — so txA was neither observed nor refuted within the
+/// window. The second class (inconclusive) is what message loss and node
+/// churn produce, and what bounded re-measurement can recover.
+enum class Verdict {
+  kConnected,     ///< txA observed arriving from the sink
+  kNegative,      ///< preconditions held, txA refuted
+  kInconclusive,  ///< probe preconditions failed; nothing was learned
+};
+
 /// Parameters of the measureOneLink primitive (paper §5.2) plus the pacing
 /// knobs our event simulation makes explicit.
 ///
@@ -50,6 +63,15 @@ struct MeasureConfig {
   /// Repetitions whose union forms the final answer (§5.2.3's passive
   /// recall booster).
   size_t repetitions = 1;
+
+  /// Bounded re-measurement of *inconclusive* pairs (see Verdict): after a
+  /// driver's whole primary sweep, pairs whose probe state never
+  /// materialized are re-measured with fresh probe nonces up to this many
+  /// extra rounds (core::run_retry_pass). Deferring the retries past the
+  /// sweep keeps the primary trajectory byte-identical to a retries-off
+  /// run, so re-measurement only ever adds edges. 0 (default) disables the
+  /// pass; only lossy / churny worlds (topo::fault) benefit from raising it.
+  size_t inconclusive_retries = 0;
 
   /// Emit EIP-1559 transactions (max fee = the ladder price, priority fee =
   /// a tenth of it). Appendix E: the pool compares max fees, so the ladder
@@ -137,6 +159,7 @@ class MeasureConfig::Builder {
   Builder& post_flood_gap(double v) { cfg_.post_flood_gap = v; return *this; }
   Builder& detect_wait(double v) { cfg_.detect_wait = v; return *this; }
   Builder& repetitions(size_t v) { cfg_.repetitions = v; return *this; }
+  Builder& inconclusive_retries(size_t v) { cfg_.inconclusive_retries = v; return *this; }
   Builder& eip1559(bool v) { cfg_.eip1559 = v; return *this; }
   Builder& strict_isolation_check(bool v) { cfg_.strict_isolation_check = v; return *this; }
 

@@ -13,8 +13,10 @@ ProbeObs ProbeObs::wire(obs::MetricsRegistry& reg) {
   o.runs = &reg.counter("probe.runs");
   o.parallel_runs = &reg.counter("probe.parallel.runs");
   o.retries = &reg.counter("probe.retries");
+  o.remeasures = &reg.counter("probe.remeasures");
   o.verdict_connected = &reg.counter("probe.verdicts.connected");
   o.verdict_negative = &reg.counter("probe.verdicts.negative");
+  o.verdict_inconclusive = &reg.counter("probe.verdicts.inconclusive");
   o.flood_seconds = &reg.histogram("probe.phase.flood_seconds", obs::duration_bounds());
   o.wait_seconds = &reg.histogram("probe.phase.wait_seconds", obs::duration_bounds());
   o.plant_seconds = &reg.histogram("probe.phase.plant_seconds", obs::duration_bounds());
@@ -35,21 +37,43 @@ std::vector<eth::Transaction> OneLinkMeasurement::make_flood(const MeasureConfig
 
 OneLinkResult OneLinkMeasurement::measure(p2p::PeerId a, p2p::PeerId b) {
   OneLinkResult final_result;
+  uint32_t attempts = 0;
   for (size_t rep = 0; rep < std::max<size_t>(1, config_.repetitions); ++rep) {
     if (rep > 0 && obs_.enabled()) obs_.retries->inc();
     OneLinkResult r = measure_once(a, b);
+    ++attempts;
     if (rep == 0) {
       final_result = r;
     } else {
       // Union of positives (§5.2.3 passive recall booster); keep the latest
       // diagnostics otherwise.
       r.connected = r.connected || final_result.connected;
+      if (r.connected) r.verdict = Verdict::kConnected;
       r.started_at = final_result.started_at;
       r.txs_sent += final_result.txs_sent;
       final_result = r;
     }
     if (final_result.connected) break;  // already positive, no need to repeat
   }
+
+  // Bounded re-measurement of an inconclusive outcome: the probe state
+  // never materialized (message loss, node fault), so nothing was learned
+  // and another attempt — with fresh probe nonces, which each measure_once
+  // gets for free — may still decide the link.
+  uint32_t remeasured = 0;
+  while (final_result.verdict == Verdict::kInconclusive &&
+         remeasured < config_.inconclusive_retries) {
+    ++remeasured;
+    ++attempts;
+    if (obs_.enabled()) obs_.remeasures->inc();
+    OneLinkResult r = measure_once(a, b);
+    r.started_at = final_result.started_at;
+    r.txs_sent += final_result.txs_sent;
+    final_result = r;
+  }
+
+  final_result.attempts = attempts;
+  final_result.remeasured = remeasured;
   return final_result;
 }
 
@@ -112,11 +136,6 @@ OneLinkResult OneLinkMeasurement::measure_once(p2p::PeerId a, p2p::PeerId b) {
       cfg.strict_isolation_check
           ? m_.received_only_from(result.txa_hash, b, txa_sent_at)
           : m_.received_from_since(result.txa_hash, b, txa_sent_at);
-  if (obs_.enabled()) {
-    (result.connected ? obs_.verdict_connected : obs_.verdict_negative)->inc();
-    obs_.trace->push(sim.now(), obs::TraceKind::kTxMeasured, tx_a.id,
-                     result.connected ? 1 : 0);
-  }
 
   // Simulated-RPC diagnostics (§6.1's eth_getTransactionByHash checks).
   result.txc_evicted_on_a = !net_.node(a).pool().contains(result.txc_hash);
@@ -124,6 +143,26 @@ OneLinkResult OneLinkMeasurement::measure_once(p2p::PeerId a, p2p::PeerId b) {
   result.txa_planted_on_a = net_.node(a).pool().contains(result.txa_hash);
   result.txb_planted_on_b = net_.node(b).pool().contains(result.txb_hash) ||
                             net_.node(b).pool().contains(result.txa_hash);
+
+  // Verdict classification: a negative only counts when the probe state
+  // actually existed — txA on A, the payload on B, txC evicted on B.
+  // Anything else means the probe never ran to completion (inconclusive).
+  if (result.connected) {
+    result.verdict = Verdict::kConnected;
+  } else if (!result.txa_planted_on_a || !result.txb_planted_on_b || !result.txc_evicted_on_b) {
+    result.verdict = Verdict::kInconclusive;
+  } else {
+    result.verdict = Verdict::kNegative;
+  }
+  if (obs_.enabled()) {
+    (result.verdict == Verdict::kConnected
+         ? obs_.verdict_connected
+         : result.verdict == Verdict::kNegative ? obs_.verdict_negative
+                                                : obs_.verdict_inconclusive)
+        ->inc();
+    obs_.trace->push(sim.now(), obs::TraceKind::kTxMeasured, tx_a.id,
+                     result.connected ? 1 : 0);
+  }
 
   result.finished_at = sim.now();
   result.txs_sent = m_.txs_sent() - sent_before;

@@ -15,6 +15,18 @@ namespace topo::core {
 struct OneLinkResult {
   bool connected = false;  ///< txA observed arriving from B
 
+  /// Outcome class of the final attempt (kConnected once any attempt was
+  /// positive). Inconclusive = the probe preconditions below failed, so
+  /// txA was neither observed nor refuted.
+  Verdict verdict = Verdict::kNegative;
+
+  /// measure_once passes taken (repetitions + inconclusive retries).
+  uint32_t attempts = 0;
+
+  /// How many of those were inconclusive re-measurements (beyond the
+  /// configured repetition sweep).
+  uint32_t remeasured = 0;
+
   // Diagnostics read from simulated-RPC ground truth:
   bool txc_evicted_on_a = false;
   bool txc_evicted_on_b = false;

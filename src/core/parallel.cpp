@@ -37,11 +37,20 @@ ParallelResult ParallelMeasurement::measure(const std::vector<p2p::PeerId>& sour
     for (size_t i = 0; i < result.connected.size(); ++i) {
       result.connected[i] = result.connected[i] || next.connected[i];
       result.txa_planted[i] = result.txa_planted[i] || next.txa_planted[i];
+      result.verdicts[i] = result.connected[i] ? Verdict::kConnected : next.verdicts[i];
+      ++result.attempts[i];
     }
     result.finished_at = next.finished_at;
     result.txs_sent += next.txs_sent;
   }
   return result;
+}
+
+ParallelResult ParallelMeasurement::remeasure(const std::vector<p2p::PeerId>& sources,
+                                              const std::vector<p2p::PeerId>& sinks,
+                                              const std::vector<ParallelEdge>& edges) {
+  if (obs_.enabled()) obs_.remeasures->inc(edges.size());
+  return measure(sources, sinks, edges);
 }
 
 ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>& sources,
@@ -54,6 +63,8 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
   const size_t r = edges.size();
   result.connected.assign(r, false);
   result.txa_planted.assign(r, false);
+  result.verdicts.assign(r, Verdict::kNegative);
+  result.attempts.assign(r, 1);
   if (r == 0) return result;
   const obs::PhaseTimer timer([&sim] { return sim.now(); });
   if (obs_.enabled()) obs_.parallel_runs->inc();
@@ -145,8 +156,26 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
             ? m_.received_only_from(tx_a[i].hash(), sinks[edges[i].sink], txa_sent_at[i])
             : m_.received_from_since(tx_a[i].hash(), sinks[edges[i].sink], txa_sent_at[i]);
     result.txa_planted[i] = net_.node(sources[edges[i].source]).pool().contains(tx_a[i].hash());
+    // Verdict classification mirrors measureOneLink: a negative requires
+    // the probe state to have existed — txA on the source, the payload
+    // (txB, or txA having replaced it) on the sink, txC evicted there.
+    const auto& sink_pool = net_.node(sinks[edges[i].sink]).pool();
+    const bool payload_on_sink =
+        sink_pool.contains(tx_b[i].hash()) || sink_pool.contains(tx_a[i].hash());
+    const bool txc_evicted_on_sink = !sink_pool.contains(tx_c[i].hash());
+    if (result.connected[i]) {
+      result.verdicts[i] = Verdict::kConnected;
+    } else if (!result.txa_planted[i] || !payload_on_sink || !txc_evicted_on_sink) {
+      result.verdicts[i] = Verdict::kInconclusive;
+    } else {
+      result.verdicts[i] = Verdict::kNegative;
+    }
     if (obs_.enabled()) {
-      (result.connected[i] ? obs_.verdict_connected : obs_.verdict_negative)->inc();
+      (result.verdicts[i] == Verdict::kConnected
+           ? obs_.verdict_connected
+           : result.verdicts[i] == Verdict::kNegative ? obs_.verdict_negative
+                                                      : obs_.verdict_inconclusive)
+          ->inc();
       obs_.trace->push(sim.now(), obs::TraceKind::kTxMeasured, tx_a[i].id,
                        result.connected[i] ? 1 : 0);
     }

@@ -23,6 +23,8 @@ struct ParallelEdge {
 struct ParallelResult {
   std::vector<bool> connected;    ///< per edge, in input order
   std::vector<bool> txa_planted;  ///< per edge: txA confirmed on its source
+  std::vector<Verdict> verdicts;  ///< per edge: outcome class of the last attempt
+  std::vector<uint32_t> attempts;  ///< per edge: measure_once passes covering it
   double started_at = 0.0;
   double finished_at = 0.0;
   uint64_t txs_sent = 0;
@@ -51,6 +53,14 @@ class ParallelMeasurement {
   ParallelResult measure(const std::vector<p2p::PeerId>& sources,
                          const std::vector<p2p::PeerId>& sinks,
                          const std::vector<ParallelEdge>& edges);
+
+  /// Like measure(), for a subset a prior sweep left inconclusive: fresh
+  /// probe EOAs come free, and the pass is tallied under `probe.remeasures`.
+  /// Drivers call this strictly *after* their primary sweep (see
+  /// run_retry_pass) so the retries-off trajectory is untouched.
+  ParallelResult remeasure(const std::vector<p2p::PeerId>& sources,
+                           const std::vector<p2p::PeerId>& sinks,
+                           const std::vector<ParallelEdge>& edges);
 
   void set_cost_tracker(CostTracker* tracker) { cost_ = tracker; }
 

@@ -14,8 +14,10 @@ struct ProbeObs {
   obs::Counter* runs = nullptr;               ///< probe.runs (serial passes)
   obs::Counter* parallel_runs = nullptr;      ///< probe.parallel.runs
   obs::Counter* retries = nullptr;            ///< probe.retries (extra repetitions)
+  obs::Counter* remeasures = nullptr;         ///< probe.remeasures (inconclusive retries, per edge)
   obs::Counter* verdict_connected = nullptr;  ///< probe.verdicts.connected
   obs::Counter* verdict_negative = nullptr;   ///< probe.verdicts.negative
+  obs::Counter* verdict_inconclusive = nullptr;  ///< probe.verdicts.inconclusive
   obs::Histogram* flood_seconds = nullptr;    ///< probe.phase.flood_seconds
   obs::Histogram* wait_seconds = nullptr;     ///< probe.phase.wait_seconds
   obs::Histogram* plant_seconds = nullptr;    ///< probe.phase.plant_seconds

@@ -38,15 +38,44 @@ std::optional<graph::Graph> graph_from_json(const Json& j) {
   return g;
 }
 
-Json report_to_json(const NetworkMeasurementReport& report) {
+namespace {
+
+Json fault_to_json(const FaultReport& f) {
+  JsonArray retried;
+  for (const RetriedPair& p : f.retried) {
+    retried.push_back(Json(JsonArray{Json(static_cast<uint64_t>(p.u)),
+                                     Json(static_cast<uint64_t>(p.v)),
+                                     Json(static_cast<uint64_t>(p.attempts))}));
+  }
   return Json(JsonObject{
+      {"drop_tx", Json(f.drop_tx)},
+      {"drop_announce", Json(f.drop_announce)},
+      {"drop_get_tx", Json(f.drop_get_tx)},
+      {"spike_prob", Json(f.spike_prob)},
+      {"spike_mult", Json(f.spike_mult)},
+      {"churn_rate", Json(f.churn_rate)},
+      {"retries", Json(static_cast<uint64_t>(f.retries))},
+      {"attempts", Json(f.attempts)},
+      {"inconclusive", Json(f.inconclusive)},
+      {"retried", Json(std::move(retried))},
+  });
+}
+
+}  // namespace
+
+Json report_to_json(const NetworkMeasurementReport& report) {
+  JsonObject obj{
       {"format", Json("toposhot-report-v1")},
       {"topology", graph_to_json(report.measured)},
       {"iterations", Json(static_cast<uint64_t>(report.iterations))},
       {"pairs_tested", Json(static_cast<uint64_t>(report.pairs_tested))},
       {"sim_seconds", Json(report.sim_seconds)},
       {"txs_sent", Json(report.txs_sent)},
-  });
+  };
+  // Emitted only when present, so unfaulted reports stay byte-identical to
+  // pre-fault builds.
+  if (report.fault.has_value()) obj.emplace("fault", fault_to_json(*report.fault));
+  return Json(std::move(obj));
 }
 
 namespace {
@@ -59,6 +88,43 @@ bool read_count(const Json& j, const char* key, double& out) {
   if (!field.is_number() || field.as_number() < 0.0) return false;
   out = field.as_number();
   return true;
+}
+
+/// Strict parse of the optional fault annex. Same policy as the top-level
+/// fields: any malformed member rejects the whole document.
+std::optional<FaultReport> fault_from_json(const Json& j) {
+  if (!j.is_object()) return std::nullopt;
+  double drop_tx = 0.0, drop_announce = 0.0, drop_get_tx = 0.0;
+  double spike_prob = 0.0, spike_mult = 0.0, churn_rate = 0.0;
+  double retries = 0.0, attempts = 0.0, inconclusive = 0.0;
+  if (!read_count(j, "drop_tx", drop_tx) || !read_count(j, "drop_announce", drop_announce) ||
+      !read_count(j, "drop_get_tx", drop_get_tx) || !read_count(j, "spike_prob", spike_prob) ||
+      !read_count(j, "spike_mult", spike_mult) || !read_count(j, "churn_rate", churn_rate) ||
+      !read_count(j, "retries", retries) || !read_count(j, "attempts", attempts) ||
+      !read_count(j, "inconclusive", inconclusive)) {
+    return std::nullopt;
+  }
+  if (!j["retried"].is_array()) return std::nullopt;
+  FaultReport f;
+  f.drop_tx = drop_tx;
+  f.drop_announce = drop_announce;
+  f.drop_get_tx = drop_get_tx;
+  f.spike_prob = spike_prob;
+  f.spike_mult = spike_mult;
+  f.churn_rate = churn_rate;
+  f.retries = static_cast<size_t>(retries);
+  f.attempts = static_cast<uint64_t>(attempts);
+  f.inconclusive = static_cast<uint64_t>(inconclusive);
+  for (const auto& e : j["retried"].as_array()) {
+    if (!e.is_array() || e.as_array().size() != 3 || !e[size_t{0}].is_number() ||
+        !e[size_t{1}].is_number() || !e[size_t{2}].is_number()) {
+      return std::nullopt;
+    }
+    f.retried.push_back({static_cast<size_t>(e[size_t{0}].as_number()),
+                         static_cast<size_t>(e[size_t{1}].as_number()),
+                         static_cast<uint32_t>(e[size_t{2}].as_number())});
+  }
+  return f;
 }
 
 }  // namespace
@@ -81,6 +147,11 @@ std::optional<NetworkMeasurementReport> report_from_json(const Json& j) {
   report.pairs_tested = static_cast<size_t>(pairs_tested);
   report.sim_seconds = sim_seconds;
   report.txs_sent = static_cast<uint64_t>(txs_sent);
+  if (!j["fault"].is_null()) {
+    auto f = fault_from_json(j["fault"]);
+    if (!f) return std::nullopt;
+    report.fault = std::move(*f);
+  }
   return report;
 }
 

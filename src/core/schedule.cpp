@@ -84,7 +84,8 @@ std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budg
 }
 
 void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
-               const MeasurementBatch& batch, NetworkMeasurementReport& report) {
+               const MeasurementBatch& batch, NetworkMeasurementReport& report,
+               std::vector<RetriedPair>* inconclusive) {
   std::vector<p2p::PeerId> sources, sinks;
   sources.reserve(batch.sources.size());
   sinks.reserve(batch.sinks.size());
@@ -99,6 +100,66 @@ void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets
     if (res.connected[i]) {
       report.measured.add_edge(static_cast<graph::NodeId>(batch.pairs[i].first),
                                static_cast<graph::NodeId>(batch.pairs[i].second));
+    } else if (res.verdicts[i] == Verdict::kInconclusive && inconclusive != nullptr) {
+      inconclusive->push_back(
+          {batch.pairs[i].first, batch.pairs[i].second, res.attempts[i]});
+    }
+    if (report.fault.has_value()) report.fault->attempts += res.attempts[i];
+  }
+}
+
+void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
+                    std::vector<RetriedPair> inconclusive, size_t budget, size_t rounds,
+                    NetworkMeasurementReport& report) {
+  budget = std::max<size_t>(1, budget);
+  std::vector<RetriedPair> resolved;  // entered the retry path, now decided
+  for (size_t round = 0; round < rounds && !inconclusive.empty(); ++round) {
+    std::vector<RetriedPair> next;
+    for (size_t start = 0; start < inconclusive.size(); start += budget) {
+      const size_t end = std::min(start + budget, inconclusive.size());
+      std::vector<p2p::PeerId> sources, sinks;
+      std::vector<ParallelEdge> edges;
+      std::unordered_map<size_t, size_t> src_pos, sink_pos;
+      edges.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        auto [sit, s_new] = src_pos.try_emplace(inconclusive[i].u, sources.size());
+        if (s_new) sources.push_back(targets[inconclusive[i].u]);
+        auto [tit, t_new] = sink_pos.try_emplace(inconclusive[i].v, sinks.size());
+        if (t_new) sinks.push_back(targets[inconclusive[i].v]);
+        edges.push_back({sit->second, tit->second});
+      }
+
+      const ParallelResult res = par.remeasure(sources, sinks, edges);
+      ++report.iterations;
+      report.txs_sent += res.txs_sent;
+      for (size_t k = 0; k < edges.size(); ++k) {
+        RetriedPair p = inconclusive[start + k];
+        p.attempts += res.attempts[k];
+        if (report.fault.has_value()) report.fault->attempts += res.attempts[k];
+        if (res.connected[k]) {
+          report.measured.add_edge(static_cast<graph::NodeId>(p.u),
+                                   static_cast<graph::NodeId>(p.v));
+          resolved.push_back(p);
+        } else if (res.verdicts[k] == Verdict::kNegative) {
+          resolved.push_back(p);
+        } else {
+          next.push_back(p);
+        }
+      }
+    }
+    inconclusive = std::move(next);
+  }
+
+  if (report.fault.has_value()) {
+    FaultReport& f = *report.fault;
+    f.inconclusive += inconclusive.size();
+    if (rounds > 0) {
+      f.retried.insert(f.retried.end(), resolved.begin(), resolved.end());
+      f.retried.insert(f.retried.end(), inconclusive.begin(), inconclusive.end());
+      std::sort(f.retried.begin(), f.retried.end(), [](const RetriedPair& a,
+                                                       const RetriedPair& b) {
+        return a.u != b.u ? a.u < b.u : a.v < b.v;
+      });
     }
   }
 }
@@ -108,13 +169,21 @@ NetworkMeasurementReport NetworkMeasurement::measure_all(p2p::Network& net,
                                                          size_t group_k) {
   NetworkMeasurementReport report;
   report.measured = graph::Graph(targets.size());
+  if (par_.config().inconclusive_retries > 0) {
+    report.fault.emplace();
+    report.fault->retries = par_.config().inconclusive_retries;
+  }
   const double t0 = net.simulator().now();
 
   const size_t budget =
       max_edges_ != 0 ? max_edges_ : slot_budget(par_.config().flood_Z);
+  const size_t retries = par_.config().inconclusive_retries;
+  std::vector<RetriedPair> inconclusive;
+  std::vector<RetriedPair>* collect = report.fault.has_value() ? &inconclusive : nullptr;
   for (const auto& batch : make_batches(targets.size(), group_k, budget)) {
-    run_batch(par_, targets, batch, report);
+    run_batch(par_, targets, batch, report, collect);
   }
+  run_retry_pass(par_, targets, std::move(inconclusive), budget, retries, report);
   report.sim_seconds = net.simulator().now() - t0;
   return report;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -27,6 +29,36 @@ struct IterationPlan {
 /// n/K + log2(K).
 std::vector<IterationPlan> make_schedule(size_t n, size_t group_k);
 
+/// One pair that entered the inconclusive re-measurement path:
+/// target-index endpoints plus the total measure_once passes it consumed
+/// (primary sweep included).
+struct RetriedPair {
+  size_t u = 0;
+  size_t v = 0;
+  uint32_t attempts = 0;
+
+  friend bool operator==(const RetriedPair&, const RetriedPair&) = default;
+};
+
+/// Fault/resilience annex of a measurement report. The first six fields
+/// echo the injected-fault configuration (zeros when faults are off but
+/// retries are on); the tallies record what the driver actually did.
+/// Kept as plain data here so topo::core stays independent of topo::fault.
+struct FaultReport {
+  double drop_tx = 0.0;
+  double drop_announce = 0.0;
+  double drop_get_tx = 0.0;
+  double spike_prob = 0.0;
+  double spike_mult = 1.0;
+  double churn_rate = 0.0;
+  size_t retries = 0;          ///< configured inconclusive_retries
+  uint64_t attempts = 0;       ///< measure_once passes summed over all pairs
+  uint64_t inconclusive = 0;   ///< pairs still inconclusive after retries
+  std::vector<RetriedPair> retried;  ///< pairs that entered the retry path
+
+  friend bool operator==(const FaultReport&, const FaultReport&) = default;
+};
+
 /// Result of measuring a whole network.
 struct NetworkMeasurementReport {
   graph::Graph measured;  ///< node i = targets[i]
@@ -34,6 +66,10 @@ struct NetworkMeasurementReport {
   size_t pairs_tested = 0;
   double sim_seconds = 0.0;
   uint64_t txs_sent = 0;
+
+  /// Present when fault injection or inconclusive retries were configured;
+  /// absent reports serialize byte-identically to pre-fault builds.
+  std::optional<FaultReport> fault;
 };
 
 /// One slot-budgeted unit of campaign work: a deduplicated source/sink set
@@ -60,9 +96,27 @@ std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budg
 /// Runs one batch through `par` (mapping target indices through `targets`)
 /// and folds the outcome into `report`: iteration/pair/tx tallies plus one
 /// measured edge per positive verdict. sim_seconds is left to the caller,
-/// which knows which simulator clock the batch ran on.
+/// which knows which simulator clock the batch ran on. When `inconclusive`
+/// is non-null, every pair the batch left undecided is appended to it
+/// (endpoints plus the attempts it has consumed so far) for a later
+/// run_retry_pass.
 void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
-               const MeasurementBatch& batch, NetworkMeasurementReport& report);
+               const MeasurementBatch& batch, NetworkMeasurementReport& report,
+               std::vector<RetriedPair>* inconclusive = nullptr);
+
+/// Bounded re-measurement of the pairs the primary sweep left inconclusive,
+/// `rounds` times at most, re-batching the still-undecided subset under the
+/// same slot `budget` each round. Runs strictly *after* the whole sweep:
+/// the primary trajectory (messages, RNG draws, sim clock) is exactly the
+/// retries-off run, so re-measurement can only add edges to
+/// `report.measured`, never perturb already-measured ones. Newly positive
+/// pairs are added to the report; when the fault annex is present it
+/// absorbs the extra attempts, the per-pair retry history, and the count of
+/// pairs still inconclusive at the end (with rounds == 0 that is just the
+/// primary inconclusive tally).
+void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
+                    std::vector<RetriedPair> inconclusive, size_t budget, size_t rounds,
+                    NetworkMeasurementReport& report);
 
 /// Drives the full schedule through ParallelMeasurement.
 ///

@@ -7,6 +7,12 @@
 
 namespace topo::exec {
 
+namespace {
+/// Stream tag separating the fault-injection RNG from every other consumer
+/// of the shard seed.
+constexpr uint64_t kFaultStream = 0xFA01;
+}  // namespace
+
 CampaignResult run_sharded_campaign(const graph::Graph& truth,
                                     const core::ScenarioOptions& base_options,
                                     const core::MeasureConfig& cfg,
@@ -32,8 +38,13 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
     core::ScenarioOptions options = base_options;
     options.seed = shard.seed;
     core::Scenario sc(truth, options);
+    // Seeded from the shard seed: each replica faults the same way however
+    // many workers execute the plan.
+    fault::FaultInjector injector(opt.fault_plan,
+                                  util::derive_stream_seed(shard.seed, kFaultStream));
     if (opt.seed_background) sc.seed_background();
     if (opt.churn_rate > 0.0) sc.start_churn(opt.churn_rate);
+    if (opt.fault_plan.enabled()) injector.install(sc.net(), &sc.metrics());
 
     core::ParallelMeasurement par(sc.net(), sc.m(), sc.accounts(), sc.factory(), cfg);
     par.set_cost_tracker(&sc.costs());
@@ -41,10 +52,21 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
 
     core::NetworkMeasurementReport report;
     report.measured = graph::Graph(n);
-    const double t0 = sc.sim().now();
-    for (size_t b : shard.batch_ids) {
-      core::run_batch(par, sc.targets(), batches[b], report);
+    if (opt.fault_plan.enabled() || cfg.inconclusive_retries > 0) {
+      report.fault = fault::make_fault_report(opt.fault_plan, cfg.inconclusive_retries);
     }
+    const double t0 = sc.sim().now();
+    // Primary sweep first, bounded re-measurement strictly after it: the
+    // sweep's trajectory is byte-identical to a retries-off run, so the
+    // retry pass can only add edges this shard's losses cost it.
+    std::vector<core::RetriedPair> inconclusive;
+    std::vector<core::RetriedPair>* collect =
+        report.fault.has_value() ? &inconclusive : nullptr;
+    for (size_t b : shard.batch_ids) {
+      core::run_batch(par, sc.targets(), batches[b], report, collect);
+    }
+    core::run_retry_pass(par, sc.targets(), std::move(inconclusive), budget,
+                         cfg.inconclusive_retries, report);
     report.sim_seconds = sc.sim().now() - t0;
 
     shard_reports[s] = std::move(report);

@@ -7,6 +7,7 @@
 #include "core/toposhot.h"
 #include "exec/merge.h"
 #include "exec/shard.h"
+#include "fault/fault.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
 
@@ -33,6 +34,13 @@ struct CampaignOptions {
   /// single scenario before measuring.
   bool seed_background = true;
   double churn_rate = 0.0;  ///< >0: organic traffic + a mining drain per replica
+
+  /// Fault injection, applied per replica with an injector seeded from the
+  /// shard seed — the merged report stays a pure function of (truth,
+  /// options, cfg, group_k, shards, max_edges_per_call, fault_plan) at any
+  /// thread count. A default (disabled) plan costs nothing and leaves
+  /// reports byte-identical to pre-fault builds.
+  fault::FaultPlan fault_plan;
 
   static constexpr size_t kDefaultShards = 16;
 };

@@ -14,6 +14,26 @@ void ReportMerger::add(const core::NetworkMeasurementReport& shard_report) {
   merged_.sim_seconds += shard_report.sim_seconds;
   makespan_ = std::max(makespan_, shard_report.sim_seconds);
   ++shards_;
+  if (shard_report.fault.has_value()) {
+    if (!merged_.fault.has_value()) {
+      // First faulted shard carries the config echo; every shard of a
+      // campaign shares it, so copying once is safe.
+      merged_.fault = shard_report.fault;
+    } else {
+      core::FaultReport& f = *merged_.fault;
+      f.attempts += shard_report.fault->attempts;
+      f.inconclusive += shard_report.fault->inconclusive;
+      f.retried.insert(f.retried.end(), shard_report.fault->retried.begin(),
+                       shard_report.fault->retried.end());
+    }
+    // Shards partition the pair set, so every retried pair appears exactly
+    // once; canonical (u, v) order makes the merge completion-order
+    // insensitive.
+    std::sort(merged_.fault->retried.begin(), merged_.fault->retried.end(),
+              [](const core::RetriedPair& a, const core::RetriedPair& b) {
+                return a.u != b.u ? a.u < b.u : a.v < b.v;
+              });
+  }
 }
 
 void ReportMerger::add_metrics(const obs::MetricsSnapshot& shard_snapshot) {

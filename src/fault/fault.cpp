@@ -1,0 +1,125 @@
+#include "fault/fault.h"
+
+#include <functional>
+#include <memory>
+
+#include "p2p/node.h"
+
+namespace topo::fault {
+
+FaultObs FaultObs::wire(obs::MetricsRegistry& reg) {
+  FaultObs o;
+  o.drops_tx = &reg.counter("fault.drops.tx");
+  o.drops_announce = &reg.counter("fault.drops.announce");
+  o.drops_get_tx = &reg.counter("fault.drops.get_tx");
+  o.spikes = &reg.counter("fault.spikes");
+  o.restarts = &reg.counter("fault.restarts");
+  o.windows = &reg.counter("fault.unresponsive_windows");
+  return o;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed)
+    : plan_(std::move(plan)),
+      msg_rng_(util::derive_stream_seed(seed, 1)),
+      churn_rng_(util::derive_stream_seed(seed, 2)),
+      link_seed_(util::derive_stream_seed(seed, 3)) {}
+
+void FaultInjector::install(p2p::Network& net, obs::MetricsRegistry* reg) {
+  if (reg != nullptr) obs_ = FaultObs::wire(*reg);
+  active_ = true;
+  if (plan_.drop_tx > 0.0 || plan_.drop_announce > 0.0 || plan_.drop_get_tx > 0.0 ||
+      plan_.spike_prob > 0.0) {
+    net.set_fault_hook(this);
+  }
+  auto& sim = net.simulator();
+  for (const NodeFaultEvent& ev : plan_.scheduled) {
+    if (ev.node >= net.regular_nodes().size()) continue;
+    sim.at(ev.at, [this, &net, ev] {
+      apply_node_fault(net, ev.node, ev.duration, ev.crash);
+    });
+  }
+  if (plan_.churn_rate > 0.0 && !net.regular_nodes().empty()) {
+    schedule_churn(net);
+  }
+}
+
+bool FaultInjector::should_drop(p2p::MsgKind kind, p2p::PeerId /*from*/,
+                                p2p::PeerId /*to*/) {
+  switch (kind) {
+    case p2p::MsgKind::kTx:
+      if (!msg_rng_.chance(plan_.drop_tx)) return false;
+      ++dropped_tx_;
+      if (obs_.enabled()) obs_.drops_tx->inc();
+      return true;
+    case p2p::MsgKind::kAnnounce:
+      if (!msg_rng_.chance(plan_.drop_announce)) return false;
+      ++dropped_announce_;
+      if (obs_.enabled()) obs_.drops_announce->inc();
+      return true;
+    case p2p::MsgKind::kGetTx:
+      if (!msg_rng_.chance(plan_.drop_get_tx)) return false;
+      ++dropped_get_tx_;
+      if (obs_.enabled()) obs_.drops_get_tx->inc();
+      return true;
+  }
+  return false;
+}
+
+double FaultInjector::latency_multiplier(p2p::MsgKind /*kind*/, p2p::PeerId from,
+                                         p2p::PeerId to) {
+  if (plan_.spike_prob <= 0.0) return 1.0;
+  // Spike membership is a pure hash of the directed link, not an RNG draw:
+  // the decision is identical whatever order messages traverse the
+  // network, which keeps shard replicas byte-identical.
+  uint64_t h = link_seed_ ^ ((static_cast<uint64_t>(from) << 32) | static_cast<uint64_t>(to));
+  const double u =
+      static_cast<double>(util::splitmix64(h) >> 11) * (1.0 / 9007199254740992.0);
+  if (u >= plan_.spike_prob) return 1.0;
+  ++spiked_;
+  if (obs_.enabled()) obs_.spikes->inc();
+  return plan_.spike_mult;
+}
+
+void FaultInjector::apply_node_fault(p2p::Network& net, size_t node_index, double duration,
+                                     bool crash) {
+  p2p::Node& node = net.node(net.regular_nodes()[node_index]);
+  if (node.unresponsive()) return;  // already inside a fault window
+  node.set_unresponsive(true);
+  ++windows_;
+  if (obs_.enabled()) obs_.windows->inc();
+  const p2p::PeerId id = net.regular_nodes()[node_index];
+  net.simulator().after(duration, [this, &net, id, crash] {
+    p2p::Node& n = net.node(id);
+    if (crash) {
+      n.restart();
+      ++restarts_;
+      if (obs_.enabled()) obs_.restarts->inc();
+    }
+    n.set_unresponsive(false);
+  });
+}
+
+void FaultInjector::schedule_churn(p2p::Network& net) {
+  const double gap = churn_rng_.exponential(1.0 / plan_.churn_rate);
+  net.simulator().after(gap, [this, &net] {
+    if (!active_) return;
+    const size_t victim = churn_rng_.index(net.regular_nodes().size());
+    const bool crash = churn_rng_.chance(plan_.crash_fraction);
+    apply_node_fault(net, victim, plan_.churn_duration, crash);
+    schedule_churn(net);
+  });
+}
+
+core::FaultReport make_fault_report(const FaultPlan& plan, size_t retries) {
+  core::FaultReport f;
+  f.drop_tx = plan.drop_tx;
+  f.drop_announce = plan.drop_announce;
+  f.drop_get_tx = plan.drop_get_tx;
+  f.spike_prob = plan.spike_prob;
+  f.spike_mult = plan.spike_prob > 0.0 ? plan.spike_mult : 1.0;
+  f.churn_rate = plan.churn_rate;
+  f.retries = retries;
+  return f;
+}
+
+}  // namespace topo::fault

@@ -407,6 +407,33 @@ std::vector<eth::Transaction> Mempool::pending_snapshot() const {
   return out;
 }
 
+const eth::Transaction* Mempool::random_pending(util::Rng& rng) const {
+  if (pending_count_ == 0) return nullptr;
+  size_t k = rng.index(pending_count_);
+  // Same iteration order as pending_snapshot(), so the k-th pending entry
+  // here is the entry snapshot[k] would hold.
+  for (const auto& [sender, q] : accounts_) {
+    for (const auto& [nonce, entry] : q.txs) {
+      if (!entry.pending) continue;
+      if (k == 0) return &entry.tx;
+      --k;
+    }
+  }
+  return nullptr;  // unreachable while pending_count_ is consistent
+}
+
+void Mempool::clear() {
+  accounts_.clear();
+  price_index_.clear();
+  future_index_.clear();
+  by_id_.clear();
+  by_hash_.clear();
+  size_ = 0;
+  pending_count_ = 0;
+  min_added_at_ = 0.0;
+  min_added_valid_ = false;
+}
+
 std::vector<eth::Transaction> Mempool::future_snapshot() const {
   std::vector<eth::Transaction> out;
   out.reserve(future_count());

@@ -10,6 +10,7 @@
 #include "eth/transaction.h"
 #include "mempool/policy.h"
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace topo::mempool {
 
@@ -131,6 +132,20 @@ class Mempool {
 
   /// Snapshot of pending transactions (miner candidates).
   std::vector<eth::Transaction> pending_snapshot() const;
+
+  /// One uniformly random pending transaction, or nullptr when none are
+  /// buffered. Draws a single index and walks to it in pending_snapshot()
+  /// order, so `random_pending(rng)` selects exactly the transaction
+  /// `pending_snapshot()[rng.index(pending_count())]` would — without
+  /// copying the whole pool (the per-tick re-gossip path used to pay
+  /// O(pool) copies for one pick). The pointer is invalidated by the next
+  /// mutating call.
+  const eth::Transaction* random_pending(util::Rng& rng) const;
+
+  /// Drops every buffered transaction (a node crash/restart: real clients
+  /// come back with an empty pool). Base-fee state is chain-derived and
+  /// survives.
+  void clear();
 
   /// Snapshot of future (queued) transactions.
   std::vector<eth::Transaction> future_snapshot() const;

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "p2p/peer.h"
+
+namespace topo::p2p {
+
+/// Message kinds the network's send primitives distinguish (the devp2p
+/// messages a fault layer can target independently).
+enum class MsgKind {
+  kTx,        ///< full-transaction push (Transactions)
+  kAnnounce,  ///< hash announcement (NewPooledTransactionHashes)
+  kGetTx,     ///< body request (GetPooledTransactions)
+};
+
+/// Message-path fault interface consulted by Network's send primitives.
+///
+/// The p2p layer stays ignorant of fault *policy* (probabilities, seeds,
+/// schedules live in topo::fault above it); it only exposes the seam. A
+/// null hook costs the hot send paths a single pointer test, so networks
+/// without fault injection are byte-identical to pre-hook behavior.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// True: the message is lost on the wire (sent and counted, never
+  /// delivered).
+  virtual bool should_drop(MsgKind kind, PeerId from, PeerId to) = 0;
+
+  /// Multiplier applied to the sampled link latency (1.0 = no spike).
+  virtual double latency_multiplier(MsgKind kind, PeerId from, PeerId to) = 0;
+};
+
+}  // namespace topo::p2p

@@ -129,7 +129,6 @@ double Network::fifo_delivery_time(PeerId from, PeerId to, double delay) {
 }
 
 void Network::send_tx(PeerId from, PeerId to, const eth::Transaction& tx, double extra_delay) {
-  const double at = fifo_delivery_time(from, to, latency_.sample(rng_) + extra_delay);
   ++messages_;
   const uint64_t size = wire::transaction_wire_size(tx);
   bytes_ += size;
@@ -138,11 +137,18 @@ void Network::send_tx(PeerId from, PeerId to, const eth::Transaction& tx, double
     obs_.messages_tx->inc();
     obs_.bytes->inc(size);
   }
+  double lat = latency_.sample(rng_);
+  if (fault_ != nullptr) {
+    // Dropped messages stay in the sent tallies (the wire bytes were
+    // spent); they just never schedule a delivery.
+    if (fault_->should_drop(MsgKind::kTx, from, to)) return;
+    lat *= fault_->latency_multiplier(MsgKind::kTx, from, to);
+  }
+  const double at = fifo_delivery_time(from, to, lat + extra_delay);
   sim_->at(at, [this, to, tx, from] { peers_[to]->deliver_tx(tx, from); });
 }
 
 void Network::send_announce(PeerId from, PeerId to, eth::TxHash hash) {
-  const double at = fifo_delivery_time(from, to, latency_.sample(rng_));
   ++messages_;
   bytes_ += wire::announcement_wire_size();
   if (obs_.messages != nullptr) {
@@ -150,11 +156,16 @@ void Network::send_announce(PeerId from, PeerId to, eth::TxHash hash) {
     obs_.messages_announce->inc();
     obs_.bytes->inc(wire::announcement_wire_size());
   }
+  double lat = latency_.sample(rng_);
+  if (fault_ != nullptr) {
+    if (fault_->should_drop(MsgKind::kAnnounce, from, to)) return;
+    lat *= fault_->latency_multiplier(MsgKind::kAnnounce, from, to);
+  }
+  const double at = fifo_delivery_time(from, to, lat);
   sim_->at(at, [this, to, hash, from] { peers_[to]->deliver_announce(hash, from); });
 }
 
 void Network::send_get_tx(PeerId from, PeerId to, eth::TxHash hash) {
-  const double at = fifo_delivery_time(from, to, latency_.sample(rng_));
   ++messages_;
   bytes_ += wire::announcement_wire_size();
   if (obs_.messages != nullptr) {
@@ -162,6 +173,12 @@ void Network::send_get_tx(PeerId from, PeerId to, eth::TxHash hash) {
     obs_.messages_get_tx->inc();
     obs_.bytes->inc(wire::announcement_wire_size());
   }
+  double lat = latency_.sample(rng_);
+  if (fault_ != nullptr) {
+    if (fault_->should_drop(MsgKind::kGetTx, from, to)) return;
+    lat *= fault_->latency_multiplier(MsgKind::kGetTx, from, to);
+  }
+  const double at = fifo_delivery_time(from, to, lat);
   sim_->at(at, [this, to, hash, from] { peers_[to]->deliver_get_tx(hash, from); });
 }
 

@@ -10,6 +10,7 @@
 #include "mempool/mempool.h"
 #include "obs/metrics.h"
 #include "p2p/config.h"
+#include "p2p/fault_hook.h"
 #include "p2p/peer.h"
 #include "sim/latency.h"
 #include "sim/simulator.h"
@@ -128,6 +129,13 @@ class Network {
   /// Null when metrics are disabled.
   obs::TraceRing* obs_trace() const { return obs_.trace; }
 
+  /// Installs (or removes, with nullptr) a message-path fault hook. The
+  /// hook is consulted on every send; dropped messages are counted as sent
+  /// (wire bytes were spent) but never delivered. The hook must outlive
+  /// its installation; no hook means the pre-fault send paths, unchanged.
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+  FaultHook* fault_hook() const { return fault_; }
+
   /// Total messages delivered (diagnostics).
   uint64_t messages_delivered() const { return messages_; }
 
@@ -148,6 +156,7 @@ class Network {
   std::vector<std::unordered_set<PeerId>> adj_set_;
   std::vector<uint64_t> network_id_of_;
   NetObs obs_;
+  FaultHook* fault_ = nullptr;
   mempool::PoolObs pool_obs_;  ///< shared by every owned node's pool
   bool metrics_enabled_ = false;
   uint64_t messages_ = 0;

@@ -26,10 +26,12 @@ void Node::start() {
       const auto& peers = net_->peers_of(id());
       if (peers.empty() || pool_.pending_count() == 0) return true;
       // Re-gossip one random pending transaction to one random peer —
-      // the txC re-propagation race source (§5.2.1).
-      const auto snapshot = pool_.pending_snapshot();
-      const auto& tx = snapshot[rng_.index(snapshot.size())];
-      net_->send_tx(id(), peers[rng_.index(peers.size())], tx);
+      // the txC re-propagation race source (§5.2.1). random_pending draws
+      // the same index a pending_snapshot() pick would, without the
+      // O(pool) copy every tick.
+      const eth::Transaction* tx = pool_.random_pending(rng_);
+      if (tx == nullptr) return true;
+      net_->send_tx(id(), peers[rng_.index(peers.size())], *tx);
       return true;
     });
   }
@@ -61,7 +63,22 @@ void Node::admit_and_propagate(const eth::Transaction& tx, PeerId from) {
 
 void Node::deliver_tx(const eth::Transaction& tx, PeerId from) {
   if (unresponsive_) return;
+  // Body arrival settles any outstanding fetch, however it got here (a
+  // direct push races the announce protocol and must still release the
+  // fetcher entry).
+  prune_fetcher(tx.hash());
   admit_and_propagate(tx, from);
+}
+
+void Node::prune_fetcher(eth::TxHash hash) {
+  announce_block_until_.erase(hash);
+  announce_sources_.erase(hash);
+}
+
+void Node::restart() {
+  pool_.clear();
+  announce_block_until_.clear();
+  announce_sources_.clear();
 }
 
 void Node::deliver_announce(eth::TxHash hash, PeerId from) {
@@ -78,24 +95,31 @@ void Node::deliver_announce(eth::TxHash hash, PeerId from) {
   announce_sources_[hash].clear();
   net_->send_get_tx(id(), from, hash);
   // Fetcher fail-over: if the body has not arrived when the window closes,
-  // ask the next peer that announced it.
-  net_->simulator().after(config_.announce_timeout, [this, hash] {
-    if (!pool_.contains(hash)) request_body(hash);
-  });
+  // ask the next peer that announced it. request_body also prunes the
+  // fetcher state when the fetch is settled or the sources are exhausted.
+  net_->simulator().after(config_.announce_timeout, [this, hash] { request_body(hash); });
 }
 
 void Node::request_body(eth::TxHash hash) {
-  if (unresponsive_ || pool_.contains(hash)) return;
+  if (unresponsive_ || pool_.contains(hash)) {
+    // Nothing further to fetch (or we are down and dropping everything):
+    // drop the window/source bookkeeping instead of leaking it.
+    prune_fetcher(hash);
+    return;
+  }
   auto it = announce_sources_.find(hash);
-  if (it == announce_sources_.end() || it->second.empty()) return;
+  if (it == announce_sources_.end() || it->second.empty()) {
+    // Every announcer has been tried and the body never came — give up and
+    // release the fetcher state (window expiry pruning).
+    prune_fetcher(hash);
+    return;
+  }
   const PeerId next = it->second.front();
   it->second.erase(it->second.begin());
   const double now = net_->simulator().now();
   announce_block_until_[hash] = now + config_.announce_timeout;
   net_->send_get_tx(id(), next, hash);
-  net_->simulator().after(config_.announce_timeout, [this, hash] {
-    if (!pool_.contains(hash)) request_body(hash);
-  });
+  net_->simulator().after(config_.announce_timeout, [this, hash] { request_body(hash); });
 }
 
 void Node::deliver_get_tx(eth::TxHash hash, PeerId from) {

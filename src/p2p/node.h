@@ -56,6 +56,19 @@ class Node final : public Peer {
   void set_unresponsive(bool v) { unresponsive_ = v; }
   bool unresponsive() const { return unresponsive_; }
 
+  /// Crash/restart: the node comes back with an empty mempool and no
+  /// announce-fetcher state, as a real client would after a process
+  /// restart. Link state is kept (the overlay re-dials fast relative to
+  /// measurement windows).
+  void restart();
+
+  /// Live announce-fetcher entries (block windows + recorded fail-over
+  /// sources). Bounded by the in-flight fetch set; regression guard for
+  /// the unbounded-growth leak.
+  size_t announce_fetcher_entries() const {
+    return announce_block_until_.size() + announce_sources_.size();
+  }
+
  private:
   void propagate(const eth::Transaction& tx, PeerId exclude);
   void admit_and_propagate(const eth::Transaction& tx, PeerId from);
@@ -70,6 +83,10 @@ class Node final : public Peer {
   /// (Geth's tx fetcher: an unanswered GetPooledTransactions falls over to
   /// another announcing peer after the timeout).
   void request_body(eth::TxHash hash);
+
+  /// Forgets all fetcher state for `hash` (body arrived, or every announcer
+  /// has been exhausted). Without this both maps grow without bound.
+  void prune_fetcher(eth::TxHash hash);
 
   // hash -> sim time until which further announcements are ignored
   std::unordered_map<eth::TxHash, double> announce_block_until_;

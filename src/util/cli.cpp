@@ -1,10 +1,29 @@
 #include "util/cli.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
 namespace topo::util {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& key, const std::string& value, const char* expected) {
+  std::fprintf(stderr, "invalid value for --%s: '%s' (expected %s)\n", key.c_str(), value.c_str(),
+               expected);
+  std::exit(2);
+}
+
+std::string lowercased(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -29,17 +48,45 @@ bool Cli::has(const std::string& key) const { return kv_.count(key) > 0; }
 
 int64_t Cli::get_int(const std::string& key, int64_t def) const {
   auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == kv_.end()) return def;
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) reject(key, it->second, "an integer");
+  return v;
 }
 
 uint64_t Cli::get_uint(const std::string& key, uint64_t def) const {
   auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+  if (it == kv_.end()) return def;
+  // strtoull silently wraps negative input ("-4" parses as 2^64-4), so the
+  // sign has to be rejected up front.
+  if (it->second.find('-') != std::string::npos) {
+    reject(key, it->second, "a non-negative integer");
+  }
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    reject(key, it->second, "a non-negative integer");
+  }
+  return v;
 }
 
 double Cli::get_double(const std::string& key, double def) const {
   auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == kv_.end()) return def;
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  // ERANGE also fires on harmless subnormal underflow; only overflow to
+  // +/-HUGE_VAL is a real out-of-range input.
+  const bool overflow = errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL);
+  if (end == s || *end != '\0' || overflow) reject(key, it->second, "a number");
+  return v;
 }
 
 std::string Cli::get_string(const std::string& key, const std::string& def) const {
@@ -50,7 +97,10 @@ std::string Cli::get_string(const std::string& key, const std::string& def) cons
 bool Cli::get_bool(const std::string& key, bool def) const {
   auto it = kv_.find(key);
   if (it == kv_.end()) return def;
-  return it->second == "1" || it->second == "true" || it->second == "yes";
+  const std::string v = lowercased(it->second);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  reject(key, it->second, "a boolean (true/false/yes/no/on/off/1/0)");
 }
 
 }  // namespace topo::util

@@ -8,7 +8,11 @@ namespace topo::util {
 
 /// Tiny --key=value / --flag argument parser for the bench and example
 /// binaries. Unrecognized positional arguments are rejected so typos fail
-/// loudly.
+/// loudly, and so are malformed values: the numeric getters exit(2) on
+/// trailing garbage ("--shards=4x"), non-numeric input ("--threads=abc"),
+/// or out-of-range magnitudes instead of silently running with 0 or a
+/// truncated prefix. get_bool is case-insensitive (true/yes/on, false/no/off)
+/// and rejects anything else.
 class Cli {
  public:
   Cli(int argc, char** argv);

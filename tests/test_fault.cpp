@@ -1,0 +1,338 @@
+// Tests for the deterministic fault-injection layer (topo::fault): seeded
+// drop/spike decisions, scheduled node faults (unresponsive windows and
+// crash/restarts), zero-cost-off behaviour, and the driver-level contract —
+// a faulted campaign is a pure function of (seed, plan) at any worker
+// width, and bounded re-measurement of inconclusive probes buys back the
+// recall that message loss takes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/report_io.h"
+#include "core/validator.h"
+#include "eth/chain.h"
+#include "exec/campaign.h"
+#include "fault/fault.h"
+#include "graph/generators.h"
+#include "p2p/network.h"
+#include "p2p/node.h"
+#include "util/rng.h"
+
+namespace topo::fault {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan / FaultInjector decision primitives
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, DisabledByDefault) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.drop_tx = 0.1;
+  EXPECT_TRUE(plan.enabled());
+  plan = FaultPlan{};
+  plan.churn_rate = 1.0;
+  EXPECT_TRUE(plan.enabled());
+  plan = FaultPlan{};
+  plan.scheduled.push_back({1.0, 5.0, 0, false});
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultInjector, DropDecisionsAreSeedDeterministic) {
+  FaultPlan plan;
+  plan.drop_tx = 0.3;
+  plan.drop_announce = 0.1;
+  plan.drop_get_tx = 0.5;
+
+  FaultInjector a(plan, 42), b(plan, 42), c(plan, 43);
+  const p2p::MsgKind kinds[] = {p2p::MsgKind::kTx, p2p::MsgKind::kAnnounce,
+                                p2p::MsgKind::kGetTx};
+  size_t diverged = 0;
+  for (int i = 0; i < 300; ++i) {
+    const p2p::MsgKind k = kinds[i % 3];
+    const bool da = a.should_drop(k, 0, 1);
+    EXPECT_EQ(da, b.should_drop(k, 0, 1)) << "same seed, same stream, draw " << i;
+    if (da != c.should_drop(k, 0, 1)) ++diverged;
+  }
+  EXPECT_EQ(a.dropped_total(), b.dropped_total());
+  EXPECT_GT(a.dropped_total(), 0u);
+  EXPECT_GT(diverged, 0u) << "different seeds must give different streams";
+}
+
+TEST(FaultInjector, ZeroProbabilitiesNeverDropAndConsumeNoRandomness) {
+  FaultInjector inj(FaultPlan{}, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(inj.should_drop(p2p::MsgKind::kTx, 0, 1));
+    EXPECT_DOUBLE_EQ(inj.latency_multiplier(p2p::MsgKind::kTx, 0, 1), 1.0);
+  }
+  EXPECT_EQ(inj.dropped_total(), 0u);
+  EXPECT_EQ(inj.spiked_messages(), 0u);
+}
+
+TEST(FaultInjector, SpikeMembershipIsAStableLinkProperty) {
+  FaultPlan plan;
+  plan.spike_prob = 0.5;
+  plan.spike_mult = 4.0;
+  FaultInjector inj(plan, 99), again(plan, 99);
+
+  size_t spiked_links = 0;
+  const size_t links = 400;
+  for (p2p::PeerId from = 0; from < 20; ++from) {
+    for (p2p::PeerId to = 0; to < 20; ++to) {
+      const double m = inj.latency_multiplier(p2p::MsgKind::kTx, from, to);
+      // Per-link, not per-message: repeat calls agree, whatever the order
+      // of prior calls (the `again` injector has seen none of them).
+      EXPECT_DOUBLE_EQ(m, inj.latency_multiplier(p2p::MsgKind::kAnnounce, from, to));
+      EXPECT_DOUBLE_EQ(m, again.latency_multiplier(p2p::MsgKind::kTx, from, to));
+      if (m > 1.0) {
+        EXPECT_DOUBLE_EQ(m, 4.0);
+        ++spiked_links;
+      }
+    }
+  }
+  // ~Binomial(400, 0.5): a [120, 280] band is > 15 sigma.
+  EXPECT_GT(spiked_links, links * 3 / 10);
+  EXPECT_LT(spiked_links, links * 7 / 10);
+}
+
+// ---------------------------------------------------------------------------
+// Node faults against a live network
+// ---------------------------------------------------------------------------
+
+struct World {
+  sim::Simulator sim;
+  eth::Chain chain{8'000'000};
+  p2p::Network net;
+  eth::TxFactory factory;
+  eth::AccountManager accounts;
+
+  World() : net(&sim, &chain, util::Rng(12), sim::LatencyModel::fixed(0.05)) {}
+
+  p2p::NodeConfig config() {
+    p2p::NodeConfig cfg;
+    mempool::MempoolPolicy p = mempool::profile_for(mempool::ClientKind::kGeth).policy;
+    p.capacity = 64;
+    p.future_cap = 16;
+    cfg.policy_override = p;
+    return cfg;
+  }
+
+  eth::Transaction pending_tx(eth::Wei price = 100) {
+    const eth::Address a = accounts.create_one();
+    return factory.make(a, accounts.allocate_nonce(a), price);
+  }
+};
+
+TEST(FaultInjector, ScheduledCrashWipesPoolAndWindowCloses) {
+  World w;
+  const p2p::PeerId a = w.net.add_node(w.config());
+  const p2p::PeerId b = w.net.add_node(w.config());
+  w.net.connect(a, b);
+
+  FaultPlan plan;
+  plan.scheduled.push_back({/*at=*/2.0, /*duration=*/3.0, /*node=*/1, /*crash=*/true});
+  FaultInjector inj(plan, 5);
+  inj.install(w.net);
+
+  // Before the fault: a pending tx reaches B.
+  const auto tx1 = w.pending_tx();
+  w.net.node(a).submit(tx1);
+  w.sim.run_until(1.0);
+  ASSERT_TRUE(w.net.node(b).pool().contains(tx1.hash()));
+
+  // Inside the window: B drops everything.
+  w.sim.run_until(2.5);
+  EXPECT_TRUE(w.net.node(b).unresponsive());
+  const auto tx2 = w.pending_tx(200);
+  w.net.node(a).submit(tx2);
+  w.sim.run_until(4.0);
+  EXPECT_FALSE(w.net.node(b).pool().contains(tx2.hash()));
+
+  // After the window: B restarted (tx1 gone from the wiped pool) and is
+  // responsive again.
+  w.sim.run_until(6.0);
+  EXPECT_FALSE(w.net.node(b).unresponsive());
+  EXPECT_FALSE(w.net.node(b).pool().contains(tx1.hash())) << "crash wiped the pool";
+  const auto tx3 = w.pending_tx(300);
+  w.net.node(a).submit(tx3);
+  w.sim.run_until(8.0);
+  EXPECT_TRUE(w.net.node(b).pool().contains(tx3.hash()));
+
+  EXPECT_EQ(inj.unresponsive_windows(), 1u);
+  EXPECT_EQ(inj.restarts(), 1u);
+}
+
+TEST(FaultInjector, UnresponsiveWindowDefeatedByAnnounceFailOver) {
+  // The fetcher's fail-over (satellite of the same PR) is exactly what an
+  // unresponsive window exercises end-to-end: B first asks the faulted
+  // announcer A, gets nothing, and after the block window falls over to C,
+  // which serves the body.
+  World w;
+  const p2p::PeerId a = w.net.add_node(w.config());
+  const p2p::PeerId b = w.net.add_node(w.config());
+  const p2p::PeerId c = w.net.add_node(w.config());
+  w.net.connect(a, b);
+  w.net.connect(c, b);
+
+  FaultPlan plan;
+  plan.scheduled.push_back({/*at=*/0.5, /*duration=*/20.0, /*node=*/0, /*crash=*/false});
+  FaultInjector inj(plan, 5);
+  inj.install(w.net);
+
+  const auto tx = w.pending_tx();
+  w.net.node(c).pool().add(tx, 0.0);
+
+  w.sim.run_until(1.0);  // A is now inside its unresponsive window
+  ASSERT_TRUE(w.net.node(a).unresponsive());
+  w.net.send_announce(a, b, tx.hash());
+  w.sim.run_until(2.0);
+  w.net.send_announce(c, b, tx.hash());  // recorded as fail-over source
+  w.sim.run_until(4.0);
+  EXPECT_FALSE(w.net.node(b).pool().contains(tx.hash()))
+      << "faulted announcer cannot serve the body";
+
+  w.sim.run_until(15.0);
+  EXPECT_TRUE(w.net.node(b).pool().contains(tx.hash())) << "fail-over to C succeeded";
+  EXPECT_EQ(w.net.node(b).announce_fetcher_entries(), 0u) << "fetcher state freed";
+}
+
+TEST(FaultInjector, ChurnProcessIsSeedDeterministic) {
+  FaultPlan plan;
+  plan.churn_rate = 0.5;
+  plan.churn_duration = 1.0;
+  plan.crash_fraction = 0.5;
+
+  auto run = [&](uint64_t seed) {
+    World w;
+    std::vector<p2p::PeerId> ids;
+    for (int i = 0; i < 6; ++i) ids.push_back(w.net.add_node(w.config()));
+    for (int i = 0; i + 1 < 6; ++i) w.net.connect(ids[i], ids[i + 1]);
+    FaultInjector inj(plan, seed);
+    inj.install(w.net);
+    w.sim.run_until(60.0);
+    return std::make_pair(inj.unresponsive_windows(), inj.restarts());
+  };
+
+  const auto r1 = run(11), r2 = run(11), r3 = run(12);
+  EXPECT_EQ(r1, r2) << "same seed, same fault history";
+  EXPECT_GT(r1.first, 0u) << "churn actually fired";
+  EXPECT_NE(r1, r3) << "different seed, different history (with high probability)";
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level contracts
+// ---------------------------------------------------------------------------
+
+core::ScenarioOptions fast_options(uint64_t seed) {
+  core::ScenarioOptions opt;
+  opt.seed = seed;
+  opt.mempool_capacity = 192;
+  opt.future_cap = 48;
+  opt.background_txs = 128;
+  return opt;
+}
+
+core::MeasureConfig probe_config(const graph::Graph& truth, const core::ScenarioOptions& opt) {
+  core::Scenario probe(truth, opt);
+  return probe.default_measure_config();
+}
+
+TEST(FaultCampaign, DisabledPlanAndZeroRetriesAreByteIdenticalToBaseline) {
+  // Zero-cost-off: a default FaultPlan plus inconclusive_retries=0 must
+  // leave the campaign artifacts byte-identical to a run that never heard
+  // of the fault layer — including the serialized report (no fault block).
+  util::Rng rng(9);
+  const graph::Graph truth = graph::erdos_renyi_gnm(16, 32, rng);
+  const core::ScenarioOptions opt = fast_options(77);
+  const core::MeasureConfig cfg = probe_config(truth, opt);
+
+  exec::CampaignOptions baseline;
+  baseline.group_k = 4;
+  baseline.shards = 2;
+  const exec::CampaignResult plain = exec::run_sharded_campaign(truth, opt, cfg, baseline);
+
+  exec::CampaignOptions with_plan = baseline;
+  with_plan.fault_plan = FaultPlan{};  // explicitly set, still disabled
+  const exec::CampaignResult off = exec::run_sharded_campaign(truth, opt, cfg, with_plan);
+
+  EXPECT_FALSE(plain.report.fault.has_value());
+  EXPECT_FALSE(off.report.fault.has_value());
+  EXPECT_EQ(core::report_to_json(plain.report).dump(),
+            core::report_to_json(off.report).dump());
+  EXPECT_EQ(plain.metrics, off.metrics);
+}
+
+TEST(FaultCampaign, FaultedCampaignIsIdenticalAcrossThreadWidths) {
+  // The determinism contract under faults: drops, spikes, node churn, and
+  // re-measurement all key off the shard seed, so --threads stays
+  // wall-clock-only even with every fault class armed.
+  util::Rng rng(9);
+  const graph::Graph truth = graph::erdos_renyi_gnm(24, 48, rng);
+  const core::ScenarioOptions opt = fast_options(123);
+  core::MeasureConfig cfg = probe_config(truth, opt);
+  cfg.inconclusive_retries = 1;
+
+  exec::CampaignOptions copt;
+  copt.group_k = 4;
+  copt.shards = 4;
+  copt.fault_plan.drop_tx = 0.02;
+  copt.fault_plan.drop_announce = 0.02;
+  copt.fault_plan.drop_get_tx = 0.02;
+  copt.fault_plan.spike_prob = 0.1;
+  copt.fault_plan.churn_rate = 0.01;
+  copt.fault_plan.crash_fraction = 0.5;
+
+  copt.threads = 1;
+  const exec::CampaignResult serial = exec::run_sharded_campaign(truth, opt, cfg, copt);
+  copt.threads = 4;
+  const exec::CampaignResult parallel = exec::run_sharded_campaign(truth, opt, cfg, copt);
+
+  ASSERT_TRUE(serial.report.fault.has_value());
+  EXPECT_EQ(core::report_to_json(serial.report).dump(),
+            core::report_to_json(parallel.report).dump())
+      << "faulted merged report must be byte-identical at any worker width";
+  EXPECT_EQ(serial.metrics, parallel.metrics);
+  EXPECT_GE(serial.report.fault->attempts, serial.report.pairs_tested)
+      << "every pair consumed at least one attempt";
+}
+
+TEST(FaultCampaign, RetriesImproveRecallUnderLoss) {
+  // The acceptance experiment: at >= 1% uniform message loss on a 32-node
+  // overlay, bounded inconclusive re-measurement strictly improves recall
+  // over the no-retry driver (and never costs precision).
+  util::Rng rng(9);
+  const graph::Graph truth = graph::erdos_renyi_gnm(32, 64, rng);
+  const core::ScenarioOptions opt = fast_options(123);
+  core::MeasureConfig cfg = probe_config(truth, opt);
+
+  exec::CampaignOptions copt;
+  copt.group_k = 4;
+  copt.shards = 4;
+  copt.fault_plan.drop_tx = 0.05;
+  copt.fault_plan.drop_announce = 0.05;
+  copt.fault_plan.drop_get_tx = 0.05;
+
+  cfg.inconclusive_retries = 0;
+  const exec::CampaignResult lossy = exec::run_sharded_campaign(truth, opt, cfg, copt);
+  cfg.inconclusive_retries = 2;
+  const exec::CampaignResult retried = exec::run_sharded_campaign(truth, opt, cfg, copt);
+
+  const auto pr_lossy = core::compare_graphs(truth, lossy.report.measured);
+  const auto pr_retried = core::compare_graphs(truth, retried.report.measured);
+  EXPECT_LT(pr_lossy.recall(), 1.0) << "loss must actually cost recall, or the cell is vacuous";
+  EXPECT_GT(pr_retried.recall(), pr_lossy.recall())
+      << "re-measurement strictly improves recall at 5% loss";
+  EXPECT_GE(pr_retried.precision(), pr_lossy.precision());
+
+  // The annex records the extra work.
+  ASSERT_TRUE(lossy.report.fault.has_value());
+  ASSERT_TRUE(retried.report.fault.has_value());
+  EXPECT_EQ(lossy.report.fault->retried.size(), 0u);
+  EXPECT_GT(retried.report.fault->retried.size(), 0u);
+  EXPECT_GT(retried.report.fault->attempts, lossy.report.fault->attempts);
+  EXPECT_LE(retried.report.fault->inconclusive, lossy.report.fault->inconclusive);
+}
+
+}  // namespace
+}  // namespace topo::fault

@@ -363,5 +363,54 @@ TEST_P(CapacitySweep, SizeNeverExceedsCapacity) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CapacitySweep, ::testing::Values(4, 8, 16, 32, 64));
 
+TEST_F(MempoolTest, RandomPendingMatchesSnapshotDraw) {
+  // random_pending(rng) must select exactly the transaction that
+  // pending_snapshot()[rng.index(pending_count())] would — the contract
+  // that let the re-gossip loop drop its per-tick O(pool) copy without
+  // perturbing any seeded run.
+  MempoolPolicy p = small_policy();
+  p.capacity = 32;
+  auto pool = Mempool(p, &state);
+  for (int i = 0; i < 10; ++i) pool.add(f.make(1 + i, 0, 100 + i), 0.0);
+  pool.add(f.make(50, 2, 100), 0.0);  // a future, skipped by both paths
+  ASSERT_EQ(pool.pending_count(), 10u);
+
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    util::Rng walk_rng(seed), snap_rng(seed);
+    const Transaction* got = pool.random_pending(walk_rng);
+    ASSERT_NE(got, nullptr);
+    const auto snapshot = pool.pending_snapshot();
+    const Transaction& want = snapshot[snap_rng.index(pool.pending_count())];
+    EXPECT_EQ(got->hash(), want.hash()) << "seed " << seed;
+  }
+}
+
+TEST_F(MempoolTest, RandomPendingEmptyPoolDrawsNothing) {
+  auto pool = make();
+  util::Rng rng(7), untouched(7);
+  EXPECT_EQ(pool.random_pending(rng), nullptr);
+  // No pending entries -> no RNG consumption (determinism contract).
+  EXPECT_EQ(rng.next(), untouched.next());
+}
+
+TEST_F(MempoolTest, ClearEmptiesEverything) {
+  auto pool = make();
+  pool.add(f.make(1, 0, 100), 0.0);
+  pool.add(f.make(1, 1, 120), 0.0);
+  pool.add(f.make(2, 3, 100), 0.0);  // future
+  ASSERT_GT(pool.size(), 0u);
+
+  pool.clear();
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.pending_count(), 0u);
+  EXPECT_EQ(pool.future_count(), 0u);
+  EXPECT_FALSE(pool.contains(f.make(1, 0, 100).hash()));
+  EXPECT_TRUE(pool.pending_snapshot().empty());
+
+  // The pool keeps working after a wipe (crash/restart path).
+  EXPECT_EQ(pool.add(f.make(3, 0, 100), 1.0).code, AdmitCode::kAddedPending);
+  EXPECT_EQ(pool.pending_count(), 1u);
+}
+
 }  // namespace
 }  // namespace topo::mempool

@@ -324,5 +324,88 @@ TEST(P2p, AnnouncementFetcherFailsOverToSecondAnnouncer) {
   EXPECT_TRUE(w.net.node(b).pool().contains(tx.hash()));
 }
 
+TEST(P2p, AnnounceFetcherStateFreedWhenBodyArrives) {
+  // Regression: fetcher bookkeeping (block windows + fail-over sources)
+  // must be erased once the body lands, or every announced hash leaks two
+  // map entries for the life of the node.
+  World w;
+  NodeConfig cfg = w.default_config();
+  cfg.use_announcements = true;
+  std::vector<PeerId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(w.net.add_node(cfg));
+  for (int i = 0; i + 1 < 6; ++i) w.net.connect(ids[i], ids[i + 1]);
+
+  for (int round = 0; round < 8; ++round) {
+    const auto tx = w.pending_tx();
+    w.net.node(ids[0]).submit(tx);
+    w.sim.run_until(w.sim.now() + 20.0);
+    for (PeerId id : ids) {
+      ASSERT_TRUE(w.net.node(id).pool().contains(tx.hash()));
+    }
+  }
+  for (PeerId id : ids) {
+    EXPECT_EQ(w.net.node(id).announce_fetcher_entries(), 0u) << "node " << id;
+  }
+}
+
+TEST(P2p, AnnounceFetcherStateFreedWhenAnnouncersExhausted) {
+  // Regression: a hash that no announcer can ever serve must not pin
+  // fetcher state once the retry chain runs out of sources.
+  World w;
+  const PeerId a = w.net.add_node(w.default_config());
+  const PeerId b = w.net.add_node(w.default_config());
+  const PeerId c = w.net.add_node(w.default_config());
+  w.net.connect(a, b);
+  w.net.connect(c, b);
+
+  for (int i = 0; i < 4; ++i) {
+    const eth::TxHash fake = 0xabc000 + static_cast<eth::TxHash>(i);
+    w.net.send_announce(a, b, fake);
+    w.net.send_announce(c, b, fake);
+  }
+  w.sim.run_until(60.0);  // every retry window expires, no body ever arrives
+  EXPECT_EQ(w.net.node(b).announce_fetcher_entries(), 0u);
+}
+
+TEST(P2p, AnnounceFetcherSkipsRequestOnceBodyIsKnown) {
+  // A body that arrives by direct push while an announcement window is
+  // pending must cancel the queued re-request (no stale GetTx) and free
+  // the state.
+  World w;
+  const PeerId a = w.net.add_node(w.default_config());
+  const PeerId b = w.net.add_node(w.default_config());
+  w.net.connect(a, b);
+
+  const auto tx = w.pending_tx();
+  w.net.send_announce(a, b, tx.hash());
+  w.sim.run_until(1.0);
+  w.net.send_tx(a, b, tx);  // direct push bypasses the block window
+  w.sim.run_until(10.0);
+  EXPECT_TRUE(w.net.node(b).pool().contains(tx.hash()));
+  EXPECT_EQ(w.net.node(b).announce_fetcher_entries(), 0u);
+}
+
+TEST(P2p, RestartWipesPoolAndFetcherState) {
+  World w;
+  const PeerId a = w.net.add_node(w.default_config());
+  const PeerId b = w.net.add_node(w.default_config());
+  w.net.connect(a, b);
+  const auto tx = w.pending_tx();
+  w.net.node(a).submit(tx);
+  w.sim.run_until(2.0);
+  ASSERT_TRUE(w.net.node(b).pool().contains(tx.hash()));
+
+  w.net.node(b).restart();
+  EXPECT_EQ(w.net.node(b).pool().size(), 0u);
+  EXPECT_EQ(w.net.node(b).announce_fetcher_entries(), 0u);
+  EXPECT_FALSE(w.net.node(b).pool().contains(tx.hash()));
+
+  // The restarted node still participates: a new pending tx reaches it.
+  const auto tx2 = w.pending_tx();
+  w.net.node(a).submit(tx2);
+  w.sim.run_until(w.sim.now() + 2.0);
+  EXPECT_TRUE(w.net.node(b).pool().contains(tx2.hash()));
+}
+
 }  // namespace
 }  // namespace topo::p2p

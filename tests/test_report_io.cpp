@@ -112,6 +112,64 @@ TEST(ReportIo, FromJsonIgnoresUnknownFields) {
       << "unknown fields are forward-compatible, not errors";
 }
 
+TEST(ReportIo, FaultAnnexRoundTripsAndIsOmittedWhenAbsent) {
+  util::Rng rng(3);
+  NetworkMeasurementReport report;
+  report.measured = graph::erdos_renyi_gnm(8, 12, rng);
+  report.iterations = 2;
+  report.pairs_tested = 28;
+  report.sim_seconds = 10.0;
+  report.txs_sent = 500;
+  // Absent annex: no "fault" key in the serialized document (zero-cost-off
+  // byte identity for unfaulted reports).
+  EXPECT_EQ(report_to_json(report).dump().find("fault"), std::string::npos);
+
+  FaultReport f;
+  f.drop_tx = 0.05;
+  f.drop_announce = 0.01;
+  f.drop_get_tx = 0.02;
+  f.spike_prob = 0.1;
+  f.spike_mult = 4.0;
+  f.churn_rate = 0.5;
+  f.retries = 2;
+  f.attempts = 40;
+  f.inconclusive = 3;
+  f.retried = {{0, 5, 2}, {3, 7, 3}};
+  report.fault = f;
+
+  const auto back = report_from_json(report_to_json(report));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->fault.has_value());
+  EXPECT_EQ(*back->fault, f);
+}
+
+TEST(ReportIo, FromJsonRejectsMalformedFaultAnnex) {
+  auto make = [](const char* fault_body) {
+    auto j = good_report_json();
+    auto f = rpc::Json::parse(fault_body);
+    EXPECT_TRUE(f.has_value());
+    j.as_object()["fault"] = *f;
+    return j;
+  };
+  // Wrong type for the whole annex.
+  auto j = good_report_json();
+  j.as_object()["fault"] = rpc::Json("nope");
+  EXPECT_FALSE(report_from_json(j).has_value());
+  // Missing tally field.
+  EXPECT_FALSE(report_from_json(make(
+                   R"({"drop_tx":0.1,"drop_announce":0,"drop_get_tx":0,"spike_prob":0,)"
+                   R"("spike_mult":1,"churn_rate":0,"retries":1,"attempts":5,"retried":[]})"))
+                   .has_value())
+      << "missing inconclusive";
+  // Malformed retried entry.
+  EXPECT_FALSE(report_from_json(make(
+                   R"({"drop_tx":0.1,"drop_announce":0,"drop_get_tx":0,"spike_prob":0,)"
+                   R"("spike_mult":1,"churn_rate":0,"retries":1,"attempts":5,)"
+                   R"("inconclusive":0,"retried":[[1,2]]})"))
+                   .has_value())
+      << "retried triple truncated";
+}
+
 TEST(ReportIo, LoadRejectsWrongFormat) {
   const std::string path = "/tmp/toposhot_report_bad.json";
   {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "util/cli.h"
@@ -53,6 +54,67 @@ TEST(Cli, ParsesFlagsAndTypes) {
   EXPECT_EQ(cli.get_uint("absent", 7), 7u);
   EXPECT_EQ(cli.get_string("absent", "dflt"), "dflt");
   EXPECT_FALSE(cli.get_bool("absent", false));
+}
+
+TEST(Cli, AcceptsBoundaryAndCaseInsensitiveValues) {
+  const char* argv[] = {"prog", "--big=18446744073709551615", "--neg=-3", "--yes=TRUE",
+                        "--no=Off", "--tiny=1e-310"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_uint("big", 0), UINT64_MAX);
+  EXPECT_EQ(cli.get_int("neg", 0), -3);
+  EXPECT_TRUE(cli.get_bool("yes", false)) << "get_bool is case-insensitive";
+  EXPECT_FALSE(cli.get_bool("no", true));
+  // Subnormal underflow is a representable (tiny) value, not an error.
+  EXPECT_GT(cli.get_double("tiny", 1.0), 0.0);
+}
+
+using CliDeathTest = ::testing::Test;
+
+// Regression: these all silently parsed to 0 (strtoull/strtod with no
+// endptr check) before the malformed-value rejection landed; a typo like
+// --nodes=4O would run a 0-node campaign instead of failing fast.
+TEST(CliDeathTest, RejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "--nodes=4O"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_uint("nodes", 1), ::testing::ExitedWithCode(2),
+              "invalid value for --nodes");
+}
+
+TEST(CliDeathTest, RejectsNegativeUnsigned) {
+  // strtoull wraps "-1" to UINT64_MAX silently; the CLI must not.
+  const char* argv[] = {"prog", "--shards=-1"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_uint("shards", 0), ::testing::ExitedWithCode(2),
+              "invalid value for --shards");
+}
+
+TEST(CliDeathTest, RejectsOutOfRangeInt) {
+  const char* argv[] = {"prog", "--n=99999999999999999999999999"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_int("n", 0), ::testing::ExitedWithCode(2), "invalid value for --n");
+}
+
+TEST(CliDeathTest, RejectsOverflowDouble) {
+  const char* argv[] = {"prog", "--rate=1e999"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_double("rate", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value for --rate");
+}
+
+TEST(CliDeathTest, RejectsGarbageDoubleAndBool) {
+  const char* argv[] = {"prog", "--rate=fast", "--flag=maybe"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_double("rate", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value for --rate");
+  EXPECT_EXIT(cli.get_bool("flag", false), ::testing::ExitedWithCode(2),
+              "invalid value for --flag");
+}
+
+TEST(CliDeathTest, RejectsEmptyNumericValue) {
+  const char* argv[] = {"prog", "--nodes="};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.get_uint("nodes", 1), ::testing::ExitedWithCode(2),
+              "invalid value for --nodes");
 }
 
 TEST(Log, LevelGatesMessages) {
