@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "exec/worker_pool.h"
 #include "graph/generators.h"
+#include "rpc/json.h"
 
 int main(int argc, char** argv) {
   using namespace topo;
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   const uint64_t seed = cli.get_uint("seed", 5);
   const size_t threads = cli.get_uint("threads", 1);
   const bool run_serial = cli.get_bool("serial", true);
+  const std::string out = cli.get_string("out", "");
   bench::banner("Parallel measurement speedup", "Figure 5 (§6.1)");
 
   util::Rng rng(seed);
@@ -72,15 +74,38 @@ int main(int argc, char** argv) {
   std::vector<std::tuple<double, size_t, core::PrecisionRecall>> results(ks.size());
   const exec::WorkerPool pool(threads);
   pool.run(ks.size(), [&](size_t i) { results[i] = run_with_k(ks[i]); });
+  rpc::JsonArray rows;
   for (size_t i = 0; i < ks.size(); ++i) {
     const auto& [elapsed, iterations, pr] = results[i];
     if (i == 0) serial_time = elapsed;
     table.add_row({util::fmt(ks[i]), util::fmt(iterations), util::fmt(elapsed, 0),
                    util::fmt(serial_time / elapsed, 1) + "x", util::fmt_pct(pr.recall()),
                    util::fmt_pct(pr.precision())});
+    rows.push_back(rpc::Json(rpc::JsonObject{
+        {"k", rpc::Json(static_cast<uint64_t>(ks[i]))},
+        {"iterations", rpc::Json(static_cast<uint64_t>(iterations))},
+        {"sim_time", rpc::Json(elapsed)},
+        {"speedup", rpc::Json(serial_time / elapsed)},
+        {"recall", rpc::Json(pr.recall())},
+        {"precision", rpc::Json(pr.precision())},
+    }));
   }
   table.print(std::cout);
   std::cout << "\nPaper reference: measurement time drops roughly 10x by K = 30 relative\n"
                "to serial; precision stays 100%. Iterations follow N/K + log2(K).\n";
+  if (!out.empty()) {
+    const rpc::Json doc(rpc::JsonObject{
+        {"bench", rpc::Json("fig5_parallel_speedup")},
+        {"nodes", rpc::Json(static_cast<uint64_t>(n))},
+        {"seed", rpc::Json(seed)},
+        {"rows", rpc::Json(std::move(rows))},
+    });
+    if (obs::write_json_file(out, doc)) {
+      std::cout << "[sweep: " << out << "]\n";
+    } else {
+      std::cerr << "failed to write " << out << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Self-test for bench_compare.py: a synthetic regression must fail the gate.
+
+Run directly (or via ctest as `bench_compare_selftest`). Builds fake
+google-benchmark JSON in a temp dir, normalizes a baseline from it, then
+checks that `compare` passes on identical numbers, passes within the
+tolerance band, and exits non-zero on a regression beyond the band.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_compare.py")
+
+
+def gbench_json(path, items_per_second):
+    doc = {
+        "benchmarks": [
+            {"name": "BM_Fast", "real_time": 10.0, "time_unit": "ns",
+             "items_per_second": items_per_second},
+            {"name": "BM_Steady", "real_time": 20.0, "time_unit": "ns",
+             "items_per_second": 5.0e6},
+        ]
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def run(*argv):
+    return subprocess.run([sys.executable, SCRIPT, *argv],
+                          capture_output=True, text=True)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as d:
+        base_raw = os.path.join(d, "micro.json")
+        baseline = os.path.join(d, "BENCH_baseline.json")
+        gbench_json(base_raw, 1.0e6)
+
+        r = run("normalize", f"micro={base_raw}", "-o", baseline, "--tolerance", "0.10")
+        assert r.returncode == 0, f"normalize failed: {r.stderr}"
+
+        # Identical numbers: pass.
+        r = run("compare", baseline, f"micro={base_raw}")
+        assert r.returncode == 0, f"identical run should pass: {r.stdout}{r.stderr}"
+
+        # 5% slower with a 10% band: still pass.
+        within = os.path.join(d, "within.json")
+        gbench_json(within, 0.95e6)
+        r = run("compare", baseline, f"micro={within}")
+        assert r.returncode == 0, f"within-band run should pass: {r.stdout}{r.stderr}"
+
+        # 40% slower: the synthetic regression must exit non-zero.
+        regressed = os.path.join(d, "regressed.json")
+        gbench_json(regressed, 0.6e6)
+        r = run("compare", baseline, f"micro={regressed}")
+        assert r.returncode != 0, "regression beyond the band must fail the gate"
+        assert "REGRESSED" in r.stdout and "BM_Fast" in r.stdout, r.stdout
+
+        # Tolerance override flips the verdict.
+        r = run("compare", baseline, f"micro={regressed}", "--tolerance", "0.5")
+        assert r.returncode == 0, "explicit wide band should pass"
+
+    print("bench_compare self-test: OK")
+
+
+if __name__ == "__main__":
+    main()

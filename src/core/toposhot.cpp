@@ -137,15 +137,17 @@ void Scenario::seed_background() {
 void Scenario::start_organic_traffic(double rate_per_sec) {
   if (rate_per_sec <= 0.0 || targets_.empty()) return;
   organic_on_ = true;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, rate_per_sec, tick] {
-    if (!organic_on_) return;
-    const eth::Address a = accounts_.create_one();
-    const auto tx = factory_.make(a, accounts_.allocate_nonce(a), sample_organic_price());
-    net_->node(targets_[rng_.index(targets_.size())]).submit(tx);
-    sim_->after(rng_.exponential(1.0 / rate_per_sec), *tick);
-  };
-  sim_->after(rng_.exponential(1.0 / rate_per_sec), *tick);
+  organic_rate_ = rate_per_sec;
+  sim_->schedule_after(rng_.exponential(1.0 / rate_per_sec),
+                       sim::Event::typed(sim::EventKind::kCampaignStep, this));
+}
+
+void Scenario::on_event(const sim::Event& ev) {
+  if (ev.kind != sim::EventKind::kCampaignStep || !organic_on_) return;
+  const eth::Address a = accounts_.create_one();
+  const auto tx = factory_.make(a, accounts_.allocate_nonce(a), sample_organic_price());
+  net_->node(targets_[rng_.index(targets_.size())]).submit(tx);
+  sim_->schedule_after(rng_.exponential(1.0 / organic_rate_), ev);
 }
 
 p2p::PeerId Scenario::start_churn(double organic_rate, double block_interval,

@@ -68,7 +68,7 @@ struct ScenarioOptions {
 /// mempools, and measurement node at construction; measurements driven
 /// through it (or through a MeasurementSession) accumulate `mempool.*`,
 /// `net.*`, and `probe.*` metrics for free.
-class Scenario {
+class Scenario : public sim::EventSink {
  public:
   /// Throws std::invalid_argument when the options are inconsistent:
   /// background_txs or future_cap exceeding the *effective* (scaled)
@@ -113,6 +113,9 @@ class Scenario {
   /// long-running measurements (the Fig 4b recall decline at large groups).
   void start_organic_traffic(double rate_per_sec);
   void stop_organic_traffic() { organic_on_ = false; }
+
+  /// Typed-event dispatch: the self-rescheduling organic-traffic step.
+  void on_event(const sim::Event& ev) override;
 
   /// Realistic live-network churn: organic traffic plus periodic mining by
   /// a *dedicated* miner node wired into the overlay but excluded from the
@@ -160,6 +163,7 @@ class Scenario {
   CostTracker costs_;
   std::vector<p2p::PeerId> targets_;
   bool organic_on_ = false;
+  double organic_rate_ = 0.0;
 
   eth::Wei sample_organic_price();
 };

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "eth/types.h"
+
+namespace topo::mempool {
+
+/// Flat, allocation-light replacement for the node-based
+/// std::set<std::pair<Wei, uint64_t>> price/future indexes.
+///
+/// The pool only ever asks three things of these indexes — insert a key,
+/// erase a key, and read the current minimum (the eviction / truncation
+/// victim) — so the structure is a flat binary min-heap with lazy deletion
+/// rather than an ordered tree: `data_` holds every inserted key, `dead_`
+/// holds erased keys that are still buried in `data_`, and equal heap tops
+/// cancel pairwise when the minimum is read. Erasing the current minimum
+/// (the common case: victims come from `min()`) pops directly. When
+/// tombstones pile up past half the heap, both arrays are sorted and the
+/// multiset difference rebuilt — an amortized O(log n) per operation, with
+/// no per-node allocation or hashing anywhere.
+///
+/// Semantics match the std::set exactly where the pool uses it: `min()`
+/// returns the least (price, id) pair currently live, ties on price broken
+/// by ascending id. Keys are unique by id among *live* entries; a key
+/// erased and later re-inserted is handled by multiset accounting (each
+/// tombstone cancels exactly one buried copy).
+class FlatPriceIndex {
+ public:
+  using Key = std::pair<eth::Wei, uint64_t>;  ///< (pool price, tx id)
+
+  bool empty() const { return live_ == 0; }
+  size_t size() const { return live_; }
+
+  void insert(Key key) {
+    ++live_;
+    data_.push_back(key);
+    std::push_heap(data_.begin(), data_.end(), std::greater<>{});
+  }
+
+  void erase(Key key) {
+    assert(live_ > 0);
+    --live_;
+    if (!data_.empty() && data_.front() == key) {
+      pop_data();
+      cancel_top();
+      return;
+    }
+    dead_.push_back(key);
+    std::push_heap(dead_.begin(), dead_.end(), std::greater<>{});
+    if (dead_.size() > data_.size() / 2) compact();
+  }
+
+  /// Least live key; undefined when empty.
+  Key min() const {
+    assert(live_ > 0);
+    cancel_top();
+    return data_.front();
+  }
+
+  void clear() {
+    data_.clear();
+    dead_.clear();
+    live_ = 0;
+  }
+
+ private:
+  void pop_data() const {
+    std::pop_heap(data_.begin(), data_.end(), std::greater<>{});
+    data_.pop_back();
+  }
+
+  /// Cancels tombstoned copies sitting at the top of the data heap so
+  /// data_.front() is live. dead_ ⊆ data_ as multisets, so a non-empty
+  /// dead_ implies a non-empty data_.
+  void cancel_top() const {
+    while (!dead_.empty() && !data_.empty() && data_.front() == dead_.front()) {
+      pop_data();
+      std::pop_heap(dead_.begin(), dead_.end(), std::greater<>{});
+      dead_.pop_back();
+    }
+  }
+
+  /// Amortized rebuild: drop every tombstoned copy in one sorted sweep.
+  void compact() {
+    std::sort(data_.begin(), data_.end());
+    std::sort(dead_.begin(), dead_.end());
+    std::vector<Key> keep;
+    keep.reserve(live_);
+    size_t d = 0;
+    for (const Key& k : data_) {
+      if (d < dead_.size() && dead_[d] == k) {
+        ++d;
+        continue;
+      }
+      keep.push_back(k);
+    }
+    assert(d == dead_.size());
+    assert(keep.size() == live_);
+    // A sorted ascending array already satisfies the min-heap property
+    // (parent index < child index, values ascending), so no make_heap.
+    data_ = std::move(keep);
+    dead_.clear();
+  }
+
+  mutable std::vector<Key> data_;  ///< min-heap of every inserted key
+  mutable std::vector<Key> dead_;  ///< min-heap of erased-but-buried keys
+  size_t live_ = 0;
+};
+
+}  // namespace topo::mempool

@@ -71,7 +71,7 @@ void Mempool::reclassify(eth::Address sender, std::vector<eth::Transaction>* pro
 eth::Transaction Mempool::remove_entry(eth::Address sender, eth::Nonce nonce) {
   auto ait = accounts_.find(sender);
   assert(ait != accounts_.end());
-  auto eit = ait->second.txs.find(nonce);
+  auto eit = ait->second.find(nonce);
   assert(eit != ait->second.txs.end());
   Entry entry = std::move(eit->second);
   if (entry.pending) --pending_count_;
@@ -95,12 +95,12 @@ std::optional<std::pair<eth::Address, eth::Nonce>> Mempool::pick_victim(
     // Futures-only eviction: a future incomer may never displace a pending
     // transaction (the DETER countermeasure; defeats TopoShot's flood).
     if (future_index_.empty()) return std::nullopt;
-    const auto& key = *future_index_.begin();
+    const auto key = future_index_.min();
     if (!cheaper(key)) return std::nullopt;
     return by_id_.at(key.second);
   }
   if (price_index_.empty()) return std::nullopt;
-  const auto& key = *price_index_.begin();
+  const auto key = price_index_.min();
   if (!cheaper(key)) return std::nullopt;
   return by_id_.at(key.second);
 }
@@ -150,7 +150,7 @@ AdmitResult Mempool::add_impl(const eth::Transaction& tx, double now) {
 
   auto ait = accounts_.find(tx.sender);
   if (ait != accounts_.end()) {
-    auto eit = ait->second.txs.find(tx.nonce);
+    auto eit = ait->second.find(tx.nonce);
     if (eit != ait->second.txs.end()) {
       // Replacement path: same sender and nonce (§2 event 1b).
       Entry& old = eit->second;
@@ -180,7 +180,7 @@ AdmitResult Mempool::add_impl(const eth::Transaction& tx, double now) {
   if (!is_pending && ait != accounts_.end()) {
     // Pending if every nonce in [chain_next, tx.nonce) is already buffered.
     eth::Nonce expected = chain_next;
-    for (auto it = ait->second.txs.lower_bound(chain_next);
+    for (auto it = ait->second.lower_bound(chain_next);
          it != ait->second.txs.end() && it->first == expected && expected < tx.nonce; ++it) {
       ++expected;
     }
@@ -208,7 +208,7 @@ AdmitResult Mempool::add_impl(const eth::Transaction& tx, double now) {
       // and nothing is cheaper, a pending incomer still displaces the
       // cheapest *future* (Geth's pending/queue split — the queue is
       // second-class and would be truncated by the next reorg anyway).
-      victim = by_id_.at(future_index_.begin()->second);
+      victim = by_id_.at(future_index_.min().second);
     }
     if (!victim) {
       result.code = AdmitCode::kRejectedPoolFull;
@@ -224,7 +224,7 @@ AdmitResult Mempool::add_impl(const eth::Transaction& tx, double now) {
   entry.added_at = now;
   entry.pending = false;  // reclassify() sets the final flag
   AccountQueue& q = accounts_[tx.sender];
-  q.txs.emplace(tx.nonce, std::move(entry));
+  q.txs.insert(q.lower_bound(tx.nonce), {tx.nonce, std::move(entry)});
   ++q.futures;  // provisional; fixed by reclassify
   price_index_.insert({tx.pool_price(), tx.id});
   future_index_.insert({tx.pool_price(), tx.id});  // reclassify removes if pending
@@ -317,7 +317,7 @@ PoolUpdate Mempool::maintain(double now) {
   // 3. Future-subpool truncation to future_cap, cheapest first.
   size_t truncated = 0;
   while (future_count() > policy_.future_cap && !future_index_.empty()) {
-    const auto key = *future_index_.begin();
+    const auto key = future_index_.min();
     const auto loc = by_id_.at(key.second);
     update.dropped.push_back(remove_entry(loc.first, loc.second));
     reclassify(loc.first, nullptr);
@@ -363,7 +363,7 @@ PoolUpdate Mempool::on_block() {
 const eth::Transaction* Mempool::find(eth::Address sender, eth::Nonce nonce) const {
   auto ait = accounts_.find(sender);
   if (ait == accounts_.end()) return nullptr;
-  auto eit = ait->second.txs.find(nonce);
+  auto eit = ait->second.find(nonce);
   return eit == ait->second.txs.end() ? nullptr : &eit->second.tx;
 }
 
@@ -380,7 +380,7 @@ size_t Mempool::futures_of(eth::Address sender) const {
 }
 
 eth::Wei Mempool::lowest_price() const {
-  return price_index_.empty() ? 0 : price_index_.begin()->first;
+  return price_index_.empty() ? 0 : price_index_.min().first;
 }
 
 eth::Wei Mempool::median_pending_price() const {

@@ -128,6 +128,17 @@ double Network::fifo_delivery_time(PeerId from, PeerId to, double delay) {
   return at;
 }
 
+uint32_t Network::acquire_tx_slot(const eth::Transaction& tx) {
+  if (!tx_free_.empty()) {
+    const uint32_t slot = tx_free_.back();
+    tx_free_.pop_back();
+    tx_slab_[slot] = tx;
+    return slot;
+  }
+  tx_slab_.push_back(tx);
+  return static_cast<uint32_t>(tx_slab_.size() - 1);
+}
+
 void Network::send_tx(PeerId from, PeerId to, const eth::Transaction& tx, double extra_delay) {
   ++messages_;
   const uint64_t size = wire::transaction_wire_size(tx);
@@ -145,7 +156,8 @@ void Network::send_tx(PeerId from, PeerId to, const eth::Transaction& tx, double
     lat *= fault_->latency_multiplier(MsgKind::kTx, from, to);
   }
   const double at = fifo_delivery_time(from, to, lat + extra_delay);
-  sim_->at(at, [this, to, tx, from] { peers_[to]->deliver_tx(tx, from); });
+  const uint32_t slot = acquire_tx_slot(tx);
+  sim_->schedule_at(at, sim::Event::typed(sim::EventKind::kDeliverTx, this, to, from, slot));
 }
 
 void Network::send_announce(PeerId from, PeerId to, eth::TxHash hash) {
@@ -162,7 +174,7 @@ void Network::send_announce(PeerId from, PeerId to, eth::TxHash hash) {
     lat *= fault_->latency_multiplier(MsgKind::kAnnounce, from, to);
   }
   const double at = fifo_delivery_time(from, to, lat);
-  sim_->at(at, [this, to, hash, from] { peers_[to]->deliver_announce(hash, from); });
+  sim_->schedule_at(at, sim::Event::typed(sim::EventKind::kDeliverAnnounce, this, to, from, hash));
 }
 
 void Network::send_get_tx(PeerId from, PeerId to, eth::TxHash hash) {
@@ -179,7 +191,7 @@ void Network::send_get_tx(PeerId from, PeerId to, eth::TxHash hash) {
     lat *= fault_->latency_multiplier(MsgKind::kGetTx, from, to);
   }
   const double at = fifo_delivery_time(from, to, lat);
-  sim_->at(at, [this, to, hash, from] { peers_[to]->deliver_get_tx(hash, from); });
+  sim_->schedule_at(at, sim::Event::typed(sim::EventKind::kDeliverGetTx, this, to, from, hash));
 }
 
 void Network::seed_mempools(const std::vector<eth::Transaction>& txs,
@@ -222,8 +234,9 @@ const eth::Block& Network::mine_block(PeerId miner) {
   const eth::Block& committed = chain_->commit(std::move(b));
   // Block propagation is fast relative to the 13 s interval; deliver the
   // commit to every participant after one link latency.
-  for (Peer* p : peers_) {
-    sim_->after(latency_.sample(rng_), [p] { p->on_block_commit(); });
+  for (PeerId i = 0; i < peers_.size(); ++i) {
+    sim_->schedule_after(latency_.sample(rng_),
+                         sim::Event::typed(sim::EventKind::kBlockCommit, this, i));
   }
   return committed;
 }
@@ -262,11 +275,40 @@ void Network::start_mining(std::vector<PeerId> miners, double interval) {
   if (miners.empty()) return;
   mining_on_ = true;
   next_miner_ = 0;
-  sim_->every(sim_->now() + interval, interval, [this, miners = std::move(miners)] {
-    if (!mining_on_) return false;
-    mine_block(miners[next_miner_++ % miners.size()]);
-    return true;
-  });
+  miners_ = std::move(miners);
+  mine_interval_ = interval;
+  sim_->schedule_after(interval, sim::Event::typed(sim::EventKind::kMineTick, this));
+}
+
+void Network::on_event(const sim::Event& ev) {
+  switch (ev.kind) {
+    case sim::EventKind::kDeliverTx: {
+      // Copy out and release the slot before delivering: propagation inside
+      // deliver_tx may send again and grow the slab.
+      const uint32_t slot = static_cast<uint32_t>(ev.payload);
+      const eth::Transaction tx = tx_slab_[slot];
+      tx_free_.push_back(slot);
+      peers_[ev.a]->deliver_tx(tx, ev.b);
+      break;
+    }
+    case sim::EventKind::kDeliverAnnounce:
+      peers_[ev.a]->deliver_announce(ev.payload, ev.b);
+      break;
+    case sim::EventKind::kDeliverGetTx:
+      peers_[ev.a]->deliver_get_tx(ev.payload, ev.b);
+      break;
+    case sim::EventKind::kBlockCommit:
+      peers_[ev.a]->on_block_commit();
+      break;
+    case sim::EventKind::kMineTick:
+      if (!mining_on_) break;
+      mine_block(miners_[next_miner_++ % miners_.size()]);
+      sim_->schedule_after(mine_interval_, sim::Event::typed(sim::EventKind::kMineTick, this));
+      break;
+    default:
+      assert(false && "unexpected event kind routed to Network");
+      break;
+  }
 }
 
 }  // namespace topo::p2p

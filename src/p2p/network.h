@@ -35,7 +35,11 @@ struct NetObs {
 /// link set, and message delivery with per-message latency. Ground truth
 /// (the adjacency) is what TopoShot's validator compares measurements
 /// against.
-class Network {
+///
+/// Delivery is scheduled as typed sim::Events (no per-message closure
+/// allocation); full-transaction payloads ride in a pooled slab, so a send
+/// costs one slab copy and zero heap traffic in steady state.
+class Network : public sim::EventSink {
  public:
   Network(sim::Simulator* sim, eth::Chain* chain, util::Rng rng,
           sim::LatencyModel latency = sim::LatencyModel::lognormal(0.05, 0.4));
@@ -143,6 +147,9 @@ class Network {
   /// bandwidth accounting for the measurement-overhead analyses.
   uint64_t bytes_sent() const { return bytes_; }
 
+  /// Typed-event dispatch: message deliveries, block commits, mining ticks.
+  void on_event(const sim::Event& ev) override;
+
  private:
   sim::Simulator* sim_;
   eth::Chain* chain_;
@@ -163,8 +170,18 @@ class Network {
   uint64_t bytes_ = 0;
   bool mining_on_ = false;
   size_t next_miner_ = 0;
+  std::vector<PeerId> miners_;  ///< round-robin order for kMineTick
+  double mine_interval_ = 0.0;
   bool churn_on_ = false;
   uint64_t churn_events_ = 0;
+
+  /// Pooled full-transaction payloads for in-flight kDeliverTx events: the
+  /// slab never shrinks, so steady-state sends reuse slots instead of
+  /// allocating. Slots are acquired after the fault-drop check (dropped
+  /// messages never hold one) and released at delivery.
+  uint32_t acquire_tx_slot(const eth::Transaction& tx);
+  std::vector<eth::Transaction> tx_slab_;
+  std::vector<uint32_t> tx_free_;
 
   /// Enforces in-order delivery per directed (from, to) stream — messages
   /// share a TCP connection in the real protocol, so a later send can never

@@ -15,25 +15,38 @@ void Node::start() {
   // Maintenance loop (Geth's deferred reorg work). Jittered start so nodes
   // do not run in lockstep.
   const double jitter = rng_.uniform() * config_.maintenance_interval;
-  sim.every(sim.now() + jitter, config_.maintenance_interval, [this] {
-    pool_.maintain(net_->simulator().now());
-    return true;
-  });
+  sim.schedule_after(jitter, sim::Event::typed(sim::EventKind::kMaintenance, this));
   if (config_.regossip_interval > 0.0) {
     const double gj = rng_.uniform() * config_.regossip_interval;
-    sim.every(sim.now() + gj, config_.regossip_interval, [this] {
-      if (unresponsive_) return true;
-      const auto& peers = net_->peers_of(id());
-      if (peers.empty() || pool_.pending_count() == 0) return true;
-      // Re-gossip one random pending transaction to one random peer —
-      // the txC re-propagation race source (§5.2.1). random_pending draws
-      // the same index a pending_snapshot() pick would, without the
-      // O(pool) copy every tick.
-      const eth::Transaction* tx = pool_.random_pending(rng_);
-      if (tx == nullptr) return true;
-      net_->send_tx(id(), peers[rng_.index(peers.size())], *tx);
-      return true;
-    });
+    sim.schedule_after(gj, sim::Event::typed(sim::EventKind::kRegossip, this));
+  }
+}
+
+void Node::on_event(const sim::Event& ev) {
+  switch (ev.kind) {
+    case sim::EventKind::kFetchTimeout:
+      request_body(ev.payload);
+      break;
+    case sim::EventKind::kMaintenance:
+      pool_.maintain(net_->simulator().now());
+      net_->simulator().schedule_after(config_.maintenance_interval, ev);
+      break;
+    case sim::EventKind::kRegossip:
+      if (!unresponsive_) {
+        const auto& peers = net_->peers_of(id());
+        if (!peers.empty() && pool_.pending_count() != 0) {
+          // Re-gossip one random pending transaction to one random peer —
+          // the txC re-propagation race source (§5.2.1). random_pending
+          // draws the same index a pending_snapshot() pick would, without
+          // the O(pool) copy every tick.
+          const eth::Transaction* tx = pool_.random_pending(rng_);
+          if (tx != nullptr) net_->send_tx(id(), peers[rng_.index(peers.size())], *tx);
+        }
+      }
+      net_->simulator().schedule_after(config_.regossip_interval, ev);
+      break;
+    default:
+      break;
   }
 }
 
@@ -97,7 +110,9 @@ void Node::deliver_announce(eth::TxHash hash, PeerId from) {
   // Fetcher fail-over: if the body has not arrived when the window closes,
   // ask the next peer that announced it. request_body also prunes the
   // fetcher state when the fetch is settled or the sources are exhausted.
-  net_->simulator().after(config_.announce_timeout, [this, hash] { request_body(hash); });
+  net_->simulator().schedule_after(
+      config_.announce_timeout,
+      sim::Event::typed(sim::EventKind::kFetchTimeout, this, 0, 0, hash));
 }
 
 void Node::request_body(eth::TxHash hash) {
@@ -119,7 +134,9 @@ void Node::request_body(eth::TxHash hash) {
   const double now = net_->simulator().now();
   announce_block_until_[hash] = now + config_.announce_timeout;
   net_->send_get_tx(id(), next, hash);
-  net_->simulator().after(config_.announce_timeout, [this, hash] { request_body(hash); });
+  net_->simulator().schedule_after(
+      config_.announce_timeout,
+      sim::Event::typed(sim::EventKind::kFetchTimeout, this, 0, 0, hash));
 }
 
 void Node::deliver_get_tx(eth::TxHash hash, PeerId from) {

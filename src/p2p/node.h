@@ -5,6 +5,7 @@
 #include "mempool/mempool.h"
 #include "p2p/config.h"
 #include "p2p/peer.h"
+#include "sim/event.h"
 #include "util/rng.h"
 
 namespace topo::p2p {
@@ -23,7 +24,7 @@ class Network;
 ///    of it for announce_timeout seconds, but a direct push always bypasses
 ///    the block (the Ethereum/Bitcoin distinction of §4.1);
 ///  - futures promoted by a block commit are propagated like fresh pendings.
-class Node final : public Peer {
+class Node final : public Peer, public sim::EventSink {
  public:
   Node(NodeConfig config, Network* net, const eth::StateView* state, util::Rng rng);
 
@@ -36,6 +37,9 @@ class Node final : public Peer {
   void deliver_get_tx(eth::TxHash hash, PeerId from) override;
   void on_peer_connected(PeerId peer) override;
   void on_block_commit() override;
+
+  /// Typed-event dispatch: fetch timeouts, maintenance and re-gossip ticks.
+  void on_event(const sim::Event& ev) override;
 
   /// Local submission (a user RPC sending a transaction to this node).
   mempool::AdmitResult submit(const eth::Transaction& tx);

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace topo::sim {
+
+/// Simulation clock, in seconds.
+using Time = double;
+
+/// The concrete event kinds of the simulation hot path. Everything the
+/// event loop executes millions of times per campaign — message delivery,
+/// fetch timeouts, mining, pool maintenance, campaign traffic — is one of
+/// these, dispatched through an EventSink without any per-event heap
+/// allocation. kClosure is the cold-path escape hatch (discv4 lookups,
+/// fault schedules, tests): an arbitrary std::function, exactly the old
+/// type-erased behaviour.
+enum class EventKind : uint8_t {
+  kClosure = 0,      ///< arbitrary callback (cold paths only)
+  kDeliverTx,        ///< Network: deliver a full transaction (a=to, b=from, payload=tx-slab slot)
+  kDeliverAnnounce,  ///< Network: deliver a hash announcement (a=to, b=from, payload=hash)
+  kDeliverGetTx,     ///< Network: deliver a body request (a=to, b=from, payload=hash)
+  kFetchTimeout,     ///< Node: announce-fetch window expired (payload=hash)
+  kMineTick,         ///< Network: periodic mining tick (self-rescheduling)
+  kBlockCommit,      ///< Network: deliver a block commit to peer a
+  kMaintenance,      ///< Node: periodic pool maintenance tick (self-rescheduling)
+  kRegossip,         ///< Node: periodic re-gossip tick (self-rescheduling)
+  kCampaignStep,     ///< Scenario: one organic-traffic step (self-rescheduling)
+};
+
+struct Event;
+
+/// Receiver of typed events. Implemented by p2p::Network, p2p::Node, and
+/// core::Scenario; the sink pointer rides in the event, so the simulator
+/// stays ignorant of the layers above it. The sink must outlive every
+/// event scheduled on it (true throughout: nodes and the network own the
+/// simulator's lifetime via core::Scenario).
+class EventSink {
+ public:
+  virtual void on_event(const Event& ev) = 0;
+
+ protected:
+  ~EventSink() = default;
+};
+
+/// One scheduled event: a small tagged record. Typed kinds carry their
+/// whole payload inline (two peer ids + one 64-bit word — a hash, a slab
+/// slot, or unused) and cost no allocation to schedule, move, or run.
+/// kClosure events own a std::function and keep the old semantics.
+struct Event {
+  EventKind kind = EventKind::kClosure;
+  uint32_t a = 0;        ///< primary id (destination peer / node)
+  uint32_t b = 0;        ///< secondary id (source peer)
+  uint64_t payload = 0;  ///< hash, slab slot, or kind-specific word
+  EventSink* sink = nullptr;
+  std::function<void()> fn;  ///< kClosure only; empty otherwise
+
+  static Event closure(std::function<void()> f) {
+    Event ev;
+    ev.kind = EventKind::kClosure;
+    ev.fn = std::move(f);
+    return ev;
+  }
+
+  static Event typed(EventKind k, EventSink* sink, uint32_t a = 0, uint32_t b = 0,
+                     uint64_t payload = 0) {
+    Event ev;
+    ev.kind = k;
+    ev.sink = sink;
+    ev.a = a;
+    ev.b = b;
+    ev.payload = payload;
+    return ev;
+  }
+
+  void fire() {
+    if (kind == EventKind::kClosure) {
+      fn();
+    } else {
+      sink->on_event(*this);
+    }
+  }
+};
+
+}  // namespace topo::sim

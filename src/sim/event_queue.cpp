@@ -1,21 +1,224 @@
 #include "sim/event_queue.h"
 
-#include <utility>
+#include <algorithm>
+#include <atomic>
+#include <cassert>
 
 namespace topo::sim {
 
-void EventQueue::push(Time t, Action action) {
-  heap_.push(Item{t, next_seq_++, std::move(action)});
+namespace {
+
+#ifdef TOPO_LEGACY_EVENT_HEAP
+constexpr QueueBackend kBuildDefault = QueueBackend::kLegacyHeap;
+#else
+constexpr QueueBackend kBuildDefault = QueueBackend::kTimingWheel;
+#endif
+
+std::atomic<QueueBackend> g_default_backend{kBuildDefault};
+
+/// Pops earliest first: the heap comparator orders *later* slots first so a
+/// std::*_heap family max-heap behaves as a min-heap by (t, seq).
+struct Later {
+  template <typename S>
+  bool operator()(const S& a, const S& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+QueueBackend default_queue_backend() {
+  return g_default_backend.load(std::memory_order_relaxed);
 }
 
-Time EventQueue::next_time() const { return heap_.empty() ? 0.0 : heap_.top().t; }
+void set_default_queue_backend(QueueBackend backend) {
+  g_default_backend.store(backend, std::memory_order_relaxed);
+}
 
-std::pair<Time, EventQueue::Action> EventQueue::pop() {
-  // priority_queue::top() is const; the action must be moved out via a
-  // const_cast-free copy of the item. Items are cheap (one std::function).
-  Item item = std::move(const_cast<Item&>(heap_.top()));
-  heap_.pop();
-  return {item.t, std::move(item.action)};
+void EventQueue::heap_push(Slot&& slot) {
+  heap_.push_back(std::move(slot));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+EventQueue::Scheduled EventQueue::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Scheduled out{heap_.back().t, std::move(heap_.back().ev)};
+  heap_.pop_back();
+  return out;
+}
+
+void EventQueue::reset_wheel_to(int64_t slot) {
+  // Only legal when every ring is empty (fresh queue, or an overflow
+  // cascade after both wheel levels drained): the bitmaps are already zero.
+  cur_slot_ = slot;
+  l0_base_ = slot & ~static_cast<int64_t>(kL0Buckets - 1);
+}
+
+void EventQueue::wheel_push(Slot&& slot) {
+  // cur_slot_ never jumps forward on push: it tracks the bucket currently
+  // draining, so only genuine same-bucket (or clamped-past) events take the
+  // binary-insert path into due_. Jumping cur_slot_ to a far-future first
+  // event would classify every earlier push as "past" and grow due_ into a
+  // quadratic insertion-sorted vector; far-future firsts are instead found
+  // by refill_due's window scan / L1 / overflow cascade on the next pop.
+  const int64_t s = slot_of(slot.t);
+  if (s <= cur_slot_) {
+    // Lands in (or before) the bucket currently draining — push into the
+    // drain heap so the exact (t, seq) order holds even for same-time
+    // follow-ups scheduled mid-bucket. O(log k) keeps dense single-bucket
+    // bursts (flood frontiers with sub-tick latencies) from degenerating
+    // into an insertion sort.
+    due_.push_back(std::move(slot));
+    std::push_heap(due_.begin(), due_.end(), Later{});
+    return;
+  }
+  if (s < l0_base_ + static_cast<int64_t>(kL0Buckets)) {
+    const size_t idx = static_cast<size_t>(s) & (kL0Buckets - 1);
+    l0_[idx].push_back(std::move(slot));
+    l0_bits_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    return;
+  }
+  const int64_t w = s >> kL0Bits;
+  const int64_t b0 = l0_base_ >> kL0Bits;
+  if (w - b0 <= static_cast<int64_t>(kL1Buckets)) {
+    const size_t idx = static_cast<size_t>(w) & (kL1Buckets - 1);
+    l1_[idx].push_back(std::move(slot));
+    l1_bits_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    return;
+  }
+  overflow_.push_back(std::move(slot));
+  std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+}
+
+void EventQueue::push(Time t, Event ev) {
+  Slot slot{t, next_seq_++, std::move(ev)};
+  ++size_;
+  if (backend_ == QueueBackend::kLegacyHeap) {
+    heap_push(std::move(slot));
+  } else {
+    wheel_push(std::move(slot));
+    // Invariant: due_ is non-empty whenever size_ > 0 (next_time() and
+    // pop() read due_.back() unconditionally). A push into a drained queue
+    // lands in the rings, so pull the earliest bucket forward here.
+    if (due_.empty()) refill_due();
+  }
+}
+
+void EventQueue::cascade_l1(size_t l1_index) {
+  std::vector<Slot> bucket = std::move(l1_[l1_index]);
+  l1_[l1_index].clear();
+  l1_bits_[l1_index >> 6] &= ~(uint64_t{1} << (l1_index & 63));
+  for (Slot& slot : bucket) {
+    const int64_t s = slot_of(slot.t);
+    assert(s >= l0_base_ && s < l0_base_ + static_cast<int64_t>(kL0Buckets));
+    const size_t idx = static_cast<size_t>(s) & (kL0Buckets - 1);
+    l0_[idx].push_back(std::move(slot));
+    l0_bits_[idx >> 6] |= uint64_t{1} << (idx & 63);
+  }
+}
+
+void EventQueue::drain_overflow_into_wheel() {
+  assert(!overflow_.empty());
+  // Jump the (fully drained) wheel to the overflow minimum, then pull in
+  // everything within the new two-level horizon.
+  const int64_t w_base = slot_of(overflow_.front().t) >> kL0Bits;
+  reset_wheel_to(w_base << kL0Bits);
+  cur_slot_ = l0_base_ - 1;
+  while (!overflow_.empty()) {
+    const int64_t w = slot_of(overflow_.front().t) >> kL0Bits;
+    if (w - w_base > static_cast<int64_t>(kL1Buckets)) break;
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    Slot slot = std::move(overflow_.back());
+    overflow_.pop_back();
+    const int64_t s = slot_of(slot.t);
+    if (w == w_base) {
+      const size_t idx = static_cast<size_t>(s) & (kL0Buckets - 1);
+      l0_[idx].push_back(std::move(slot));
+      l0_bits_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    } else {
+      const size_t idx = static_cast<size_t>(w) & (kL1Buckets - 1);
+      l1_[idx].push_back(std::move(slot));
+      l1_bits_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    }
+  }
+}
+
+void EventQueue::refill_due() {
+  // due_ is empty but events remain in the wheel levels or the overflow.
+  for (;;) {
+    // 1. Next occupied L0 bucket in the current window.
+    const int64_t from = std::max(cur_slot_ + 1, l0_base_);
+    const int64_t window_end = l0_base_ + static_cast<int64_t>(kL0Buckets);
+    int64_t found = -1;
+    for (int64_t s = from; s < window_end;) {
+      const size_t idx = static_cast<size_t>(s) & (kL0Buckets - 1);
+      const size_t word = idx >> 6;
+      uint64_t bits = l0_bits_[word] >> (idx & 63);
+      if (bits != 0) {
+        const int offset = __builtin_ctzll(bits);
+        if ((idx & 63) + static_cast<size_t>(offset) < 64) {
+          found = s + offset;
+          break;
+        }
+      }
+      s += 64 - static_cast<int64_t>(idx & 63);  // next word boundary
+    }
+    if (found >= 0) {
+      cur_slot_ = found;
+      const size_t idx = static_cast<size_t>(found) & (kL0Buckets - 1);
+      due_ = std::move(l0_[idx]);
+      l0_[idx].clear();
+      l0_bits_[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+      std::make_heap(due_.begin(), due_.end(), Later{});
+      return;
+    }
+
+    // 2. L0 exhausted: cascade the next occupied L1 bucket into a fresh L0
+    // window (one L1 bucket spans exactly one L0 rotation).
+    const int64_t b0 = l0_base_ >> kL0Bits;
+    int64_t next_w = -1;
+    for (int64_t rel = 1; rel <= static_cast<int64_t>(kL1Buckets);) {
+      const int64_t w = b0 + rel;
+      const size_t idx = static_cast<size_t>(w) & (kL1Buckets - 1);
+      const uint64_t bits = l1_bits_[idx >> 6] >> (idx & 63);
+      if (bits != 0) {
+        const int offset = __builtin_ctzll(bits);
+        if ((idx & 63) + static_cast<size_t>(offset) < 64 &&
+            rel + offset <= static_cast<int64_t>(kL1Buckets)) {
+          next_w = w + offset;
+          break;
+        }
+      }
+      rel += 64 - static_cast<int64_t>(idx & 63);  // next word boundary
+    }
+    if (next_w >= 0) {
+      l0_base_ = next_w << kL0Bits;
+      cur_slot_ = l0_base_ - 1;
+      cascade_l1(static_cast<size_t>(next_w) & (kL1Buckets - 1));
+      continue;
+    }
+
+    // 3. Both wheel levels drained: cascade from the overflow heap.
+    drain_overflow_into_wheel();
+  }
+}
+
+Time EventQueue::next_time() const {
+  if (size_ == 0) return 0.0;
+  if (backend_ == QueueBackend::kLegacyHeap) return heap_.front().t;
+  return due_.front().t;
+}
+
+EventQueue::Scheduled EventQueue::pop() {
+  assert(size_ > 0);
+  --size_;
+  if (backend_ == QueueBackend::kLegacyHeap) return heap_pop();
+  std::pop_heap(due_.begin(), due_.end(), Later{});
+  Scheduled out{due_.back().t, std::move(due_.back().ev)};
+  due_.pop_back();
+  if (due_.empty() && size_ > 0) refill_due();
+  return out;
 }
 
 }  // namespace topo::sim

@@ -1,45 +1,132 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "sim/event.h"
+
 namespace topo::sim {
 
-/// Simulation clock, in seconds.
-using Time = double;
+/// Which ordering structure backs an EventQueue.
+///
+/// kTimingWheel is the production backend: a two-level bucketed timing
+/// wheel with a binary-heap overflow for far-future events. kLegacyHeap is
+/// the pre-wheel binary heap, kept for one release as a determinism
+/// cross-check (the golden-report suite runs campaigns on both and asserts
+/// byte-identical artifacts). Both implement the exact same total order,
+/// so they are interchangeable; the wheel is simply faster.
+enum class QueueBackend : uint8_t { kTimingWheel = 0, kLegacyHeap = 1 };
 
-/// Deterministic time-ordered event queue. Events at equal timestamps run in
-/// insertion order (a monotonically increasing sequence number breaks ties),
-/// which keeps whole-network runs reproducible for a given seed.
+/// Process-wide default backend for newly constructed queues. Initialized
+/// to kLegacyHeap when the build sets -DTOPO_LEGACY_EVENT_HEAP (the
+/// escape hatch while the wheel beds in), kTimingWheel otherwise. The
+/// setter is a test hook; flip it before constructing the simulators under
+/// test and restore it afterwards.
+QueueBackend default_queue_backend();
+void set_default_queue_backend(QueueBackend backend);
+
+/// Deterministic time-ordered event queue.
+///
+/// Determinism contract (identical for both backends, asserted by
+/// tests/test_sim.cpp property tests): events pop in strictly increasing
+/// (time, sequence) order, where the sequence number is assigned at push.
+/// Equal-time events therefore run in insertion order (FIFO), which keeps
+/// whole-network runs byte-for-byte reproducible for a given seed.
+///
+/// Timing-wheel layout: level 0 is a ring of kL0Buckets buckets of
+/// kTickSeconds each (~2 s horizon — covers per-message latencies and the
+/// 1 s maintenance ticks); level 1 is a ring of kL1Buckets buckets each
+/// spanning a whole L0 rotation (~17 min horizon — covers announce
+/// timeouts, block intervals, churn gaps); anything farther sits in a
+/// binary min-heap and cascades in when the wheel reaches it. Buckets are
+/// unsorted on insert; a bucket becomes a (time, seq) min-heap when the
+/// wheel reaches it, and events scheduled *into the current bucket while
+/// it drains* (same-time follow-ups, clamped past events) are heap-pushed
+/// so the global order stays exact — FIFO within a bucket for equal times,
+/// seq tiebreak at bucket boundaries, heap order beyond the horizon. Dense
+/// single-bucket bursts therefore cost O(log k) per op, never worse than
+/// the legacy global heap.
 class EventQueue {
  public:
   using Action = std::function<void()>;
 
-  void push(Time t, Action action);
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  /// One popped entry: the scheduled time plus the event.
+  struct Scheduled {
+    Time t = 0.0;
+    Event ev;
+  };
+
+  EventQueue() : EventQueue(default_queue_backend()) {}
+  explicit EventQueue(QueueBackend backend) : backend_(backend) {}
+
+  void push(Time t, Event ev);
+  /// Convenience for closure events (the pre-typed API shape).
+  void push(Time t, Action action) { push(t, Event::closure(std::move(action))); }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  QueueBackend backend() const { return backend_; }
+
+  /// Exact timestamp of the next event (0 when empty).
   Time next_time() const;
 
-  /// Pops the earliest event; undefined if empty.
-  std::pair<Time, Action> pop();
+  /// Pops the earliest event by (time, seq); undefined if empty.
+  Scheduled pop();
 
  private:
-  struct Item {
+  struct Slot {
     Time t;
     uint64_t seq;
-    Action action;
+    Event ev;
   };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+
+  // -- wheel geometry -------------------------------------------------------
+  static constexpr int kL0Bits = 10;
+  static constexpr size_t kL0Buckets = size_t{1} << kL0Bits;  // 1024
+  static constexpr size_t kL1Buckets = 512;
+  static constexpr Time kTickSeconds = 1.0 / 512.0;  // ~2 ms; L0 spans ~2 s
+
+  static int64_t slot_of(Time t) {
+    const double s = t / kTickSeconds;
+    // Events never carry negative times (Simulator clamps to now >= 0),
+    // but tolerate them: everything at or before slot 0 shares a bucket.
+    return s <= 0.0 ? 0 : static_cast<int64_t>(s);
+  }
+
+  void wheel_push(Slot&& slot);
+  void heap_push(Slot&& slot);
+  Scheduled heap_pop();
+
+  /// Re-establishes the invariant: if size_ > 0, due_ is non-empty and its
+  /// front is the global minimum. Advances the wheel, cascading L1 buckets
+  /// and overflow-heap events as their horizons are reached.
+  void refill_due();
+  void reset_wheel_to(int64_t slot);
+  void cascade_l1(size_t l1_index);
+  void drain_overflow_into_wheel();
+
+  QueueBackend backend_;
   uint64_t next_seq_ = 0;
+  size_t size_ = 0;
+
+  // -- timing-wheel state ---------------------------------------------------
+  // due_ holds the events of the bucket currently draining (plus any
+  // pushed at/before it) as a min-heap by (t, seq): front() is the
+  // minimum; pops and mid-drain pushes are O(log bucket-size).
+  std::vector<Slot> due_;
+  int64_t cur_slot_ = -1;  ///< L0 slot whose events live in due_
+  int64_t l0_base_ = 0;    ///< first absolute L0 slot of the current window (kL0Buckets-aligned)
+  std::array<std::vector<Slot>, kL0Buckets> l0_{};
+  std::array<uint64_t, kL0Buckets / 64> l0_bits_{};
+  std::array<std::vector<Slot>, kL1Buckets> l1_{};
+  std::array<uint64_t, kL1Buckets / 64> l1_bits_{};
+  std::vector<Slot> overflow_;  ///< min-heap by (t, seq), beyond the L1 horizon
+
+  // -- legacy-heap state ----------------------------------------------------
+  std::vector<Slot> heap_;  ///< min-heap by (t, seq)
 };
 
 }  // namespace topo::sim

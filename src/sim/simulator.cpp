@@ -6,9 +6,17 @@
 
 namespace topo::sim {
 
-void Simulator::at(Time t, EventQueue::Action action) {
-  queue_.push(std::max(t, now_), std::move(action));
+void Simulator::schedule_at(Time t, Event ev) {
+  queue_.push(std::max(t, now_), std::move(ev));
   if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
+}
+
+void Simulator::schedule_after(Time delay, Event ev) {
+  schedule_at(now_ + std::max(delay, 0.0), std::move(ev));
+}
+
+void Simulator::at(Time t, EventQueue::Action action) {
+  schedule_at(t, Event::closure(std::move(action)));
 }
 
 void Simulator::after(Time delay, EventQueue::Action action) {
@@ -26,19 +34,19 @@ void Simulator::every(Time start, Time interval, std::function<bool()> action) {
 
 void Simulator::run() {
   while (!queue_.empty()) {
-    auto [t, action] = queue_.pop();
+    auto [t, ev] = queue_.pop();
     now_ = std::max(now_, t);
     ++processed_;
-    action();
+    ev.fire();
   }
 }
 
 void Simulator::run_until(Time t) {
   while (!queue_.empty() && queue_.next_time() <= t) {
-    auto [et, action] = queue_.pop();
+    auto [et, ev] = queue_.pop();
     now_ = std::max(now_, et);
     ++processed_;
-    action();
+    ev.fire();
   }
   now_ = std::max(now_, t);
 }
@@ -47,10 +55,10 @@ bool Simulator::run_capped(size_t max_events) {
   size_t n = 0;
   while (!queue_.empty()) {
     if (n++ >= max_events) return false;
-    auto [t, action] = queue_.pop();
+    auto [t, ev] = queue_.pop();
     now_ = std::max(now_, t);
     ++processed_;
-    action();
+    ev.fire();
   }
   return true;
 }

@@ -7,14 +7,30 @@ namespace topo::sim {
 /// Discrete-event simulation driver. All network and protocol activity is
 /// expressed as events; wall-clock quantities reported by benches (e.g. the
 /// Fig 5 speedup) are simulation seconds.
+///
+/// Hot paths schedule typed events (schedule_at/schedule_after — a tagged
+/// record dispatched through its EventSink, no per-event allocation); cold
+/// paths keep the closure overloads (at/after/every), which wrap the
+/// callback in a kClosure event.
 class Simulator {
  public:
+  Simulator() = default;
+  explicit Simulator(QueueBackend backend) : queue_(backend) {}
+
   Time now() const { return now_; }
 
-  /// Schedules at an absolute time (clamped to now if in the past).
+  /// Schedules a typed event at an absolute time (clamped to now if in the
+  /// past). Allocation-free.
+  void schedule_at(Time t, Event ev);
+
+  /// Schedules a typed event `delay` seconds from now (delay < 0 treated
+  /// as 0). Allocation-free.
+  void schedule_after(Time delay, Event ev);
+
+  /// Schedules a closure at an absolute time (clamped to now if in the past).
   void at(Time t, EventQueue::Action action);
 
-  /// Schedules `delay` seconds from now (delay < 0 treated as 0).
+  /// Schedules a closure `delay` seconds from now (delay < 0 treated as 0).
   void after(Time delay, EventQueue::Action action);
 
   /// Repeats `action` every `interval` seconds starting at `start`, for as
@@ -33,6 +49,7 @@ class Simulator {
 
   size_t processed() const { return processed_; }
   size_t queued() const { return queue_.size(); }
+  QueueBackend backend() const { return queue_.backend(); }
 
   /// Deepest the event queue has ever been — the memory high-water mark a
   /// production deployment must provision for (observability snapshot

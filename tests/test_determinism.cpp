@@ -1,0 +1,93 @@
+// Golden determinism suite for the event-queue backends.
+//
+// The timing wheel and the legacy binary heap implement the same total
+// order — (time, push sequence) — so a whole campaign must produce
+// byte-identical artifacts on either backend, at any worker width, with or
+// without fault injection. These tests serialize the merged report to JSON
+// and compare the bytes; they are the contract that lets the legacy heap be
+// deleted after one release.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/report_io.h"
+#include "core/validator.h"
+#include "exec/campaign.h"
+#include "graph/generators.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace topo {
+namespace {
+
+/// Restores the process-wide default backend on scope exit.
+struct BackendGuard {
+  sim::QueueBackend saved = sim::default_queue_backend();
+  ~BackendGuard() { sim::set_default_queue_backend(saved); }
+};
+
+struct CampaignArtifacts {
+  std::string report_json;
+  obs::MetricsSnapshot metrics;
+};
+
+CampaignArtifacts run_campaign(sim::QueueBackend backend, size_t threads, size_t shards,
+                               bool faults) {
+  sim::set_default_queue_backend(backend);
+  util::Rng rng(21);
+  const graph::Graph truth = graph::erdos_renyi_gnm(24, 44, rng);
+  core::ScenarioOptions opt;
+  opt.seed = 77;
+  opt.mempool_capacity = 192;
+  opt.future_cap = 48;
+  opt.background_txs = 128;
+  core::MeasureConfig cfg;
+  {
+    core::Scenario probe(truth, opt);
+    cfg = probe.default_measure_config();
+  }
+  exec::CampaignOptions copt;
+  copt.group_k = 4;
+  copt.shards = shards;
+  copt.threads = threads;
+  if (faults) {
+    copt.fault_plan.drop_tx = 0.02;
+    copt.fault_plan.drop_announce = 0.02;
+    copt.fault_plan.spike_prob = 0.05;
+  }
+  const exec::CampaignResult result = exec::run_sharded_campaign(truth, opt, cfg, copt);
+  return {core::report_to_json(result.report).dump(), result.metrics};
+}
+
+TEST(GoldenDeterminism, SmokeCampaignIsByteIdenticalAcrossBackends) {
+  BackendGuard guard;
+  const auto wheel = run_campaign(sim::QueueBackend::kTimingWheel, 1, 2, false);
+  const auto heap = run_campaign(sim::QueueBackend::kLegacyHeap, 1, 2, false);
+  EXPECT_EQ(wheel.report_json, heap.report_json);
+  EXPECT_EQ(wheel.metrics, heap.metrics);
+  EXPECT_FALSE(wheel.report_json.empty());
+}
+
+TEST(GoldenDeterminism, ThreadWidthChangesNothingOnEitherBackend) {
+  BackendGuard guard;
+  const auto wheel_serial = run_campaign(sim::QueueBackend::kTimingWheel, 1, 3, false);
+  const auto wheel_wide = run_campaign(sim::QueueBackend::kTimingWheel, 4, 3, false);
+  EXPECT_EQ(wheel_serial.report_json, wheel_wide.report_json);
+  EXPECT_EQ(wheel_serial.metrics, wheel_wide.metrics);
+
+  const auto heap_wide = run_campaign(sim::QueueBackend::kLegacyHeap, 4, 3, false);
+  EXPECT_EQ(wheel_serial.report_json, heap_wide.report_json);
+  EXPECT_EQ(wheel_serial.metrics, heap_wide.metrics);
+}
+
+TEST(GoldenDeterminism, FaultCampaignIsByteIdenticalAcrossBackends) {
+  BackendGuard guard;
+  const auto wheel = run_campaign(sim::QueueBackend::kTimingWheel, 2, 2, true);
+  const auto heap = run_campaign(sim::QueueBackend::kLegacyHeap, 2, 2, true);
+  EXPECT_EQ(wheel.report_json, heap.report_json);
+  EXPECT_EQ(wheel.metrics, heap.metrics);
+}
+
+}  // namespace
+}  // namespace topo

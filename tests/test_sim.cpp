@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/latency.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -16,8 +18,102 @@ TEST(EventQueue, OrdersByTimeThenInsertion) {
   q.push(2.0, [&] { order.push_back(3); });
   q.push(1.0, [&] { order.push_back(1); });
   q.push(1.0, [&] { order.push_back(2); });  // same time: insertion order
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().ev.fire();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, BothBackendsOrderIdentically) {
+  for (QueueBackend backend : {QueueBackend::kTimingWheel, QueueBackend::kLegacyHeap}) {
+    EventQueue q(backend);
+    EXPECT_EQ(q.backend(), backend);
+    std::vector<int> order;
+    q.push(2.0, [&] { order.push_back(3); });
+    q.push(1.0, [&] { order.push_back(1); });
+    q.push(1.0, [&] { order.push_back(2); });
+    // Beyond both wheel levels: exercises the overflow heap.
+    q.push(100000.0, [&] { order.push_back(5); });
+    q.push(30.0, [&] { order.push_back(4); });  // L1 horizon
+    while (!q.empty()) q.pop().ev.fire();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  }
+}
+
+TEST(EventQueue, DefaultBackendHookRoundTrips) {
+  const QueueBackend original = default_queue_backend();
+  set_default_queue_backend(QueueBackend::kLegacyHeap);
+  EXPECT_EQ(EventQueue().backend(), QueueBackend::kLegacyHeap);
+  set_default_queue_backend(QueueBackend::kTimingWheel);
+  EXPECT_EQ(EventQueue().backend(), QueueBackend::kTimingWheel);
+  set_default_queue_backend(original);
+}
+
+// Property test of the determinism contract: under randomized schedules —
+// equal-time bursts, far-future outliers, interleaved pops, same-bucket
+// re-pushes — the wheel pops the exact (time, seq) order the reference
+// binary heap does.
+TEST(EventQueue, WheelMatchesReferenceHeapUnderRandomBursts) {
+  util::Rng rng(99);
+  EventQueue wheel(QueueBackend::kTimingWheel);
+  EventQueue heap(QueueBackend::kLegacyHeap);
+  std::vector<int> wheel_order, heap_order;
+  int tag = 0;
+  double now = 0.0;
+
+  auto push_both = [&](double t) {
+    const int id = tag++;
+    wheel.push(t, [&wheel_order, id] { wheel_order.push_back(id); });
+    heap.push(t, [&heap_order, id] { heap_order.push_back(id); });
+  };
+  auto pop_both = [&] {
+    auto ws = wheel.pop();
+    auto hs = heap.pop();
+    ASSERT_DOUBLE_EQ(ws.t, hs.t);
+    now = std::max(now, ws.t);
+    ws.ev.fire();
+    hs.ev.fire();
+  };
+
+  for (int round = 0; round < 4000; ++round) {
+    const double r = rng.uniform();
+    if (r < 0.50) {
+      double dt = rng.uniform() * 3.0;  // within the L0/L1 horizon
+      if (rng.uniform() < 0.10) dt = rng.uniform() * 3000.0;      // L1 / shallow overflow
+      if (rng.uniform() < 0.05) dt = 7200.0 + rng.uniform() * 1e5;  // deep overflow
+      push_both(now + dt);
+    } else if (r < 0.72) {
+      // Equal-time burst: FIFO within the burst must survive bucketing.
+      const double burst_t = now + rng.uniform();
+      const size_t n = 1 + rng.index(8);
+      for (size_t i = 0; i < n; ++i) push_both(burst_t);
+    } else if (r < 0.80 && !wheel.empty()) {
+      // Same-time follow-up: push at exactly the next pop's timestamp,
+      // which lands in the bucket currently draining.
+      push_both(wheel.next_time());
+    } else if (!wheel.empty()) {
+      const size_t k = 1 + rng.index(4);
+      for (size_t i = 0; i < k && !wheel.empty(); ++i) pop_both();
+    }
+  }
+  ASSERT_EQ(wheel.size(), heap.size());
+  while (!wheel.empty()) pop_both();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(wheel_order, heap_order);
+}
+
+struct RecordingSink final : EventSink {
+  std::vector<uint64_t> seen;
+  void on_event(const Event& ev) override { seen.push_back(ev.payload); }
+};
+
+TEST(Simulator, TypedEventsDispatchThroughSink) {
+  RecordingSink sink;
+  Simulator sim;
+  sim.schedule_at(1.0, Event::typed(EventKind::kFetchTimeout, &sink, 0, 0, 11));
+  sim.schedule_after(2.0, Event::typed(EventKind::kFetchTimeout, &sink, 0, 0, 22));
+  sim.at(1.5, [&] { sink.seen.push_back(99); });  // closures interleave freely
+  sim.run();
+  EXPECT_EQ(sink.seen, (std::vector<uint64_t>{11, 99, 22}));
+  EXPECT_EQ(sim.processed(), 3u);
 }
 
 TEST(Simulator, RunExecutesAllAndAdvancesClock) {
