@@ -43,8 +43,15 @@ class FlatPriceIndex {
     std::push_heap(data_.begin(), data_.end(), std::greater<>{});
   }
 
+  /// Erases a live key. Precondition: `key` was inserted and not yet
+  /// erased. Unlike the std::set::erase this replaced, erasing an absent
+  /// key is NOT a no-op — it would underflow the live count and bury a
+  /// tombstone with no matching copy, silently corrupting eviction order.
+  /// Call sites must stay insert/erase-balanced per key; debug builds
+  /// assert membership so an unbalanced caller fails loudly.
   void erase(Key key) {
     assert(live_ > 0);
+    assert(contains_live(key) && "FlatPriceIndex::erase: key not live");
     --live_;
     if (!data_.empty() && data_.front() == key) {
       pop_data();
@@ -70,6 +77,16 @@ class FlatPriceIndex {
   }
 
  private:
+  /// Debug-only membership probe (O(n) scans; assert operand, so it never
+  /// runs in release builds): `key` is live iff its copies in data_
+  /// outnumber its tombstones in dead_.
+  bool contains_live(const Key& key) const {
+    const auto count = [&key](const std::vector<Key>& v) {
+      return std::count(v.begin(), v.end(), key);
+    };
+    return count(data_) > count(dead_);
+  }
+
   void pop_data() const {
     std::pop_heap(data_.begin(), data_.end(), std::greater<>{});
     data_.pop_back();

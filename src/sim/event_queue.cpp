@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstdlib>
 
 namespace topo::sim {
 
@@ -118,6 +119,23 @@ void EventQueue::cascade_l1(size_t l1_index) {
   }
 }
 
+void EventQueue::cascade_overflow_window(int64_t w_base) {
+  // Pops every overflow event whose window equals w_base — the window the
+  // wheel just advanced to — into L0. Anything farther stays in the heap;
+  // refill_due re-considers the overflow minimum on every window advance,
+  // so leaving it buried is safe.
+  while (!overflow_.empty() &&
+         (slot_of(overflow_.front().t) >> kL0Bits) == w_base) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    Slot slot = std::move(overflow_.back());
+    overflow_.pop_back();
+    const int64_t s = slot_of(slot.t);
+    const size_t idx = static_cast<size_t>(s) & (kL0Buckets - 1);
+    l0_[idx].push_back(std::move(slot));
+    l0_bits_[idx >> 6] |= uint64_t{1} << (idx & 63);
+  }
+}
+
 void EventQueue::drain_overflow_into_wheel() {
   assert(!overflow_.empty());
   // Jump the (fully drained) wheel to the overflow minimum, then pull in
@@ -174,8 +192,14 @@ void EventQueue::refill_due() {
       return;
     }
 
-    // 2. L0 exhausted: cascade the next occupied L1 bucket into a fresh L0
-    // window (one L1 bucket spans exactly one L0 rotation).
+    // 2. L0 exhausted: advance to the earliest upcoming window — the next
+    // occupied L1 bucket or the overflow minimum's window, whichever is
+    // sooner. The overflow MUST be a candidate here: as the wheel advances,
+    // events pushed beyond the L1 horizon come within it, and a later push
+    // landing in L1 would otherwise pop before an earlier overflow event.
+    // The overflow minimum's window is always strictly ahead of the current
+    // one (pushes beyond the horizon, and every window advance cascades the
+    // matching overflow events below), so step 1 needs no overflow check.
     const int64_t b0 = l0_base_ >> kL0Bits;
     int64_t next_w = -1;
     for (int64_t rel = 1; rel <= static_cast<int64_t>(kL1Buckets);) {
@@ -192,14 +216,32 @@ void EventQueue::refill_due() {
       }
       rel += 64 - static_cast<int64_t>(idx & 63);  // next word boundary
     }
-    if (next_w >= 0) {
+    const int64_t over_w =
+        overflow_.empty() ? -1 : slot_of(overflow_.front().t) >> kL0Bits;
+    if (next_w >= 0 && (over_w < 0 || next_w <= over_w)) {
       l0_base_ = next_w << kL0Bits;
       cur_slot_ = l0_base_ - 1;
       cascade_l1(static_cast<size_t>(next_w) & (kL1Buckets - 1));
+      if (over_w == next_w) cascade_overflow_window(next_w);
+      continue;
+    }
+    if (over_w >= 0 && next_w >= 0) {
+      // Overflow minimum lands before the next occupied L1 bucket. The
+      // jump is bounded (over_w < next_w <= old b0 + kL1Buckets), so the
+      // L1 ring's absolute-window indexing stays valid across it.
+      l0_base_ = over_w << kL0Bits;
+      cur_slot_ = l0_base_ - 1;
+      cascade_overflow_window(over_w);
       continue;
     }
 
-    // 3. Both wheel levels drained: cascade from the overflow heap.
+    // 3. Both wheel levels drained: cascade from the overflow heap. The
+    // loop has no other exit, so fail fast if the size_/ring bookkeeping is
+    // ever inconsistent instead of spinning or reading an empty heap (UB).
+    if (overflow_.empty()) {
+      assert(false && "EventQueue::refill_due: size_ > 0 but no events anywhere");
+      std::abort();
+    }
     drain_overflow_into_wheel();
   }
 }

@@ -106,6 +106,7 @@ class EventQueue {
   void refill_due();
   void reset_wheel_to(int64_t slot);
   void cascade_l1(size_t l1_index);
+  void cascade_overflow_window(int64_t w_base);
   void drain_overflow_into_wheel();
 
   QueueBackend backend_;

@@ -38,6 +38,27 @@ TEST(EventQueue, BothBackendsOrderIdentically) {
   }
 }
 
+// Directed regression: an event beyond the L1 horizon (overflow heap) must
+// still pop before a later event that lands in L1 only because the wheel
+// has advanced. Sequence (L0 window spans 2 s, L1 horizon ~1026 s):
+// t=0.001 (L0), t=1024.5 (L1), t=1251 (overflow); pop once so refill
+// jumps the wheel to the 1024.5 window; t=2000 now fits in L1. A refill
+// that advances to the next occupied L1 bucket without considering the
+// overflow minimum pops 2000 before 1251.
+TEST(EventQueue, OverflowPopsBeforeLaterL1PushAfterWheelAdvance) {
+  for (QueueBackend backend : {QueueBackend::kTimingWheel, QueueBackend::kLegacyHeap}) {
+    EventQueue q(backend);
+    std::vector<int> order;
+    q.push(0.001, [&] { order.push_back(1); });
+    q.push(1024.5, [&] { order.push_back(2); });
+    q.push(1251.0, [&] { order.push_back(3); });
+    q.pop().ev.fire();
+    q.push(2000.0, [&] { order.push_back(4); });
+    while (!q.empty()) q.pop().ev.fire();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  }
+}
+
 TEST(EventQueue, DefaultBackendHookRoundTrips) {
   const QueueBackend original = default_queue_backend();
   set_default_queue_backend(QueueBackend::kLegacyHeap);
@@ -91,6 +112,50 @@ TEST(EventQueue, WheelMatchesReferenceHeapUnderRandomBursts) {
       push_both(wheel.next_time());
     } else if (!wheel.empty()) {
       const size_t k = 1 + rng.index(4);
+      for (size_t i = 0; i < k && !wheel.empty(); ++i) pop_both();
+    }
+  }
+  ASSERT_EQ(wheel.size(), heap.size());
+  while (!wheel.empty()) pop_both();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(wheel_order, heap_order);
+}
+
+// Property test focused on the L1/overflow boundary (~1026 s out): delays
+// cluster around the horizon, so events keep migrating from the overflow
+// heap into L1 reach as pops advance the wheel while fresh pushes land in
+// L1 directly — the interleaving class the directed regression above pins
+// down, explored at random.
+TEST(EventQueue, WheelMatchesReferenceHeapAroundOverflowHorizon) {
+  util::Rng rng(7);
+  EventQueue wheel(QueueBackend::kTimingWheel);
+  EventQueue heap(QueueBackend::kLegacyHeap);
+  std::vector<int> wheel_order, heap_order;
+  int tag = 0;
+  double now = 0.0;
+
+  auto push_both = [&](double t) {
+    const int id = tag++;
+    wheel.push(t, [&wheel_order, id] { wheel_order.push_back(id); });
+    heap.push(t, [&heap_order, id] { heap_order.push_back(id); });
+  };
+  auto pop_both = [&] {
+    auto ws = wheel.pop();
+    auto hs = heap.pop();
+    ASSERT_DOUBLE_EQ(ws.t, hs.t);
+    now = std::max(now, ws.t);
+    ws.ev.fire();
+    hs.ev.fire();
+  };
+
+  for (int round = 0; round < 3000; ++round) {
+    const double r = rng.uniform();
+    if (r < 0.45) {
+      push_both(now + 800.0 + rng.uniform() * 600.0);  // straddles the horizon
+    } else if (r < 0.60) {
+      push_both(now + rng.uniform() * 2.0);  // near-term L0 filler
+    } else if (!wheel.empty()) {
+      const size_t k = 1 + rng.index(6);
       for (size_t i = 0; i < k && !wheel.empty(); ++i) pop_both();
     }
   }
