@@ -22,6 +22,8 @@
 #include "graph/cliques.h"
 #include "graph/generators.h"
 #include "graph/louvain.h"
+#include "obs/export.h"
+#include "obs/span.h"
 
 namespace topo::bench {
 
@@ -145,6 +147,7 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   const double fault_loss = cli.get_double("fault-loss", 0.0);
   const double fault_churn = cli.get_double("fault-churn", 0.0);
   const size_t retries = cli.get_uint("retries", 0);
+  const std::string trace_out = cli.get_string("trace-out", "");
 
   banner(cfg.name + " topology study", cfg.paper_reference);
   util::Rng rng(seed);
@@ -175,6 +178,7 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
 
   core::ScenarioOptions opt = scaled_options(seed);
   opt.block_gas_limit = 30 * eth::kTransferGas;
+  opt.trace_capacity = cli.get_uint("trace-capacity", opt.trace_capacity);
 
   // A scout replica reports the pre-processing picture (future-forwarders,
   // unresponsive nodes) before the sharded campaign fans out.
@@ -207,6 +211,7 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   copt.fault_plan.drop_get_tx = fault_loss;
   copt.fault_plan.churn_rate = fault_churn;
   copt.fault_plan.crash_fraction = 0.5;
+  copt.collect_spans = !trace_out.empty();
 
   const auto wall0 = std::chrono::steady_clock::now();
   const auto campaign = exec::run_sharded_campaign(truth, opt, mcfg, copt);
@@ -236,6 +241,19 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
     table.add_row({"pairs re-measured", util::fmt(report.fault->retried.size())});
   }
   table.print(std::cout);
+
+  if (!trace_out.empty()) {
+    const auto dropped = campaign.metrics.gauges.find("obs.trace.dropped");
+    if (dropped != campaign.metrics.gauges.end() && dropped->second > 0.0) {
+      std::cerr << "warning: trace ring dropped " << static_cast<uint64_t>(dropped->second)
+                << " events; raise --trace-capacity to keep them\n";
+    }
+    if (obs::write_json_file(trace_out, obs::spans_to_chrome_json(campaign.spans))) {
+      std::cout << "trace written to " << trace_out << "\n";
+    } else {
+      std::cerr << "failed to write " << trace_out << "\n";
+    }
+  }
 
   std::cout << "\nMeasured-graph statistics vs baselines (shape check):\n";
   graph::Graph measured_cc = report.measured;

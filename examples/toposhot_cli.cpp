@@ -14,6 +14,13 @@
 // (topo::fault), and --metrics-out=PATH to dump the metrics snapshot
 // (counters, gauges, probe-phase histograms) as JSON; pair accepts
 // --metrics-out too.
+//
+// Observability (measure and pair): --trace-out=PATH writes the causal span
+// export as Chrome trace-event JSON (load in Perfetto / chrome://tracing),
+// --trace-capacity=N sizes the bounded tx-event ring (overflow drops the
+// oldest events and is warned about once), and --diagnostics prints the
+// per-cause verdict breakdown and embeds the diagnostics annex in the
+// report (docs/TRACING.md).
 
 #include <fstream>
 #include <iostream>
@@ -25,6 +32,7 @@
 #include "exec/campaign.h"
 #include "fault/fault.h"
 #include "obs/export.h"
+#include "obs/span.h"
 #include "disc/emergence.h"
 #include "graph/centrality.h"
 #include "graph/io.h"
@@ -83,6 +91,41 @@ bool maybe_write_metrics(const util::Cli& cli, const obs::MetricsSnapshot& snaps
   return true;
 }
 
+/// Warns (once per run) when the bounded trace ring overflowed: the
+/// exported tx-event trace is then missing its oldest events, and
+/// --trace-capacity should be raised.
+void warn_if_trace_dropped(double dropped) {
+  static bool warned = false;
+  if (dropped > 0.0 && !warned) {
+    warned = true;
+    std::cerr << "warning: trace ring dropped " << static_cast<uint64_t>(dropped)
+              << " events (oldest first); raise --trace-capacity to keep them\n";
+  }
+}
+
+/// Writes the causal-span export as Chrome trace-event JSON when
+/// --trace-out was given; returns false only on I/O failure.
+bool maybe_write_trace(const util::Cli& cli, std::vector<obs::Span> spans) {
+  const std::string path = cli.get_string("trace-out", "");
+  if (path.empty()) return true;
+  if (!obs::write_json_file(path, obs::spans_to_chrome_json(std::move(spans)))) {
+    std::cerr << "failed to write " << path << "\n";
+    return false;
+  }
+  std::cout << "trace written to " << path << "\n";
+  return true;
+}
+
+/// Appends the per-cause verdict breakdown of the diagnostics annex.
+void add_diagnostics_rows(util::Table& table, const core::DiagnosticsReport& d) {
+  for (size_t c = 0; c < obs::kNumProbeCauses; ++c) {
+    if (d.causes[c] == 0 && d.cleared[c] == 0) continue;
+    const char* name = obs::probe_cause_name(static_cast<obs::ProbeCause>(c));
+    table.add_row({std::string("cause ") + name,
+                   util::fmt(d.causes[c]) + " (" + util::fmt(d.cleared[c]) + " cleared)"});
+  }
+}
+
 /// Builds the fault plan shared by both measure paths from --fault-loss
 /// (uniform message-drop probability) and --fault-churn (random node faults
 /// per sim second, half of them crash/restarts).
@@ -104,6 +147,8 @@ int mode_measure(const util::Cli& cli) {
   const size_t threads = cli.get_uint("threads", 1);
   const size_t shards = cli.get_uint("shards", 0);
   const size_t retries = cli.get_uint("retries", 0);
+  const bool diagnostics = cli.get_bool("diagnostics", false);
+  const bool tracing = !cli.get_string("trace-out", "").empty();
   const fault::FaultPlan plan = fault_plan_from(cli);
   util::Rng rng(seed);
   auto recipe = recipe_for(cli.get_string("recipe", "ropsten"), nodes);
@@ -112,6 +157,7 @@ int mode_measure(const util::Cli& cli) {
   core::ScenarioOptions opt;
   opt.seed = seed;
   opt.block_gas_limit = 30 * eth::kTransferGas;
+  opt.trace_capacity = cli.get_uint("trace-capacity", opt.trace_capacity);
 
   util::Table table({"Metric", "Value"});
   table.add_row({"nodes", util::fmt(truth.num_nodes())});
@@ -125,6 +171,7 @@ int mode_measure(const util::Cli& cli) {
         core::MeasureConfig::Builder(probe.default_measure_config())
             .repetitions(cli.get_uint("repetitions", 3))
             .inconclusive_retries(retries)
+            .collect_diagnostics(diagnostics)
             .build();
     exec::CampaignOptions copt;
     copt.group_k = group;
@@ -132,6 +179,7 @@ int mode_measure(const util::Cli& cli) {
     copt.shards = shards;
     copt.churn_rate = 3.0;
     copt.fault_plan = plan;
+    copt.collect_spans = tracing;
     const auto campaign = exec::run_sharded_campaign(truth, opt, mcfg, copt);
     const auto& report = campaign.report;
     const auto pr = core::compare_graphs(truth, report.measured);
@@ -151,8 +199,13 @@ int mode_measure(const util::Cli& cli) {
       table.add_row({"still inconclusive", util::fmt(report.fault->inconclusive)});
       table.add_row({"pairs re-measured", util::fmt(report.fault->retried.size())});
     }
+    if (report.diagnostics.has_value()) add_diagnostics_rows(table, *report.diagnostics);
     table.print(std::cout);
-    return maybe_write_metrics(cli, campaign.metrics) ? 0 : 1;
+    const auto dropped = campaign.metrics.gauges.find("obs.trace.dropped");
+    if (dropped != campaign.metrics.gauges.end()) warn_if_trace_dropped(dropped->second);
+    const bool ok = maybe_write_metrics(cli, campaign.metrics) &&
+                    maybe_write_trace(cli, campaign.spans);
+    return ok ? 0 : 1;
   }
 
   core::Scenario sc(truth, opt);
@@ -160,11 +213,14 @@ int mode_measure(const util::Cli& cli) {
   sc.seed_background();
   sc.start_churn(3.0);
   if (plan.enabled()) injector.install(sc.net(), &sc.metrics());
+  obs::SpanTracer tracer(0);
+  if (tracing) sc.set_span_tracer(&tracer);
 
   core::MeasurementSession session(
       sc, core::MeasureConfig::Builder(sc.default_measure_config())
               .repetitions(cli.get_uint("repetitions", 3))
               .inconclusive_retries(retries)
+              .collect_diagnostics(diagnostics)
               .build());
   const auto measured = session.network(group);
   const auto& report = measured.value;
@@ -183,8 +239,11 @@ int mode_measure(const util::Cli& cli) {
     table.add_row({"still inconclusive", util::fmt(report.fault->inconclusive)});
     table.add_row({"pairs re-measured", util::fmt(report.fault->retried.size())});
   }
+  if (report.diagnostics.has_value()) add_diagnostics_rows(table, *report.diagnostics);
   table.print(std::cout);
-  return maybe_write_metrics(cli, session) ? 0 : 1;
+  warn_if_trace_dropped(static_cast<double>(sc.metrics().trace().dropped()));
+  const bool ok = maybe_write_metrics(cli, session) && maybe_write_trace(cli, tracer.spans());
+  return ok ? 0 : 1;
 }
 
 int mode_analyze(const util::Cli& cli) {
@@ -230,8 +289,11 @@ int mode_pair(const util::Cli& cli) {
 
   core::ScenarioOptions opt;
   opt.seed = seed;
+  opt.trace_capacity = cli.get_uint("trace-capacity", opt.trace_capacity);
   core::Scenario sc(truth, opt);
   sc.seed_background();
+  obs::SpanTracer tracer(0);
+  if (!cli.get_string("trace-out", "").empty()) sc.set_span_tracer(&tracer);
   core::MeasurementSession session(sc);
   const auto measured = session.one_link(sc.targets()[a], sc.targets()[b]);
   const auto& r = measured.value;
@@ -243,8 +305,12 @@ int mode_pair(const util::Cli& cli) {
                                           : "not linked")
             << ")\n"
             << "  txC evicted on A/B: " << r.txc_evicted_on_a << "/" << r.txc_evicted_on_b
-            << ", txA planted: " << r.txa_planted_on_a << ", txs sent: " << r.txs_sent << "\n";
-  return maybe_write_metrics(cli, session) ? 0 : 1;
+            << ", txA planted: " << r.txa_planted_on_a << ", txs sent: " << r.txs_sent
+            << ", verdict: " << obs::span_verdict_name(core::span_verdict_code(r.verdict))
+            << ", cause: " << obs::probe_cause_name(r.cause) << "\n";
+  warn_if_trace_dropped(static_cast<double>(sc.metrics().trace().dropped()));
+  const bool ok = maybe_write_metrics(cli, session) && maybe_write_trace(cli, tracer.spans());
+  return ok ? 0 : 1;
 }
 
 int mode_export(const util::Cli& cli) {
@@ -284,7 +350,10 @@ int main(int argc, char** argv) {
                "--metrics-out=PATH\n"
                "           --fault-loss=P --fault-churn=RATE --retries=R "
                "(deterministic fault injection + re-measurement)\n"
-               "  pair:    --a=I --b=J --metrics-out=PATH\n"
+               "           --trace-out=PATH --trace-capacity=N --diagnostics "
+               "(causal spans + per-cause verdict breakdown)\n"
+               "  pair:    --a=I --b=J --metrics-out=PATH --trace-out=PATH "
+               "--trace-capacity=N\n"
                "  export:  --out=PATH\n";
   return mode == "help" ? 0 : 2;
 }

@@ -37,10 +37,18 @@ def load_results(path):
     The sweep metrics ride in the items_per_second field — compare only
     needs "bigger is better", and the sims are deterministic, so any drift
     beyond the band signals a behavior change, not noise.
+
+    Sweep documents may also carry an "event_mix" object (per-kind simulator
+    dispatch counts). Those become "event_mix/<kind>" entries and are gated
+    TWO-SIDED at compare time: the sims are deterministic, so the event mix
+    moving in either direction means the hot path's behavior changed (e.g.
+    an event kind silently disappearing after a queue rewrite).
     """
     with open(path) as f:
         doc = json.load(f)
     out = {}
+    for kind, count in doc.get("event_mix", {}).items():
+        out[f"event_mix/{kind}"] = {"items_per_second": float(count), "real_time_ns": 0.0}
     if "benchmarks" in doc:
         for b in doc["benchmarks"]:
             if b.get("run_type") == "aggregate":
@@ -64,9 +72,14 @@ def load_results(path):
         for r in doc["rows"]:
             out[f"k={r['k']}"] = {"items_per_second": float(r["speedup"]),
                                   "real_time_ns": float(r["sim_time"]) * 1e9}
-    else:
+    elif not out:
         sys.exit(f"error: {path} is neither gbench JSON nor a known sweep artifact")
     return out
+
+
+def two_sided(name):
+    """Event-mix entries are gated in both directions; see load_results."""
+    return name.startswith("event_mix/")
 
 
 def load_baseline(path):
@@ -126,7 +139,17 @@ def cmd_compare(args):
             floor = base["items_per_second"] * (1.0 - tolerance)
             ratio = (cur["items_per_second"] / base["items_per_second"]
                      if base["items_per_second"] > 0 else 1.0)
-            status = "ok" if cur["items_per_second"] >= floor else "REGRESSED"
+            if two_sided(name):
+                ceiling = base["items_per_second"] * (1.0 + tolerance)
+                if base["items_per_second"] > 0:
+                    ok = floor <= cur["items_per_second"] <= ceiling
+                else:
+                    # A kind the baseline never dispatched appearing at all
+                    # is a behavior change, not jitter.
+                    ok = cur["items_per_second"] == 0
+                status = "ok" if ok else "DRIFTED"
+            else:
+                status = "ok" if cur["items_per_second"] >= floor else "REGRESSED"
             print(f"  {status:<9} {suite}/{name}: {ratio:.2f}x of baseline "
                   f"({cur['items_per_second']:.3g} vs {base['items_per_second']:.3g} items/s)")
             if status != "ok":
@@ -134,7 +157,7 @@ def cmd_compare(args):
     if checked == 0:
         sys.exit("error: no benchmarks matched the baseline — wrong suite labels?")
     if regressions:
-        print(f"\n{len(regressions)} regression(s) beyond the {tolerance:.0%} tolerance band:")
+        print(f"\n{len(regressions)} result(s) outside the {tolerance:.0%} tolerance band:")
         for r in regressions:
             print(f"  {r}")
         return 1

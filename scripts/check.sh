@@ -18,15 +18,36 @@ run_pass() {
 echo "== pass 1: -Wall -Wextra -Werror =="
 run_pass build-strict -DCMAKE_CXX_FLAGS=-Werror
 
+echo "== pass 1b: trace-export sanity (Perfetto-loadable JSON) =="
+# Drive a traced measurement through the CLI and verify the artifact is
+# valid Chrome trace-event JSON with the expected envelope — the cheapest
+# end-to-end check that the span layer stays wired through the drivers.
+./build-strict/examples/example_toposhot_cli --mode=pair --nodes=12 --a=0 --b=1 \
+  --trace-out=build-strict/pair_trace.json --trace-capacity=8192 > /dev/null
+python3 - build-strict/pair_trace.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["displayTimeUnit"] == "ms", "bad displayTimeUnit"
+events = doc["traceEvents"]
+assert events, "empty trace"
+for e in events:
+    assert e["ph"] == "X" and "ts" in e and "dur" in e and "args" in e, e
+assert any(e["name"].startswith("pair ") for e in events), "no pair span"
+print(f"trace sanity: {len(events)} events OK")
+EOF
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== pass 2: AddressSanitizer + UBSan =="
   run_pass build-asan -DCMAKE_BUILD_TYPE=Asan
   # The fault-injection layer exercises hook/teardown paths (injector
   # outliving scheduled sim callbacks, node restarts mid-flight) that only
   # ASan can vouch for; pin its suite explicitly so a filter change in the
-  # main run can never silently drop it.
-  echo "== pass 3: fault-injection suite under ASan (focused) =="
-  ./build-asan/tests/toposhot_tests --gtest_filter='Fault*'
+  # main run can never silently drop it. The tracing/diagnostics suites ride
+  # along: span open/close bookkeeping and the ring-walk visit() are exactly
+  # the kind of index arithmetic ASan exists for.
+  echo "== pass 3: fault-injection + tracing suites under ASan (focused) =="
+  ./build-asan/tests/toposhot_tests \
+    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*'
 fi
 
 echo "All checks passed."

@@ -64,6 +64,42 @@ def main():
         r = run("compare", baseline, f"micro={regressed}", "--tolerance", "0.5")
         assert r.returncode == 0, "explicit wide band should pass"
 
+        # Event-mix gating is two-sided: counts moving UP beyond the band
+        # fail too (a speedup in dispatch volume still means the simulated
+        # behavior changed).
+        def sweep_json(path, deliver_tx):
+            doc = {"cells": [{"loss": 0.0, "retries": 0, "recall": 1.0,
+                              "precision": 1.0, "attempts": 1, "inconclusive": 0,
+                              "remeasured": 0}],
+                   "event_mix": {"deliver_tx": deliver_tx, "mine_tick": 0}}
+            with open(path, "w") as f:
+                json.dump(doc, f)
+
+        sweep_base = os.path.join(d, "sweep.json")
+        sweep_json(sweep_base, 1000.0)
+        r = run("normalize", f"sweep={sweep_base}", "-o", baseline, "--tolerance", "0.10")
+        assert r.returncode == 0, f"sweep normalize failed: {r.stderr}"
+        r = run("compare", baseline, f"sweep={sweep_base}")
+        assert r.returncode == 0, f"identical sweep should pass: {r.stdout}{r.stderr}"
+
+        drifted_up = os.path.join(d, "drift_up.json")
+        sweep_json(drifted_up, 1200.0)  # +20% with a 10% band
+        r = run("compare", baseline, f"sweep={drifted_up}")
+        assert r.returncode != 0, "upward event-mix drift must fail the gate"
+        assert "DRIFTED" in r.stdout and "event_mix/deliver_tx" in r.stdout, r.stdout
+
+        # A kind the baseline never dispatched appearing at all is a drift.
+        new_kind = os.path.join(d, "new_kind.json")
+        sweep_json(new_kind, 1000.0)
+        with open(new_kind) as f:
+            doc = json.load(f)
+        doc["event_mix"]["mine_tick"] = 5.0
+        with open(new_kind, "w") as f:
+            json.dump(doc, f)
+        r = run("compare", baseline, f"sweep={new_kind}")
+        assert r.returncode != 0, "a newly appearing event kind must fail the gate"
+        assert "event_mix/mine_tick" in r.stdout, r.stdout
+
     print("bench_compare self-test: OK")
 
 

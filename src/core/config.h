@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 
 #include "eth/transaction.h"
@@ -21,6 +22,17 @@ enum class Verdict {
   kNegative,      ///< preconditions held, txA refuted
   kInconclusive,  ///< probe preconditions failed; nothing was learned
 };
+
+/// obs::Span verdict code of a Verdict (obs stays independent of this enum;
+/// 0 is reserved there for "no verdict" on structural spans).
+inline uint8_t span_verdict_code(Verdict v) {
+  switch (v) {
+    case Verdict::kConnected: return 1;
+    case Verdict::kNegative: return 2;
+    case Verdict::kInconclusive: return 3;
+  }
+  return 0;
+}
 
 /// Parameters of the measureOneLink primitive (paper §5.2) plus the pacing
 /// knobs our event simulation makes explicit.
@@ -77,6 +89,13 @@ struct MeasureConfig {
   /// a tenth of it). Appendix E: the pool compares max fees, so the ladder
   /// semantics are unchanged as long as prices stay above the base fee.
   bool eip1559 = false;
+
+  /// Collect the per-pair diagnostics annex: network-level drivers tally
+  /// every pair's final ProbeCause (and what each retry round cleared) into
+  /// NetworkMeasurementReport::diagnostics. Off by default so reports stay
+  /// byte-identical to pre-diagnostics builds; collection never perturbs
+  /// the measurement trajectory, only what is reported about it.
+  bool collect_diagnostics = false;
 
   /// Strict isolation check: a positive requires that M received txA from
   /// the sink and from *no other* peer — any other reception proves a node
@@ -160,6 +179,7 @@ class MeasureConfig::Builder {
   Builder& detect_wait(double v) { cfg_.detect_wait = v; return *this; }
   Builder& repetitions(size_t v) { cfg_.repetitions = v; return *this; }
   Builder& inconclusive_retries(size_t v) { cfg_.inconclusive_retries = v; return *this; }
+  Builder& collect_diagnostics(bool v) { cfg_.collect_diagnostics = v; return *this; }
   Builder& eip1559(bool v) { cfg_.eip1559 = v; return *this; }
   Builder& strict_isolation_check(bool v) { cfg_.strict_isolation_check = v; return *this; }
 

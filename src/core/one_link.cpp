@@ -36,6 +36,14 @@ std::vector<eth::Transaction> OneLinkMeasurement::make_flood(const MeasureConfig
 }
 
 OneLinkResult OneLinkMeasurement::measure(p2p::PeerId a, p2p::PeerId b) {
+  auto& sim = net_.simulator();
+  uint64_t pair_span = 0;
+  uint64_t prev_scope = 0;
+  if (tracer_ != nullptr) {
+    pair_span = tracer_->open_pair(sim.now(), a, b);
+    prev_scope = tracer_->set_scope(pair_span);
+  }
+
   OneLinkResult final_result;
   uint32_t attempts = 0;
   for (size_t rep = 0; rep < std::max<size_t>(1, config_.repetitions); ++rep) {
@@ -48,7 +56,10 @@ OneLinkResult OneLinkMeasurement::measure(p2p::PeerId a, p2p::PeerId b) {
       // Union of positives (§5.2.3 passive recall booster); keep the latest
       // diagnostics otherwise.
       r.connected = r.connected || final_result.connected;
-      if (r.connected) r.verdict = Verdict::kConnected;
+      if (r.connected) {
+        r.verdict = Verdict::kConnected;
+        r.cause = obs::ProbeCause::kNone;
+      }
       r.started_at = final_result.started_at;
       r.txs_sent += final_result.txs_sent;
       final_result = r;
@@ -74,6 +85,11 @@ OneLinkResult OneLinkMeasurement::measure(p2p::PeerId a, p2p::PeerId b) {
 
   final_result.attempts = attempts;
   final_result.remeasured = remeasured;
+  if (tracer_ != nullptr) {
+    tracer_->close_pair(pair_span, sim.now(), span_verdict_code(final_result.verdict),
+                        final_result.cause);
+    tracer_->set_scope(prev_scope);
+  }
   return final_result;
 }
 
@@ -95,42 +111,60 @@ OneLinkResult OneLinkMeasurement::measure_once(p2p::PeerId a, p2p::PeerId b) {
   const eth::Nonce nonce_c = accounts_.allocate_nonce(acct_c);
   const eth::Transaction tx_c = craft_tx(factory_, cfg, acct_c, nonce_c, cfg.price_txC());
   result.txc_hash = tx_c.hash();
+  const uint64_t span_txc =
+      tracer_ != nullptr ? tracer_->open_auto(obs::SpanKind::kPlantTxC, sim.now(), a, b) : 0;
   m_.send_to(a, tx_c);
   {
     obs::ScopedPhase phase = timer.phase(obs_.wait_seconds);
     sim.run_until(sim.now() + cfg.wait_X);
   }
+  if (tracer_ != nullptr) tracer_->close(span_txc, sim.now());
 
   // Step 2: evict txC on B with the future flood, wait out the deferred
   // queue truncation, then plant txB (same sender+nonce as txC).
   const auto flood = make_flood(cfg);
   {
     obs::ScopedPhase phase = timer.phase(obs_.flood_seconds);
+    const uint64_t span =
+        tracer_ != nullptr ? tracer_->open_auto(obs::SpanKind::kEvictFlood, sim.now(), b, 0) : 0;
     m_.send_batch_to(b, flood);
     sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+    if (tracer_ != nullptr) tracer_->close(span, sim.now());
   }
   const eth::Transaction tx_b = craft_tx(factory_, cfg, acct_c, nonce_c, cfg.price_txB());
   result.txb_hash = tx_b.hash();
   {
     obs::ScopedPhase phase = timer.phase(obs_.plant_seconds);
+    const uint64_t span =
+        tracer_ != nullptr ? tracer_->open_auto(obs::SpanKind::kPlantProbes, sim.now(), b, 0) : 0;
     m_.send_to(b, tx_b);
     sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+    if (tracer_ != nullptr) tracer_->close(span, sim.now());
   }
 
   // Step 3: the same on A, then plant txA.
   {
     obs::ScopedPhase phase = timer.phase(obs_.flood_seconds);
+    const uint64_t span =
+        tracer_ != nullptr ? tracer_->open_auto(obs::SpanKind::kEvictFlood, sim.now(), a, 0) : 0;
     m_.send_batch_to(a, flood);
     sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+    if (tracer_ != nullptr) tracer_->close(span, sim.now());
   }
   const eth::Transaction tx_a = craft_tx(factory_, cfg, acct_c, nonce_c, cfg.price_txA());
   result.txa_hash = tx_a.hash();
+  const uint64_t span_txa =
+      tracer_ != nullptr ? tracer_->open_auto(obs::SpanKind::kPlantProbes, sim.now(), a, 0) : 0;
   const double txa_sent_at = m_.send_to(a, tx_a);
+  if (tracer_ != nullptr) tracer_->close(span_txa, sim.now());
 
   // Step 4: wait for propagation, then check arrival of txA from B.
   {
     obs::ScopedPhase phase = timer.phase(obs_.detect_seconds);
+    const uint64_t span =
+        tracer_ != nullptr ? tracer_->open_auto(obs::SpanKind::kObserve, sim.now(), a, b) : 0;
     sim.run_until(sim.now() + cfg.detect_wait);
+    if (tracer_ != nullptr) tracer_->close(span, sim.now());
   }
   result.connected =
       cfg.strict_isolation_check
@@ -146,13 +180,26 @@ OneLinkResult OneLinkMeasurement::measure_once(p2p::PeerId a, p2p::PeerId b) {
 
   // Verdict classification: a negative only counts when the probe state
   // actually existed — txA on A, the payload on B, txC evicted on B.
-  // Anything else means the probe never ran to completion (inconclusive).
+  // Anything else means the probe never ran to completion (inconclusive),
+  // and the cause names the earliest broken protocol step (offline nodes
+  // first: a crashed endpoint explains every downstream failure).
   if (result.connected) {
     result.verdict = Verdict::kConnected;
+    result.cause = obs::ProbeCause::kNone;
   } else if (!result.txa_planted_on_a || !result.txb_planted_on_b || !result.txc_evicted_on_b) {
     result.verdict = Verdict::kInconclusive;
+    if (net_.node(a).unresponsive() || net_.node(b).unresponsive()) {
+      result.cause = obs::ProbeCause::kNodeOffline;
+    } else if (!result.txc_evicted_on_b) {
+      result.cause = obs::ProbeCause::kTxCNotEvicted;
+    } else if (!result.txb_planted_on_b) {
+      result.cause = obs::ProbeCause::kPayloadNotPlanted;
+    } else {
+      result.cause = obs::ProbeCause::kTxANotPlanted;
+    }
   } else {
     result.verdict = Verdict::kNegative;
+    result.cause = obs::ProbeCause::kTxANeverReturned;
   }
   if (obs_.enabled()) {
     (result.verdict == Verdict::kConnected

@@ -5,6 +5,7 @@
 #include "core/probe_obs.h"
 #include "eth/account.h"
 #include "eth/transaction.h"
+#include "obs/span.h"
 #include "p2p/measurement_node.h"
 #include "p2p/network.h"
 
@@ -19,6 +20,11 @@ struct OneLinkResult {
   /// positive). Inconclusive = the probe preconditions below failed, so
   /// txA was neither observed nor refuted.
   Verdict verdict = Verdict::kNegative;
+
+  /// Which step of the probe's causal chain broke on the final attempt
+  /// (kNone when connected; kTxANeverReturned on a clean negative). The
+  /// machine-readable explanation behind the verdict.
+  obs::ProbeCause cause = obs::ProbeCause::kNone;
 
   /// measure_once passes taken (repetitions + inconclusive retries).
   uint32_t attempts = 0;
@@ -71,6 +77,12 @@ class OneLinkMeasurement {
     obs_ = reg != nullptr ? ProbeObs::wire(*reg) : ProbeObs{};
   }
 
+  /// Attaches a causal span tracer (null disables): each measure() call
+  /// records one kPair span with nested per-phase spans. The tracer must
+  /// outlive the measurement.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+  obs::SpanTracer* tracer() const { return tracer_; }
+
   const MeasureConfig& config() const { return config_; }
   MeasureConfig& config() { return config_; }
 
@@ -87,6 +99,7 @@ class OneLinkMeasurement {
   MeasureConfig config_;
   CostTracker* cost_ = nullptr;
   ProbeObs obs_;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace topo::core

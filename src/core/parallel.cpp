@@ -38,6 +38,7 @@ ParallelResult ParallelMeasurement::measure(const std::vector<p2p::PeerId>& sour
       result.connected[i] = result.connected[i] || next.connected[i];
       result.txa_planted[i] = result.txa_planted[i] || next.txa_planted[i];
       result.verdicts[i] = result.connected[i] ? Verdict::kConnected : next.verdicts[i];
+      result.causes[i] = result.connected[i] ? obs::ProbeCause::kNone : next.causes[i];
       ++result.attempts[i];
     }
     result.finished_at = next.finished_at;
@@ -65,6 +66,7 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
   result.txa_planted.assign(r, false);
   result.verdicts.assign(r, Verdict::kNegative);
   result.attempts.assign(r, 1);
+  result.causes.assign(r, obs::ProbeCause::kNone);
   if (r == 0) return result;
   const obs::PhaseTimer timer([&sim] { return sim.now(); });
   if (obs_.enabled()) obs_.parallel_runs->inc();
@@ -89,7 +91,11 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
   }
   {
     obs::ScopedPhase phase = timer.phase(obs_.wait_seconds);
+    const uint64_t span = tracer_ != nullptr
+                              ? tracer_->open_auto(obs::SpanKind::kPlantTxC, sim.now(), r, 0)
+                              : 0;
     sim.run_until(m_.send_backlog_until() + cfg.wait_X);
+    if (tracer_ != nullptr) tracer_->close(span, sim.now());
   }
 
   const auto flood = make_flood(cfg, cfg.flood_Z);
@@ -103,6 +109,10 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
   for (size_t l = 0; l < sinks.size(); ++l) {
     {
       obs::ScopedPhase phase = timer.phase(obs_.flood_seconds);
+      const uint64_t span =
+          tracer_ != nullptr
+              ? tracer_->open_auto(obs::SpanKind::kEvictFlood, sim.now(), sinks[l], 0)
+              : 0;
       const size_t z = flood_z_for(sinks[l], cfg);
       if (z > flood.size()) {
         const auto big = make_flood(cfg, z);
@@ -111,12 +121,18 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
         m_.send_batch_to(sinks[l], flood);
       }
       sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+      if (tracer_ != nullptr) tracer_->close(span, sim.now());
     }
     obs::ScopedPhase phase = timer.phase(obs_.plant_seconds);
+    const uint64_t span =
+        tracer_ != nullptr
+            ? tracer_->open_auto(obs::SpanKind::kPlantProbes, sim.now(), sinks[l], 0)
+            : 0;
     for (size_t i = 0; i < r; ++i) {
       m_.send_to(sinks[l], edges[i].sink == l ? tx_b[i] : tx_c[i]);
     }
     sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+    if (tracer_ != nullptr) tracer_->close(span, sim.now());
   }
 
   // Source phase: strictly one source at a time (see header note).
@@ -124,6 +140,10 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
   for (size_t k = 0; k < sources.size(); ++k) {
     {
       obs::ScopedPhase phase = timer.phase(obs_.flood_seconds);
+      const uint64_t span =
+          tracer_ != nullptr
+              ? tracer_->open_auto(obs::SpanKind::kEvictFlood, sim.now(), sources[k], 0)
+              : 0;
       const size_t z = flood_z_for(sources[k], cfg);
       if (z > flood.size()) {
         const auto big = make_flood(cfg, z);
@@ -132,8 +152,13 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
         m_.send_batch_to(sources[k], flood);
       }
       sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+      if (tracer_ != nullptr) tracer_->close(span, sim.now());
     }
     obs::ScopedPhase phase = timer.phase(obs_.plant_seconds);
+    const uint64_t span =
+        tracer_ != nullptr
+            ? tracer_->open_auto(obs::SpanKind::kPlantProbes, sim.now(), sources[k], 0)
+            : 0;
     for (size_t i = 0; i < r; ++i) {
       if (edges[i].source != k) m_.send_to(sources[k], tx_c[i]);
     }
@@ -143,12 +168,17 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
     // Let this source's txA settle (and propagate) before touching the next
     // source, so other sources still hold txC_i when txA_i arrives.
     sim.run_until(m_.send_backlog_until() + cfg.post_flood_gap);
+    if (tracer_ != nullptr) tracer_->close(span, sim.now());
   }
 
   // p4: detect.
   {
     obs::ScopedPhase phase = timer.phase(obs_.detect_seconds);
+    const uint64_t span = tracer_ != nullptr
+                              ? tracer_->open_auto(obs::SpanKind::kObserve, sim.now(), r, 0)
+                              : 0;
     sim.run_until(sim.now() + cfg.detect_wait);
+    if (tracer_ != nullptr) tracer_->close(span, sim.now());
   }
   for (size_t i = 0; i < r; ++i) {
     result.connected[i] =
@@ -165,10 +195,24 @@ ParallelResult ParallelMeasurement::measure_once(const std::vector<p2p::PeerId>&
     const bool txc_evicted_on_sink = !sink_pool.contains(tx_c[i].hash());
     if (result.connected[i]) {
       result.verdicts[i] = Verdict::kConnected;
+      result.causes[i] = obs::ProbeCause::kNone;
     } else if (!result.txa_planted[i] || !payload_on_sink || !txc_evicted_on_sink) {
       result.verdicts[i] = Verdict::kInconclusive;
+      // Earliest broken protocol step wins; an offline endpoint explains
+      // every downstream failure, so it is checked first.
+      if (net_.node(sources[edges[i].source]).unresponsive() ||
+          net_.node(sinks[edges[i].sink]).unresponsive()) {
+        result.causes[i] = obs::ProbeCause::kNodeOffline;
+      } else if (!txc_evicted_on_sink) {
+        result.causes[i] = obs::ProbeCause::kTxCNotEvicted;
+      } else if (!payload_on_sink) {
+        result.causes[i] = obs::ProbeCause::kPayloadNotPlanted;
+      } else {
+        result.causes[i] = obs::ProbeCause::kTxANotPlanted;
+      }
     } else {
       result.verdicts[i] = Verdict::kNegative;
+      result.causes[i] = obs::ProbeCause::kTxANeverReturned;
     }
     if (obs_.enabled()) {
       (result.verdicts[i] == Verdict::kConnected

@@ -8,6 +8,7 @@
 #include "core/probe_obs.h"
 #include "eth/account.h"
 #include "eth/transaction.h"
+#include "obs/span.h"
 #include "p2p/measurement_node.h"
 #include "p2p/network.h"
 
@@ -25,6 +26,11 @@ struct ParallelResult {
   std::vector<bool> txa_planted;  ///< per edge: txA confirmed on its source
   std::vector<Verdict> verdicts;  ///< per edge: outcome class of the last attempt
   std::vector<uint32_t> attempts;  ///< per edge: measure_once passes covering it
+
+  /// Per edge: which step of the probe's causal chain broke on the last
+  /// attempt (kNone when connected; kTxANeverReturned on a clean negative).
+  std::vector<obs::ProbeCause> causes;
+
   double started_at = 0.0;
   double finished_at = 0.0;
   uint64_t txs_sent = 0;
@@ -70,6 +76,18 @@ class ParallelMeasurement {
     obs_ = reg != nullptr ? ProbeObs::wire(*reg) : ProbeObs{};
   }
 
+  /// Attaches a causal span tracer (null disables): every measure() call
+  /// records the per-phase protocol spans under the tracer's current scope.
+  /// Pair-level spans are the caller's job (core::run_batch opens them per
+  /// edge), since only the caller knows the edge→pair-index mapping. The
+  /// tracer must outlive the measurement.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+  obs::SpanTracer* tracer() const { return tracer_; }
+
+  /// Current simulation time — lets network-level drivers timestamp their
+  /// own spans without reaching into the network themselves.
+  double now() const { return net_.simulator().now(); }
+
   const MeasureConfig& config() const { return config_; }
   MeasureConfig& config() { return config_; }
 
@@ -94,6 +112,7 @@ class ParallelMeasurement {
   MeasureConfig config_;
   CostTracker* cost_ = nullptr;
   ProbeObs obs_;
+  obs::SpanTracer* tracer_ = nullptr;
   std::unordered_map<p2p::PeerId, size_t> flood_overrides_;
 };
 

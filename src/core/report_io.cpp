@@ -61,6 +61,30 @@ Json fault_to_json(const FaultReport& f) {
   });
 }
 
+/// Cause-keyed object of a per-cause tally array ({"none": n, ...}, every
+/// cause name present so consumers never probe for missing keys).
+Json causes_to_json(const std::array<uint64_t, obs::kNumProbeCauses>& tallies) {
+  JsonObject obj;
+  for (size_t c = 0; c < obs::kNumProbeCauses; ++c) {
+    obj.emplace(obs::probe_cause_name(static_cast<obs::ProbeCause>(c)), Json(tallies[c]));
+  }
+  return Json(std::move(obj));
+}
+
+Json diagnostics_to_json(const DiagnosticsReport& d) {
+  JsonArray inconclusive;
+  for (const PairDiagnostic& p : d.inconclusive) {
+    inconclusive.push_back(Json(JsonArray{Json(static_cast<uint64_t>(p.u)),
+                                          Json(static_cast<uint64_t>(p.v)),
+                                          Json(obs::probe_cause_name(p.cause))}));
+  }
+  return Json(JsonObject{
+      {"causes", causes_to_json(d.causes)},
+      {"cleared", causes_to_json(d.cleared)},
+      {"inconclusive", Json(std::move(inconclusive))},
+  });
+}
+
 }  // namespace
 
 Json report_to_json(const NetworkMeasurementReport& report) {
@@ -73,8 +97,11 @@ Json report_to_json(const NetworkMeasurementReport& report) {
       {"txs_sent", Json(report.txs_sent)},
   };
   // Emitted only when present, so unfaulted reports stay byte-identical to
-  // pre-fault builds.
+  // pre-fault builds. Same policy for the diagnostics annex.
   if (report.fault.has_value()) obj.emplace("fault", fault_to_json(*report.fault));
+  if (report.diagnostics.has_value()) {
+    obj.emplace("diagnostics", diagnostics_to_json(*report.diagnostics));
+  }
   return Json(std::move(obj));
 }
 
@@ -127,6 +154,40 @@ std::optional<FaultReport> fault_from_json(const Json& j) {
   return f;
 }
 
+/// Strict read of a cause-keyed tally object: exactly one non-negative
+/// numeric entry per known cause name, nothing else.
+bool causes_from_json(const Json& j, std::array<uint64_t, obs::kNumProbeCauses>& out) {
+  if (!j.is_object() || j.as_object().size() != obs::kNumProbeCauses) return false;
+  for (size_t c = 0; c < obs::kNumProbeCauses; ++c) {
+    double v = 0.0;
+    if (!read_count(j, obs::probe_cause_name(static_cast<obs::ProbeCause>(c)), v)) return false;
+    out[c] = static_cast<uint64_t>(v);
+  }
+  return true;
+}
+
+/// Strict parse of the optional diagnostics annex; any malformed member
+/// (including an unknown cause name) rejects the whole document.
+std::optional<DiagnosticsReport> diagnostics_from_json(const Json& j) {
+  if (!j.is_object()) return std::nullopt;
+  DiagnosticsReport d;
+  if (!causes_from_json(j["causes"], d.causes) || !causes_from_json(j["cleared"], d.cleared) ||
+      !j["inconclusive"].is_array()) {
+    return std::nullopt;
+  }
+  for (const auto& e : j["inconclusive"].as_array()) {
+    if (!e.is_array() || e.as_array().size() != 3 || !e[size_t{0}].is_number() ||
+        !e[size_t{1}].is_number() || !e[size_t{2}].is_string()) {
+      return std::nullopt;
+    }
+    obs::ProbeCause cause = obs::ProbeCause::kNone;
+    if (!obs::probe_cause_from_name(e[size_t{2}].as_string(), cause)) return std::nullopt;
+    d.inconclusive.push_back({static_cast<size_t>(e[size_t{0}].as_number()),
+                              static_cast<size_t>(e[size_t{1}].as_number()), cause});
+  }
+  return d;
+}
+
 }  // namespace
 
 std::optional<NetworkMeasurementReport> report_from_json(const Json& j) {
@@ -151,6 +212,11 @@ std::optional<NetworkMeasurementReport> report_from_json(const Json& j) {
     auto f = fault_from_json(j["fault"]);
     if (!f) return std::nullopt;
     report.fault = std::move(*f);
+  }
+  if (!j["diagnostics"].is_null()) {
+    auto d = diagnostics_from_json(j["diagnostics"]);
+    if (!d) return std::nullopt;
+    report.diagnostics = std::move(*d);
   }
   return report;
 }

@@ -84,13 +84,35 @@ std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budg
 }
 
 void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
-               const MeasurementBatch& batch, NetworkMeasurementReport& report,
+               const MeasurementBatch& batch, size_t batch_id,
+               NetworkMeasurementReport& report,
                std::vector<RetriedPair>* inconclusive) {
   std::vector<p2p::PeerId> sources, sinks;
   sources.reserve(batch.sources.size());
   sinks.reserve(batch.sinks.size());
   for (size_t s : batch.sources) sources.push_back(targets[s]);
   for (size_t t : batch.sinks) sinks.push_back(targets[t]);
+
+  // Batch + pair spans carry stable structural ids keyed to (shard,
+  // batch_id, edge index), so the export never depends on which worker ran
+  // the batch or when. Pair spans cover the whole batch interval: the
+  // parallel primitive measures every edge in one pass.
+  obs::SpanTracer* tracer = par.tracer();
+  uint64_t batch_span = 0;
+  uint64_t prev_scope = 0;
+  std::vector<uint64_t> pair_spans;
+  if (tracer != nullptr) {
+    tracer->set_batch(batch_id);
+    batch_span = tracer->open(obs::SpanKind::kBatch, par.now(),
+                              obs::batch_span_id(tracer->shard(), batch_id), tracer->scope(),
+                              batch_id, batch.edges.size());
+    prev_scope = tracer->set_scope(batch_span);
+    pair_spans.reserve(batch.edges.size());
+    for (size_t i = 0; i < batch.edges.size(); ++i) {
+      pair_spans.push_back(
+          tracer->open_pair_at(i, par.now(), batch.pairs[i].first, batch.pairs[i].second));
+    }
+  }
 
   const ParallelResult res = par.measure(sources, sinks, batch.edges);
   ++report.iterations;
@@ -102,9 +124,20 @@ void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets
                                static_cast<graph::NodeId>(batch.pairs[i].second));
     } else if (res.verdicts[i] == Verdict::kInconclusive && inconclusive != nullptr) {
       inconclusive->push_back(
-          {batch.pairs[i].first, batch.pairs[i].second, res.attempts[i]});
+          {batch.pairs[i].first, batch.pairs[i].second, res.attempts[i], res.causes[i]});
     }
     if (report.fault.has_value()) report.fault->attempts += res.attempts[i];
+    if (report.diagnostics.has_value()) {
+      ++report.diagnostics->causes[static_cast<size_t>(res.causes[i])];
+    }
+    if (tracer != nullptr) {
+      tracer->close_pair(pair_spans[i], par.now(), span_verdict_code(res.verdicts[i]),
+                         res.causes[i]);
+    }
+  }
+  if (tracer != nullptr) {
+    tracer->close(batch_span, par.now());
+    tracer->set_scope(prev_scope);
   }
 }
 
@@ -112,8 +145,16 @@ void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& ta
                     std::vector<RetriedPair> inconclusive, size_t budget, size_t rounds,
                     NetworkMeasurementReport& report) {
   budget = std::max<size_t>(1, budget);
+  obs::SpanTracer* tracer = par.tracer();
   std::vector<RetriedPair> resolved;  // entered the retry path, now decided
   for (size_t round = 0; round < rounds && !inconclusive.empty(); ++round) {
+    uint64_t round_span = 0;
+    uint64_t prev_scope = 0;
+    if (tracer != nullptr) {
+      round_span = tracer->open_auto(obs::SpanKind::kRetryRound, par.now(), round,
+                                     inconclusive.size());
+      prev_scope = tracer->set_scope(round_span);
+    }
     std::vector<RetriedPair> next;
     for (size_t start = 0; start < inconclusive.size(); start += budget) {
       const size_t end = std::min(start + budget, inconclusive.size());
@@ -134,8 +175,18 @@ void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& ta
       report.txs_sent += res.txs_sent;
       for (size_t k = 0; k < edges.size(); ++k) {
         RetriedPair p = inconclusive[start + k];
+        const obs::ProbeCause before = p.cause;
         p.attempts += res.attempts[k];
+        p.cause = res.connected[k] ? obs::ProbeCause::kNone : res.causes[k];
         if (report.fault.has_value()) report.fault->attempts += res.attempts[k];
+        // Keep the final-cause histogram current: the pair moves from the
+        // bucket it occupied after the primary sweep (or the prior round)
+        // into its latest one.
+        if (report.diagnostics.has_value() && p.cause != before) {
+          --report.diagnostics->causes[static_cast<size_t>(before)];
+          ++report.diagnostics->causes[static_cast<size_t>(p.cause)];
+        }
+        const bool decided = res.verdicts[k] != Verdict::kInconclusive;
         if (res.connected[k]) {
           report.measured.add_edge(static_cast<graph::NodeId>(p.u),
                                    static_cast<graph::NodeId>(p.v));
@@ -145,7 +196,20 @@ void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& ta
         } else {
           next.push_back(p);
         }
+        if (decided) {
+          if (report.diagnostics.has_value()) {
+            ++report.diagnostics->cleared[static_cast<size_t>(before)];
+          }
+          if (tracer != nullptr) {
+            tracer->instant(obs::SpanKind::kRetryClear, par.now(), p.u, p.v,
+                            span_verdict_code(res.verdicts[k]), before);
+          }
+        }
       }
+    }
+    if (tracer != nullptr) {
+      tracer->close(round_span, par.now());
+      tracer->set_scope(prev_scope);
     }
     inconclusive = std::move(next);
   }
@@ -162,6 +226,15 @@ void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& ta
       });
     }
   }
+  if (report.diagnostics.has_value()) {
+    DiagnosticsReport& d = *report.diagnostics;
+    d.inconclusive.reserve(d.inconclusive.size() + inconclusive.size());
+    for (const RetriedPair& p : inconclusive) d.inconclusive.push_back({p.u, p.v, p.cause});
+    std::sort(d.inconclusive.begin(), d.inconclusive.end(),
+              [](const PairDiagnostic& a, const PairDiagnostic& b) {
+                return a.u != b.u ? a.u < b.u : a.v < b.v;
+              });
+  }
 }
 
 NetworkMeasurementReport NetworkMeasurement::measure_all(p2p::Network& net,
@@ -173,15 +246,18 @@ NetworkMeasurementReport NetworkMeasurement::measure_all(p2p::Network& net,
     report.fault.emplace();
     report.fault->retries = par_.config().inconclusive_retries;
   }
+  if (par_.config().collect_diagnostics) report.diagnostics.emplace();
   const double t0 = net.simulator().now();
 
   const size_t budget =
       max_edges_ != 0 ? max_edges_ : slot_budget(par_.config().flood_Z);
   const size_t retries = par_.config().inconclusive_retries;
   std::vector<RetriedPair> inconclusive;
-  std::vector<RetriedPair>* collect = report.fault.has_value() ? &inconclusive : nullptr;
+  std::vector<RetriedPair>* collect =
+      report.fault.has_value() || report.diagnostics.has_value() ? &inconclusive : nullptr;
+  size_t batch_id = 0;
   for (const auto& batch : make_batches(targets.size(), group_k, budget)) {
-    run_batch(par_, targets, batch, report, collect);
+    run_batch(par_, targets, batch, batch_id++, report, collect);
   }
   run_retry_pass(par_, targets, std::move(inconclusive), budget, retries, report);
   report.sim_seconds = net.simulator().now() - t0;

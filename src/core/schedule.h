@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -9,6 +10,7 @@
 
 #include "core/parallel.h"
 #include "graph/graph.h"
+#include "obs/span.h"
 
 namespace topo::core {
 
@@ -37,6 +39,11 @@ struct RetriedPair {
   size_t v = 0;
   uint32_t attempts = 0;
 
+  /// Latest known failure cause (updated as retry rounds re-measure the
+  /// pair); drives the diagnostics bookkeeping, not serialized in the
+  /// fault annex.
+  obs::ProbeCause cause = obs::ProbeCause::kNone;
+
   friend bool operator==(const RetriedPair&, const RetriedPair&) = default;
 };
 
@@ -59,6 +66,36 @@ struct FaultReport {
   friend bool operator==(const FaultReport&, const FaultReport&) = default;
 };
 
+/// One pair left inconclusive at the end of a measurement, with the cause
+/// that was never cleared (target-index endpoints).
+struct PairDiagnostic {
+  size_t u = 0;
+  size_t v = 0;
+  obs::ProbeCause cause = obs::ProbeCause::kNone;
+
+  friend bool operator==(const PairDiagnostic&, const PairDiagnostic&) = default;
+};
+
+/// Per-verdict diagnostics annex (MeasureConfig::collect_diagnostics): the
+/// machine-readable explanation behind every verdict of a network sweep.
+/// Indexed by obs::ProbeCause. Invariant: the `causes` histogram sums to
+/// pairs_tested (every pair lands in exactly one final-cause bucket —
+/// kNone when connected, kTxANeverReturned on a clean negative).
+struct DiagnosticsReport {
+  /// Final cause per pair, histogrammed (post-retry state).
+  std::array<uint64_t, obs::kNumProbeCauses> causes{};
+
+  /// Causes the retry pass cleared: bucket = the cause the pair had *before*
+  /// the retry round that decided it. The per-cause recall ledger
+  /// bench/fault_recall breaks down.
+  std::array<uint64_t, obs::kNumProbeCauses> cleared{};
+
+  /// Pairs still inconclusive after retries, sorted by (u, v).
+  std::vector<PairDiagnostic> inconclusive;
+
+  friend bool operator==(const DiagnosticsReport&, const DiagnosticsReport&) = default;
+};
+
 /// Result of measuring a whole network.
 struct NetworkMeasurementReport {
   graph::Graph measured;  ///< node i = targets[i]
@@ -70,6 +107,10 @@ struct NetworkMeasurementReport {
   /// Present when fault injection or inconclusive retries were configured;
   /// absent reports serialize byte-identically to pre-fault builds.
   std::optional<FaultReport> fault;
+
+  /// Present when MeasureConfig::collect_diagnostics was set; same
+  /// byte-identity policy as the fault annex.
+  std::optional<DiagnosticsReport> diagnostics;
 };
 
 /// One slot-budgeted unit of campaign work: a deduplicated source/sink set
@@ -95,13 +136,17 @@ std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budg
 
 /// Runs one batch through `par` (mapping target indices through `targets`)
 /// and folds the outcome into `report`: iteration/pair/tx tallies plus one
-/// measured edge per positive verdict. sim_seconds is left to the caller,
+/// measured edge per positive verdict; the diagnostics annex (when present)
+/// absorbs every edge's final cause. sim_seconds is left to the caller,
 /// which knows which simulator clock the batch ran on. When `inconclusive`
 /// is non-null, every pair the batch left undecided is appended to it
-/// (endpoints plus the attempts it has consumed so far) for a later
-/// run_retry_pass.
+/// (endpoints, attempts consumed so far, last cause) for a later
+/// run_retry_pass. `batch_id` is the batch's index in the shard's plan — it
+/// keys the stable span ids (obs::batch_span_id / pair_span_id) when `par`
+/// carries a tracer, so ids never depend on execution order.
 void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
-               const MeasurementBatch& batch, NetworkMeasurementReport& report,
+               const MeasurementBatch& batch, size_t batch_id,
+               NetworkMeasurementReport& report,
                std::vector<RetriedPair>* inconclusive = nullptr);
 
 /// Bounded re-measurement of the pairs the primary sweep left inconclusive,
@@ -113,7 +158,11 @@ void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets
 /// pairs are added to the report; when the fault annex is present it
 /// absorbs the extra attempts, the per-pair retry history, and the count of
 /// pairs still inconclusive at the end (with rounds == 0 that is just the
-/// primary inconclusive tally).
+/// primary inconclusive tally). The diagnostics annex (when present) moves
+/// re-measured pairs into their final cause bucket, tallies what each
+/// deciding round cleared, and flushes the still-inconclusive remainder;
+/// with a tracer attached each round records a kRetryRound span and each
+/// decided pair a kRetryClear instant carrying the cleared cause.
 void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
                     std::vector<RetriedPair> inconclusive, size_t budget, size_t rounds,
                     NetworkMeasurementReport& report);

@@ -33,7 +33,8 @@ mempool::MempoolPolicy scaled_policy(const ScenarioOptions& opt, mempool::Client
 }  // namespace
 
 Scenario::Scenario(const graph::Graph& topology, ScenarioOptions options)
-    : options_(options), truth_(topology), rng_(options.seed) {
+    : options_(options), truth_(topology), rng_(options.seed),
+      metrics_(options.trace_capacity) {
   // Validate against the *effective* policy: mempool_capacity = 0 means the
   // client stock capacity, so the raw option values cannot be compared
   // directly.
@@ -101,6 +102,29 @@ obs::MetricsSnapshot Scenario::snapshot_metrics() {
   metrics_.gauge("sim.events_processed").set(static_cast<double>(sim_->processed()));
   metrics_.gauge("sim.queue_depth").set(static_cast<double>(sim_->queued()));
   metrics_.gauge("sim.queue_high_water").set(static_cast<double>(sim_->queue_high_water()));
+  // Per-kind dispatch counters: the event-mix fingerprint of the run
+  // (scripts/bench_compare.py gates on these to catch event-mix drift).
+  const auto& dispatched = sim_->dispatch_counts();
+  for (size_t k = 0; k < sim::kNumEventKinds; ++k) {
+    metrics_.gauge(std::string("sim.dispatch.") +
+                   sim::event_kind_name(static_cast<sim::EventKind>(k)))
+        .set(static_cast<double>(dispatched[k]));
+  }
+  // Backend-specific event-queue internals: meaningful on the timing
+  // wheel, all-zero on the legacy heap. Deterministic for a fixed backend,
+  // but NOT comparable across backends — determinism checks must strip the
+  // sim.queue.impl.* prefix when comparing wheel vs heap runs.
+  const sim::EventQueue::Stats& qs = sim_->queue_stats();
+  metrics_.gauge("sim.queue.impl.l1_cascades").set(static_cast<double>(qs.l1_cascades));
+  metrics_.gauge("sim.queue.impl.overflow_cascaded")
+      .set(static_cast<double>(qs.overflow_cascaded));
+  metrics_.gauge("sim.queue.impl.overflow_rebuilds")
+      .set(static_cast<double>(qs.overflow_rebuilds));
+  metrics_.gauge("sim.queue.impl.due_peak").set(static_cast<double>(qs.due_peak));
+  metrics_.gauge("sim.queue.impl.overflow_peak").set(static_cast<double>(qs.overflow_peak));
+  metrics_.gauge("obs.trace.total_pushed")
+      .set(static_cast<double>(metrics_.trace().total_pushed()));
+  metrics_.gauge("obs.trace.dropped").set(static_cast<double>(metrics_.trace().dropped()));
   metrics_.gauge("cost.wei_spent")
       .set(static_cast<double>(costs_.wei_spent(*chain_, 0.0, sim_->now())));
   metrics_.gauge("cost.tracked_accounts").set(static_cast<double>(costs_.tracked_accounts()));
@@ -189,6 +213,7 @@ OneLinkResult Scenario::measure_one_link(p2p::PeerId a, p2p::PeerId b,
   OneLinkMeasurement one(*net_, *m_, accounts_, factory_, cfg);
   one.set_cost_tracker(&costs_);
   one.set_metrics(&metrics_);
+  one.set_tracer(tracer_);
   return one.measure(a, b);
 }
 
@@ -199,6 +224,7 @@ ParallelResult Scenario::measure_parallel(const std::vector<p2p::PeerId>& source
   ParallelMeasurement par(*net_, *m_, accounts_, factory_, cfg);
   par.set_cost_tracker(&costs_);
   par.set_metrics(&metrics_);
+  par.set_tracer(tracer_);
   return par.measure(sources, sinks, edges);
 }
 
@@ -207,6 +233,7 @@ NetworkMeasurementReport Scenario::measure_network(size_t group_k, const Measure
   ParallelMeasurement par(*net_, *m_, accounts_, factory_, cfg);
   par.set_cost_tracker(&costs_);
   par.set_metrics(&metrics_);
+  par.set_tracer(tracer_);
   std::vector<p2p::PeerId> targets = targets_;
   if (pre != nullptr) {
     // §5.2.3: skip excluded nodes and enlarge the flood for nodes whose

@@ -59,6 +59,10 @@ struct ScenarioOptions {
 
   uint64_t block_gas_limit = 8'000'000;
   eth::Wei initial_base_fee = 0;  ///< nonzero enables EIP-1559
+
+  /// Capacity of the scenario's bounded trace ring (events kept; older
+  /// events are overwritten and counted under `obs.trace.dropped`).
+  size_t trace_capacity = obs::MetricsRegistry::kDefaultTraceCapacity;
 };
 
 /// A fully wired measurement world: simulator + chain + network instantiated
@@ -93,9 +97,17 @@ class Scenario : public sim::EventSink {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
-  /// Publishes the point-in-time gauges (`sim.*`, `cost.*`) into the
-  /// registry and returns a name-sorted snapshot of everything.
+  /// Publishes the point-in-time gauges (`sim.*`, `cost.*`, `obs.trace.*`,
+  /// the per-kind `sim.dispatch.*` counters, and the backend-specific
+  /// `sim.queue.impl.*` event-queue internals) into the registry and
+  /// returns a name-sorted snapshot of everything.
   obs::MetricsSnapshot snapshot_metrics();
+
+  /// Attaches a causal span tracer (null detaches); forwarded into every
+  /// measurement driver the scenario constructs. The tracer must outlive
+  /// the scenario's measurement calls.
+  void set_span_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+  obs::SpanTracer* span_tracer() const { return tracer_; }
 
   /// Peer ids of the regular nodes, in ground-truth graph order.
   const std::vector<p2p::PeerId>& targets() const { return targets_; }
@@ -162,6 +174,7 @@ class Scenario : public sim::EventSink {
   eth::TxFactory factory_;
   CostTracker costs_;
   std::vector<p2p::PeerId> targets_;
+  obs::SpanTracer* tracer_ = nullptr;
   bool organic_on_ = false;
   double organic_rate_ = 0.0;
 

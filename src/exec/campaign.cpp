@@ -30,6 +30,14 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
 
   std::vector<core::NetworkMeasurementReport> shard_reports(plan.size());
   std::vector<obs::MetricsSnapshot> shard_metrics(plan.size());
+  // One tracer per shard, built up front so workers never share one: each
+  // shard's span sequence is single-threaded, and the merge sorts by the
+  // stable ids afterwards.
+  std::vector<obs::SpanTracer> tracers;
+  if (opt.collect_spans) {
+    tracers.reserve(plan.size());
+    for (size_t s = 0; s < plan.size(); ++s) tracers.emplace_back(static_cast<uint32_t>(s));
+  }
 
   const WorkerPool pool(opt.threads);
   pool.run(plan.size(), [&](size_t s) {
@@ -49,25 +57,40 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
     core::ParallelMeasurement par(sc.net(), sc.m(), sc.accounts(), sc.factory(), cfg);
     par.set_cost_tracker(&sc.costs());
     par.set_metrics(&sc.metrics());
+    obs::SpanTracer* tracer = opt.collect_spans ? &tracers[s] : nullptr;
+    par.set_tracer(tracer);
 
     core::NetworkMeasurementReport report;
     report.measured = graph::Graph(n);
     if (opt.fault_plan.enabled() || cfg.inconclusive_retries > 0) {
       report.fault = fault::make_fault_report(opt.fault_plan, cfg.inconclusive_retries);
     }
+    if (cfg.collect_diagnostics) report.diagnostics.emplace();
     const double t0 = sc.sim().now();
+    uint64_t shard_span = 0;
+    if (tracer != nullptr) {
+      shard_span = tracer->open(obs::SpanKind::kShard, t0, obs::shard_span_id(s),
+                                obs::kCampaignSpanId, s, shard.batch_ids.size());
+      tracer->set_scope(shard_span);
+    }
     // Primary sweep first, bounded re-measurement strictly after it: the
     // sweep's trajectory is byte-identical to a retries-off run, so the
     // retry pass can only add edges this shard's losses cost it.
     std::vector<core::RetriedPair> inconclusive;
     std::vector<core::RetriedPair>* collect =
-        report.fault.has_value() ? &inconclusive : nullptr;
+        report.fault.has_value() || report.diagnostics.has_value() ? &inconclusive : nullptr;
     for (size_t b : shard.batch_ids) {
-      core::run_batch(par, sc.targets(), batches[b], report, collect);
+      // The *global* batch index keys the span ids, so a batch keeps its
+      // identity whatever shard (and whatever worker) runs it.
+      core::run_batch(par, sc.targets(), batches[b], b, report, collect);
     }
     core::run_retry_pass(par, sc.targets(), std::move(inconclusive), budget,
                          cfg.inconclusive_retries, report);
     report.sim_seconds = sc.sim().now() - t0;
+    if (tracer != nullptr) {
+      tracer->close(shard_span, sc.sim().now());
+      tracer->set_scope(0);
+    }
 
     shard_reports[s] = std::move(report);
     shard_metrics[s] = sc.snapshot_metrics();
@@ -79,6 +102,7 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
   for (size_t s = 0; s < plan.size(); ++s) {
     merger.add(shard_reports[s]);
     merger.add_metrics(shard_metrics[s]);
+    if (opt.collect_spans) merger.add_spans(tracers[s].spans());
   }
 
   CampaignResult result;
@@ -87,6 +111,21 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
   result.makespan_sim_seconds = merger.makespan_sim_seconds();
   result.shards = plan.size();
   result.batches = batches.size();
+  if (opt.collect_spans) {
+    // The campaign root closes at the latest shard-span end (each shard's
+    // clock starts at 0, so that is the campaign's simulated makespan
+    // including per-replica preparation).
+    obs::Span root;
+    root.id = obs::kCampaignSpanId;
+    root.kind = obs::SpanKind::kCampaign;
+    root.a = plan.size();
+    root.b = batches.size();
+    for (const obs::SpanTracer& t : tracers) {
+      for (const obs::Span& sp : t.spans()) root.end = std::max(root.end, sp.end);
+    }
+    merger.add_spans({root});
+    result.spans = merger.take_spans();
+  }
   return result;
 }
 

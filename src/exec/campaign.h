@@ -42,6 +42,14 @@ struct CampaignOptions {
   /// reports byte-identical to pre-fault builds.
   fault::FaultPlan fault_plan;
 
+  /// Record causal spans (campaign → shard → batch → pair → phase) into
+  /// CampaignResult::spans. Span ids are pure functions of the campaign
+  /// structure, so the export is byte-identical at any `threads` width and
+  /// on either event-queue backend — but, like the report itself, it
+  /// depends on `shards`. Off by default: tracing is observe-only but not
+  /// free (one vector push per span).
+  bool collect_spans = false;
+
   static constexpr size_t kDefaultShards = 16;
 };
 
@@ -53,6 +61,11 @@ struct CampaignOptions {
 struct CampaignResult {
   core::NetworkMeasurementReport report;
   obs::MetricsSnapshot metrics;
+
+  /// Merged causal spans in canonical (stable-id) order; empty unless
+  /// CampaignOptions::collect_spans. Export with obs::spans_to_chrome_json.
+  std::vector<obs::Span> spans;
+
   double makespan_sim_seconds = 0.0;
   size_t shards = 0;
   size_t batches = 0;

@@ -34,6 +34,36 @@ void ReportMerger::add(const core::NetworkMeasurementReport& shard_report) {
                 return a.u != b.u ? a.u < b.u : a.v < b.v;
               });
   }
+  if (shard_report.diagnostics.has_value()) {
+    if (!merged_.diagnostics.has_value()) {
+      merged_.diagnostics = shard_report.diagnostics;
+    } else {
+      core::DiagnosticsReport& d = *merged_.diagnostics;
+      for (size_t c = 0; c < obs::kNumProbeCauses; ++c) {
+        d.causes[c] += shard_report.diagnostics->causes[c];
+        d.cleared[c] += shard_report.diagnostics->cleared[c];
+      }
+      d.inconclusive.insert(d.inconclusive.end(),
+                            shard_report.diagnostics->inconclusive.begin(),
+                            shard_report.diagnostics->inconclusive.end());
+    }
+    // Same canonicalization as the fault annex: shards partition the pair
+    // set, so sorting makes the merge completion-order insensitive.
+    std::sort(merged_.diagnostics->inconclusive.begin(),
+              merged_.diagnostics->inconclusive.end(),
+              [](const core::PairDiagnostic& a, const core::PairDiagnostic& b) {
+                return a.u != b.u ? a.u < b.u : a.v < b.v;
+              });
+  }
+}
+
+void ReportMerger::add_spans(const std::vector<obs::Span>& spans) {
+  spans_.insert(spans_.end(), spans.begin(), spans.end());
+}
+
+std::vector<obs::Span> ReportMerger::take_spans() {
+  obs::sort_spans(spans_);
+  return std::move(spans_);
 }
 
 void ReportMerger::add_metrics(const obs::MetricsSnapshot& shard_snapshot) {

@@ -5,6 +5,7 @@
 
 #include "core/schedule.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace topo::exec {
 
@@ -32,6 +33,14 @@ class ReportMerger {
   void add(const core::NetworkMeasurementReport& shard_report);
   void add_metrics(const obs::MetricsSnapshot& shard_snapshot);
 
+  /// Appends one shard's recorded spans. Ids are stable functions of the
+  /// campaign structure (obs::span.h), so take_spans() sorts into an order
+  /// independent of worker count and completion order.
+  void add_spans(const std::vector<obs::Span>& spans);
+
+  /// Canonically sorted union of every added span set (moves it out).
+  std::vector<obs::Span> take_spans();
+
   const core::NetworkMeasurementReport& report() const { return merged_; }
   const obs::MetricsSnapshot& metrics() const { return metrics_; }
   double makespan_sim_seconds() const { return makespan_; }
@@ -40,6 +49,7 @@ class ReportMerger {
  private:
   core::NetworkMeasurementReport merged_;
   obs::MetricsSnapshot metrics_;
+  std::vector<obs::Span> spans_;
   double makespan_ = 0.0;
   size_t shards_ = 0;
 };

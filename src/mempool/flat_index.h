@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "eth/types.h"
+#include "obs/metrics.h"
 
 namespace topo::mempool {
 
@@ -37,6 +38,14 @@ class FlatPriceIndex {
   bool empty() const { return live_ == 0; }
   size_t size() const { return live_; }
 
+  /// Attaches shared tombstone/compaction tallies (null detaches); the
+  /// pointees must outlive the index. Shared across every index of a world
+  /// (the registry aggregates), matching the PoolObs cardinality policy.
+  void set_obs(obs::Counter* compactions, obs::Gauge* tombstone_peak) {
+    compactions_ = compactions;
+    tombstone_peak_ = tombstone_peak;
+  }
+
   void insert(Key key) {
     ++live_;
     data_.push_back(key);
@@ -60,6 +69,9 @@ class FlatPriceIndex {
     }
     dead_.push_back(key);
     std::push_heap(dead_.begin(), dead_.end(), std::greater<>{});
+    if (tombstone_peak_ != nullptr) {
+      tombstone_peak_->update_max(static_cast<double>(dead_.size()));
+    }
     if (dead_.size() > data_.size() / 2) compact();
   }
 
@@ -105,6 +117,7 @@ class FlatPriceIndex {
 
   /// Amortized rebuild: drop every tombstoned copy in one sorted sweep.
   void compact() {
+    if (compactions_ != nullptr) compactions_->inc();
     std::sort(data_.begin(), data_.end());
     std::sort(dead_.begin(), dead_.end());
     std::vector<Key> keep;
@@ -128,6 +141,8 @@ class FlatPriceIndex {
   mutable std::vector<Key> data_;  ///< min-heap of every inserted key
   mutable std::vector<Key> dead_;  ///< min-heap of erased-but-buried keys
   size_t live_ = 0;
+  obs::Counter* compactions_ = nullptr;
+  obs::Gauge* tombstone_peak_ = nullptr;
 };
 
 }  // namespace topo::mempool

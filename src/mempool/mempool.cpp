@@ -35,6 +35,8 @@ PoolObs PoolObs::wire(obs::MetricsRegistry& reg) {
   o.evictions_basefee = &reg.counter("mempool.evictions.basefee");
   o.drops_mined = &reg.counter("mempool.drops.mined");
   o.occupancy = &reg.histogram("mempool.occupancy", obs::fraction_bounds());
+  o.index_compactions = &reg.counter("mempool.index.compactions");
+  o.index_tombstone_peak = &reg.gauge("mempool.index.tombstone_peak");
   o.trace = &reg.trace();
   return o;
 }

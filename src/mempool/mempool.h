@@ -30,6 +30,8 @@ struct PoolObs {
   obs::Counter* evictions_basefee = nullptr;    ///< EIP-1559 underpriced drop
   obs::Counter* drops_mined = nullptr;          ///< consumed by a block
   obs::Histogram* occupancy = nullptr;          ///< size/capacity at maintenance
+  obs::Counter* index_compactions = nullptr;    ///< flat-index tombstone rebuilds
+  obs::Gauge* index_tombstone_peak = nullptr;   ///< deepest tombstone heap (high-water only)
   obs::TraceRing* trace = nullptr;
 
   /// Interns the `mempool.*` handles in `reg` (idempotent).
@@ -98,7 +100,13 @@ class Mempool {
 
   /// Attaches shared observability handles (null detaches). The pointee
   /// must outlive the pool; typically owned by the p2p::Network.
-  void set_obs(const PoolObs* o) { obs_ = o; }
+  void set_obs(const PoolObs* o) {
+    obs_ = o;
+    price_index_.set_obs(o != nullptr ? o->index_compactions : nullptr,
+                         o != nullptr ? o->index_tombstone_peak : nullptr);
+    future_index_.set_obs(o != nullptr ? o->index_compactions : nullptr,
+                          o != nullptr ? o->index_tombstone_peak : nullptr);
+  }
 
   /// Deferred maintenance (Geth's reorg loop): truncates the future subpool,
   /// drops expired entries, and (EIP-1559) drops entries priced under the

@@ -126,17 +126,19 @@ std::string snapshot_to_csv(const MetricsSnapshot& s) {
 
 rpc::Json trace_to_json(const TraceRing& ring) {
   rpc::JsonArray events;
-  for (const auto& e : ring.events()) {
+  events.reserve(ring.size());
+  ring.visit([&events](const TraceEvent& e) {
     rpc::JsonObject o;
     o["t"] = rpc::Json(e.time);
     o["kind"] = rpc::Json(trace_kind_name(e.kind));
     o["subject"] = rpc::Json(e.subject);
     o["actor"] = rpc::Json(e.actor);
     events.emplace_back(std::move(o));
-  }
+  });
   rpc::JsonObject root;
   root["events"] = rpc::Json(std::move(events));
   root["dropped"] = rpc::Json(ring.dropped());
+  root["total_pushed"] = rpc::Json(ring.total_pushed());
   return rpc::Json(std::move(root));
 }
 

@@ -26,7 +26,7 @@ std::optional<MetricsSnapshot> snapshot_from_json(const rpc::Json& j);
 std::string snapshot_to_csv(const MetricsSnapshot& s);
 
 /// {"events": [{"t": sim_seconds, "kind": "tx-evicted", "subject": id,
-///  "actor": id}, ...], "dropped": n}
+///  "actor": id}, ...], "dropped": n, "total_pushed": n}
 rpc::Json trace_to_json(const TraceRing& ring);
 
 /// Writes `doc.dump()` to `path`; false on I/O failure.

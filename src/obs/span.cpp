@@ -1,0 +1,178 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace topo::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCampaign: return "campaign";
+    case SpanKind::kShard: return "shard";
+    case SpanKind::kBatch: return "batch";
+    case SpanKind::kPair: return "pair";
+    case SpanKind::kPlantTxC: return "plant-txc";
+    case SpanKind::kEvictFlood: return "evict-flood";
+    case SpanKind::kPlantProbes: return "plant-probes";
+    case SpanKind::kObserve: return "observe";
+    case SpanKind::kRetryRound: return "retry-round";
+    case SpanKind::kRetryClear: return "retry-clear";
+  }
+  return "unknown";
+}
+
+const char* probe_cause_name(ProbeCause cause) {
+  switch (cause) {
+    case ProbeCause::kNone: return "none";
+    case ProbeCause::kNodeOffline: return "node-offline";
+    case ProbeCause::kTxCNotEvicted: return "txc-not-evicted";
+    case ProbeCause::kPayloadNotPlanted: return "payload-not-planted";
+    case ProbeCause::kTxANotPlanted: return "txa-not-planted";
+    case ProbeCause::kTxANeverReturned: return "txa-never-returned";
+  }
+  return "unknown";
+}
+
+bool probe_cause_from_name(const std::string& name, ProbeCause& out) {
+  for (size_t i = 0; i < kNumProbeCauses; ++i) {
+    const auto c = static_cast<ProbeCause>(i);
+    if (name == probe_cause_name(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* span_verdict_name(uint8_t code) {
+  switch (code) {
+    case 1: return "connected";
+    case 2: return "negative";
+    case 3: return "inconclusive";
+    default: return "";
+  }
+}
+
+uint64_t SpanTracer::open(SpanKind kind, double start, uint64_t id, uint64_t parent,
+                          uint64_t a, uint64_t b) {
+  Span s;
+  s.id = id;
+  s.parent = parent;
+  s.kind = kind;
+  s.start = start;
+  s.end = start;
+  s.a = a;
+  s.b = b;
+  s.shard = shard_;
+  open_[id] = spans_.size();
+  spans_.push_back(s);
+  return id;
+}
+
+uint64_t SpanTracer::open_auto(SpanKind kind, double start, uint64_t a, uint64_t b) {
+  return open(kind, start, ordinal_span_id(shard_, next_ordinal_++, kind), scope_, a, b);
+}
+
+uint64_t SpanTracer::open_pair_at(uint64_t pair_index, double start, uint64_t a,
+                                  uint64_t b) {
+  return open(SpanKind::kPair, start, pair_span_id(shard_, batch_, pair_index), scope_,
+              a, b);
+}
+
+void SpanTracer::close(uint64_t id, double end) {
+  auto it = open_.find(id);
+  assert(it != open_.end() && "SpanTracer::close: span not open");
+  if (it == open_.end()) return;
+  spans_[it->second].end = end;
+  open_.erase(it);
+}
+
+void SpanTracer::close_pair(uint64_t id, double end, uint8_t verdict, ProbeCause cause) {
+  auto it = open_.find(id);
+  assert(it != open_.end() && "SpanTracer::close_pair: span not open");
+  if (it == open_.end()) return;
+  Span& s = spans_[it->second];
+  s.end = end;
+  s.verdict = verdict;
+  s.cause = cause;
+  open_.erase(it);
+}
+
+void SpanTracer::instant(SpanKind kind, double t, uint64_t a, uint64_t b,
+                         uint8_t verdict, ProbeCause cause) {
+  Span s;
+  s.id = ordinal_span_id(shard_, next_ordinal_++, kind);
+  s.parent = scope_;
+  s.kind = kind;
+  s.start = t;
+  s.end = t;
+  s.a = a;
+  s.b = b;
+  s.verdict = verdict;
+  s.cause = cause;
+  s.shard = shard_;
+  spans_.push_back(s);
+}
+
+void SpanTracer::append(const std::vector<Span>& spans) {
+  spans_.insert(spans_.end(), spans.begin(), spans.end());
+}
+
+void SpanTracer::clear() {
+  spans_.clear();
+  open_.clear();
+  batch_ = 0;
+  pair_ordinal_ = 0;
+  next_ordinal_ = 0;
+  scope_ = 0;
+}
+
+void sort_spans(std::vector<Span>& spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& x, const Span& y) { return x.id < y.id; });
+}
+
+rpc::Json spans_to_chrome_json(std::vector<Span> spans) {
+  sort_spans(spans);
+  rpc::JsonArray events;
+  events.reserve(spans.size());
+  for (const Span& s : spans) {
+    rpc::JsonObject args{
+        {"id", rpc::Json(s.id)},
+        {"parent", rpc::Json(s.parent)},
+        {"a", rpc::Json(s.a)},
+        {"b", rpc::Json(s.b)},
+    };
+    if (s.verdict != 0) {
+      args.emplace("verdict", rpc::Json(span_verdict_name(s.verdict)));
+      args.emplace("cause", rpc::Json(probe_cause_name(s.cause)));
+    }
+    std::string name = span_kind_name(s.kind);
+    if (s.kind == SpanKind::kPair || s.kind == SpanKind::kRetryClear) {
+      name += " " + std::to_string(s.a) + "-" + std::to_string(s.b);
+    } else if (s.kind == SpanKind::kBatch || s.kind == SpanKind::kShard) {
+      name += " " + std::to_string(s.a);
+    }
+    const bool structural = s.kind == SpanKind::kCampaign || s.kind == SpanKind::kShard ||
+                            s.kind == SpanKind::kBatch || s.kind == SpanKind::kPair;
+    const bool retry =
+        s.kind == SpanKind::kRetryRound || s.kind == SpanKind::kRetryClear;
+    events.push_back(rpc::Json(rpc::JsonObject{
+        {"name", rpc::Json(std::move(name))},
+        {"cat", rpc::Json(structural ? "schedule" : retry ? "retry" : "probe")},
+        {"ph", rpc::Json("X")},
+        {"ts", rpc::Json(s.start * 1e6)},
+        {"dur", rpc::Json((s.end - s.start) * 1e6)},
+        {"pid", rpc::Json(uint64_t{0})},
+        {"tid", rpc::Json(static_cast<uint64_t>(s.shard))},
+        {"args", rpc::Json(std::move(args))},
+    }));
+  }
+  return rpc::Json(rpc::JsonObject{
+      {"displayTimeUnit", rpc::Json("ms")},
+      {"traceEvents", rpc::Json(std::move(events))},
+  });
+}
+
+}  // namespace topo::obs

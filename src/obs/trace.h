@@ -48,6 +48,17 @@ class TraceRing {
   /// Buffered events, oldest first.
   std::vector<TraceEvent> events() const;
 
+  /// Visits every buffered event oldest-first without copying the ring —
+  /// the exporter-facing walk (events() materializes a vector; a full
+  /// default-capacity ring is 4096 * 32 B per export otherwise).
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    const size_t n = size();
+    if (n == 0) return;
+    const size_t start = total_ > ring_.size() ? head_ : 0;
+    for (size_t i = 0; i < n; ++i) fn(ring_[(start + i) % ring_.size()]);
+  }
+
   void clear();
 
  private:

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -28,6 +29,25 @@ enum class EventKind : uint8_t {
   kRegossip,         ///< Node: periodic re-gossip tick (self-rescheduling)
   kCampaignStep,     ///< Scenario: one organic-traffic step (self-rescheduling)
 };
+
+inline constexpr size_t kNumEventKinds = 10;
+
+/// Stable metric-suffix name of an event kind (`sim.dispatch.<name>`).
+constexpr const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kClosure: return "closure";
+    case EventKind::kDeliverTx: return "deliver_tx";
+    case EventKind::kDeliverAnnounce: return "deliver_announce";
+    case EventKind::kDeliverGetTx: return "deliver_get_tx";
+    case EventKind::kFetchTimeout: return "fetch_timeout";
+    case EventKind::kMineTick: return "mine_tick";
+    case EventKind::kBlockCommit: return "block_commit";
+    case EventKind::kMaintenance: return "maintenance";
+    case EventKind::kRegossip: return "regossip";
+    case EventKind::kCampaignStep: return "campaign_step";
+  }
+  return "unknown";
+}
 
 struct Event;
 

@@ -72,6 +72,7 @@ void EventQueue::wheel_push(Slot&& slot) {
     // into an insertion sort.
     due_.push_back(std::move(slot));
     std::push_heap(due_.begin(), due_.end(), Later{});
+    if (due_.size() > stats_.due_peak) stats_.due_peak = due_.size();
     return;
   }
   if (s < l0_base_ + static_cast<int64_t>(kL0Buckets)) {
@@ -90,6 +91,7 @@ void EventQueue::wheel_push(Slot&& slot) {
   }
   overflow_.push_back(std::move(slot));
   std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  if (overflow_.size() > stats_.overflow_peak) stats_.overflow_peak = overflow_.size();
 }
 
 void EventQueue::push(Time t, Event ev) {
@@ -107,6 +109,7 @@ void EventQueue::push(Time t, Event ev) {
 }
 
 void EventQueue::cascade_l1(size_t l1_index) {
+  ++stats_.l1_cascades;
   std::vector<Slot> bucket = std::move(l1_[l1_index]);
   l1_[l1_index].clear();
   l1_bits_[l1_index >> 6] &= ~(uint64_t{1} << (l1_index & 63));
@@ -129,6 +132,7 @@ void EventQueue::cascade_overflow_window(int64_t w_base) {
     std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
     Slot slot = std::move(overflow_.back());
     overflow_.pop_back();
+    ++stats_.overflow_cascaded;
     const int64_t s = slot_of(slot.t);
     const size_t idx = static_cast<size_t>(s) & (kL0Buckets - 1);
     l0_[idx].push_back(std::move(slot));
@@ -138,6 +142,7 @@ void EventQueue::cascade_overflow_window(int64_t w_base) {
 
 void EventQueue::drain_overflow_into_wheel() {
   assert(!overflow_.empty());
+  ++stats_.overflow_rebuilds;
   // Jump the (fully drained) wheel to the overflow minimum, then pull in
   // everything within the new two-level horizon.
   const int64_t w_base = slot_of(overflow_.front().t) >> kL0Bits;
@@ -149,6 +154,7 @@ void EventQueue::drain_overflow_into_wheel() {
     std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
     Slot slot = std::move(overflow_.back());
     overflow_.pop_back();
+    ++stats_.overflow_cascaded;
     const int64_t s = slot_of(slot.t);
     if (w == w_base) {
       const size_t idx = static_cast<size_t>(s) & (kL0Buckets - 1);
@@ -189,6 +195,7 @@ void EventQueue::refill_due() {
       l0_[idx].clear();
       l0_bits_[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
       std::make_heap(due_.begin(), due_.end(), Later{});
+      if (due_.size() > stats_.due_peak) stats_.due_peak = due_.size();
       return;
     }
 

@@ -59,6 +59,19 @@ class EventQueue {
     Event ev;
   };
 
+  /// Backend-internal introspection tallies. Meaningful for the timing
+  /// wheel (all-zero on the legacy heap), so exports namespace them under
+  /// `sim.queue.impl.*` and the golden determinism suite excludes them
+  /// from cross-*backend* comparisons — they are still asserted invariant
+  /// across thread widths on a fixed backend.
+  struct Stats {
+    uint64_t l1_cascades = 0;        ///< L1 buckets cascaded into L0
+    uint64_t overflow_cascaded = 0;  ///< events pulled from the overflow heap into the wheel
+    uint64_t overflow_rebuilds = 0;  ///< full wheel jumps to the overflow minimum
+    uint64_t due_peak = 0;           ///< deepest drain heap (bucket burst high-water)
+    uint64_t overflow_peak = 0;      ///< deepest overflow heap (far-future backlog)
+  };
+
   EventQueue() : EventQueue(default_queue_backend()) {}
   explicit EventQueue(QueueBackend backend) : backend_(backend) {}
 
@@ -69,6 +82,7 @@ class EventQueue {
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
   QueueBackend backend() const { return backend_; }
+  const Stats& stats() const { return stats_; }
 
   /// Exact timestamp of the next event (0 when empty).
   Time next_time() const;
@@ -112,6 +126,7 @@ class EventQueue {
   QueueBackend backend_;
   uint64_t next_seq_ = 0;
   size_t size_ = 0;
+  Stats stats_;
 
   // -- timing-wheel state ---------------------------------------------------
   // due_ holds the events of the bucket currently draining (plus any

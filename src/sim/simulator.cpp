@@ -37,6 +37,7 @@ void Simulator::run() {
     auto [t, ev] = queue_.pop();
     now_ = std::max(now_, t);
     ++processed_;
+    ++dispatched_[static_cast<size_t>(ev.kind)];
     ev.fire();
   }
 }
@@ -46,6 +47,7 @@ void Simulator::run_until(Time t) {
     auto [et, ev] = queue_.pop();
     now_ = std::max(now_, et);
     ++processed_;
+    ++dispatched_[static_cast<size_t>(ev.kind)];
     ev.fire();
   }
   now_ = std::max(now_, t);
@@ -58,6 +60,7 @@ bool Simulator::run_capped(size_t max_events) {
     auto [t, ev] = queue_.pop();
     now_ = std::max(now_, t);
     ++processed_;
+    ++dispatched_[static_cast<size_t>(ev.kind)];
     ev.fire();
   }
   return true;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+
 #include "sim/event_queue.h"
 
 namespace topo::sim {
@@ -56,11 +58,24 @@ class Simulator {
   /// publishes it as `sim.queue_high_water`).
   size_t queue_high_water() const { return queue_high_water_; }
 
+  /// Events fired so far, broken down by EventKind (observability snapshot
+  /// publishes them as `sim.dispatch.<kind>`). The event *mix* — not just
+  /// the total — is what bench_compare.py gates on: a protocol change that
+  /// trades deliveries for fetch timeouts shows up here before it shows up
+  /// in throughput.
+  const std::array<uint64_t, kNumEventKinds>& dispatch_counts() const {
+    return dispatched_;
+  }
+
+  /// Backend-internal queue tallies (see EventQueue::Stats).
+  const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+
  private:
   EventQueue queue_;
   Time now_ = 0.0;
   size_t processed_ = 0;
   size_t queue_high_water_ = 0;
+  std::array<uint64_t, kNumEventKinds> dispatched_{};
 };
 
 }  // namespace topo::sim

@@ -3,18 +3,27 @@
 // The timing wheel and the legacy binary heap implement the same total
 // order — (time, push sequence) — so a whole campaign must produce
 // byte-identical artifacts on either backend, at any worker width, with or
-// without fault injection. These tests serialize the merged report to JSON
-// and compare the bytes; they are the contract that lets the legacy heap be
-// deleted after one release.
+// without fault injection. These tests serialize the merged report (and,
+// since the tracing layer landed, the merged causal-span export) to JSON
+// and compare the bytes; they are the contract that lets the legacy heap
+// be deleted after one release.
+//
+// One carve-out: the `sim.queue.impl.*` gauges expose event-queue
+// *internals* (cascade counts, heap peaks). They are deterministic for a
+// fixed backend — and thread-width invariant, which the width test pins —
+// but intentionally differ between backends, so cross-backend comparisons
+// strip that prefix and nothing else.
 
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 
 #include "core/report_io.h"
 #include "core/validator.h"
 #include "exec/campaign.h"
 #include "graph/generators.h"
+#include "obs/span.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
 
@@ -29,8 +38,23 @@ struct BackendGuard {
 
 struct CampaignArtifacts {
   std::string report_json;
+  std::string trace_json;  ///< Chrome trace-event export of the merged spans
   obs::MetricsSnapshot metrics;
 };
+
+/// Drops the backend-specific `sim.queue.impl.*` gauges; see the file
+/// comment. Used ONLY for wheel-vs-heap comparisons — same-backend
+/// comparisons keep the full snapshot.
+obs::MetricsSnapshot strip_queue_internals(obs::MetricsSnapshot s) {
+  auto strip = [](std::map<std::string, double>& m) {
+    for (auto it = m.begin(); it != m.end();) {
+      it = it->first.rfind("sim.queue.impl.", 0) == 0 ? m.erase(it) : std::next(it);
+    }
+  };
+  strip(s.gauges);
+  strip(s.gauge_maxes);
+  return s;
+}
 
 CampaignArtifacts run_campaign(sim::QueueBackend backend, size_t threads, size_t shards,
                                bool faults) {
@@ -47,17 +71,23 @@ CampaignArtifacts run_campaign(sim::QueueBackend backend, size_t threads, size_t
     core::Scenario probe(truth, opt);
     cfg = probe.default_measure_config();
   }
+  // Diagnostics collection rides the faulted variants, exercising the
+  // cause annex end to end; the clean variant keeps both annexes off so
+  // the byte-identity below also covers the annex-absent report shape.
+  cfg.collect_diagnostics = faults;
   exec::CampaignOptions copt;
   copt.group_k = 4;
   copt.shards = shards;
   copt.threads = threads;
+  copt.collect_spans = true;
   if (faults) {
     copt.fault_plan.drop_tx = 0.02;
     copt.fault_plan.drop_announce = 0.02;
     copt.fault_plan.spike_prob = 0.05;
   }
   const exec::CampaignResult result = exec::run_sharded_campaign(truth, opt, cfg, copt);
-  return {core::report_to_json(result.report).dump(), result.metrics};
+  return {core::report_to_json(result.report).dump(),
+          obs::spans_to_chrome_json(result.spans).dump(), result.metrics};
 }
 
 TEST(GoldenDeterminism, SmokeCampaignIsByteIdenticalAcrossBackends) {
@@ -65,8 +95,14 @@ TEST(GoldenDeterminism, SmokeCampaignIsByteIdenticalAcrossBackends) {
   const auto wheel = run_campaign(sim::QueueBackend::kTimingWheel, 1, 2, false);
   const auto heap = run_campaign(sim::QueueBackend::kLegacyHeap, 1, 2, false);
   EXPECT_EQ(wheel.report_json, heap.report_json);
-  EXPECT_EQ(wheel.metrics, heap.metrics);
+  EXPECT_EQ(wheel.trace_json, heap.trace_json);
+  EXPECT_EQ(strip_queue_internals(wheel.metrics), strip_queue_internals(heap.metrics));
   EXPECT_FALSE(wheel.report_json.empty());
+  EXPECT_FALSE(wheel.trace_json.empty());
+  // Annexes stay absent when not configured: the serialized report is the
+  // pre-annex document, byte for byte.
+  EXPECT_EQ(wheel.report_json.find("\"fault\""), std::string::npos);
+  EXPECT_EQ(wheel.report_json.find("\"diagnostics\""), std::string::npos);
 }
 
 TEST(GoldenDeterminism, ThreadWidthChangesNothingOnEitherBackend) {
@@ -74,11 +110,16 @@ TEST(GoldenDeterminism, ThreadWidthChangesNothingOnEitherBackend) {
   const auto wheel_serial = run_campaign(sim::QueueBackend::kTimingWheel, 1, 3, false);
   const auto wheel_wide = run_campaign(sim::QueueBackend::kTimingWheel, 4, 3, false);
   EXPECT_EQ(wheel_serial.report_json, wheel_wide.report_json);
+  EXPECT_EQ(wheel_serial.trace_json, wheel_wide.trace_json);
+  // Full-snapshot equality on a fixed backend: even the queue internals
+  // must be thread-width invariant (workers never share a queue).
   EXPECT_EQ(wheel_serial.metrics, wheel_wide.metrics);
 
   const auto heap_wide = run_campaign(sim::QueueBackend::kLegacyHeap, 4, 3, false);
   EXPECT_EQ(wheel_serial.report_json, heap_wide.report_json);
-  EXPECT_EQ(wheel_serial.metrics, heap_wide.metrics);
+  EXPECT_EQ(wheel_serial.trace_json, heap_wide.trace_json);
+  EXPECT_EQ(strip_queue_internals(wheel_serial.metrics),
+            strip_queue_internals(heap_wide.metrics));
 }
 
 TEST(GoldenDeterminism, FaultCampaignIsByteIdenticalAcrossBackends) {
@@ -86,7 +127,24 @@ TEST(GoldenDeterminism, FaultCampaignIsByteIdenticalAcrossBackends) {
   const auto wheel = run_campaign(sim::QueueBackend::kTimingWheel, 2, 2, true);
   const auto heap = run_campaign(sim::QueueBackend::kLegacyHeap, 2, 2, true);
   EXPECT_EQ(wheel.report_json, heap.report_json);
-  EXPECT_EQ(wheel.metrics, heap.metrics);
+  EXPECT_EQ(wheel.trace_json, heap.trace_json);
+  EXPECT_EQ(strip_queue_internals(wheel.metrics), strip_queue_internals(heap.metrics));
+
+  // The faulted campaign carries the diagnostics annex, and every pair it
+  // left inconclusive names the protocol step that broke — never a bare
+  // "inconclusive" with no cause.
+  const auto parsed = rpc::Json::parse(wheel.report_json);
+  ASSERT_TRUE(parsed.has_value());
+  const auto report = core::report_from_json(*parsed);
+  ASSERT_TRUE(report.has_value());
+  ASSERT_TRUE(report->diagnostics.has_value());
+  uint64_t total = 0;
+  for (uint64_t c : report->diagnostics->causes) total += c;
+  EXPECT_EQ(total, report->pairs_tested);
+  for (const core::PairDiagnostic& p : report->diagnostics->inconclusive) {
+    EXPECT_NE(p.cause, obs::ProbeCause::kNone)
+        << "pair (" << p.u << ", " << p.v << ") is inconclusive without a cause";
+  }
 }
 
 }  // namespace
