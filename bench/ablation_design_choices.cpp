@@ -26,10 +26,10 @@ RunResult run(const topo::core::ScenarioOptions& opt, const topo::graph::Graph& 
   sc.seed_background();
   const uint64_t msgs0 = sc.net().messages_delivered();
   graph::Graph measured(g.num_nodes());
-  const auto cfg = sc.default_measure_config();
+  core::MeasurementSession session(sc);
   for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
     for (graph::NodeId v = u + 1; v < g.num_nodes(); ++v) {
-      const auto r = sc.measure_one_link(sc.targets()[u], sc.targets()[v], cfg);
+      const auto r = session.one_link(sc.targets()[u], sc.targets()[v]).value;
       if (r.connected) measured.add_edge(u, v);
     }
   }

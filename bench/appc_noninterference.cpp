@@ -27,10 +27,10 @@ int main(int argc, char** argv) {
     sc.seed_background();
     sc.net().start_mining({sc.targets()[0]}, 5.0);
 
-    core::MeasureConfig cfg = sc.default_measure_config();
-    cfg.price_Y = y0;
+    core::MeasurementSession session(sc);
+    session.config().price_Y = y0;
     const double t1 = sc.sim().now();
-    if (measure) sc.measure_one_link(sc.targets()[1], sc.targets()[2], cfg);
+    if (measure) session.one_link(sc.targets()[1], sc.targets()[2]);
     sc.sim().run_until(180.0);
     const double t2 = sc.sim().now();
     return std::tuple{sc.chain().blocks(), core::verify_noninterference(sc.chain(), t1, t2, 0.0, y0)};

@@ -51,9 +51,9 @@ int main(int argc, char** argv) {
       sc.net().node(id).pool() = std::move(pool);
     }
     sc.seed_background();
-    core::MeasureConfig cfg = sc.default_measure_config();
-    cfg.eip1559 = true;  // measurement transactions carry max/priority fees
-    const auto r = sc.measure_one_link(sc.targets()[0], sc.targets()[1], cfg);
+    core::MeasurementSession session(sc);
+    session.config().eip1559 = true;  // measurement transactions carry max/priority fees
+    const auto r = session.one_link(sc.targets()[0], sc.targets()[1]).value;
     std::cout << label << ": measured A-B (true link) -> "
               << (r.connected ? "DETECTED" : "missed")
               << " (txC evicted on B: " << (r.txc_evicted_on_b ? "yes" : "no") << ")\n";

@@ -22,6 +22,7 @@ set(EXPERIMENT_BENCHES
   usecase_mining_qos
   x_calibration
   fault_recall
+  strategy_rivalry
 )
 
 foreach(bench ${EXPERIMENT_BENCHES})

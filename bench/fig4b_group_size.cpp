@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       sources.push_back(sc.targets()[chosen[i]]);
     }
     const auto res =
-        sc.measure_parallel(sources, {sc.targets()[b_idx]}, edges, sc.default_measure_config());
+        core::MeasurementSession(sc).parallel(sources, {sc.targets()[b_idx]}, edges).value;
 
     size_t tp = 0, fp = 0, fn = 0;
     for (size_t i = 0; i < chosen.size(); ++i) {

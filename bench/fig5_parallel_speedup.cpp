@@ -59,12 +59,12 @@ int main(int argc, char** argv) {
     graph::Graph measured(g.num_nodes());
     size_t iterations = 0;
     if (k <= 1) {
-      // Serial baseline: one measureOneLink per pair.
-      const auto cfg = sc.default_measure_config();
+      // Serial baseline: one measureOneLink per pair, via the session.
+      core::MeasurementSession session(sc);
       for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
         for (graph::NodeId v = u + 1; v < g.num_nodes(); ++v) {
           ++iterations;
-          const auto r = sc.measure_one_link(sc.targets()[u], sc.targets()[v], cfg);
+          const auto r = session.one_link(sc.targets()[u], sc.targets()[v]).value;
           if (r.connected) measured.add_edge(u, v);
         }
       }

@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
       world.net().node(world.targets()[0]).pool() = mempool::Mempool(custom, &world.chain());
       world.seed_background();
 
-      core::MeasureConfig cfg = world.default_measure_config();
-      cfg.flood_Z = 5120;               // the paper's stock flood
-      cfg.price_Y = eth::gwei(0.01);    // below every populated transaction
-      const auto r = world.measure_one_link(world.targets()[0], world.targets()[1], cfg);
+      core::MeasurementSession session(world);
+      session.config().flood_Z = 5120;             // the paper's stock flood
+      session.config().price_Y = eth::gwei(0.01);  // below every populated transaction
+      const auto r = session.one_link(world.targets()[0], world.targets()[1]).value;
 
       const bool expected = capacity <= pending + 5120;
       table.add_row({util::fmt(capacity), util::fmt(pending),

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/session.h"
 #include "core/toposhot.h"
 #include "disc/discovery.h"
 #include "graph/generators.h"
@@ -43,14 +44,14 @@ void BM_OneLinkMeasurement(benchmark::State& state) {
   opt.background_txs = 192;
   core::Scenario sc(g, opt);
   sc.seed_background();
-  const auto cfg = sc.default_measure_config();
+  core::MeasurementSession session(sc);
   size_t pair = 0;
   for (auto _ : state) {
     const graph::NodeId u = static_cast<graph::NodeId>(pair % 24);
     const graph::NodeId v = static_cast<graph::NodeId>((pair / 24 + 1 + u) % 24);
     ++pair;
     if (u == v) continue;
-    benchmark::DoNotOptimize(sc.measure_one_link(sc.targets()[u], sc.targets()[v], cfg));
+    benchmark::DoNotOptimize(session.one_link(sc.targets()[u], sc.targets()[v]).value);
   }
 }
 BENCHMARK(BM_OneLinkMeasurement)->Unit(benchmark::kMillisecond);

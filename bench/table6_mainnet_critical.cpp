@@ -70,9 +70,9 @@ int main(int argc, char** argv) {
   // inclusion floor of recent blocks but high enough to live in a full
   // pool (the pool median).
   sc.sim().run_until(sc.sim().now() + 60.0);
-  core::MeasureConfig cfg = sc.default_measure_config();
-  cfg.price_Y = core::estimate_price_Y0(sc.m().view(),
-                                        core::min_included_price(sc.chain()));  // Y0: far below every organic price
+  core::MeasurementSession session(sc);
+  session.config().price_Y = core::estimate_price_Y0(
+      sc.m().view(), core::min_included_price(sc.chain()));  // Y0: far below every organic price
   const double t1 = sc.sim().now();
 
   // Step 2: pairwise measurement; aggregate per service-type pair.
@@ -84,9 +84,9 @@ int main(int argc, char** argv) {
       const auto& [svc_b, node_b] = selected[j];
       // Re-estimate Y0 before every pair (§6.3 runs the estimator before
       // each study): the fee market moves between probes.
-      cfg.price_Y = core::estimate_price_Y0(sc.m().view(),
-                                            core::min_included_price(sc.chain()));
-      const auto r = sc.measure_one_link(sc.targets()[node_a], sc.targets()[node_b], cfg);
+      session.config().price_Y = core::estimate_price_Y0(sc.m().view(),
+                                                         core::min_included_price(sc.chain()));
+      const auto r = session.one_link(sc.targets()[node_a], sc.targets()[node_b]).value;
       // The paper paces its mainnet study (~36 pairs in half an hour):
       // organic churn clears each probe's residue before the next pair.
       sc.sim().run_until(sc.sim().now() + pair_spacing);
@@ -114,7 +114,8 @@ int main(int argc, char** argv) {
 
   // Non-interference verification over the measurement window.
   sc.sim().run_until(t2 + 30.0);
-  const auto check = core::verify_noninterference(sc.chain(), t1, t2, 0.0, cfg.price_Y);
+  const auto check =
+      core::verify_noninterference(sc.chain(), t1, t2, 0.0, session.config().price_Y);
   std::cout << "\nNon-interference verification: V1 (blocks full) = "
             << (check.v1_blocks_full ? "PASS" : "FAIL")
             << ", V2 (included prices > Y0) = " << (check.v2_prices_above_y0 ? "PASS" : "FAIL")

@@ -51,8 +51,8 @@ int main(int argc, char** argv) {
     core::Scenario sc(g, opt);
     sc.seed_background();
     const auto& t = sc.targets();
-    const auto res = sc.measure_parallel({t[0], t[1]}, {t[2]}, {{0, 0}, {1, 0}},
-                                         sc.default_measure_config());
+    core::MeasurementSession session(sc);
+    const auto res = session.parallel({t[0], t[1]}, {t[2]}, {{0, 0}, {1, 0}}).value;
     verdicts[job] = {res.connected[0], res.connected[1]};
   });
 

@@ -148,6 +148,9 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   const double fault_churn = cli.get_double("fault-churn", 0.0);
   const size_t retries = cli.get_uint("retries", 0);
   const std::string trace_out = cli.get_string("trace-out", "");
+  core::StrategyKind strategy = core::StrategyKind::kToposhot;
+  core::strategy_from_name(
+      cli.get_choice("strategy", "toposhot", {"toposhot", "dethna", "txprobe"}), strategy);
 
   banner(cfg.name + " topology study", cfg.paper_reference);
   util::Rng rng(seed);
@@ -197,6 +200,7 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   mcfg.inconclusive_retries = retries;
   exec::CampaignOptions copt;
   copt.group_k = group_k;
+  copt.strategy = strategy;
   copt.threads = threads;
   copt.shards = shards;
   copt.seed_background = true;
@@ -221,6 +225,7 @@ inline int run_testnet_study(const TestnetStudyConfig& cfg, int argc, char** arg
   const auto& report = campaign.report;
   const auto pr = core::compare_graphs(truth, report.measured);
   util::Table table({"Metric", "Value"});
+  table.add_row({"strategy", std::string(core::strategy_name(report.strategy))});
   table.add_row({"nodes", util::fmt(truth.num_nodes())});
   table.add_row({"ground-truth edges", util::fmt(truth.num_edges())});
   table.add_row({"measured edges", util::fmt(report.measured.num_edges())});

@@ -15,6 +15,7 @@
 //      (the paper's argument for why a new technique was needed at all).
 
 #include "bench_common.h"
+#include "core/strategy.h"
 #include "graph/generators.h"
 #include "p2p/node.h"
 
@@ -30,17 +31,10 @@ ProbeOutcome run_txprobe(bool ethereum_mode, const graph::Graph& g, uint64_t see
   core::ScenarioOptions opt = bench::scaled_options(seed);
   opt.background_txs = 64;  // light load; TxProbe does not need full pools
   core::Scenario sc(g, opt);
-  if (!ethereum_mode) {
-    for (auto id : sc.targets()) {
-      auto& cfg = sc.net().node(id).mutable_config();
-      cfg.announce_only = true;
-    }
-  } else {
-    for (auto id : sc.targets()) {
-      auto& cfg = sc.net().node(id).mutable_config();
-      cfg.use_announcements = true;  // Geth >= 1.9.11: sqrt push + announce
-    }
-  }
+  // Same switch TxProbeStrategy::prepare uses: announce-only is the
+  // Bitcoin-style world, push+announce is Geth >= 1.9.11.
+  core::apply_propagation_mode(sc, ethereum_mode ? core::PropagationMode::kPushAndAnnounce
+                                                 : core::PropagationMode::kAnnounceOnly);
   sc.seed_background();
 
   core::PrecisionRecall pr;

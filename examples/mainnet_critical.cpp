@@ -15,6 +15,7 @@
 #include "core/mainnet.h"
 #include "core/gas_estimator.h"
 #include "core/noninterference.h"
+#include "core/session.h"
 #include "core/toposhot.h"
 #include "p2p/node.h"
 #include "util/cli.h"
@@ -53,16 +54,17 @@ int main(int argc, char** argv) {
   // inclusion floor of recent blocks but high enough to live in a full
   // pool (the pool median).
   sc.sim().run_until(sc.sim().now() + 60.0);
-  core::MeasureConfig cfg = sc.default_measure_config();
-  cfg.price_Y = core::estimate_price_Y0(sc.m().view(),
-                                        core::min_included_price(sc.chain()));  // Y0 far below organic prices
+  core::MeasurementSession session(sc);
+  session.config().price_Y = core::estimate_price_Y0(
+      sc.m().view(), core::min_included_price(sc.chain()));  // Y0 far below organic prices
   const double t1 = sc.sim().now();
 
   std::cout << "\nPairwise measurements among " << picks.size() << " critical nodes:\n";
   for (size_t i = 0; i < picks.size(); ++i) {
     for (size_t j = i + 1; j < picks.size(); ++j) {
-      const auto r = sc.measure_one_link(sc.targets()[picks[i].second],
-                                         sc.targets()[picks[j].second], cfg);
+      const auto r = session
+                         .one_link(sc.targets()[picks[i].second], sc.targets()[picks[j].second])
+                         .value;
       const bool truth = world.topology.has_edge(
           static_cast<graph::NodeId>(picks[i].second),
           static_cast<graph::NodeId>(picks[j].second));
@@ -75,7 +77,8 @@ int main(int argc, char** argv) {
 
   // Step 3: verify non-interference a posteriori.
   sc.sim().run_until(t2 + 30.0);
-  const auto check = core::verify_noninterference(sc.chain(), t1, t2, 0.0, cfg.price_Y);
+  const auto check =
+      core::verify_noninterference(sc.chain(), t1, t2, 0.0, session.config().price_Y);
   std::cout << "\nNon-interference: V1 " << (check.v1_blocks_full ? "PASS" : "FAIL") << ", V2 "
             << (check.v2_prices_above_y0 ? "PASS" : "FAIL") << " over "
             << check.blocks_inspected << " blocks -> "

@@ -7,7 +7,10 @@
 //   --mode=pair --a=I --b=J --nodes=N   measure one link with diagnostics
 //   --mode=export --nodes=N --out=PATH  emerge a topology and write CSV/DOT
 //
-// Common flags: --seed, --recipe=ropsten|rinkeby|goerli, --repetitions.
+// Common flags: --seed, --recipe=ropsten|rinkeby|goerli, --repetitions,
+// and --strategy=toposhot|dethna|txprobe to pick the measurement strategy
+// (core::MeasurementStrategy seam; the non-default choice is echoed in the
+// table, the report JSON, and the metrics snapshot).
 // measure also accepts --threads=N / --shards=S to run the sharded campaign
 // (topo::exec), --fault-loss=P / --fault-churn=RATE / --retries=R for
 // deterministic fault injection with bounded inconclusive re-measurement
@@ -49,19 +52,6 @@ disc::EmergenceConfig recipe_for(const std::string& name, size_t nodes) {
   if (name == "rinkeby") return disc::rinkeby_like(nodes);
   if (name == "goerli") return disc::goerli_like(nodes);
   return disc::ropsten_like(nodes);
-}
-
-/// Writes the session's cumulative metrics snapshot when --metrics-out was
-/// given; returns false only on I/O failure.
-bool maybe_write_metrics(const util::Cli& cli, core::MeasurementSession& session) {
-  const std::string path = cli.get_string("metrics-out", "");
-  if (path.empty()) return true;
-  if (!obs::write_json_file(path, obs::snapshot_to_json(session.snapshot()))) {
-    std::cerr << "failed to write " << path << "\n";
-    return false;
-  }
-  std::cout << "metrics written to " << path << "\n";
-  return true;
 }
 
 int mode_profile() {
@@ -129,6 +119,21 @@ void add_diagnostics_rows(util::Table& table, const core::DiagnosticsReport& d) 
 /// Builds the fault plan shared by both measure paths from --fault-loss
 /// (uniform message-drop probability) and --fault-churn (random node faults
 /// per sim second, half of them crash/restarts).
+/// Parses --strategy through the strict vocabulary (exit 2 on a typo).
+core::StrategyKind strategy_from(const util::Cli& cli) {
+  const std::string name =
+      cli.get_choice("strategy", "toposhot", {"toposhot", "dethna", "txprobe"});
+  core::StrategyKind kind = core::StrategyKind::kToposhot;
+  core::strategy_from_name(name, kind);
+  return kind;
+}
+
+/// Stamps the strategy into a metrics snapshot so the written artifact is
+/// self-describing even where the report JSON is not emitted.
+void stamp_strategy(obs::MetricsSnapshot& snapshot, core::StrategyKind kind) {
+  snapshot.gauges["probe.strategy"] = static_cast<double>(kind);
+}
+
 fault::FaultPlan fault_plan_from(const util::Cli& cli) {
   fault::FaultPlan plan;
   const double loss = cli.get_double("fault-loss", 0.0);
@@ -149,6 +154,7 @@ int mode_measure(const util::Cli& cli) {
   const size_t retries = cli.get_uint("retries", 0);
   const bool diagnostics = cli.get_bool("diagnostics", false);
   const bool tracing = !cli.get_string("trace-out", "").empty();
+  const core::StrategyKind strategy = strategy_from(cli);
   const fault::FaultPlan plan = fault_plan_from(cli);
   util::Rng rng(seed);
   auto recipe = recipe_for(cli.get_string("recipe", "ropsten"), nodes);
@@ -160,6 +166,7 @@ int mode_measure(const util::Cli& cli) {
   opt.trace_capacity = cli.get_uint("trace-capacity", opt.trace_capacity);
 
   util::Table table({"Metric", "Value"});
+  table.add_row({"strategy", core::strategy_name(strategy)});
   table.add_row({"nodes", util::fmt(truth.num_nodes())});
   table.add_row({"true edges", util::fmt(truth.num_edges())});
 
@@ -175,12 +182,14 @@ int mode_measure(const util::Cli& cli) {
             .build();
     exec::CampaignOptions copt;
     copt.group_k = group;
+    copt.strategy = strategy;
     copt.threads = threads;
     copt.shards = shards;
     copt.churn_rate = 3.0;
     copt.fault_plan = plan;
     copt.collect_spans = tracing;
-    const auto campaign = exec::run_sharded_campaign(truth, opt, mcfg, copt);
+    auto campaign = exec::run_sharded_campaign(truth, opt, mcfg, copt);
+    stamp_strategy(campaign.metrics, strategy);
     const auto& report = campaign.report;
     const auto pr = core::compare_graphs(truth, report.measured);
     table.add_row({"measured edges", util::fmt(report.measured.num_edges())});
@@ -222,6 +231,7 @@ int mode_measure(const util::Cli& cli) {
               .inconclusive_retries(retries)
               .collect_diagnostics(diagnostics)
               .build());
+  session.set_strategy(strategy);
   const auto measured = session.network(group);
   const auto& report = measured.value;
   const auto pr = core::compare_graphs(truth, report.measured);
@@ -242,7 +252,9 @@ int mode_measure(const util::Cli& cli) {
   if (report.diagnostics.has_value()) add_diagnostics_rows(table, *report.diagnostics);
   table.print(std::cout);
   warn_if_trace_dropped(static_cast<double>(sc.metrics().trace().dropped()));
-  const bool ok = maybe_write_metrics(cli, session) && maybe_write_trace(cli, tracer.spans());
+  obs::MetricsSnapshot snapshot = session.snapshot();
+  stamp_strategy(snapshot, strategy);
+  const bool ok = maybe_write_metrics(cli, snapshot) && maybe_write_trace(cli, tracer.spans());
   return ok ? 0 : 1;
 }
 
@@ -290,14 +302,16 @@ int mode_pair(const util::Cli& cli) {
   core::ScenarioOptions opt;
   opt.seed = seed;
   opt.trace_capacity = cli.get_uint("trace-capacity", opt.trace_capacity);
+  const core::StrategyKind strategy = strategy_from(cli);
   core::Scenario sc(truth, opt);
   sc.seed_background();
   obs::SpanTracer tracer(0);
   if (!cli.get_string("trace-out", "").empty()) sc.set_span_tracer(&tracer);
   core::MeasurementSession session(sc);
+  session.set_strategy(strategy);
   const auto measured = session.one_link(sc.targets()[a], sc.targets()[b]);
   const auto& r = measured.value;
-  std::cout << "pair " << a << " <-> " << b << ": "
+  std::cout << "pair " << a << " <-> " << b << " [" << core::strategy_name(strategy) << "]: "
             << (r.connected ? "CONNECTED" : "not connected")
             << " (ground truth: " << (truth.has_edge(static_cast<graph::NodeId>(a),
                                                      static_cast<graph::NodeId>(b))
@@ -309,7 +323,9 @@ int mode_pair(const util::Cli& cli) {
             << ", verdict: " << obs::span_verdict_name(core::span_verdict_code(r.verdict))
             << ", cause: " << obs::probe_cause_name(r.cause) << "\n";
   warn_if_trace_dropped(static_cast<double>(sc.metrics().trace().dropped()));
-  const bool ok = maybe_write_metrics(cli, session) && maybe_write_trace(cli, tracer.spans());
+  obs::MetricsSnapshot snapshot = session.snapshot();
+  stamp_strategy(snapshot, strategy);
+  const bool ok = maybe_write_metrics(cli, snapshot) && maybe_write_trace(cli, tracer.spans());
   return ok ? 0 : 1;
 }
 
@@ -346,6 +362,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "toposhot_cli --mode=profile|measure|analyze|pair|export\n"
                "  common: --seed=N --nodes=N --recipe=ropsten|rinkeby|goerli\n"
+               "          --strategy=toposhot|dethna|txprobe (measurement strategy seam)\n"
                "  measure: --group=K --repetitions=R --threads=N --shards=S "
                "--metrics-out=PATH\n"
                "           --fault-loss=P --fault-churn=RATE --retries=R "

@@ -30,10 +30,14 @@ SCHEMA = "toposhot-bench-v1"
 def load_results(path):
     """One results file -> {name: {"items_per_second", "real_time_ns"}}.
 
-    Accepts three shapes, dispatched on document keys:
+    Accepts four shapes, dispatched on document keys:
       - "benchmarks": raw google-benchmark JSON (micro_network, micro_mempool)
       - "cells":      the fault_recall --out sweep; metric = recall per cell
       - "rows":       the fig5_parallel_speedup --out sweep; metric = speedup per K
+      - "rivalry":    the strategy_rivalry --out sweep; two metrics per cell:
+                      recall (one-sided floor) and txs_sent (two-sided — the
+                      probe count of a deterministic campaign moving in either
+                      direction means the strategy's protocol changed)
     The sweep metrics ride in the items_per_second field — compare only
     needs "bigger is better", and the sims are deterministic, so any drift
     beyond the band signals a behavior change, not noise.
@@ -72,14 +76,23 @@ def load_results(path):
         for r in doc["rows"]:
             out[f"k={r['k']}"] = {"items_per_second": float(r["speedup"]),
                                   "real_time_ns": float(r["sim_time"]) * 1e9}
+    elif "rivalry" in doc:
+        for c in doc["rivalry"]:
+            cell = f"{c['strategy']}/mix={c['mix']}/loss={c['loss']:g}"
+            out[f"{cell}/recall"] = {"items_per_second": float(c["recall"]),
+                                     "real_time_ns": 0.0}
+            out[f"{cell}/txs_sent"] = {"items_per_second": float(c["txs_sent"]),
+                                       "real_time_ns": 0.0}
     elif not out:
         sys.exit(f"error: {path} is neither gbench JSON nor a known sweep artifact")
     return out
 
 
 def two_sided(name):
-    """Event-mix entries are gated in both directions; see load_results."""
-    return name.startswith("event_mix/")
+    """Entries gated in both directions; see load_results. Event-mix counts
+    and rivalry probe counts are deterministic, so drift either way is a
+    behavior change, not jitter."""
+    return name.startswith("event_mix/") or name.endswith("/txs_sent")
 
 
 def load_baseline(path):

@@ -44,10 +44,12 @@ if [[ "${1:-}" != "--fast" ]]; then
   # ASan can vouch for; pin its suite explicitly so a filter change in the
   # main run can never silently drop it. The tracing/diagnostics suites ride
   # along: span open/close bookkeeping and the ring-walk visit() are exactly
-  # the kind of index arithmetic ASan exists for.
-  echo "== pass 3: fault-injection + tracing suites under ASan (focused) =="
+  # the kind of index arithmetic ASan exists for. The strategy-seam suites
+  # (Strategy*, Dethna*, TxProbe*) too: rival strategies drive raw
+  # announce/echo bookkeeping across node restarts.
+  echo "== pass 3: fault-injection + tracing + strategy suites under ASan (focused) =="
   ./build-asan/tests/toposhot_tests \
-    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*'
+    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*:Strategy*:Dethna*:TxProbe*'
 fi
 
 echo "All checks passed."

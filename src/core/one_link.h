@@ -59,6 +59,12 @@ struct OneLinkResult {
 ///
 /// The call advances the shared simulator; concurrent activity (mining,
 /// background traffic, re-gossip) keeps running during the measurement.
+///
+/// Implementation detail of the strategy seam: this is the raw TopoShot
+/// probe that core::ToposhotStrategy drives. Constructing it directly
+/// bypasses strategy selection — new code should go through
+/// core::MeasurementSession (or core::MeasurementStrategy for batch
+/// drivers) instead.
 class OneLinkMeasurement {
  public:
   OneLinkMeasurement(p2p::Network& net, p2p::MeasurementNode& m, eth::AccountManager& accounts,

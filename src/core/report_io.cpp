@@ -96,6 +96,11 @@ Json report_to_json(const NetworkMeasurementReport& report) {
       {"sim_seconds", Json(report.sim_seconds)},
       {"txs_sent", Json(report.txs_sent)},
   };
+  // Non-default strategy only: default (TopoShot) reports keep the exact
+  // pre-seam document shape, byte for byte.
+  if (report.strategy != StrategyKind::kToposhot) {
+    obj.emplace("strategy", Json(std::string(strategy_name(report.strategy))));
+  }
   // Emitted only when present, so unfaulted reports stay byte-identical to
   // pre-fault builds. Same policy for the diagnostics annex.
   if (report.fault.has_value()) obj.emplace("fault", fault_to_json(*report.fault));
@@ -208,6 +213,14 @@ std::optional<NetworkMeasurementReport> report_from_json(const Json& j) {
   report.pairs_tested = static_cast<size_t>(pairs_tested);
   report.sim_seconds = sim_seconds;
   report.txs_sent = static_cast<uint64_t>(txs_sent);
+  if (!j["strategy"].is_null()) {
+    // Strict like everything else: a present field must be a known name
+    // (absent means the default TopoShot strategy).
+    if (!j["strategy"].is_string() ||
+        !strategy_from_name(j["strategy"].as_string(), report.strategy)) {
+      return std::nullopt;
+    }
+  }
   if (!j["fault"].is_null()) {
     auto f = fault_from_json(j["fault"]);
     if (!f) return std::nullopt;

@@ -83,7 +83,7 @@ std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budg
   return batches;
 }
 
-void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
+void run_batch(MeasurementStrategy& strat, const std::vector<p2p::PeerId>& targets,
                const MeasurementBatch& batch, size_t batch_id,
                NetworkMeasurementReport& report,
                std::vector<RetriedPair>* inconclusive) {
@@ -97,24 +97,24 @@ void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets
   // batch_id, edge index), so the export never depends on which worker ran
   // the batch or when. Pair spans cover the whole batch interval: the
   // parallel primitive measures every edge in one pass.
-  obs::SpanTracer* tracer = par.tracer();
+  obs::SpanTracer* tracer = strat.tracer();
   uint64_t batch_span = 0;
   uint64_t prev_scope = 0;
   std::vector<uint64_t> pair_spans;
   if (tracer != nullptr) {
     tracer->set_batch(batch_id);
-    batch_span = tracer->open(obs::SpanKind::kBatch, par.now(),
+    batch_span = tracer->open(obs::SpanKind::kBatch, strat.now(),
                               obs::batch_span_id(tracer->shard(), batch_id), tracer->scope(),
                               batch_id, batch.edges.size());
     prev_scope = tracer->set_scope(batch_span);
     pair_spans.reserve(batch.edges.size());
     for (size_t i = 0; i < batch.edges.size(); ++i) {
       pair_spans.push_back(
-          tracer->open_pair_at(i, par.now(), batch.pairs[i].first, batch.pairs[i].second));
+          tracer->open_pair_at(i, strat.now(), batch.pairs[i].first, batch.pairs[i].second));
     }
   }
 
-  const ParallelResult res = par.measure(sources, sinks, batch.edges);
+  const ParallelResult res = strat.measure_batch(sources, sinks, batch.edges);
   ++report.iterations;
   report.txs_sent += res.txs_sent;
   report.pairs_tested += batch.edges.size();
@@ -131,27 +131,27 @@ void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets
       ++report.diagnostics->causes[static_cast<size_t>(res.causes[i])];
     }
     if (tracer != nullptr) {
-      tracer->close_pair(pair_spans[i], par.now(), span_verdict_code(res.verdicts[i]),
+      tracer->close_pair(pair_spans[i], strat.now(), span_verdict_code(res.verdicts[i]),
                          res.causes[i]);
     }
   }
   if (tracer != nullptr) {
-    tracer->close(batch_span, par.now());
+    tracer->close(batch_span, strat.now());
     tracer->set_scope(prev_scope);
   }
 }
 
-void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
+void run_retry_pass(MeasurementStrategy& strat, const std::vector<p2p::PeerId>& targets,
                     std::vector<RetriedPair> inconclusive, size_t budget, size_t rounds,
                     NetworkMeasurementReport& report) {
   budget = std::max<size_t>(1, budget);
-  obs::SpanTracer* tracer = par.tracer();
+  obs::SpanTracer* tracer = strat.tracer();
   std::vector<RetriedPair> resolved;  // entered the retry path, now decided
   for (size_t round = 0; round < rounds && !inconclusive.empty(); ++round) {
     uint64_t round_span = 0;
     uint64_t prev_scope = 0;
     if (tracer != nullptr) {
-      round_span = tracer->open_auto(obs::SpanKind::kRetryRound, par.now(), round,
+      round_span = tracer->open_auto(obs::SpanKind::kRetryRound, strat.now(), round,
                                      inconclusive.size());
       prev_scope = tracer->set_scope(round_span);
     }
@@ -170,7 +170,7 @@ void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& ta
         edges.push_back({sit->second, tit->second});
       }
 
-      const ParallelResult res = par.remeasure(sources, sinks, edges);
+      const ParallelResult res = strat.remeasure_batch(sources, sinks, edges);
       ++report.iterations;
       report.txs_sent += res.txs_sent;
       for (size_t k = 0; k < edges.size(); ++k) {
@@ -201,14 +201,14 @@ void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& ta
             ++report.diagnostics->cleared[static_cast<size_t>(before)];
           }
           if (tracer != nullptr) {
-            tracer->instant(obs::SpanKind::kRetryClear, par.now(), p.u, p.v,
+            tracer->instant(obs::SpanKind::kRetryClear, strat.now(), p.u, p.v,
                             span_verdict_code(res.verdicts[k]), before);
           }
         }
       }
     }
     if (tracer != nullptr) {
-      tracer->close(round_span, par.now());
+      tracer->close(round_span, strat.now());
       tracer->set_scope(prev_scope);
     }
     inconclusive = std::move(next);
@@ -242,24 +242,25 @@ NetworkMeasurementReport NetworkMeasurement::measure_all(p2p::Network& net,
                                                          size_t group_k) {
   NetworkMeasurementReport report;
   report.measured = graph::Graph(targets.size());
-  if (par_.config().inconclusive_retries > 0) {
+  report.strategy = strat_.kind();
+  if (strat_.config().inconclusive_retries > 0) {
     report.fault.emplace();
-    report.fault->retries = par_.config().inconclusive_retries;
+    report.fault->retries = strat_.config().inconclusive_retries;
   }
-  if (par_.config().collect_diagnostics) report.diagnostics.emplace();
+  if (strat_.config().collect_diagnostics) report.diagnostics.emplace();
   const double t0 = net.simulator().now();
 
   const size_t budget =
-      max_edges_ != 0 ? max_edges_ : slot_budget(par_.config().flood_Z);
-  const size_t retries = par_.config().inconclusive_retries;
+      max_edges_ != 0 ? max_edges_ : slot_budget(strat_.config().flood_Z);
+  const size_t retries = strat_.config().inconclusive_retries;
   std::vector<RetriedPair> inconclusive;
   std::vector<RetriedPair>* collect =
       report.fault.has_value() || report.diagnostics.has_value() ? &inconclusive : nullptr;
   size_t batch_id = 0;
   for (const auto& batch : make_batches(targets.size(), group_k, budget)) {
-    run_batch(par_, targets, batch, batch_id++, report, collect);
+    run_batch(strat_, targets, batch, batch_id++, report, collect);
   }
-  run_retry_pass(par_, targets, std::move(inconclusive), budget, retries, report);
+  run_retry_pass(strat_, targets, std::move(inconclusive), budget, retries, report);
   report.sim_seconds = net.simulator().now() - t0;
   return report;
 }

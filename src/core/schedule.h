@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/parallel.h"
+#include "core/strategy.h"
 #include "graph/graph.h"
 #include "obs/span.h"
 
@@ -104,6 +105,11 @@ struct NetworkMeasurementReport {
   double sim_seconds = 0.0;
   uint64_t txs_sent = 0;
 
+  /// Which measurement strategy produced the report. kToposhot (the
+  /// default) is omitted from the serialized form, so default-strategy
+  /// reports stay byte-identical to pre-seam builds.
+  StrategyKind strategy = StrategyKind::kToposhot;
+
   /// Present when fault injection or inconclusive retries were configured;
   /// absent reports serialize byte-identically to pre-fault builds.
   std::optional<FaultReport> fault;
@@ -134,7 +140,7 @@ inline size_t slot_budget(size_t flood_z) { return std::max<size_t>(1, flood_z *
 /// construction (every unordered pair appears in exactly one batch).
 std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budget);
 
-/// Runs one batch through `par` (mapping target indices through `targets`)
+/// Runs one batch through `strat` (mapping target indices through `targets`)
 /// and folds the outcome into `report`: iteration/pair/tx tallies plus one
 /// measured edge per positive verdict; the diagnostics annex (when present)
 /// absorbs every edge's final cause. sim_seconds is left to the caller,
@@ -142,9 +148,9 @@ std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budg
 /// is non-null, every pair the batch left undecided is appended to it
 /// (endpoints, attempts consumed so far, last cause) for a later
 /// run_retry_pass. `batch_id` is the batch's index in the shard's plan — it
-/// keys the stable span ids (obs::batch_span_id / pair_span_id) when `par`
-/// carries a tracer, so ids never depend on execution order.
-void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
+/// keys the stable span ids (obs::batch_span_id / pair_span_id) when
+/// `strat` carries a tracer, so ids never depend on execution order.
+void run_batch(MeasurementStrategy& strat, const std::vector<p2p::PeerId>& targets,
                const MeasurementBatch& batch, size_t batch_id,
                NetworkMeasurementReport& report,
                std::vector<RetriedPair>* inconclusive = nullptr);
@@ -163,11 +169,11 @@ void run_batch(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets
 /// deciding round cleared, and flushes the still-inconclusive remainder;
 /// with a tracer attached each round records a kRetryRound span and each
 /// decided pair a kRetryClear instant carrying the cleared cause.
-void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& targets,
+void run_retry_pass(MeasurementStrategy& strat, const std::vector<p2p::PeerId>& targets,
                     std::vector<RetriedPair> inconclusive, size_t budget, size_t rounds,
                     NetworkMeasurementReport& report);
 
-/// Drives the full schedule through ParallelMeasurement.
+/// Drives the full schedule through a MeasurementStrategy.
 ///
 /// `max_edges_per_call` enforces the paper's mempool slot budget (§5.3.2:
 /// "we only use no more than 2000 transaction slots" of Geth's 5120): an
@@ -176,14 +182,21 @@ void run_retry_pass(ParallelMeasurement& par, const std::vector<p2p::PeerId>& ta
 /// pool. 0 derives the budget from the measurement config (2/5 of Z).
 class NetworkMeasurement {
  public:
+  explicit NetworkMeasurement(MeasurementStrategy& strat, size_t max_edges_per_call = 0)
+      : strat_(strat), max_edges_(max_edges_per_call) {}
+
+  /// Legacy entry: drives a caller-owned ParallelMeasurement through the
+  /// seam (wrap_parallel_measurement), byte-identical to the pre-seam
+  /// direct dispatch. Prefer the strategy constructor.
   explicit NetworkMeasurement(ParallelMeasurement& par, size_t max_edges_per_call = 0)
-      : par_(par), max_edges_(max_edges_per_call) {}
+      : owned_(wrap_parallel_measurement(par)), strat_(*owned_), max_edges_(max_edges_per_call) {}
 
   NetworkMeasurementReport measure_all(p2p::Network& net,
                                        const std::vector<p2p::PeerId>& targets, size_t group_k);
 
  private:
-  ParallelMeasurement& par_;
+  std::unique_ptr<MeasurementStrategy> owned_;  ///< only set by the legacy ctor
+  MeasurementStrategy& strat_;
   size_t max_edges_;
 };
 

@@ -13,18 +13,36 @@ auto MeasurementSession::annotated(Fn&& fn) -> Annotated<decltype(fn())> {
 }
 
 Annotated<OneLinkResult> MeasurementSession::one_link(p2p::PeerId a, p2p::PeerId b) {
-  return annotated([&] { return scenario_.measure_one_link(a, b, config_); });
+  return annotated([&] {
+    auto strat = scenario_.make_strategy(strategy_, config_);
+    strat->prepare(scenario_);
+    return strat->measure_pair(a, b);
+  });
 }
 
 Annotated<ParallelResult> MeasurementSession::parallel(
     const std::vector<p2p::PeerId>& sources, const std::vector<p2p::PeerId>& sinks,
     const std::vector<ParallelEdge>& edges) {
-  return annotated([&] { return scenario_.measure_parallel(sources, sinks, edges, config_); });
+  return annotated([&] {
+    auto strat = scenario_.make_strategy(strategy_, config_);
+    strat->prepare(scenario_);
+    return strat->measure_batch(sources, sinks, edges);
+  });
 }
 
 Annotated<NetworkMeasurementReport> MeasurementSession::network(size_t group_k,
                                                                const PreprocessReport* pre) {
-  return annotated([&] { return scenario_.measure_network(group_k, config_, pre); });
+  return annotated([&] {
+    auto strat = scenario_.make_strategy(strategy_, config_);
+    strat->prepare(scenario_);
+    std::vector<p2p::PeerId> targets = scenario_.targets();
+    if (pre != nullptr) {
+      targets = pre->filter(targets);
+      strat->set_flood_overrides(pre->flood_override);
+    }
+    NetworkMeasurement nm(*strat);
+    return nm.measure_all(scenario_.net(), targets, group_k);
+  });
 }
 
 Annotated<PreprocessReport> MeasurementSession::preprocess() {

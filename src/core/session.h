@@ -8,10 +8,13 @@
 // cost (messages, evictions, probe phase timings) without bookkeeping of
 // their own.
 //
-// Scenario::measure_one_link / measure_parallel / measure_network /
-// preprocess remain as thin equivalents for existing callers and produce
-// identical results on identical seeds; new code should come through
-// here.
+// The session is also where the measurement *strategy* is chosen: every
+// call dispatches through the core::MeasurementStrategy seam, so swapping
+// TopoShot for a rival (set_strategy) changes the probe protocol without
+// touching the call sites. Scenario::measure_one_link / measure_parallel /
+// measure_network / preprocess remain as thin equivalents for existing
+// callers and produce identical results on identical seeds; new code
+// should come through here.
 
 #include <vector>
 
@@ -20,6 +23,7 @@
 #include "core/parallel.h"
 #include "core/preprocess.h"
 #include "core/schedule.h"
+#include "core/strategy.h"
 #include "core/toposhot.h"
 #include "obs/metrics.h"
 
@@ -49,6 +53,13 @@ class MeasurementSession {
   Scenario& scenario() { return scenario_; }
   obs::MetricsRegistry& metrics() { return scenario_.metrics(); }
 
+  /// Selects the measurement strategy for subsequent calls (default:
+  /// TopoShot, whose trajectories are byte-identical to the pre-seam
+  /// direct dispatch). The strategy's prepare() hook runs once per
+  /// measurement call, before the probe traffic.
+  void set_strategy(StrategyKind kind) { strategy_ = kind; }
+  StrategyKind strategy() const { return strategy_; }
+
   /// measureOneLink(A, B) with the session config.
   Annotated<OneLinkResult> one_link(p2p::PeerId a, p2p::PeerId b);
 
@@ -76,6 +87,7 @@ class MeasurementSession {
 
   Scenario& scenario_;
   MeasureConfig config_;
+  StrategyKind strategy_ = StrategyKind::kToposhot;
 };
 
 }  // namespace topo::core

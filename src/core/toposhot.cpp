@@ -208,6 +208,15 @@ MeasureConfig Scenario::default_measure_config() const {
   return cfg;
 }
 
+std::unique_ptr<MeasurementStrategy> Scenario::make_strategy(StrategyKind kind,
+                                                             const MeasureConfig& cfg) {
+  auto strat = ::topo::core::make_strategy(kind, *net_, *m_, accounts_, factory_, cfg);
+  strat->set_cost_tracker(&costs_);
+  strat->set_metrics(&metrics_);
+  strat->set_tracer(tracer_);
+  return strat;
+}
+
 OneLinkResult Scenario::measure_one_link(p2p::PeerId a, p2p::PeerId b,
                                          const MeasureConfig& cfg) {
   OneLinkMeasurement one(*net_, *m_, accounts_, factory_, cfg);
@@ -230,18 +239,15 @@ ParallelResult Scenario::measure_parallel(const std::vector<p2p::PeerId>& source
 
 NetworkMeasurementReport Scenario::measure_network(size_t group_k, const MeasureConfig& cfg,
                                                    const PreprocessReport* pre) {
-  ParallelMeasurement par(*net_, *m_, accounts_, factory_, cfg);
-  par.set_cost_tracker(&costs_);
-  par.set_metrics(&metrics_);
-  par.set_tracer(tracer_);
+  std::unique_ptr<MeasurementStrategy> strat = make_strategy(StrategyKind::kToposhot, cfg);
   std::vector<p2p::PeerId> targets = targets_;
   if (pre != nullptr) {
     // §5.2.3: skip excluded nodes and enlarge the flood for nodes whose
     // custom mempools the pre-processing discovered.
     targets = pre->filter(targets);
-    par.set_flood_overrides(pre->flood_override);
+    strat->set_flood_overrides(pre->flood_override);
   }
-  NetworkMeasurement nm(par);
+  NetworkMeasurement nm(*strat);
   return nm.measure_all(*net_, targets, group_k);
 }
 

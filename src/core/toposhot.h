@@ -9,6 +9,7 @@
 #include "core/parallel.h"
 #include "core/preprocess.h"
 #include "core/schedule.h"
+#include "core/strategy.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
 #include "p2p/measurement_node.h"
@@ -141,12 +142,21 @@ class Scenario : public sim::EventSink {
   /// MeasureConfig scaled to this scenario (Z = capacity, client R/U).
   MeasureConfig default_measure_config() const;
 
+  /// Constructs the strategy for `kind` over this scenario's measurement
+  /// world, fully wired (cost tracker, metrics registry, span tracer). The
+  /// strategy borrows the scenario and must not outlive it; call
+  /// strat->prepare(*this) before seeding background traffic.
+  std::unique_ptr<MeasurementStrategy> make_strategy(StrategyKind kind,
+                                                     const MeasureConfig& cfg);
+
   /// Measurement entry points (cost-tracked, metrics-wired).
   ///
-  /// \deprecated Prefer core::MeasurementSession (core/session.h), which
-  /// owns the MeasureConfig and annotates every result with a per-call
-  /// metrics delta. These remain as thin equivalents for existing callers
-  /// and produce identical results on identical seeds.
+  /// \deprecated Implementation detail of the strategy seam. Prefer
+  /// core::MeasurementSession (core/session.h), which owns the
+  /// MeasureConfig, dispatches through the configured MeasurementStrategy,
+  /// and annotates every result with a per-call metrics delta; these thin
+  /// wrappers are kept only for existing callers (identical results on
+  /// identical seeds) and bypass strategy selection entirely.
   OneLinkResult measure_one_link(p2p::PeerId a, p2p::PeerId b, const MeasureConfig& cfg);
   /// \deprecated See measure_one_link.
   ParallelResult measure_parallel(const std::vector<p2p::PeerId>& sources,

@@ -50,18 +50,21 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
     // many workers execute the plan.
     fault::FaultInjector injector(opt.fault_plan,
                                   util::derive_stream_seed(shard.seed, kFaultStream));
+    std::unique_ptr<core::MeasurementStrategy> strat = sc.make_strategy(opt.strategy, cfg);
+    // prepare() runs before background seeding so node-config mutations
+    // (and the whole trajectory after them) are part of the replica's
+    // deterministic identity; a no-op for the default TopoShot strategy.
+    strat->prepare(sc);
     if (opt.seed_background) sc.seed_background();
     if (opt.churn_rate > 0.0) sc.start_churn(opt.churn_rate);
     if (opt.fault_plan.enabled()) injector.install(sc.net(), &sc.metrics());
 
-    core::ParallelMeasurement par(sc.net(), sc.m(), sc.accounts(), sc.factory(), cfg);
-    par.set_cost_tracker(&sc.costs());
-    par.set_metrics(&sc.metrics());
     obs::SpanTracer* tracer = opt.collect_spans ? &tracers[s] : nullptr;
-    par.set_tracer(tracer);
+    strat->set_tracer(tracer);
 
     core::NetworkMeasurementReport report;
     report.measured = graph::Graph(n);
+    report.strategy = opt.strategy;
     if (opt.fault_plan.enabled() || cfg.inconclusive_retries > 0) {
       report.fault = fault::make_fault_report(opt.fault_plan, cfg.inconclusive_retries);
     }
@@ -82,9 +85,9 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
     for (size_t b : shard.batch_ids) {
       // The *global* batch index keys the span ids, so a batch keeps its
       // identity whatever shard (and whatever worker) runs it.
-      core::run_batch(par, sc.targets(), batches[b], b, report, collect);
+      core::run_batch(*strat, sc.targets(), batches[b], b, report, collect);
     }
-    core::run_retry_pass(par, sc.targets(), std::move(inconclusive), budget,
+    core::run_retry_pass(*strat, sc.targets(), std::move(inconclusive), budget,
                          cfg.inconclusive_retries, report);
     report.sim_seconds = sc.sim().now() - t0;
     if (tracer != nullptr) {

@@ -18,6 +18,12 @@ struct CampaignOptions {
   /// Group size K of the §5.3.2 schedule.
   size_t group_k = 3;
 
+  /// Measurement strategy each shard replica drives its batches through
+  /// (core::make_strategy over the replica's world). The default TopoShot
+  /// keeps campaigns byte-identical to pre-seam builds; the choice is part
+  /// of the campaign's identity and is echoed in the merged report.
+  core::StrategyKind strategy = core::StrategyKind::kToposhot;
+
   /// Worker pool width. Execution-only: any value produces the same merged
   /// report, because the shard plan (not the pool) fixes the decomposition.
   size_t threads = 1;
@@ -80,8 +86,8 @@ struct CampaignResult {
 /// ShardPlan partitions it; each shard builds a private world replica
 /// (core::Scenario — p2p::Network + sim::Simulator + measurement node) from
 /// `base_options` with its SplitMix-derived seed, prepares it per `opt`,
-/// and drives its batches through core::ParallelMeasurement. Shard results
-/// merge via ReportMerger.
+/// and drives its batches through the configured core::MeasurementStrategy
+/// (TopoShot by default). Shard results merge via ReportMerger.
 ///
 /// Determinism contract: the result is a pure function of (truth,
 /// base_options, cfg, group_k, shards, max_edges_per_call) — `threads` only

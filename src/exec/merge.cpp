@@ -7,6 +7,9 @@ namespace topo::exec {
 ReportMerger::ReportMerger(size_t n_nodes) { merged_.measured = graph::Graph(n_nodes); }
 
 void ReportMerger::add(const core::NetworkMeasurementReport& shard_report) {
+  // Every shard of a campaign runs the same strategy; the last write wins
+  // harmlessly.
+  merged_.strategy = shard_report.strategy;
   for (const auto& [u, v] : shard_report.measured.edges()) merged_.measured.add_edge(u, v);
   merged_.iterations += shard_report.iterations;
   merged_.pairs_tested += shard_report.pairs_tested;

@@ -94,6 +94,23 @@ std::string Cli::get_string(const std::string& key, const std::string& def) cons
   return it == kv_.end() ? def : it->second;
 }
 
+std::string Cli::get_choice(const std::string& key, const std::string& def,
+                            std::initializer_list<std::string_view> allowed) const {
+  const std::string v = get_string(key, def);
+  for (std::string_view a : allowed) {
+    if (v == a) return v;
+  }
+  std::string vocabulary = "one of {";
+  bool first = true;
+  for (std::string_view a : allowed) {
+    if (!first) vocabulary += ", ";
+    vocabulary += a;
+    first = false;
+  }
+  vocabulary += "}";
+  reject(key, v, vocabulary.c_str());
+}
+
 bool Cli::get_bool(const std::string& key, bool def) const {
   auto it = kv_.find(key);
   if (it == kv_.end()) return def;

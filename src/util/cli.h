@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace topo::util {
 
@@ -23,6 +25,12 @@ class Cli {
   double get_double(const std::string& key, double def) const;
   std::string get_string(const std::string& key, const std::string& def) const;
   bool get_bool(const std::string& key, bool def) const;
+
+  /// Enumerated string option: the value (or `def` when absent) must be one
+  /// of `allowed`, otherwise exit(2) listing the vocabulary. Matching is
+  /// exact — enumerations are lowercase by convention here.
+  std::string get_choice(const std::string& key, const std::string& def,
+                         std::initializer_list<std::string_view> allowed) const;
 
  private:
   std::map<std::string, std::string> kv_;

@@ -57,7 +57,8 @@ obs::MetricsSnapshot strip_queue_internals(obs::MetricsSnapshot s) {
 }
 
 CampaignArtifacts run_campaign(sim::QueueBackend backend, size_t threads, size_t shards,
-                               bool faults) {
+                               bool faults,
+                               core::StrategyKind strategy = core::StrategyKind::kToposhot) {
   sim::set_default_queue_backend(backend);
   util::Rng rng(21);
   const graph::Graph truth = graph::erdos_renyi_gnm(24, 44, rng);
@@ -77,6 +78,7 @@ CampaignArtifacts run_campaign(sim::QueueBackend backend, size_t threads, size_t
   cfg.collect_diagnostics = faults;
   exec::CampaignOptions copt;
   copt.group_k = 4;
+  copt.strategy = strategy;
   copt.shards = shards;
   copt.threads = threads;
   copt.collect_spans = true;
@@ -120,6 +122,59 @@ TEST(GoldenDeterminism, ThreadWidthChangesNothingOnEitherBackend) {
   EXPECT_EQ(wheel_serial.trace_json, heap_wide.trace_json);
   EXPECT_EQ(strip_queue_internals(wheel_serial.metrics),
             strip_queue_internals(heap_wide.metrics));
+}
+
+// Every strategy behind the seam must satisfy the same golden contract the
+// default one does: byte-identical artifacts across queue backends, thread
+// widths, and (per-strategy, fixed shards) — the rivalry bench's numbers
+// are only comparable because each strategy is deterministic on its own.
+TEST(GoldenDeterminism, RivalStrategiesAreByteIdenticalAcrossBackendsAndWidths) {
+  BackendGuard guard;
+  for (core::StrategyKind strategy :
+       {core::StrategyKind::kDethna, core::StrategyKind::kTxprobe}) {
+    SCOPED_TRACE(core::strategy_name(strategy));
+    const auto wheel = run_campaign(sim::QueueBackend::kTimingWheel, 1, 2, false, strategy);
+    const auto heap = run_campaign(sim::QueueBackend::kLegacyHeap, 1, 2, false, strategy);
+    EXPECT_EQ(wheel.report_json, heap.report_json);
+    EXPECT_EQ(wheel.trace_json, heap.trace_json);
+    EXPECT_EQ(strip_queue_internals(wheel.metrics), strip_queue_internals(heap.metrics));
+
+    const auto wide = run_campaign(sim::QueueBackend::kTimingWheel, 4, 2, false, strategy);
+    EXPECT_EQ(wheel.report_json, wide.report_json);
+    EXPECT_EQ(wheel.trace_json, wide.trace_json);
+    EXPECT_EQ(wheel.metrics, wide.metrics);
+
+    // The report is self-describing: the non-default strategy is named.
+    EXPECT_NE(wheel.report_json.find(std::string("\"strategy\":\"") +
+                                     core::strategy_name(strategy) + "\""),
+              std::string::npos);
+  }
+}
+
+// The faulted (diagnostics-carrying) variant for the rivals, at different
+// shard widths than above so the shard-plan axis is covered per strategy.
+TEST(GoldenDeterminism, RivalStrategiesFaultCampaignsAreByteIdentical) {
+  BackendGuard guard;
+  for (core::StrategyKind strategy :
+       {core::StrategyKind::kDethna, core::StrategyKind::kTxprobe}) {
+    SCOPED_TRACE(core::strategy_name(strategy));
+    const auto wheel = run_campaign(sim::QueueBackend::kTimingWheel, 2, 3, true, strategy);
+    const auto heap = run_campaign(sim::QueueBackend::kLegacyHeap, 4, 3, true, strategy);
+    EXPECT_EQ(wheel.report_json, heap.report_json);
+    EXPECT_EQ(wheel.trace_json, heap.trace_json);
+    EXPECT_EQ(strip_queue_internals(wheel.metrics), strip_queue_internals(heap.metrics));
+
+    // Cause plumbing holds for rivals too: the histogram covers every pair.
+    const auto parsed = rpc::Json::parse(wheel.report_json);
+    ASSERT_TRUE(parsed.has_value());
+    const auto report = core::report_from_json(*parsed);
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->strategy, strategy);
+    ASSERT_TRUE(report->diagnostics.has_value());
+    uint64_t total = 0;
+    for (uint64_t c : report->diagnostics->causes) total += c;
+    EXPECT_EQ(total, report->pairs_tested);
+  }
 }
 
 TEST(GoldenDeterminism, FaultCampaignIsByteIdenticalAcrossBackends) {
