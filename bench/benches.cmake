@@ -23,6 +23,7 @@ set(EXPERIMENT_BENCHES
   x_calibration
   fault_recall
   strategy_rivalry
+  world_fork
 )
 
 foreach(bench ${EXPERIMENT_BENCHES})

@@ -5,6 +5,8 @@
 // Costs come from the CostTracker: only measurement transactions actually
 // included by the simulated miners cost Ether; the future floods never do.
 
+#include <limits>
+
 #include "bench_common.h"
 #include "graph/generators.h"
 #include "core/cost.h"
@@ -50,8 +52,11 @@ int main(int argc, char** argv) {
     sc.sim().run_until(t2 + 60.0);  // let stragglers mine
     bench::write_metrics_if_requested(cli, sc);
 
-    const eth::Wei wei = sc.costs().wei_spent(sc.chain(), t1, sc.sim().now());
-    const uint64_t mined = sc.costs().included_txs(sc.chain(), t1, sc.sim().now());
+    // Half-open [t1, t2) windows: an upper bound of now() would drop a
+    // block stamped exactly at now(); +infinity means "everything after t1".
+    const double upper = std::numeric_limits<double>::infinity();
+    const eth::Wei wei = sc.costs().wei_spent(sc.chain(), t1, upper);
+    const uint64_t mined = sc.costs().included_txs(sc.chain(), t1, upper);
     core::CostModel model;
     table.add_row({row.name, util::fmt(g.num_nodes()), util::fmt(report.pairs_tested),
                    util::fmt(report.txs_sent), util::fmt(mined),

@@ -188,8 +188,14 @@ int mode_measure(const util::Cli& cli) {
     copt.churn_rate = 3.0;
     copt.fault_plan = plan;
     copt.collect_spans = tracing;
+    copt.fork_worlds = cli.get_bool("fork-worlds", true);
     auto campaign = exec::run_sharded_campaign(truth, opt, mcfg, copt);
     stamp_strategy(campaign.metrics, strategy);
+    if (campaign.shards != campaign.shards_requested) {
+      std::cerr << "warning: --shards=" << campaign.shards_requested << " clamped to "
+                << campaign.shards << " (only " << campaign.batches
+                << " batches to distribute)\n";
+    }
     const auto& report = campaign.report;
     const auto pr = core::compare_graphs(truth, report.measured);
     table.add_row({"measured edges", util::fmt(report.measured.num_edges())});
@@ -365,6 +371,8 @@ int main(int argc, char** argv) {
                "          --strategy=toposhot|dethna|txprobe (measurement strategy seam)\n"
                "  measure: --group=K --repetitions=R --threads=N --shards=S "
                "--metrics-out=PATH\n"
+               "           --fork-worlds=BOOL (default true: shard replicas fork one "
+               "warmed base world)\n"
                "           --fault-loss=P --fault-churn=RATE --retries=R "
                "(deterministic fault injection + re-measurement)\n"
                "           --trace-out=PATH --trace-capacity=N --diagnostics "

@@ -46,10 +46,13 @@ if [[ "${1:-}" != "--fast" ]]; then
   # along: span open/close bookkeeping and the ring-walk visit() are exactly
   # the kind of index arithmetic ASan exists for. The strategy-seam suites
   # (Strategy*, Dethna*, TxProbe*) too: rival strategies drive raw
-  # announce/echo bookkeeping across node restarts.
+  # announce/echo bookkeeping across node restarts. The world-fork suites
+  # (SnapshotWorld*, ForkWorld*, PeerLifetime*) are here because snapshot
+  # restore rebuilds raw sink pointers and Peer auto-detach is precisely a
+  # use-after-free contract — only ASan can prove the sink slot swap works.
   echo "== pass 3: fault-injection + tracing + strategy suites under ASan (focused) =="
   ./build-asan/tests/toposhot_tests \
-    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*:Strategy*:Dethna*:TxProbe*'
+    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*:Strategy*:Dethna*:TxProbe*:SnapshotWorld*:ForkWorld*:PeerLifetime*'
 fi
 
 echo "All checks passed."

@@ -18,10 +18,14 @@ class CostTracker {
   size_t tracked_accounts() const { return accounts_.size(); }
 
   /// Sums gas * effective price over included transactions from tracked
-  /// accounts in blocks with timestamp in [t1, t2].
+  /// accounts in blocks with timestamp in the half-open window [t1, t2).
+  /// Adjacent windows (0, T), (T, 2T) therefore charge a block stamped
+  /// exactly at the seam T exactly once — to the later window. For a
+  /// cumulative "everything up to now" read, pass an upper bound strictly
+  /// beyond now (+infinity is what the metrics export uses).
   eth::Wei wei_spent(const eth::Chain& chain, double t1, double t2) const;
 
-  /// Count of tracked transactions included in [t1, t2].
+  /// Count of tracked transactions included in [t1, t2), same convention.
   uint64_t included_txs(const eth::Chain& chain, double t1, double t2) const;
 
  private:

@@ -15,8 +15,11 @@
 //    accounts, tx factory) and advances the shared simulator from inside
 //    measure_* — exactly like the raw drivers it replaces;
 //  - prepare(Scenario&) is the only place a strategy may mutate scenario
-//    state (node configs, calibration reads); it runs once, before any
-//    background seeding or measurement, and must be deterministic;
+//    state (node configs, calibration reads); it runs once per replica, on
+//    the warmed world (after background seeding, before any measurement),
+//    and must be deterministic. Campaigns fork replicas from a shared
+//    warmed snapshot, so preparation must happen after the fork — never in
+//    the shared prefix other replicas inherit;
 //  - measure_* may create accounts and send transactions but must never
 //    reconfigure nodes, so batches stay replayable on any world replica.
 
@@ -80,8 +83,11 @@ class MeasurementStrategy {
   virtual StrategyKind kind() const = 0;
 
   /// One-time scenario preparation (node-config mutation, calibration).
-  /// Default: nothing. Must be deterministic and is the only member allowed
-  /// to touch scenario state beyond the measurement world refs.
+  /// Runs once per replica on the warmed world — after background seeding
+  /// (campaigns fork replicas from a shared warmed snapshot and prepare
+  /// each fork), before any measurement. Default: nothing. Must be
+  /// deterministic and is the only member allowed to touch scenario state
+  /// beyond the measurement world refs.
   virtual void prepare(Scenario& sc) { (void)sc; }
 
   /// Measures one candidate link A-B (the serial primitive).

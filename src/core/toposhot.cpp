@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 #include "p2p/node.h"
 
@@ -125,15 +127,158 @@ obs::MetricsSnapshot Scenario::snapshot_metrics() {
   metrics_.gauge("obs.trace.total_pushed")
       .set(static_cast<double>(metrics_.trace().total_pushed()));
   metrics_.gauge("obs.trace.dropped").set(static_cast<double>(metrics_.trace().dropped()));
+  // Cumulative "everything so far" reads: the window convention is
+  // half-open [t1, t2), so a block stamped exactly at now() would be
+  // excluded by an upper bound of now() — pass +infinity instead.
+  const double upper = std::numeric_limits<double>::infinity();
   metrics_.gauge("cost.wei_spent")
-      .set(static_cast<double>(costs_.wei_spent(*chain_, 0.0, sim_->now())));
+      .set(static_cast<double>(costs_.wei_spent(*chain_, 0.0, upper)));
   metrics_.gauge("cost.tracked_accounts").set(static_cast<double>(costs_.tracked_accounts()));
   metrics_.gauge("cost.txs_included")
-      .set(static_cast<double>(costs_.included_txs(*chain_, 0.0, sim_->now())));
+      .set(static_cast<double>(costs_.included_txs(*chain_, 0.0, upper)));
   return metrics_.snapshot();
 }
 
 Scenario::~Scenario() = default;
+
+WorldSnapshot Scenario::snapshot() const {
+  WorldSnapshot w;
+  w.options = options_;
+  w.truth = truth_;
+  w.targets = targets_;
+  w.rng = rng_;
+  w.organic_on = organic_on_;
+  w.organic_rate = organic_rate_;
+
+  w.backend = sim_->backend();
+  w.now = sim_->now();
+  w.events_processed = sim_->processed();
+  w.queue_high_water = sim_->queue_high_water();
+  w.dispatched = sim_->dispatch_counts();
+
+  // Translate each pending event's sink pointer to symbolic form — the raw
+  // pointers die with this world; the fork resolves the symbols against its
+  // own objects.
+  std::unordered_map<const sim::EventSink*, p2p::PeerId> node_of;
+  for (p2p::PeerId id : net_->regular_nodes()) {
+    node_of[static_cast<const sim::EventSink*>(&net_->node(id))] = id;
+  }
+  const auto* net_sink = static_cast<const sim::EventSink*>(net_.get());
+  const auto* self_sink = static_cast<const sim::EventSink*>(this);
+  const auto pending = sim_->pending_snapshot();
+  w.pending.reserve(pending.size());
+  for (const auto& sch : pending) {
+    if (sch.ev.kind == sim::EventKind::kClosure) {
+      throw std::logic_error(
+          "Scenario::snapshot: a closure event is pending — closures cannot "
+          "be replayed into a forked world (is link churn running?)");
+    }
+    WorldSnapshot::PendingEvent pe;
+    pe.t = sch.t;
+    pe.kind = sch.ev.kind;
+    pe.a = sch.ev.a;
+    pe.b = sch.ev.b;
+    pe.payload = sch.ev.payload;
+    if (sch.ev.sink == net_sink) {
+      pe.sink = WorldSnapshot::PendingEvent::Sink::kNetwork;
+    } else if (sch.ev.sink == self_sink) {
+      pe.sink = WorldSnapshot::PendingEvent::Sink::kScenario;
+    } else {
+      auto it = node_of.find(sch.ev.sink);
+      if (it == node_of.end()) {
+        throw std::logic_error(
+            "Scenario::snapshot: pending event targets a sink outside this "
+            "world (external driver still running?)");
+      }
+      pe.sink = WorldSnapshot::PendingEvent::Sink::kNode;
+      pe.node = it->second;
+    }
+    w.pending.push_back(pe);
+  }
+
+  w.chain = chain_->snapshot();
+  w.net = net_->snapshot();
+  w.m_id = m_->id();
+  w.m = m_->snapshot();
+
+  w.accounts = accounts_;
+  w.factory = factory_;
+  w.costs = costs_;
+
+  w.metrics = metrics_.snapshot();
+  w.trace_events = metrics_.trace().events();
+  w.trace_total = metrics_.trace().total_pushed();
+  return w;
+}
+
+Scenario::Scenario(const WorldSnapshot& snap)
+    : options_(snap.options),
+      truth_(snap.truth),
+      rng_(snap.rng),
+      metrics_(snap.options.trace_capacity),
+      accounts_(snap.accounts),
+      factory_(snap.factory),
+      costs_(snap.costs),
+      targets_(snap.targets),
+      organic_on_(snap.organic_on),
+      organic_rate_(snap.organic_rate) {
+  metrics_.restore(snap.metrics);
+  metrics_.trace().restore(snap.trace_events, snap.trace_total);
+
+  sim_ = std::make_unique<sim::Simulator>(snap.backend);
+  chain_ = std::make_unique<eth::Chain>(options_.block_gas_limit, options_.initial_base_fee);
+  chain_->restore(snap.chain);
+
+  // The network RNG rides in the snapshot (restore overwrites the seed
+  // passed here); restore() rebuilds the regular nodes without start() or
+  // connect() side effects — the warmed world's ticks are re-pushed below.
+  net_ = std::make_unique<p2p::Network>(
+      sim_.get(), chain_.get(), util::Rng(0),
+      sim::LatencyModel::lognormal(options_.latency_median, options_.latency_sigma));
+  net_->enable_metrics(metrics_);
+  net_->restore(snap.net);
+
+  m_ = std::make_unique<p2p::MeasurementNode>(net_.get(), chain_.get(), options_.send_spacing,
+                                              scaled_policy(options_, options_.client));
+  net_->rebind_external(snap.m_id, m_.get());
+  m_->restore(snap.m);
+  m_->set_metrics(metrics_);
+
+  // Re-push the captured events in pop order (schedule_at clamps against
+  // now_ = 0; every captured t >= 0, so timestamps survive intact and
+  // relative order is preserved by the queue's (t, seq) total order), then
+  // restore the clock and counters on top.
+  for (const auto& pe : snap.pending) {
+    sim::EventSink* sink = nullptr;
+    switch (pe.sink) {
+      case WorldSnapshot::PendingEvent::Sink::kNetwork:
+        sink = net_.get();
+        break;
+      case WorldSnapshot::PendingEvent::Sink::kNode:
+        sink = &net_->node(pe.node);
+        break;
+      case WorldSnapshot::PendingEvent::Sink::kScenario:
+        sink = this;
+        break;
+    }
+    sim_->schedule_at(pe.t, sim::Event::typed(pe.kind, sink, pe.a, pe.b, pe.payload));
+  }
+  sim_->restore_state(snap.now, snap.events_processed, snap.queue_high_water, snap.dispatched);
+
+  // Tombstone telemetry is per-world: a replica starts its peak gauge from
+  // zero, exactly like a freshly rebuilt world whose warm phase creates no
+  // tombstones.
+  metrics_.gauge("mempool.index.tombstone_peak").restore(0.0, 0.0);
+}
+
+std::unique_ptr<Scenario> Scenario::fork(const WorldSnapshot& snap) {
+  return std::unique_ptr<Scenario>(new Scenario(snap));
+}
+
+void Scenario::reseed(uint64_t seed) {
+  rng_ = util::Rng(seed);
+  net_->set_rng(rng_.split());
+}
 
 eth::Wei Scenario::sample_organic_price() {
   // Log-uniform prices give a realistic fee spread around the median.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -66,6 +67,63 @@ struct ScenarioOptions {
   size_t trace_capacity = obs::MetricsRegistry::kDefaultTraceCapacity;
 };
 
+/// A frozen, self-contained image of a warmed measurement world
+/// (Scenario::snapshot). Bulk state — chain blocks, every node's mempool
+/// pages, M's passive view — rides behind copy-on-write handles, so a
+/// snapshot costs O(nodes) handle copies, not O(world) deep copies, and a
+/// fork only pays for the pages it later dirties.
+///
+/// Pending simulator events are captured with their sinks translated to
+/// symbolic form (raw sink pointers die with the source world) and
+/// re-pushed into the replica's queue on fork. Closure events cannot be
+/// translated; snapshot() throws std::logic_error if any are pending
+/// (start_link_churn schedules closures — snapshot before starting churn).
+///
+/// The snapshot outlives the scenario it was taken from: shared pages are
+/// refcounted, so the base world may be destroyed and replicas forked from
+/// the snapshot afterwards (how exec::run_sharded_campaign stamps out
+/// per-shard worlds).
+struct WorldSnapshot {
+  /// One captured simulator event, sink in symbolic form.
+  struct PendingEvent {
+    enum class Sink : uint8_t { kNetwork, kNode, kScenario };
+    sim::Time t = 0.0;
+    Sink sink = Sink::kNetwork;
+    p2p::PeerId node = 0;  ///< kNode only
+    sim::EventKind kind = sim::EventKind::kClosure;
+    uint32_t a = 0;
+    uint32_t b = 0;
+    uint64_t payload = 0;
+  };
+
+  ScenarioOptions options;
+  graph::Graph truth;
+  std::vector<p2p::PeerId> targets;
+  util::Rng rng;
+  bool organic_on = false;
+  double organic_rate = 0.0;
+
+  sim::QueueBackend backend = sim::QueueBackend::kTimingWheel;
+  sim::Time now = 0.0;
+  size_t events_processed = 0;
+  size_t queue_high_water = 0;
+  std::array<uint64_t, sim::kNumEventKinds> dispatched{};
+  std::vector<PendingEvent> pending;
+
+  eth::Chain::Snapshot chain;
+  p2p::Network::Snapshot net;
+  p2p::PeerId m_id = 0;
+  p2p::MeasurementNode::Snapshot m;
+
+  eth::AccountManager accounts;
+  eth::TxFactory factory;
+  CostTracker costs;
+
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TraceEvent> trace_events;
+  uint64_t trace_total = 0;
+};
+
 /// A fully wired measurement world: simulator + chain + network instantiated
 /// from a ground-truth topology + measurement node M connected to everyone.
 ///
@@ -116,6 +174,26 @@ class Scenario : public sim::EventSink {
   /// The ground truth the scenario was built from.
   const graph::Graph& truth() const { return truth_; }
 
+  /// Captures the whole world — chain, every pool, M's state, pending
+  /// events, metrics — as a self-contained WorldSnapshot (O(dirty pages) to
+  /// fork from; see WorldSnapshot). Throws std::logic_error if closure
+  /// events are pending (e.g. link churn is running): closures cannot be
+  /// replayed into another world.
+  WorldSnapshot snapshot() const;
+
+  /// Stamps out a fresh, fully independent world from a snapshot. The
+  /// replica shares unmodified bulk pages with the snapshot (copy-on-write)
+  /// and behaves exactly as the snapshotted world would: running both from
+  /// here with the same inputs produces byte-identical reports. Fork as
+  /// many replicas as needed; they never observe each other.
+  static std::unique_ptr<Scenario> fork(const WorldSnapshot& snap);
+
+  /// Gives this world a fresh deterministic RNG identity (per-shard streams
+  /// on top of a shared warmed base). Node RNGs keep their warmed state —
+  /// the rebuild path reseeds at exactly the same point, so both paths stay
+  /// byte-identical.
+  void reseed(uint64_t seed);
+
   /// Fills every node's pool with the shared background set and lets the
   /// network settle for a moment.
   void seed_background();
@@ -145,7 +223,8 @@ class Scenario : public sim::EventSink {
   /// Constructs the strategy for `kind` over this scenario's measurement
   /// world, fully wired (cost tracker, metrics registry, span tracer). The
   /// strategy borrows the scenario and must not outlive it; call
-  /// strat->prepare(*this) before seeding background traffic.
+  /// strat->prepare(*this) on the warmed world (after seed_background),
+  /// before measuring.
   std::unique_ptr<MeasurementStrategy> make_strategy(StrategyKind kind,
                                                      const MeasureConfig& cfg);
 
@@ -172,6 +251,10 @@ class Scenario : public sim::EventSink {
   PreprocessReport preprocess(const MeasureConfig& cfg);
 
  private:
+  /// Fork constructor (Scenario::fork): rebuilds a world image from a
+  /// snapshot instead of constructing one from a topology.
+  explicit Scenario(const WorldSnapshot& snap);
+
   ScenarioOptions options_;
   graph::Graph truth_;
   util::Rng rng_;

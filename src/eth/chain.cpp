@@ -8,32 +8,36 @@ Chain::Chain(uint64_t block_gas_limit, Wei base_fee)
     : gas_limit_(block_gas_limit), base_fee_(base_fee) {}
 
 Nonce Chain::next_nonce(Address a) const {
-  auto it = next_nonce_.find(a);
-  return it == next_nonce_.end() ? 0 : it->second;
+  const State& s = *st_;
+  auto it = s.next_nonce.find(a);
+  return it == s.next_nonce.end() ? 0 : it->second;
 }
 
 const Block& Chain::commit(Block b) {
-  b.number = blocks_.size();
+  State& s = st_.mutate();
+  b.number = s.blocks.size();
   b.gas_limit = gas_limit_;
   b.base_fee = base_fee_;
   b.gas_used = 0;
   for (const auto& tx : b.txs) {
     b.gas_used += tx.gas;
-    Nonce& n = next_nonce_[tx.sender];
+    Nonce& n = s.next_nonce[tx.sender];
     n = std::max(n, tx.nonce + 1);
-    included_[tx.hash()] = b.number;
+    s.included[tx.hash()] = b.number;
   }
   base_fee_ = next_base_fee(b);
-  blocks_.push_back(std::move(b));
-  const Block& stored = blocks_.back();
+  s.blocks.push_back(std::move(b));
+  const Block& stored = s.blocks.back();
   for (const auto& fn : observers_) fn(stored);
   return stored;
 }
 
 std::vector<const Block*> Chain::blocks_in(double t1, double t2) const {
   std::vector<const Block*> out;
-  for (const auto& b : blocks_) {
-    if (b.timestamp >= t1 && b.timestamp <= t2) out.push_back(&b);
+  // Half-open [t1, t2): a block stamped exactly at the seam of two
+  // adjacent windows belongs to the later one, never both.
+  for (const auto& b : st_->blocks) {
+    if (b.timestamp >= t1 && b.timestamp < t2) out.push_back(&b);
   }
   return out;
 }

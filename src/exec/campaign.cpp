@@ -1,6 +1,8 @@
 #include "exec/campaign.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "exec/worker_pool.h"
@@ -39,23 +41,45 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
     for (size_t s = 0; s < plan.size(); ++s) tracers.emplace_back(static_cast<uint32_t>(s));
   }
 
+  // Fork mode: build and warm ONE base world under the base seed (populate
+  // + background seeding — the expensive, shard-independent prefix), freeze
+  // it, and stamp every shard's replica out of the snapshot. The snapshot
+  // is self-contained (copy-on-write pages), so the base scenario itself is
+  // destroyed before the workers start.
+  std::optional<core::WorldSnapshot> base_world;
+  if (opt.fork_worlds) {
+    core::Scenario base(truth, base_options);
+    if (opt.seed_background) base.seed_background();
+    base_world = base.snapshot();
+  }
+
   const WorkerPool pool(opt.threads);
   pool.run(plan.size(), [&](size_t s) {
     const ShardPlan::Shard& shard = plan.shards[s];
 
-    core::ScenarioOptions options = base_options;
-    options.seed = shard.seed;
-    core::Scenario sc(truth, options);
+    // Both paths warm the world under the *base* seed, then give the
+    // replica its shard identity via reseed() — so fork vs rebuild is pure
+    // execution strategy and the merged report is byte-identical either
+    // way.
+    std::unique_ptr<core::Scenario> owned;
+    if (opt.fork_worlds) {
+      owned = core::Scenario::fork(*base_world);
+    } else {
+      owned = std::unique_ptr<core::Scenario>(new core::Scenario(truth, base_options));
+      if (opt.seed_background) owned->seed_background();
+    }
+    core::Scenario& sc = *owned;
+    sc.reseed(shard.seed);
+
     // Seeded from the shard seed: each replica faults the same way however
     // many workers execute the plan.
     fault::FaultInjector injector(opt.fault_plan,
                                   util::derive_stream_seed(shard.seed, kFaultStream));
     std::unique_ptr<core::MeasurementStrategy> strat = sc.make_strategy(opt.strategy, cfg);
-    // prepare() runs before background seeding so node-config mutations
-    // (and the whole trajectory after them) are part of the replica's
-    // deterministic identity; a no-op for the default TopoShot strategy.
+    // prepare() runs on the warmed, reseeded replica — after the shared
+    // warm prefix, so node-config mutations never leak into the snapshot
+    // other shards fork from; a no-op for the default TopoShot strategy.
     strat->prepare(sc);
-    if (opt.seed_background) sc.seed_background();
     if (opt.churn_rate > 0.0) sc.start_churn(opt.churn_rate);
     if (opt.fault_plan.enabled()) injector.install(sc.net(), &sc.metrics());
 
@@ -113,7 +137,15 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
   result.metrics = merger.metrics();
   result.makespan_sim_seconds = merger.makespan_sim_seconds();
   result.shards = plan.size();
+  result.shards_requested = plan.requested;
   result.batches = batches.size();
+  // Echo the shard width into the merged metrics: ShardPlan::build clamps
+  // the request to the batch count, and a silently narrower campaign should
+  // be visible in every exported artifact, not just the CLI.
+  result.metrics.gauges["campaign.shards.requested"] = static_cast<double>(plan.requested);
+  result.metrics.gauge_maxes["campaign.shards.requested"] = static_cast<double>(plan.requested);
+  result.metrics.gauges["campaign.shards.effective"] = static_cast<double>(plan.size());
+  result.metrics.gauge_maxes["campaign.shards.effective"] = static_cast<double>(plan.size());
   if (opt.collect_spans) {
     // The campaign root closes at the latest shard-span end (each shard's
     // clock starts at 0, so that is the campaign's simulated makespan

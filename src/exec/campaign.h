@@ -48,6 +48,14 @@ struct CampaignOptions {
   /// reports byte-identical to pre-fault builds.
   fault::FaultPlan fault_plan;
 
+  /// Build one warmed base world (populate + background seeding under the
+  /// base seed) and stamp each shard's replica out of its snapshot
+  /// (core::Scenario::fork) instead of rebuilding and re-warming per shard.
+  /// Purely an execution strategy: replicas are reseeded with their shard
+  /// seed after forking, exactly as the rebuild path reseeds after warming,
+  /// so the merged report is byte-identical either way at any width.
+  bool fork_worlds = true;
+
   /// Record causal spans (campaign → shard → batch → pair → phase) into
   /// CampaignResult::spans. Span ids are pure functions of the campaign
   /// structure, so the export is byte-identical at any `threads` width and
@@ -73,7 +81,8 @@ struct CampaignResult {
   std::vector<obs::Span> spans;
 
   double makespan_sim_seconds = 0.0;
-  size_t shards = 0;
+  size_t shards = 0;            ///< effective shard count (post-clamp)
+  size_t shards_requested = 0;  ///< what the caller asked for (pre-clamp)
   size_t batches = 0;
 };
 
@@ -83,11 +92,13 @@ struct CampaignResult {
 /// Fig. 5 / Table 8).
 ///
 /// The batch list comes from core::make_batches over all of truth's nodes;
-/// ShardPlan partitions it; each shard builds a private world replica
-/// (core::Scenario — p2p::Network + sim::Simulator + measurement node) from
-/// `base_options` with its SplitMix-derived seed, prepares it per `opt`,
-/// and drives its batches through the configured core::MeasurementStrategy
-/// (TopoShot by default). Shard results merge via ReportMerger.
+/// ShardPlan partitions it; each shard gets a private world replica
+/// (core::Scenario — p2p::Network + sim::Simulator + measurement node)
+/// warmed under the *base* seed — forked from one shared warmed snapshot
+/// when opt.fork_worlds, rebuilt from scratch otherwise — then reseeded
+/// with its SplitMix-derived shard seed, prepared per `opt`, and driven
+/// through the configured core::MeasurementStrategy (TopoShot by default).
+/// Shard results merge via ReportMerger.
 ///
 /// Determinism contract: the result is a pure function of (truth,
 /// base_options, cfg, group_k, shards, max_edges_per_call) — `threads` only

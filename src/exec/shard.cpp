@@ -8,6 +8,7 @@ namespace topo::exec {
 
 ShardPlan ShardPlan::build(size_t n_batches, size_t n_shards, uint64_t base_seed) {
   ShardPlan plan;
+  plan.requested = n_shards;
   n_shards = std::clamp<size_t>(n_shards, 1, std::max<size_t>(1, n_batches));
   plan.shards.resize(n_shards);
   for (size_t s = 0; s < n_shards; ++s) {

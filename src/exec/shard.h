@@ -24,11 +24,17 @@ struct ShardPlan {
 
   std::vector<Shard> shards;
 
+  /// The shard count the caller asked for, before clamping. Campaigns echo
+  /// both this and the effective count (size()) into their report so a
+  /// silently reduced width is visible instead of looking like the user's
+  /// request was honored.
+  size_t requested = 0;
+
   size_t size() const { return shards.size(); }
 
   /// n_shards is clamped to [1, n_batches] (a shard without work would just
   /// burn a replica). n_batches == 0 yields a single empty shard so callers
-  /// need no special case.
+  /// need no special case. The pre-clamp request is kept in `requested`.
   static ShardPlan build(size_t n_batches, size_t n_shards, uint64_t base_seed);
 };
 

@@ -31,6 +31,11 @@ namespace topo::mempool {
 /// by ascending id. Keys are unique by id among *live* entries; a key
 /// erased and later re-inserted is handled by multiset accounting (each
 /// tombstone cancels exactly one buried copy).
+///
+/// The index holds no observability pointers: it lives inside the pool's
+/// copy-on-write state layer (see Mempool), and a baked-in registry handle
+/// would leak across forked worlds. Callers pass their tallies into the
+/// mutating operations instead.
 class FlatPriceIndex {
  public:
   using Key = std::pair<eth::Wei, uint64_t>;  ///< (pool price, tx id)
@@ -38,13 +43,13 @@ class FlatPriceIndex {
   bool empty() const { return live_ == 0; }
   size_t size() const { return live_; }
 
-  /// Attaches shared tombstone/compaction tallies (null detaches); the
-  /// pointees must outlive the index. Shared across every index of a world
-  /// (the registry aggregates), matching the PoolObs cardinality policy.
-  void set_obs(obs::Counter* compactions, obs::Gauge* tombstone_peak) {
-    compactions_ = compactions;
-    tombstone_peak_ = tombstone_peak;
-  }
+  /// Allocated capacity of the backing heap (live + buried entries). An
+  /// eviction flood drives this far above `size()`; `erase`/compaction
+  /// release it again once occupancy falls below a quarter of capacity —
+  /// the regression the world-fork work guards against is a forked replica
+  /// inheriting a flood-sized allocation it will never use.
+  size_t heap_capacity() const { return data_.capacity(); }
+  size_t tombstone_capacity() const { return dead_.capacity(); }
 
   void insert(Key key) {
     ++live_;
@@ -58,25 +63,32 @@ class FlatPriceIndex {
   /// tombstone with no matching copy, silently corrupting eviction order.
   /// Call sites must stay insert/erase-balanced per key; debug builds
   /// assert membership so an unbalanced caller fails loudly.
-  void erase(Key key) {
+  ///
+  /// `compactions`/`tombstone_peak` (both optional) receive the rebuild
+  /// count and the deepest tombstone heap seen.
+  void erase(Key key, obs::Counter* compactions = nullptr,
+             obs::Gauge* tombstone_peak = nullptr) {
     assert(live_ > 0);
     assert(contains_live(key) && "FlatPriceIndex::erase: key not live");
     --live_;
     if (!data_.empty() && data_.front() == key) {
       pop_data();
       cancel_top();
+      maybe_shrink();
       return;
     }
     dead_.push_back(key);
     std::push_heap(dead_.begin(), dead_.end(), std::greater<>{});
-    if (tombstone_peak_ != nullptr) {
-      tombstone_peak_->update_max(static_cast<double>(dead_.size()));
+    if (tombstone_peak != nullptr) {
+      tombstone_peak->update_max(static_cast<double>(dead_.size()));
     }
-    if (dead_.size() > data_.size() / 2) compact();
+    if (dead_.size() > data_.size() / 2) compact(compactions);
   }
 
-  /// Least live key; undefined when empty.
-  Key min() const {
+  /// Least live key; undefined when empty. Non-const on purpose: reading
+  /// the minimum settles lazy cancellations (physical mutation), which must
+  /// never happen through a copy-on-write handle that other worlds share.
+  Key min() {
     assert(live_ > 0);
     cancel_top();
     return data_.front();
@@ -84,11 +96,16 @@ class FlatPriceIndex {
 
   void clear() {
     data_.clear();
+    data_.shrink_to_fit();
     dead_.clear();
+    dead_.shrink_to_fit();
     live_ = 0;
   }
 
  private:
+  /// Below this capacity a stale high-water allocation is noise; don't churn.
+  static constexpr size_t kShrinkFloor = 64;
+
   /// Debug-only membership probe (O(n) scans; assert operand, so it never
   /// runs in release builds): `key` is live iff its copies in data_
   /// outnumber its tombstones in dead_.
@@ -99,7 +116,7 @@ class FlatPriceIndex {
     return count(data_) > count(dead_);
   }
 
-  void pop_data() const {
+  void pop_data() {
     std::pop_heap(data_.begin(), data_.end(), std::greater<>{});
     data_.pop_back();
   }
@@ -107,7 +124,7 @@ class FlatPriceIndex {
   /// Cancels tombstoned copies sitting at the top of the data heap so
   /// data_.front() is live. dead_ ⊆ data_ as multisets, so a non-empty
   /// dead_ implies a non-empty data_.
-  void cancel_top() const {
+  void cancel_top() {
     while (!dead_.empty() && !data_.empty() && data_.front() == dead_.front()) {
       pop_data();
       std::pop_heap(dead_.begin(), dead_.end(), std::greater<>{});
@@ -115,9 +132,25 @@ class FlatPriceIndex {
     }
   }
 
+  /// Releases a stale high-water allocation once occupancy drops below a
+  /// quarter of capacity. An eviction flood that drains through direct
+  /// min-pops never triggers compact(), so the check runs on every shrink
+  /// opportunity; the 4x hysteresis keeps the amortized cost O(1) per
+  /// erase (capacity at least quarters between reallocations). A
+  /// reallocated vector of a sorted/heaped range preserves element order,
+  /// so the heap invariant survives.
+  void maybe_shrink() {
+    if (data_.capacity() > kShrinkFloor && data_.size() < data_.capacity() / 4) {
+      data_.shrink_to_fit();
+    }
+    if (dead_.capacity() > kShrinkFloor && dead_.size() < dead_.capacity() / 4) {
+      dead_.shrink_to_fit();
+    }
+  }
+
   /// Amortized rebuild: drop every tombstoned copy in one sorted sweep.
-  void compact() {
-    if (compactions_ != nullptr) compactions_->inc();
+  void compact(obs::Counter* compactions) {
+    if (compactions != nullptr) compactions->inc();
     std::sort(data_.begin(), data_.end());
     std::sort(dead_.begin(), dead_.end());
     std::vector<Key> keep;
@@ -136,13 +169,12 @@ class FlatPriceIndex {
     // (parent index < child index, values ascending), so no make_heap.
     data_ = std::move(keep);
     dead_.clear();
+    maybe_shrink();
   }
 
-  mutable std::vector<Key> data_;  ///< min-heap of every inserted key
-  mutable std::vector<Key> dead_;  ///< min-heap of erased-but-buried keys
+  std::vector<Key> data_;  ///< min-heap of every inserted key
+  std::vector<Key> dead_;  ///< min-heap of erased-but-buried keys
   size_t live_ = 0;
-  obs::Counter* compactions_ = nullptr;
-  obs::Gauge* tombstone_peak_ = nullptr;
 };
 
 }  // namespace topo::mempool

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "mempool/flat_index.h"
 #include "mempool/policy.h"
 #include "obs/metrics.h"
+#include "util/cow.h"
 #include "util/rng.h"
 
 namespace topo::mempool {
@@ -90,6 +92,16 @@ struct PoolUpdate {
 ///    expiry after `e` seconds, EIP-1559 underpriced drops;
 ///  - block commits prune mined/stale entries and promote unblocked futures.
 ///
+/// Storage layout: all bulk state (account queues, price indexes, lookup
+/// maps, occupancy counters) lives in one `State` blob behind a
+/// copy-on-write handle (util::Cow). `snapshot()` captures the pool in O(1);
+/// a restored pool shares the blob with its base until the first mutation,
+/// which clones it once. Account queues are struct-of-arrays: parallel
+/// `slot_addr`/`slot_queue` vectors with a LIFO free list, so account
+/// iteration (snapshots, maintenance sweeps, random picks) runs in slot
+/// order — deterministic across standard libraries and identical between a
+/// forked world and a rebuilt one, unlike hash-map order.
+///
 /// The pool never owns the StateView; callers guarantee it outlives the pool.
 class Mempool {
  public:
@@ -99,14 +111,10 @@ class Mempool {
   AdmitResult add(const eth::Transaction& tx, double now);
 
   /// Attaches shared observability handles (null detaches). The pointee
-  /// must outlive the pool; typically owned by the p2p::Network.
-  void set_obs(const PoolObs* o) {
-    obs_ = o;
-    price_index_.set_obs(o != nullptr ? o->index_compactions : nullptr,
-                         o != nullptr ? o->index_tombstone_peak : nullptr);
-    future_index_.set_obs(o != nullptr ? o->index_compactions : nullptr,
-                          o != nullptr ? o->index_tombstone_peak : nullptr);
-  }
+  /// must outlive the pool; typically owned by the p2p::Network. Obs
+  /// handles live outside the copy-on-write state on purpose: a forked
+  /// world re-wires its own registry without touching shared pages.
+  void set_obs(const PoolObs* o) { obs_ = o; }
 
   /// Deferred maintenance (Geth's reorg loop): truncates the future subpool,
   /// drops expired entries, and (EIP-1559) drops entries priced under the
@@ -122,17 +130,18 @@ class Mempool {
   void set_base_fee(eth::Wei base_fee) { base_fee_ = base_fee; }
   eth::Wei base_fee() const { return base_fee_; }
 
-  bool contains(eth::TxHash h) const { return by_hash_.count(h) > 0; }
+  bool contains(eth::TxHash h) const { return st_->by_hash.count(h) > 0; }
   const eth::Transaction* find(eth::Address sender, eth::Nonce nonce) const;
   const eth::Transaction* find_hash(eth::TxHash h) const;
 
-  size_t size() const { return size_; }
-  size_t pending_count() const { return pending_count_; }
-  size_t future_count() const { return size_ - pending_count_; }
+  size_t size() const { return st_->size; }
+  size_t pending_count() const { return st_->pending_count; }
+  size_t future_count() const { return st_->size - st_->pending_count; }
   size_t futures_of(eth::Address sender) const;
-  bool full() const { return size_ >= policy_.capacity; }
+  bool full() const { return st_->size >= policy_.capacity; }
 
-  /// Cheapest pool price currently buffered (0 when empty).
+  /// Cheapest pool price currently buffered (0 when empty). Physically
+  /// const (slot-order scan), so it is safe on a state shared with forks.
   eth::Wei lowest_price() const;
 
   /// Median pool price of pending entries — the paper's Y estimator (§5.2.1).
@@ -170,10 +179,6 @@ class Mempool {
     bool pending = false;
   };
 
-  /// add() minus the accounting: the instrumented wrapper stays off the
-  /// profile when obs_ is null.
-  AdmitResult add_impl(const eth::Transaction& tx, double now);
-  void record_admit(const eth::Transaction& tx, const AdmitResult& result, double now);
   struct AccountQueue {
     /// Nonce-ascending flat queue. Accounts buffer a handful of entries at
     /// a time, so a sorted vector beats the former std::map on every nonce
@@ -196,42 +201,92 @@ class Mempool {
     }
   };
 
+  /// Everything the pool buffers, in one copy-on-write blob. Mutating
+  /// methods reach it through st_.mutate() exactly once, after every
+  /// read-only early-out has passed, so pools that a forked world never
+  /// writes to keep sharing the base world's pages.
+  struct State {
+    // Struct-of-arrays account storage. slot_addr[i] == kNoAddress marks a
+    // free slot (recycled LIFO via free_slots); slot_of maps an address to
+    // its slot for O(1) lookup. Iteration happens in slot order.
+    std::vector<eth::Address> slot_addr;
+    std::vector<AccountQueue> slot_queue;
+    std::vector<uint32_t> free_slots;
+    std::unordered_map<eth::Address, uint32_t> slot_of;
+
+    // (pool price, tx id), cheapest-first for eviction (see flat_index.h).
+    FlatPriceIndex price_index;
+    // Subset of price_index holding only future entries (truncation order).
+    FlatPriceIndex future_index;
+    std::unordered_map<uint64_t, std::pair<eth::Address, eth::Nonce>> by_id;
+    std::unordered_map<eth::TxHash, uint64_t> by_hash;
+    size_t size = 0;
+    size_t pending_count = 0;
+    // Cheap guards so maintain() skips full scans (and, post-fork, the
+    // copy-on-write clone) when nothing can have expired / the base fee
+    // has not moved.
+    double min_added_at = 0.0;
+    bool min_added_valid = false;
+    eth::Wei last_pruned_base_fee = 0;
+  };
+
+ public:
+  /// O(1) capture of the pool's buffered content. The snapshot shares the
+  /// state blob; either side clones lazily on its next write.
+  struct Snapshot {
+    util::Cow<State> state;
+    eth::Wei base_fee = 0;
+  };
+  Snapshot snapshot() const { return Snapshot{st_, base_fee_}; }
+  void restore(const Snapshot& snap) {
+    st_ = snap.state;
+    base_fee_ = snap.base_fee;
+  }
+
+ private:
+  /// add() minus the accounting: the instrumented wrapper stays off the
+  /// profile when obs_ is null.
+  AdmitResult add_impl(const eth::Transaction& tx, double now);
+  void record_admit(const eth::Transaction& tx, const AdmitResult& result, double now);
+
+  static const AccountQueue* account(const State& s, eth::Address sender);
+  static AccountQueue* account(State& s, eth::Address sender);
+  /// Finds or allocates the slot for `sender`.
+  static AccountQueue& ensure_account(State& s, eth::Address sender);
+  /// Returns `sender`'s slot to the free list (queue must be empty).
+  static void release_account(State& s, eth::Address sender);
+
   /// Recomputes pending flags for one account; appends promotions to `out`
-  /// when non-null. Maintains pending_count_ and the account future count.
-  void reclassify(eth::Address sender, std::vector<eth::Transaction>* promoted);
+  /// when non-null. Maintains pending_count and the account future count.
+  void reclassify(State& s, eth::Address sender, std::vector<eth::Transaction>* promoted);
 
   /// Removes one entry (must exist); does not reclassify.
-  eth::Transaction remove_entry(eth::Address sender, eth::Nonce nonce);
+  eth::Transaction remove_entry(State& s, eth::Address sender, eth::Nonce nonce);
 
   /// Chooses the eviction victim per policy; nullopt if no entry is cheaper
   /// than `incoming_price` (or, under futures-only eviction, no future is).
-  std::optional<std::pair<eth::Address, eth::Nonce>> pick_victim(eth::Wei incoming_price,
-                                                                 bool incoming_is_pending) const;
+  std::optional<std::pair<eth::Address, eth::Nonce>> pick_victim(State& s,
+                                                                 eth::Wei incoming_price,
+                                                                 bool incoming_is_pending);
 
   /// Records an insertion time for the O(1) expiry guard.
-  void track_added_at(double now);
+  static void track_added_at(State& s, double now);
+
+  // Flat-index tallies, passed per call (the indexes live inside the
+  // copy-on-write state and hold no obs pointers of their own).
+  obs::Counter* index_compactions() const {
+    return obs_ != nullptr ? obs_->index_compactions : nullptr;
+  }
+  obs::Gauge* index_tombstone_peak() const {
+    return obs_ != nullptr ? obs_->index_tombstone_peak : nullptr;
+  }
 
   MempoolPolicy policy_;
   const eth::StateView* state_;
   const PoolObs* obs_ = nullptr;
   eth::Wei base_fee_ = 0;
 
-  std::unordered_map<eth::Address, AccountQueue> accounts_;
-  // (pool price, tx id), cheapest-first for eviction. Flat sorted-vector
-  // index (see flat_index.h): same min() as the former std::set, no node
-  // allocation per admit.
-  FlatPriceIndex price_index_;
-  // Subset of price_index_ holding only future entries (truncation order).
-  FlatPriceIndex future_index_;
-  std::unordered_map<uint64_t, std::pair<eth::Address, eth::Nonce>> by_id_;
-  std::unordered_map<eth::TxHash, uint64_t> by_hash_;
-  size_t size_ = 0;
-  size_t pending_count_ = 0;
-  // Cheap guards so maintain() skips full scans when nothing can have
-  // expired / the base fee has not moved.
-  double min_added_at_ = 0.0;
-  bool min_added_valid_ = false;
-  eth::Wei last_pruned_base_fee_ = 0;
+  util::Cow<State> st_;
 };
 
 }  // namespace topo::mempool

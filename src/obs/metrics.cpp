@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace topo::obs {
 
@@ -24,6 +25,16 @@ void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
+}
+
+void Histogram::restore(const HistogramSnapshot& snap) {
+  assert(snap.bounds == bounds_ && "Histogram::restore: bucket bounds differ");
+  counts_ = snap.counts;
+  counts_.resize(bounds_.size() + 1, 0);
+  count_ = snap.count;
+  sum_ = snap.sum;
+  min_ = snap.min;
+  max_ = snap.max;
 }
 
 MetricsSnapshot MetricsSnapshot::diff_since(const MetricsSnapshot& before) const {
@@ -117,6 +128,18 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     s.histograms[name] = std::move(hs);
   }
   return s;
+}
+
+void MetricsRegistry::restore(const MetricsSnapshot& snap) {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (const auto& [name, v] : snap.counters) counter(name).restore(v);
+  for (const auto& [name, v] : snap.gauges) {
+    auto mit = snap.gauge_maxes.find(name);
+    gauge(name).restore(v, mit != snap.gauge_maxes.end() ? mit->second : v);
+  }
+  for (const auto& [name, hs] : snap.histograms) histogram(name, hs.bounds).restore(hs);
 }
 
 void MetricsRegistry::reset_values() {

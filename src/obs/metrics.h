@@ -29,6 +29,8 @@ class Counter {
   void inc(uint64_t n = 1) { value_ += n; }
   uint64_t value() const { return value_; }
   void reset() { value_ = 0; }
+  /// Overwrites the count (world-fork restore path).
+  void restore(uint64_t v) { value_ = v; }
 
  private:
   uint64_t value_ = 0;
@@ -49,11 +51,19 @@ class Gauge {
   double value() const { return value_; }
   double max() const { return max_; }
   void reset() { value_ = max_ = 0.0; }
+  /// Overwrites value and high-water mark (world-fork restore path; set()
+  /// cannot express value < max).
+  void restore(double value, double max) {
+    value_ = value;
+    max_ = max;
+  }
 
  private:
   double value_ = 0.0;
   double max_ = 0.0;
 };
+
+struct HistogramSnapshot;
 
 /// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges; one
 /// implicit overflow bucket catches everything above the last edge.
@@ -71,6 +81,9 @@ class Histogram {
   double max() const { return count_ == 0 ? 0.0 : max_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
   void reset();
+  /// Overwrites every tally from a snapshot taken of a histogram with the
+  /// same bucket bounds (world-fork restore path).
+  void restore(const HistogramSnapshot& snap);
 
  private:
   std::vector<double> bounds_;
@@ -140,6 +153,15 @@ class MetricsRegistry {
   const TraceRing& trace() const { return trace_; }
 
   MetricsSnapshot snapshot() const;
+
+  /// Overwrites the registry from a snapshot: every named metric is
+  /// interned (histograms with the snapshot's bounds) and set to the
+  /// captured value, so counters/gauges keep accumulating from exactly
+  /// where the snapshotted world stood. Existing handles stay valid;
+  /// metrics absent from the snapshot are reset to zero. The trace ring is
+  /// restored separately (TraceRing::restore) because snapshots don't
+  /// carry events.
+  void restore(const MetricsSnapshot& snap);
 
   /// Zeroes every value and clears the trace; handles stay valid.
   void reset_values();

@@ -38,4 +38,21 @@ void TraceRing::clear() {
   total_ = 0;
 }
 
+void TraceRing::restore(const std::vector<TraceEvent>& events, uint64_t total_pushed) {
+  const size_t cap = ring_.size();
+  total_ = total_pushed;
+  if (total_ <= cap) {
+    // Not yet wrapped: events occupy [0, n) and the next push goes to n.
+    for (size_t i = 0; i < events.size() && i < cap; ++i) ring_[i] = events[i];
+    head_ = static_cast<size_t>(total_) % cap;
+  } else {
+    // Wrapped: the oldest buffered event sits at head_ (== total_ mod cap),
+    // mirroring where the source ring's write cursor stood.
+    head_ = static_cast<size_t>(total_ % cap);
+    for (size_t i = 0; i < events.size() && i < cap; ++i) {
+      ring_[(head_ + i) % cap] = events[i];
+    }
+  }
+}
+
 }  // namespace topo::obs

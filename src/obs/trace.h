@@ -61,6 +61,13 @@ class TraceRing {
 
   void clear();
 
+  /// Reconstructs the ring from `events` (oldest first, as events()
+  /// returns) and a lifetime push count, so that subsequent pushes land in
+  /// exactly the slots they would have in the source ring — a restored
+  /// world's trace exports stay byte-identical to the original's. Requires
+  /// events.size() == min(total_pushed, capacity()).
+  void restore(const std::vector<TraceEvent>& events, uint64_t total_pushed);
+
  private:
   std::vector<TraceEvent> ring_;
   size_t head_ = 0;      // next write slot

@@ -81,6 +81,25 @@ class MeasurementNode final : public Peer {
 
   uint64_t txs_sent() const { return txs_sent_; }
 
+  // -- World forking ---------------------------------------------------------
+  /// Frozen measurement-node state (core::Scenario::snapshot). The passive
+  /// view rides behind copy-on-write handles; metrics wiring is NOT part of
+  /// the snapshot — the forked scenario calls set_metrics on its own
+  /// registry.
+  struct Snapshot {
+    mempool::Mempool::Snapshot view;
+    double next_free_send = 0.0;
+    uint64_t txs_sent = 0;
+    std::unordered_map<eth::TxHash, std::vector<std::pair<PeerId, double>>> log;
+  };
+  Snapshot snapshot() const { return Snapshot{view_.snapshot(), next_free_send_, txs_sent_, log_}; }
+  void restore(const Snapshot& snap) {
+    view_.restore(snap.view);
+    next_free_send_ = snap.next_free_send;
+    txs_sent_ = snap.txs_sent;
+    log_ = snap.log;
+  }
+
   /// Wires injection accounting (`probe.txs_injected`, tx-injected trace
   /// events) into `reg`, which must outlive the node. M's passive view is
   /// deliberately *not* wired: its pool mirrors traffic other nodes already

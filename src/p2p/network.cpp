@@ -9,9 +9,22 @@
 
 namespace topo::p2p {
 
+Peer::~Peer() {
+  if (registry_ != nullptr) registry_->detach_peer(id_);
+}
+
 Network::Network(sim::Simulator* sim, eth::Chain* chain, util::Rng rng, sim::LatencyModel latency)
     : sim_(sim), chain_(chain), rng_(rng), latency_(latency) {
   assert(sim_ != nullptr && chain_ != nullptr);
+}
+
+Network::~Network() {
+  // Unhook every registered peer before members start dying: the owned
+  // nodes' ~Peer must not detach into a half-destroyed network, and
+  // externally owned peers that outlive us must not dangle into it later.
+  for (Peer* p : peers_) {
+    if (p != nullptr && p->registry_ == this) p->registry_ = nullptr;
+  }
 }
 
 PeerId Network::add_node(const NodeConfig& config) {
@@ -49,6 +62,7 @@ void Network::enable_metrics(obs::MetricsRegistry& reg) {
 PeerId Network::register_peer(Peer* peer) {
   const PeerId id = static_cast<PeerId>(peers_.size());
   peer->id_ = id;
+  peer->registry_ = this;
   peers_.push_back(peer);
   adj_.emplace_back();
   adj_set_.emplace_back();
@@ -66,12 +80,18 @@ class SinkPeer final : public Peer {
   void deliver_get_tx(eth::TxHash, PeerId) override {}
 };
 
+/// Shared inert sink occupying detached (and not-yet-rebound) peer slots.
+Peer& detached_sink() {
+  static SinkPeer sink;
+  return sink;
+}
+
 }  // namespace
 
 void Network::detach_peer(PeerId id) {
-  static SinkPeer sink;
+  if (peers_[id]->registry_ == this) peers_[id]->registry_ = nullptr;
   while (!adj_[id].empty()) disconnect(id, adj_[id].back());
-  peers_[id] = &sink;
+  peers_[id] = &detached_sink();
 }
 
 bool Network::connect(PeerId a, PeerId b) {
@@ -269,6 +289,69 @@ void Network::start_link_churn(double events_per_sec) {
     sim_->after(rng_.exponential(1.0 / events_per_sec), *tick);
   };
   sim_->after(rng_.exponential(1.0 / events_per_sec), *tick);
+}
+
+Network::Snapshot Network::snapshot() const {
+  Snapshot s;
+  s.rng = rng_;
+  s.nodes.reserve(regular_.size());
+  for (PeerId id : regular_) s.nodes.push_back(node(id).snapshot());
+  s.regular = regular_;
+  s.adj = adj_;
+  s.network_id_of = network_id_of_;
+  s.messages = messages_;
+  s.bytes = bytes_;
+  s.mining_on = mining_on_;
+  s.next_miner = next_miner_;
+  s.miners = miners_;
+  s.mine_interval = mine_interval_;
+  s.tx_slab = tx_slab_;
+  s.tx_free = tx_free_;
+  s.last_delivery = last_delivery_;
+  return s;
+}
+
+void Network::restore(const Snapshot& snap) {
+  assert(peers_.empty() && "restore() requires a freshly constructed network");
+  rng_ = snap.rng;
+  const size_t total = snap.adj.size();
+  // Every slot starts as the inert sink; regular nodes fill theirs below,
+  // external owners re-bind theirs via rebind_external.
+  peers_.assign(total, &detached_sink());
+  adj_ = snap.adj;
+  adj_set_.assign(total, {});
+  for (size_t i = 0; i < total; ++i) {
+    adj_set_[i] = std::unordered_set<PeerId>(adj_[i].begin(), adj_[i].end());
+  }
+  network_id_of_ = snap.network_id_of;
+  regular_ = snap.regular;
+  owned_.reserve(regular_.size());
+  for (size_t i = 0; i < regular_.size(); ++i) {
+    // Restore constructor: no start() ticks, no connect() gossip — the
+    // warmed world's pending events are re-pushed by the scenario layer.
+    auto node = std::make_unique<Node>(snap.nodes[i], this, chain_);
+    node->id_ = regular_[i];
+    node->registry_ = this;
+    if (metrics_enabled_) node->pool().set_obs(&pool_obs_);
+    peers_[regular_[i]] = node.get();
+    owned_.push_back(std::move(node));
+  }
+  messages_ = snap.messages;
+  bytes_ = snap.bytes;
+  mining_on_ = snap.mining_on;
+  next_miner_ = snap.next_miner;
+  miners_ = snap.miners;
+  mine_interval_ = snap.mine_interval;
+  tx_slab_ = snap.tx_slab;
+  tx_free_ = snap.tx_free;
+  last_delivery_ = snap.last_delivery;
+}
+
+void Network::rebind_external(PeerId id, Peer* peer) {
+  assert(id < peers_.size() && "rebind_external: no such slot");
+  peer->id_ = id;
+  peer->registry_ = this;
+  peers_[id] = peer;
 }
 
 void Network::start_mining(std::vector<PeerId> miners, double interval) {

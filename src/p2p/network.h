@@ -11,14 +11,13 @@
 #include "obs/metrics.h"
 #include "p2p/config.h"
 #include "p2p/fault_hook.h"
+#include "p2p/node.h"
 #include "p2p/peer.h"
 #include "sim/latency.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
 namespace topo::p2p {
-
-class Node;
 
 /// Interned message-layer observability handles (all null when metrics are
 /// disabled, which costs the hot send paths a single pointer test).
@@ -44,6 +43,13 @@ class Network : public sim::EventSink {
   Network(sim::Simulator* sim, eth::Chain* chain, util::Rng rng,
           sim::LatencyModel latency = sim::LatencyModel::lognormal(0.05, 0.4));
 
+  /// Unhooks every registered peer's auto-detach back-reference before the
+  /// owned nodes go down (see Peer::~Peer).
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
   /// Creates a regular node; returns its id.
   PeerId add_node(const NodeConfig& config);
 
@@ -55,13 +61,15 @@ class Network : public sim::EventSink {
   std::vector<PeerId> populate(const graph::Graph& topology, const NodeConfig& config);
 
   /// Registers an externally owned participant (e.g. a MeasurementNode).
-  /// The Network does not take ownership; the peer must outlive it or be
-  /// detached before destruction.
+  /// The Network does not take ownership. Lifetime is enforced, not merely
+  /// documented: a registered peer that is destroyed first auto-detaches
+  /// itself (Peer::~Peer), and a Network destroyed first unhooks every
+  /// peer, so neither order leaves a dangling pointer behind.
   PeerId register_peer(Peer* peer);
 
   /// Severs all links of an externally registered peer and replaces it with
   /// an inert sink, so the peer object may be destroyed while messages are
-  /// still in flight.
+  /// still in flight. Destroying a registered peer calls this implicitly.
   void detach_peer(PeerId id);
 
   /// Undirected link management. Returns false on duplicates/self-links —
@@ -105,6 +113,49 @@ class Network : public sim::EventSink {
   eth::Chain& chain() { return *chain_; }
   const eth::Chain& chain() const { return *chain_; }
   util::Rng& rng() { return rng_; }
+
+  /// Replaces the network's RNG stream (world-fork reseed: a forked replica
+  /// gets a fresh deterministic identity while keeping its warmed state).
+  void set_rng(util::Rng rng) { rng_ = rng; }
+
+  /// Frozen overlay state for world forking (core::Scenario::snapshot).
+  /// Owned-node state rides along (one Node::Snapshot per regular node, in
+  /// regular-node order — bulk pool pages behind copy-on-write handles);
+  /// externally registered peers are captured as inert slots their owners
+  /// re-bind after restore (rebind_external). In-flight transaction
+  /// payloads (the slab) and the per-link FIFO clocks are included so the
+  /// pending delivery events the scenario re-pushes replay identically.
+  /// Link churn is closure-scheduled and deliberately not captured; the
+  /// scenario layer rejects worlds with pending closures.
+  struct Snapshot {
+    util::Rng rng;
+    std::vector<Node::Snapshot> nodes;  ///< aligned with `regular`
+    std::vector<PeerId> regular;
+    std::vector<std::vector<PeerId>> adj;
+    std::vector<uint64_t> network_id_of;
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    bool mining_on = false;
+    size_t next_miner = 0;
+    std::vector<PeerId> miners;
+    double mine_interval = 0.0;
+    std::vector<eth::Transaction> tx_slab;
+    std::vector<uint32_t> tx_free;
+    std::unordered_map<uint64_t, double> last_delivery;
+  };
+  Snapshot snapshot() const;
+
+  /// Rebuilds the participant set from a snapshot. Must be called on a
+  /// freshly constructed network (no nodes added). Regular nodes are
+  /// reconstructed through their restore constructor — no start() ticks and
+  /// no connect() gossip; the warmed world's pending events live in the
+  /// captured simulator queue and are re-pushed by the scenario. External
+  /// slots deliver into an inert sink until rebind_external.
+  void restore(const Snapshot& snap);
+
+  /// Re-binds an externally owned peer into the slot it held in the
+  /// snapshotted world (pairs with restore()).
+  void rebind_external(PeerId id, Peer* peer);
 
   /// Commits a block mined from node `miner`'s pending snapshot and fans
   /// out on_block_commit to every participant.

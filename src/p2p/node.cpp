@@ -10,6 +10,23 @@ namespace topo::p2p {
 Node::Node(NodeConfig config, Network* net, const eth::StateView* state, util::Rng rng)
     : config_(std::move(config)), net_(net), pool_(config_.policy(), state), rng_(rng) {}
 
+Node::Snapshot Node::snapshot() const {
+  return Snapshot{config_,        rng_,
+                  unresponsive_,  pool_.snapshot(),
+                  announce_block_until_, announce_sources_};
+}
+
+Node::Node(const Snapshot& snap, Network* net, const eth::StateView* state)
+    : config_(snap.config),
+      net_(net),
+      pool_(config_.policy(), state),
+      rng_(snap.rng),
+      unresponsive_(snap.unresponsive),
+      announce_block_until_(snap.announce_block_until),
+      announce_sources_(snap.announce_sources) {
+  pool_.restore(snap.pool);
+}
+
 void Node::start() {
   auto& sim = net_->simulator();
   // Maintenance loop (Geth's deferred reorg work). Jittered start so nodes

@@ -28,6 +28,24 @@ class Node final : public Peer, public sim::EventSink {
  public:
   Node(NodeConfig config, Network* net, const eth::StateView* state, util::Rng rng);
 
+  /// Frozen per-node state for world forking. The mempool rides behind
+  /// copy-on-write handles (Mempool::Snapshot), so capturing a warmed node
+  /// is O(1) in pool size.
+  struct Snapshot {
+    NodeConfig config;
+    util::Rng rng;
+    bool unresponsive = false;
+    mempool::Mempool::Snapshot pool;
+    std::unordered_map<eth::TxHash, double> announce_block_until;
+    std::unordered_map<eth::TxHash, std::vector<PeerId>> announce_sources;
+  };
+  Snapshot snapshot() const;
+
+  /// Restore constructor (Network::restore). Does NOT call start(): the
+  /// warmed world's maintenance/re-gossip ticks live in the captured event
+  /// queue and are re-pushed by the scenario layer.
+  Node(const Snapshot& snap, Network* net, const eth::StateView* state);
+
   /// Starts the maintenance loop (and re-gossip loop if configured). Called
   /// once by the Network after registration.
   void start();

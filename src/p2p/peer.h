@@ -6,6 +6,8 @@
 
 namespace topo::p2p {
 
+class Network;
+
 /// Dense id of a participant in the simulated network.
 using PeerId = uint32_t;
 
@@ -13,7 +15,11 @@ using PeerId = uint32_t;
 /// Network invokes these after the simulated link latency has elapsed.
 class Peer {
  public:
-  virtual ~Peer() = default;
+  /// Auto-detaches from the Network the peer is registered with (if any):
+  /// destroying a registered peer severs its links and leaves an inert sink
+  /// in its slot, so messages still in flight deliver harmlessly instead of
+  /// through a dangling pointer. Defined in network.cpp.
+  virtual ~Peer();
 
   /// A full transaction pushed by `from` (devp2p Transactions message).
   virtual void deliver_tx(const eth::Transaction& tx, PeerId from) = 0;
@@ -35,6 +41,9 @@ class Peer {
  private:
   friend class Network;
   PeerId id_ = 0;
+  /// The network this peer is registered with; set by register_peer, nulled
+  /// by detach_peer and by ~Network (whichever comes first).
+  Network* registry_ = nullptr;
 };
 
 }  // namespace topo::p2p

@@ -253,6 +253,34 @@ void EventQueue::refill_due() {
   }
 }
 
+std::vector<EventQueue::Scheduled> EventQueue::pending_snapshot() const {
+  // Collect every buried slot — drain heap, both wheel levels, overflow,
+  // or the legacy heap — then sort by the total order. O(n log n), capture
+  // path only.
+  std::vector<Slot> slots;
+  slots.reserve(size_);
+  const auto take = [&slots](const std::vector<Slot>& v) {
+    slots.insert(slots.end(), v.begin(), v.end());
+  };
+  if (backend_ == QueueBackend::kLegacyHeap) {
+    take(heap_);
+  } else {
+    take(due_);
+    for (const auto& bucket : l0_) take(bucket);
+    for (const auto& bucket : l1_) take(bucket);
+    take(overflow_);
+  }
+  assert(slots.size() == size_);
+  std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  });
+  std::vector<Scheduled> out;
+  out.reserve(slots.size());
+  for (Slot& s : slots) out.push_back(Scheduled{s.t, std::move(s.ev)});
+  return out;
+}
+
 Time EventQueue::next_time() const {
   if (size_ == 0) return 0.0;
   if (backend_ == QueueBackend::kLegacyHeap) return heap_.front().t;

@@ -90,6 +90,14 @@ class EventQueue {
   /// Pops the earliest event by (time, seq); undefined if empty.
   Scheduled pop();
 
+  /// Non-destructive copy of every pending event in pop order — the
+  /// world-snapshot capture path. Sequence numbers are deliberately not
+  /// exposed: re-pushing the returned entries in order into a fresh queue
+  /// assigns new, ascending sequence numbers with the same relative order,
+  /// so the reconstructed queue pops identically (later pushes always sort
+  /// after earlier equal-time ones, on either backend).
+  std::vector<Scheduled> pending_snapshot() const;
+
  private:
   struct Slot {
     Time t;

@@ -70,6 +70,27 @@ class Simulator {
   /// Backend-internal queue tallies (see EventQueue::Stats).
   const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
 
+  /// Non-destructive copy of every pending event in pop order (world
+  /// snapshot capture; see EventQueue::pending_snapshot).
+  std::vector<EventQueue::Scheduled> pending_snapshot() const {
+    return queue_.pending_snapshot();
+  }
+
+  /// World-fork restore: overwrites the execution counters after the
+  /// caller has re-pushed the pending events via schedule_at. Queue
+  /// *internal* stats (queue_stats) are reconstruction artifacts and are
+  /// deliberately not restored; exports namespace them under
+  /// `sim.queue.impl.*` and comparisons exclude that prefix.
+  void restore_state(Time now, size_t processed, size_t queue_high_water,
+                     const std::array<uint64_t, kNumEventKinds>& dispatched) {
+    now_ = now;
+    processed_ = processed;
+    // The captured high-water is >= the pending count, so replaying pushes
+    // can never have exceeded it; take max defensively anyway.
+    queue_high_water_ = queue_high_water > queue_.size() ? queue_high_water : queue_.size();
+    dispatched_ = dispatched;
+  }
+
  private:
   EventQueue queue_;
   Time now_ = 0.0;

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace topo::util {
+
+/// Copy-on-write handle: the overlay primitive behind world snapshots.
+///
+/// A `Cow<T>` owns a `shared_ptr<T>`. Reads (`operator*`/`->`) never copy.
+/// Writers call `mutate()`, which clones the payload only when the handle is
+/// shared (use_count > 1) — a snapshot therefore costs one refcount bump per
+/// layer, and the first write after a fork pays exactly one deep copy of the
+/// layer it touches ("O(dirty pages)" at the granularity of one state blob
+/// per subsystem). A world that is never written after forking shares every
+/// byte with its base forever.
+///
+/// Thread-safety: the shared_ptr control block makes concurrent forking and
+/// concurrent *diverging* mutation safe (each writer clones into a private
+/// copy). Two threads must not mutate the SAME handle concurrently, same as
+/// any other non-atomic member.
+template <typename T>
+class Cow {
+ public:
+  Cow() : p_(std::make_shared<T>()) {}
+  explicit Cow(T value) : p_(std::make_shared<T>(std::move(value))) {}
+
+  // Copying a handle shares the payload; this IS the snapshot operation.
+  Cow(const Cow&) = default;
+  Cow(Cow&&) noexcept = default;
+  Cow& operator=(const Cow&) = default;
+  Cow& operator=(Cow&&) noexcept = default;
+
+  const T& operator*() const { return *p_; }
+  const T* operator->() const { return p_.get(); }
+  const T& read() const { return *p_; }
+
+  /// Returns a uniquely-owned mutable payload, cloning first if shared.
+  T& mutate() {
+    if (p_.use_count() != 1) p_ = std::make_shared<T>(*p_);
+    return *p_;
+  }
+
+  /// True when this handle is the only owner (a write would not clone).
+  bool unique() const { return p_.use_count() == 1; }
+
+ private:
+  std::shared_ptr<T> p_;
+};
+
+}  // namespace topo::util

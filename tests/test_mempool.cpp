@@ -412,5 +412,69 @@ TEST_F(MempoolTest, ClearEmptiesEverything) {
   EXPECT_EQ(pool.pending_count(), 1u);
 }
 
+// An eviction-flood spike grows the index's backing heap far beyond its
+// steady-state occupancy; once the flood drains, the allocation must come
+// back down instead of riding along in every world forked afterwards.
+TEST(FlatPriceIndex, ReleasesCapacityAfterEvictionFloodDrains) {
+  FlatPriceIndex idx;
+  constexpr size_t kFlood = 4096;
+  for (size_t i = 0; i < kFlood; ++i) {
+    idx.insert({static_cast<eth::Wei>(100 + i), i});
+  }
+  const size_t spike = idx.heap_capacity();
+  ASSERT_GE(spike, kFlood);
+
+  // Drain down to a handful of survivors, always via the min() victim path
+  // (the eviction protocol's access pattern — direct pops, no tombstones).
+  while (idx.size() > 8) idx.erase(idx.min());
+  EXPECT_EQ(idx.size(), 8u);
+  EXPECT_LT(idx.heap_capacity(), spike / 4)
+      << "flood-sized allocation survived the drain";
+
+  // Still a working min-heap after the shrink: survivors come out cheapest
+  // first, and fresh inserts order correctly against them.
+  idx.insert({1, 999999});
+  EXPECT_EQ(idx.min().second, 999999u);
+  idx.erase(idx.min());
+  eth::Wei last = 0;
+  while (!idx.empty()) {
+    const auto [price, id] = idx.min();
+    EXPECT_GE(price, last);
+    last = price;
+    idx.erase({price, id});
+  }
+}
+
+// The tombstone path (erasing keys buried mid-heap) must also release the
+// tombstone heap's allocation once compaction sweeps it.
+TEST(FlatPriceIndex, CompactionReleasesTombstoneCapacity) {
+  FlatPriceIndex idx;
+  constexpr size_t kN = 2048;
+  for (size_t i = 0; i < kN; ++i) {
+    idx.insert({static_cast<eth::Wei>(100 + i), i});
+  }
+  // Erase from the expensive end: every erase is a buried key (never the
+  // min), so tombstones pile up until compact() fires.
+  obs::MetricsRegistry reg;
+  obs::Counter& compactions = reg.counter("compactions");
+  obs::Gauge& peak = reg.gauge("tombstone_peak");
+  for (size_t i = kN; i-- > 16;) {
+    idx.erase({static_cast<eth::Wei>(100 + i), i}, &compactions, &peak);
+  }
+  EXPECT_GT(compactions.value(), 0u);
+  EXPECT_GT(peak.max(), 0.0);
+  EXPECT_EQ(idx.size(), 16u);
+  EXPECT_LT(idx.heap_capacity(), kN / 4);
+  EXPECT_LT(idx.tombstone_capacity(), kN / 4);
+  // Survivors are exactly the cheapest 16, in order.
+  for (size_t i = 0; i < 16; ++i) {
+    const auto [price, id] = idx.min();
+    EXPECT_EQ(id, i);
+    EXPECT_EQ(price, static_cast<eth::Wei>(100 + i));
+    idx.erase({price, id});
+  }
+  EXPECT_TRUE(idx.empty());
+}
+
 }  // namespace
 }  // namespace topo::mempool

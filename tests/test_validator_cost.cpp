@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/cost.h"
 #include "core/gas_estimator.h"
 #include "core/validator.h"
@@ -72,6 +74,37 @@ TEST(Cost, OnlyTrackedIncludedTransactionsCost) {
   EXPECT_EQ(tracker.included_txs(chain, 0.0, 10.0), 1u);
   EXPECT_EQ(tracker.wei_spent(chain, 0.0, 10.0), eth::kTransferGas * 100);
   EXPECT_EQ(tracker.wei_spent(chain, 6.0, 10.0), 0u) << "outside window";
+}
+
+// Pins the half-open [t1, t2) window convention: a block stamped exactly
+// at the seam of two adjacent windows is charged to the LATER window, and
+// exactly once — never twice, never zero times. (The regression this
+// guards: a closed upper bound double-counted seam blocks across per-round
+// budgets, and an open lower bound dropped them entirely.)
+TEST(Cost, WindowSeamBlockCountsExactlyOnce) {
+  eth::Chain chain(1'000'000);
+  eth::TxFactory f;
+  CostTracker tracker;
+  tracker.track_account(7);
+
+  eth::Block b;
+  b.timestamp = 10.0;  // exactly on the seam of (0, 10) and (10, 20)
+  b.txs.push_back(f.make(7, 0, 100));
+  chain.commit(std::move(b));
+
+  const eth::Wei cost = eth::kTransferGas * 100;
+  // Earlier window [0, 10): excludes the seam block.
+  EXPECT_EQ(tracker.wei_spent(chain, 0.0, 10.0), 0u);
+  EXPECT_EQ(tracker.included_txs(chain, 0.0, 10.0), 0u);
+  // Later window [10, 20): owns it.
+  EXPECT_EQ(tracker.wei_spent(chain, 10.0, 20.0), cost);
+  EXPECT_EQ(tracker.included_txs(chain, 10.0, 20.0), 1u);
+  // Adjacent windows sum to the whole: counted exactly once.
+  EXPECT_EQ(tracker.wei_spent(chain, 0.0, 10.0) + tracker.wei_spent(chain, 10.0, 20.0), cost);
+  // Cumulative reads use +infinity, which cannot lose a block stamped at
+  // the current instant the way an upper bound of `now` would.
+  EXPECT_EQ(tracker.wei_spent(chain, 0.0, std::numeric_limits<double>::infinity()), cost);
+  EXPECT_EQ(tracker.included_txs(chain, 0.0, std::numeric_limits<double>::infinity()), 1u);
 }
 
 TEST(Cost, ModelConversionsMatchPaperScale) {
