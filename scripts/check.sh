@@ -50,9 +50,13 @@ if [[ "${1:-}" != "--fast" ]]; then
   # (SnapshotWorld*, ForkWorld*, PeerLifetime*) are here because snapshot
   # restore rebuilds raw sink pointers and Peer auto-detach is precisely a
   # use-after-free contract — only ASan can prove the sink slot swap works.
+  # The batched-delivery suites (BatchDelivery*, FifoClock*, PayloadArena*)
+  # ride here too: the drain loop holds references across batch-map
+  # mutation and the arena recycles/releases chunks under live handles —
+  # exactly the lifetime bugs ASan exists for.
   echo "== pass 3: fault-injection + tracing + strategy suites under ASan (focused) =="
   ./build-asan/tests/toposhot_tests \
-    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*:Strategy*:Dethna*:TxProbe*:SnapshotWorld*:ForkWorld*:PeerLifetime*'
+    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*:Strategy*:Dethna*:TxProbe*:SnapshotWorld*:ForkWorld*:PeerLifetime*:BatchDelivery*:FifoClock*:PayloadArena*'
 fi
 
 echo "All checks passed."

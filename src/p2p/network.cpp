@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 
 #include "eth/miner.h"
 #include "p2p/node.h"
@@ -120,7 +121,33 @@ bool Network::disconnect(PeerId a, PeerId b) {
   };
   drop(adj_[a], b);
   drop(adj_[b], a);
+  // The link's FIFO clocks die with it (churned campaigns must not grow
+  // the stream map without bound, and a re-dialed link must not inherit a
+  // stale clock); anything already in flight still delivers.
+  prune_stream(a, b);
+  prune_stream(b, a);
   return true;
+}
+
+void Network::prune_stream(PeerId from, PeerId to) {
+  auto it = streams_.find(stream_key(from, to));
+  if (it == streams_.end()) return;
+  if (it->second.open_batch != 0) {
+    auto bit = batches_.find(it->second.open_batch);
+    assert(bit != batches_.end());
+    // Seal rather than drop: staged members are already "on the wire".
+    // Sealing matters for correctness, not just hygiene — a reconnect
+    // restarts the FIFO clock, so later sends may deliver *earlier* than
+    // the staged members and must go into a fresh batch to keep each
+    // batch's member times monotone.
+    bit->second.sealed = true;
+    if (!bit->second.live_event) {
+      // Fully drained already; nothing in flight references it.
+      assert(bit->second.next >= bit->second.members.size());
+      batches_.erase(bit);
+    }
+  }
+  streams_.erase(it);
 }
 
 bool Network::linked(PeerId a, PeerId b) const {
@@ -141,22 +168,10 @@ const Node& Network::node(PeerId n) const {
 }
 
 double Network::fifo_delivery_time(PeerId from, PeerId to, double delay) {
-  const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
-  double& last = last_delivery_[key];
+  double& last = streams_[stream_key(from, to)].last_delivery;
   const double at = std::max(sim_->now() + delay, last + 1e-6);
   last = at;
   return at;
-}
-
-uint32_t Network::acquire_tx_slot(const eth::Transaction& tx) {
-  if (!tx_free_.empty()) {
-    const uint32_t slot = tx_free_.back();
-    tx_free_.pop_back();
-    tx_slab_[slot] = tx;
-    return slot;
-  }
-  tx_slab_.push_back(tx);
-  return static_cast<uint32_t>(tx_slab_.size() - 1);
 }
 
 void Network::send_tx(PeerId from, PeerId to, const eth::Transaction& tx, double extra_delay) {
@@ -171,12 +186,66 @@ void Network::send_tx(PeerId from, PeerId to, const eth::Transaction& tx, double
   double lat = latency_.sample(rng_);
   if (fault_ != nullptr) {
     // Dropped messages stay in the sent tallies (the wire bytes were
-    // spent); they just never schedule a delivery.
+    // spent); they just never schedule a delivery or hold an arena slot —
+    // a drop mid-window simply leaves a smaller batch behind.
     if (fault_->should_drop(MsgKind::kTx, from, to)) return;
     lat *= fault_->latency_multiplier(MsgKind::kTx, from, to);
   }
-  const double at = fifo_delivery_time(from, to, lat + extra_delay);
-  const uint32_t slot = acquire_tx_slot(tx);
+  StreamState& ss = streams_[stream_key(from, to)];
+  const double at = std::max(sim_->now() + lat + extra_delay, ss.last_delivery + 1e-6);
+  ss.last_delivery = at;
+  const uint32_t slot = arena_.acquire(tx);
+  if (batch_window_ <= 0.0) {
+    sim_->schedule_at(at, sim::Event::typed(sim::EventKind::kDeliverTx, this, to, from, slot));
+    return;
+  }
+  stage_tx(ss, from, to, at, slot);
+}
+
+void Network::stage_tx(StreamState& ss, PeerId from, PeerId to, double at, uint32_t slot) {
+  if (ss.open_batch != 0) {
+    TxBatch& b = batches_[ss.open_batch];
+    if (at - b.window_start <= batch_window_) {
+      // Reserved at the instant the unbatched path would have pushed, so
+      // the member's (t, seq) key — and therefore its position in the
+      // global total order — is exactly what the one-event-per-message
+      // trajectory would use.
+      const uint64_t seq = sim_->reserve_seq();
+      b.members.push_back(BatchMember{at, seq, slot});
+      if (!b.live_event) {
+        sim_->schedule_at_seq(
+            at, sim::Event::typed(sim::EventKind::kDeliverTxBatch, this, to, from, ss.open_batch),
+            seq);
+        b.live_event = true;
+      }
+      return;
+    }
+    // Window rolled over: seal (in-flight members keep delivering through
+    // the old batch) and fall through to the plain first-send regime.
+    b.sealed = true;
+    ss.open_batch = 0;
+  } else if (at - ss.window_start <= batch_window_) {
+    // Second send inside the window: batching starts to pay, so open a
+    // batch for this and subsequent members. The window's opener already
+    // shipped as a plain kDeliverTx and is not a member; the window stays
+    // anchored at its delivery time.
+    const uint64_t seq = sim_->reserve_seq();
+    ss.open_batch = next_batch_id_++;
+    TxBatch& b = batches_[ss.open_batch];
+    b.from = from;
+    b.to = to;
+    b.window_start = ss.window_start;
+    b.members.push_back(BatchMember{at, seq, slot});
+    sim_->schedule_at_seq(
+        at, sim::Event::typed(sim::EventKind::kDeliverTxBatch, this, to, from, ss.open_batch),
+        seq);
+    b.live_event = true;
+    return;
+  }
+  // First send of a fresh window: one plain event, zero staging overhead —
+  // a single-send stream (every stream, in a one-tx flood) never touches
+  // the batch map at all.
+  ss.window_start = at;
   sim_->schedule_at(at, sim::Event::typed(sim::EventKind::kDeliverTx, this, to, from, slot));
 }
 
@@ -305,9 +374,28 @@ Network::Snapshot Network::snapshot() const {
   s.next_miner = next_miner_;
   s.miners = miners_;
   s.mine_interval = mine_interval_;
-  s.tx_slab = tx_slab_;
-  s.tx_free = tx_free_;
-  s.last_delivery = last_delivery_;
+  s.arena = arena_.snapshot();
+  s.streams.reserve(streams_.size());
+  for (const auto& [key, ss] : streams_) {
+    s.streams.push_back(Snapshot::StreamClock{key, ss.last_delivery, ss.open_batch, ss.window_start});
+  }
+  std::sort(s.streams.begin(), s.streams.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  s.batches.reserve(batches_.size());
+  for (const auto& [id, b] : batches_) {
+    Snapshot::StagedBatch sb;
+    sb.id = id;
+    sb.from = b.from;
+    sb.to = b.to;
+    sb.sealed = b.sealed;
+    sb.live_event = b.live_event;
+    sb.window_start = b.window_start;
+    sb.members.assign(b.members.begin() + static_cast<std::ptrdiff_t>(b.next), b.members.end());
+    s.batches.push_back(std::move(sb));
+  }
+  std::sort(s.batches.begin(), s.batches.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  s.next_batch_id = next_batch_id_;
   return s;
 }
 
@@ -342,9 +430,23 @@ void Network::restore(const Snapshot& snap) {
   next_miner_ = snap.next_miner;
   miners_ = snap.miners;
   mine_interval_ = snap.mine_interval;
-  tx_slab_ = snap.tx_slab;
-  tx_free_ = snap.tx_free;
-  last_delivery_ = snap.last_delivery;
+  arena_.restore(snap.arena);
+  streams_.clear();
+  for (const auto& sc : snap.streams) {
+    streams_[sc.key] = StreamState{sc.last_delivery, sc.open_batch, sc.window_start};
+  }
+  batches_.clear();
+  for (const auto& sb : snap.batches) {
+    TxBatch b;
+    b.from = sb.from;
+    b.to = sb.to;
+    b.sealed = sb.sealed;
+    b.live_event = sb.live_event;
+    b.window_start = sb.window_start;
+    b.members = sb.members;
+    batches_[sb.id] = std::move(b);
+  }
+  next_batch_id_ = snap.next_batch_id;
 }
 
 void Network::rebind_external(PeerId id, Peer* peer) {
@@ -367,11 +469,51 @@ void Network::on_event(const sim::Event& ev) {
   switch (ev.kind) {
     case sim::EventKind::kDeliverTx: {
       // Copy out and release the slot before delivering: propagation inside
-      // deliver_tx may send again and grow the slab.
+      // deliver_tx may send again and reuse the slot.
       const uint32_t slot = static_cast<uint32_t>(ev.payload);
-      const eth::Transaction tx = tx_slab_[slot];
-      tx_free_.push_back(slot);
+      const eth::Transaction tx = arena_.take(slot);
       peers_[ev.a]->deliver_tx(tx, ev.b);
+      break;
+    }
+    case sim::EventKind::kDeliverTxBatch: {
+      auto it = batches_.find(ev.payload);
+      assert(it != batches_.end() && "batch event for an erased batch");
+      TxBatch& b = it->second;  // unordered_map references survive rehash
+      b.live_event = false;
+      const sim::Time bound = sim_->drain_bound();
+      while (b.next < b.members.size()) {
+        const BatchMember m = b.members[b.next];
+        if (m.t > bound) break;  // honour the enclosing run_until horizon
+        // Yield whenever any queued event's (t, seq) key precedes this
+        // member's: delivering it now would reorder the global trajectory.
+        // The first member never yields — this event *was* the queue
+        // minimum at exactly (m.t, m.seq).
+        const auto [qt, qseq] = sim_->next_event_key();
+        if (m.t > qt || (m.t == qt && m.seq > qseq)) break;
+        ++b.next;
+        sim_->advance_to(m.t);
+        const eth::Transaction tx = arena_.take(m.slot);
+        // Re-read the peer slot each iteration: a delivery can detach ev.a.
+        peers_[ev.a]->deliver_tx(tx, ev.b);
+      }
+      if (b.next < b.members.size()) {
+        // Park the batch back in the queue at its next member's reserved
+        // key; it pops again exactly when that member would have.
+        const BatchMember& m = b.members[b.next];
+        sim_->schedule_at_seq(m.t, ev, m.seq);
+        b.live_event = true;
+      } else {
+        // Fully drained: erase the batch and return the stream to its
+        // plain single-event regime — the next send inside the window
+        // opens a fresh batch only if another one joins it.
+        if (!b.sealed) {
+          auto sit = streams_.find(stream_key(ev.b, ev.a));
+          if (sit != streams_.end() && sit->second.open_batch == it->first) {
+            sit->second.open_batch = 0;
+          }
+        }
+        batches_.erase(it);
+      }
       break;
     }
     case sim::EventKind::kDeliverAnnounce:

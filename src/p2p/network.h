@@ -1,5 +1,6 @@
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +13,7 @@
 #include "p2p/config.h"
 #include "p2p/fault_hook.h"
 #include "p2p/node.h"
+#include "p2p/payload_arena.h"
 #include "p2p/peer.h"
 #include "sim/latency.h"
 #include "sim/simulator.h"
@@ -36,8 +38,17 @@ struct NetObs {
 /// against.
 ///
 /// Delivery is scheduled as typed sim::Events (no per-message closure
-/// allocation); full-transaction payloads ride in a pooled slab, so a send
-/// costs one slab copy and zero heap traffic in steady state.
+/// allocation); full-transaction payloads ride in a chunked PayloadArena,
+/// so a send costs one arena copy and zero heap traffic in steady state.
+///
+/// Full-transaction sends on the same directed (from, to) stream within
+/// one batch window coalesce into a single kDeliverTxBatch event (see
+/// "Batched delivery" in ARCHITECTURE.md). Batching is pure mechanics:
+/// each member keeps its exact per-message delivery time and a reserved
+/// queue sequence number, the drain loop advances the clock member by
+/// member and yields to the queue whenever any other event's (time, seq)
+/// key comes first, so the observable trajectory is identical to the
+/// one-event-per-message path at any window setting.
 class Network : public sim::EventSink {
  public:
   Network(sim::Simulator* sim, eth::Chain* chain, util::Rng rng,
@@ -94,6 +105,26 @@ class Network : public sim::EventSink {
   void send_announce(PeerId from, PeerId to, eth::TxHash hash);
   void send_get_tx(PeerId from, PeerId to, eth::TxHash hash);
 
+  /// Default per-stream batch window (seconds of delivery time one
+  /// kDeliverTxBatch may span).
+  static constexpr double kDefaultBatchWindow = 0.25;
+
+  /// Sets the batch window; <= 0 disables batching entirely (every tx
+  /// rides its own kDeliverTx event — the reference trajectory the golden
+  /// suite compares batched runs against). Batching never changes what is
+  /// delivered when; the window only bounds how long one batch's payload
+  /// span stays parked in the arena.
+  void set_batch_window(double seconds) { batch_window_ = seconds; }
+  double batch_window() const { return batch_window_; }
+
+  /// Introspection for tests: directed streams with live FIFO-clock state
+  /// (the leak regression), batches currently staged, and the payload
+  /// arena itself.
+  size_t stream_count() const { return streams_.size(); }
+  size_t staged_batches() const { return batches_.size(); }
+  const PayloadArena& arena() const { return arena_; }
+  PayloadArena& arena() { return arena_; }
+
   /// Inserts transactions directly into every regular node's pool (steady
   /// state background load; see DESIGN.md on seeding). Skips peers in
   /// `except`.
@@ -118,16 +149,47 @@ class Network : public sim::EventSink {
   /// gets a fresh deterministic identity while keeping its warmed state).
   void set_rng(util::Rng rng) { rng_ = rng; }
 
+  /// One staged full-tx delivery: exact delivery time, the queue sequence
+  /// number reserved for it at send, and its payload slot in the arena.
+  struct BatchMember {
+    double t = 0.0;
+    uint64_t seq = 0;
+    uint32_t slot = 0;
+  };
+
   /// Frozen overlay state for world forking (core::Scenario::snapshot).
   /// Owned-node state rides along (one Node::Snapshot per regular node, in
   /// regular-node order — bulk pool pages behind copy-on-write handles);
   /// externally registered peers are captured as inert slots their owners
   /// re-bind after restore (rebind_external). In-flight transaction
-  /// payloads (the slab) and the per-link FIFO clocks are included so the
-  /// pending delivery events the scenario re-pushes replay identically.
-  /// Link churn is closure-scheduled and deliberately not captured; the
-  /// scenario layer rejects worlds with pending closures.
+  /// payloads (the arena), the per-stream FIFO clocks, and staged delivery
+  /// batches are captured symbolically — batch ids and arena slot handles
+  /// are preserved verbatim so the pending kDeliverTxBatch/kDeliverTx
+  /// events the scenario re-pushes resolve identically; member *sequence
+  /// numbers* are queue-relative, so the scenario layer renumbers them
+  /// (rank-compacted together with the pending events' seqs) before the
+  /// snapshot leaves the source world. Link churn is closure-scheduled and
+  /// deliberately not captured; the scenario layer rejects worlds with
+  /// pending closures.
   struct Snapshot {
+    /// A staged batch, undelivered members only, in delivery order.
+    struct StagedBatch {
+      uint64_t id = 0;
+      PeerId from = 0;
+      PeerId to = 0;
+      bool sealed = false;
+      bool live_event = false;
+      double window_start = 0.0;
+      std::vector<BatchMember> members;
+    };
+    /// One directed stream's FIFO clock (key = from << 32 | to).
+    struct StreamClock {
+      uint64_t key = 0;
+      double last_delivery = 0.0;
+      uint64_t open_batch = 0;  ///< 0 = none
+      double window_start = 0.0;
+    };
+
     util::Rng rng;
     std::vector<Node::Snapshot> nodes;  ///< aligned with `regular`
     std::vector<PeerId> regular;
@@ -139,9 +201,10 @@ class Network : public sim::EventSink {
     size_t next_miner = 0;
     std::vector<PeerId> miners;
     double mine_interval = 0.0;
-    std::vector<eth::Transaction> tx_slab;
-    std::vector<uint32_t> tx_free;
-    std::unordered_map<uint64_t, double> last_delivery;
+    PayloadArena::Snapshot arena;
+    std::vector<StreamClock> streams;   ///< sorted by key
+    std::vector<StagedBatch> batches;   ///< sorted by id
+    uint64_t next_batch_id = 1;
   };
   Snapshot snapshot() const;
 
@@ -226,19 +289,61 @@ class Network : public sim::EventSink {
   bool churn_on_ = false;
   uint64_t churn_events_ = 0;
 
-  /// Pooled full-transaction payloads for in-flight kDeliverTx events: the
-  /// slab never shrinks, so steady-state sends reuse slots instead of
-  /// allocating. Slots are acquired after the fault-drop check (dropped
-  /// messages never hold one) and released at delivery.
-  uint32_t acquire_tx_slot(const eth::Transaction& tx);
-  std::vector<eth::Transaction> tx_slab_;
-  std::vector<uint32_t> tx_free_;
+  static uint64_t stream_key(PeerId from, PeerId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
 
-  /// Enforces in-order delivery per directed (from, to) stream — messages
-  /// share a TCP connection in the real protocol, so a later send can never
-  /// overtake an earlier one.
+  /// Per directed (from, to) stream: the FIFO delivery clock — messages
+  /// share a TCP connection in the real protocol, so a later send can
+  /// never overtake an earlier one — plus the id of the batch currently
+  /// accepting members (0 = none) and the delivery time of the send that
+  /// opened the current window. Batches open lazily: the window's first
+  /// send ships as a plain kDeliverTx (a single-send stream, the common
+  /// case in a one-tx flood, pays zero batching overhead) and a batch is
+  /// created only when a second send lands inside the window. Entries are
+  /// pruned on disconnect; a re-established link starts with a fresh clock
+  /// instead of being pushed out by a long-dead link's stale one.
+  struct StreamState {
+    double last_delivery = 0.0;
+    uint64_t open_batch = 0;
+    double window_start = -std::numeric_limits<double>::infinity();
+  };
+
+  /// A staged per-stream delivery batch. `members[next..]` are the
+  /// undelivered staged sends, strictly increasing in both t and seq;
+  /// `live_event` says a kDeliverTxBatch event (scheduled at exactly the
+  /// first undelivered member's (t, seq)) is in the queue. Sealed batches
+  /// no longer accept members (their stream disconnected, rolled its
+  /// window, or opened a newer batch) and are erased once drained.
+  struct TxBatch {
+    PeerId from = 0;
+    PeerId to = 0;
+    bool sealed = false;
+    bool live_event = false;
+    double window_start = 0.0;
+    size_t next = 0;
+    std::vector<BatchMember> members;
+  };
+
+  /// Enforces the per-stream FIFO clock and returns the delivery time
+  /// (announce/get-tx path; send_tx inlines it to keep the stream handle).
   double fifo_delivery_time(PeerId from, PeerId to, double delay);
-  std::unordered_map<uint64_t, double> last_delivery_;
+
+  /// Routes one send through the stream's window: the window's first send
+  /// goes out as a plain kDeliverTx; a second send inside the window opens
+  /// a batch (keeping its queue event pinned to the first undelivered
+  /// member), and later sends join it until the window rolls.
+  void stage_tx(StreamState& ss, PeerId from, PeerId to, double at, uint32_t slot);
+
+  /// Drops a departing stream: seals its open batch (in-flight members
+  /// still deliver) and erases the FIFO clock.
+  void prune_stream(PeerId from, PeerId to);
+
+  PayloadArena arena_;  ///< in-flight full-tx payloads (kDeliverTx + staged batches)
+  std::unordered_map<uint64_t, StreamState> streams_;
+  std::unordered_map<uint64_t, TxBatch> batches_;  ///< by batch id
+  uint64_t next_batch_id_ = 1;
+  double batch_window_ = kDefaultBatchWindow;
 };
 
 }  // namespace topo::p2p

@@ -95,8 +95,11 @@ void Node::deliver_tx(const eth::Transaction& tx, PeerId from) {
   if (unresponsive_) return;
   // Body arrival settles any outstanding fetch, however it got here (a
   // direct push races the announce protocol and must still release the
-  // fetcher entry).
-  prune_fetcher(tx.hash());
+  // fetcher entry). Flood-admission fast path: with no fetches outstanding
+  // — the overwhelmingly common state in push-mode floods, where batched
+  // delivery funnels hundreds of admissions through here back-to-back —
+  // skip the content-hash computation and both map probes entirely.
+  if (!announce_block_until_.empty() || !announce_sources_.empty()) prune_fetcher(tx.hash());
   admit_and_propagate(tx, from);
 }
 

@@ -156,28 +156,53 @@ struct Parser {
           case 'b': out.push_back('\b'); break;
           case 'f': out.push_back('\f'); break;
           case 'u': {
-            if (end - p < 5) return std::nullopt;
+            // Reads the 4 hex digits after the 'u' at *p, leaving p on the
+            // last digit (the shared ++p below steps past it).
+            const auto hex4 = [this](unsigned& code) -> bool {
+              if (end - p < 5) return false;
+              code = 0;
+              for (int i = 1; i <= 4; ++i) {
+                const char c = p[i];
+                code <<= 4;
+                if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+                else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+                else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+                else return false;
+              }
+              p += 4;
+              return true;
+            };
             unsigned code = 0;
-            for (int i = 1; i <= 4; ++i) {
-              const char c = p[i];
-              code <<= 4;
-              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
-              else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
-              else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
-              else return std::nullopt;
+            if (!hex4(code)) return std::nullopt;
+            // Surrogate halves are not code points: a lone low surrogate
+            // (or a high one without its partner, below) is a parse error
+            // rather than mojibake in the output.
+            if (code >= 0xdc00 && code <= 0xdfff) return std::nullopt;
+            if (code >= 0xd800 && code <= 0xdbff) {
+              // High surrogate: combine with the mandatory following
+              // \uDC00-\uDFFF escape into one supplementary-plane point.
+              if (end - p < 3 || p[1] != '\\' || p[2] != 'u') return std::nullopt;
+              p += 2;  // onto the second 'u'
+              unsigned low = 0;
+              if (!hex4(low)) return std::nullopt;
+              if (low < 0xdc00 || low > 0xdfff) return std::nullopt;
+              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
             }
-            // Basic-multilingual-plane only; encode as UTF-8.
             if (code < 0x80) {
               out.push_back(static_cast<char>(code));
             } else if (code < 0x800) {
               out.push_back(static_cast<char>(0xc0 | (code >> 6)));
               out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
-            } else {
+            } else if (code < 0x10000) {
               out.push_back(static_cast<char>(0xe0 | (code >> 12)));
               out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
               out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
             }
-            p += 4;
             break;
           }
           default: return std::nullopt;

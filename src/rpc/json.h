@@ -1,9 +1,10 @@
 #pragma once
 
 // Minimal JSON value + parser/serializer for the simulated JSON-RPC layer.
-// Supports the full JSON grammar except unicode escapes beyond \uXXXX
-// passthrough; numbers are stored as double (sufficient for RPC ids) with
-// integral fast-paths for serialization.
+// Supports the full JSON grammar: \uXXXX escapes decode to UTF-8, with
+// surrogate pairs combined into supplementary-plane code points and lone
+// surrogates rejected as parse errors; numbers are stored as double
+// (sufficient for RPC ids) with integral fast-paths for serialization.
 
 #include <cstdint>
 #include <map>

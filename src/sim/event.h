@@ -28,9 +28,10 @@ enum class EventKind : uint8_t {
   kMaintenance,      ///< Node: periodic pool maintenance tick (self-rescheduling)
   kRegossip,         ///< Node: periodic re-gossip tick (self-rescheduling)
   kCampaignStep,     ///< Scenario: one organic-traffic step (self-rescheduling)
+  kDeliverTxBatch,   ///< Network: drain a staged per-link tx batch (a=to, b=from, payload=batch id)
 };
 
-inline constexpr size_t kNumEventKinds = 10;
+inline constexpr size_t kNumEventKinds = 11;
 
 /// Stable metric-suffix name of an event kind (`sim.dispatch.<name>`).
 constexpr const char* event_kind_name(EventKind kind) {
@@ -45,6 +46,7 @@ constexpr const char* event_kind_name(EventKind kind) {
     case EventKind::kMaintenance: return "maintenance";
     case EventKind::kRegossip: return "regossip";
     case EventKind::kCampaignStep: return "campaign_step";
+    case EventKind::kDeliverTxBatch: return "deliver_tx_batch";
   }
   return "unknown";
 }

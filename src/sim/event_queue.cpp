@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdlib>
+#include <limits>
 
 namespace topo::sim {
 
@@ -44,7 +45,7 @@ void EventQueue::heap_push(Slot&& slot) {
 
 EventQueue::Scheduled EventQueue::heap_pop() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Scheduled out{heap_.back().t, std::move(heap_.back().ev)};
+  Scheduled out{heap_.back().t, heap_.back().seq, std::move(heap_.back().ev)};
   heap_.pop_back();
   return out;
 }
@@ -95,7 +96,12 @@ void EventQueue::wheel_push(Slot&& slot) {
 }
 
 void EventQueue::push(Time t, Event ev) {
-  Slot slot{t, next_seq_++, std::move(ev)};
+  push_at_seq(t, std::move(ev), next_seq_);
+}
+
+void EventQueue::push_at_seq(Time t, Event ev, uint64_t seq) {
+  Slot slot{t, seq, std::move(ev)};
+  if (seq >= next_seq_) next_seq_ = seq + 1;
   ++size_;
   if (backend_ == QueueBackend::kLegacyHeap) {
     heap_push(std::move(slot));
@@ -277,7 +283,7 @@ std::vector<EventQueue::Scheduled> EventQueue::pending_snapshot() const {
   });
   std::vector<Scheduled> out;
   out.reserve(slots.size());
-  for (Slot& s : slots) out.push_back(Scheduled{s.t, std::move(s.ev)});
+  for (Slot& s : slots) out.push_back(Scheduled{s.t, s.seq, std::move(s.ev)});
   return out;
 }
 
@@ -287,12 +293,22 @@ Time EventQueue::next_time() const {
   return due_.front().t;
 }
 
+std::pair<Time, uint64_t> EventQueue::next_key() const {
+  if (size_ == 0) {
+    return {std::numeric_limits<Time>::infinity(),
+            std::numeric_limits<uint64_t>::max()};
+  }
+  const Slot& front =
+      backend_ == QueueBackend::kLegacyHeap ? heap_.front() : due_.front();
+  return {front.t, front.seq};
+}
+
 EventQueue::Scheduled EventQueue::pop() {
   assert(size_ > 0);
   --size_;
   if (backend_ == QueueBackend::kLegacyHeap) return heap_pop();
   std::pop_heap(due_.begin(), due_.end(), Later{});
-  Scheduled out{due_.back().t, std::move(due_.back().ev)};
+  Scheduled out{due_.back().t, due_.back().seq, std::move(due_.back().ev)};
   due_.pop_back();
   if (due_.empty() && size_ > 0) refill_due();
   return out;

@@ -11,6 +11,11 @@ void Simulator::schedule_at(Time t, Event ev) {
   if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
 }
 
+void Simulator::schedule_at_seq(Time t, Event ev, uint64_t seq) {
+  queue_.push_at_seq(std::max(t, now_), std::move(ev), seq);
+  if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
+}
+
 void Simulator::schedule_after(Time delay, Event ev) {
   schedule_at(now_ + std::max(delay, 0.0), std::move(ev));
 }
@@ -34,22 +39,29 @@ void Simulator::every(Time start, Time interval, std::function<bool()> action) {
 
 void Simulator::run() {
   while (!queue_.empty()) {
-    auto [t, ev] = queue_.pop();
-    now_ = std::max(now_, t);
+    EventQueue::Scheduled s = queue_.pop();
+    now_ = std::max(now_, s.t);
     ++processed_;
-    ++dispatched_[static_cast<size_t>(ev.kind)];
-    ev.fire();
+    ++dispatched_[static_cast<size_t>(s.ev.kind)];
+    s.ev.fire();
   }
 }
 
 void Simulator::run_until(Time t) {
+  // Batched-delivery handlers drain staged members up to drain_bound():
+  // pin it to this horizon (restoring the enclosing bound on exit — runs
+  // can nest via closure events driving the sim) so a batch popped at
+  // t0 <= t never delivers members beyond t.
+  const Time prev_bound = drain_bound_;
+  drain_bound_ = t;
   while (!queue_.empty() && queue_.next_time() <= t) {
-    auto [et, ev] = queue_.pop();
-    now_ = std::max(now_, et);
+    EventQueue::Scheduled s = queue_.pop();
+    now_ = std::max(now_, s.t);
     ++processed_;
-    ++dispatched_[static_cast<size_t>(ev.kind)];
-    ev.fire();
+    ++dispatched_[static_cast<size_t>(s.ev.kind)];
+    s.ev.fire();
   }
+  drain_bound_ = prev_bound;
   now_ = std::max(now_, t);
 }
 
@@ -57,11 +69,11 @@ bool Simulator::run_capped(size_t max_events) {
   size_t n = 0;
   while (!queue_.empty()) {
     if (n++ >= max_events) return false;
-    auto [t, ev] = queue_.pop();
-    now_ = std::max(now_, t);
+    EventQueue::Scheduled s = queue_.pop();
+    now_ = std::max(now_, s.t);
     ++processed_;
-    ++dispatched_[static_cast<size_t>(ev.kind)];
-    ev.fire();
+    ++dispatched_[static_cast<size_t>(s.ev.kind)];
+    s.ev.fire();
   }
   return true;
 }

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <array>
+#include <limits>
+#include <utility>
 
 #include "sim/event_queue.h"
 
@@ -24,6 +26,18 @@ class Simulator {
   /// Schedules a typed event at an absolute time (clamped to now if in the
   /// past). Allocation-free.
   void schedule_at(Time t, Event ev);
+
+  /// Schedules a typed event under a previously reserved queue sequence
+  /// number (see reserve_seq). Same clamping as schedule_at.
+  void schedule_at_seq(Time t, Event ev, uint64_t seq);
+
+  /// Claims the next queue sequence number without scheduling anything —
+  /// the staging half of batched delivery (EventQueue::reserve_seq).
+  uint64_t reserve_seq() { return queue_.reserve_seq(); }
+
+  /// Ensures future plain schedules sort after seq `min_next - 1` (world
+  /// restore over reserved-but-unqueued seqs; EventQueue::advance_seq).
+  void advance_seq(uint64_t min_next) { queue_.advance_seq(min_next); }
 
   /// Schedules a typed event `delay` seconds from now (delay < 0 treated
   /// as 0). Allocation-free.
@@ -52,6 +66,24 @@ class Simulator {
   size_t processed() const { return processed_; }
   size_t queued() const { return queue_.size(); }
   QueueBackend backend() const { return queue_.backend(); }
+
+  /// Exact (time, seq) key of the next queued event, (+inf, max) when the
+  /// queue is empty (EventQueue::next_key). An in-flight event handler
+  /// draining staged work compares its members against this to decide how
+  /// far it may run without violating the global total order.
+  std::pair<Time, uint64_t> next_event_key() const { return queue_.next_key(); }
+
+  /// Moves the clock forward to `t` (never backward). Event handlers that
+  /// deliver several staged messages in one dispatch (batched delivery)
+  /// advance the clock to each member's scheduled time so downstream
+  /// timestamps are identical to the one-event-per-message trajectory.
+  void advance_to(Time t) { now_ = std::max(now_, t); }
+
+  /// Upper bound on how far an in-dispatch drain may advance the clock:
+  /// the horizon of the innermost run_until(t), +inf under run()/
+  /// run_capped(). Without this, a batch popped at t0 <= t could deliver
+  /// members beyond t and break run_until's contract.
+  Time drain_bound() const { return drain_bound_; }
 
   /// Deepest the event queue has ever been — the memory high-water mark a
   /// production deployment must provision for (observability snapshot
@@ -94,6 +126,7 @@ class Simulator {
  private:
   EventQueue queue_;
   Time now_ = 0.0;
+  Time drain_bound_ = std::numeric_limits<Time>::infinity();
   size_t processed_ = 0;
   size_t queue_high_water_ = 0;
   std::array<uint64_t, kNumEventKinds> dispatched_{};

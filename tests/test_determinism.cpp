@@ -24,6 +24,7 @@
 #include "exec/campaign.h"
 #include "graph/generators.h"
 #include "obs/span.h"
+#include "p2p/network.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
 
@@ -56,10 +57,31 @@ obs::MetricsSnapshot strip_queue_internals(obs::MetricsSnapshot s) {
   return s;
 }
 
+/// The wider carve-out for batched-vs-unbatched comparisons: a batch
+/// replaces N kDeliverTx pops with one kDeliverTxBatch pop, so the event
+/// *accounting* (dispatch mix, processed count, queue depths) legitimately
+/// differs while everything observable — reports, traces, every other
+/// metric, including net.arena_peak — must not.
+obs::MetricsSnapshot strip_event_accounting(obs::MetricsSnapshot s) {
+  auto strip = [](std::map<std::string, double>& m) {
+    for (auto it = m.begin(); it != m.end();) {
+      const std::string& k = it->first;
+      const bool drop = k.rfind("sim.queue.impl.", 0) == 0 ||
+                        k.rfind("sim.dispatch.", 0) == 0 || k == "sim.events_processed" ||
+                        k == "sim.queue_depth" || k == "sim.queue_high_water";
+      it = drop ? m.erase(it) : std::next(it);
+    }
+  };
+  strip(s.gauges);
+  strip(s.gauge_maxes);
+  return s;
+}
+
 CampaignArtifacts run_campaign(sim::QueueBackend backend, size_t threads, size_t shards,
                                bool faults,
                                core::StrategyKind strategy = core::StrategyKind::kToposhot,
-                               bool fork_worlds = true) {
+                               bool fork_worlds = true,
+                               double batch_window = p2p::Network::kDefaultBatchWindow) {
   sim::set_default_queue_backend(backend);
   util::Rng rng(21);
   const graph::Graph truth = graph::erdos_renyi_gnm(24, 44, rng);
@@ -68,6 +90,7 @@ CampaignArtifacts run_campaign(sim::QueueBackend backend, size_t threads, size_t
   opt.mempool_capacity = 192;
   opt.future_cap = 48;
   opt.background_txs = 128;
+  opt.batch_window = batch_window;
   core::MeasureConfig cfg;
   {
     core::Scenario probe(truth, opt);
@@ -270,6 +293,72 @@ TEST(GoldenDeterminism, FaultCampaignIsByteIdenticalAcrossBackends) {
     EXPECT_NE(p.cause, obs::ProbeCause::kNone)
         << "pair (" << p.u << ", " << p.v << ") is inconclusive without a cause";
   }
+}
+
+// Batched delivery is pure mechanics: a campaign run with per-link
+// delivery batching (the default window) must produce byte-identical
+// reports and traces to the same campaign with batching disabled
+// (window 0, one kDeliverTx event per message) — the only things allowed
+// to differ are the event-accounting metrics strip_event_accounting
+// removes. This is the contract that makes the batching optimization
+// invisible to every consumer of campaign artifacts.
+TEST(GoldenDeterminism, BatchedMatchesUnbatchedByteForByte) {
+  BackendGuard guard;
+  for (sim::QueueBackend backend :
+       {sim::QueueBackend::kTimingWheel, sim::QueueBackend::kLegacyHeap}) {
+    SCOPED_TRACE(backend == sim::QueueBackend::kTimingWheel ? "wheel" : "heap");
+    const auto batched =
+        run_campaign(backend, 1, 2, false, core::StrategyKind::kToposhot, true);
+    const auto unbatched =
+        run_campaign(backend, 1, 2, false, core::StrategyKind::kToposhot, true, 0.0);
+    EXPECT_EQ(batched.report_json, unbatched.report_json);
+    EXPECT_EQ(batched.trace_json, unbatched.trace_json);
+    EXPECT_EQ(strip_event_accounting(batched.metrics),
+              strip_event_accounting(unbatched.metrics));
+    EXPECT_FALSE(batched.report_json.empty());
+  }
+}
+
+TEST(GoldenDeterminism, BatchedMatchesUnbatchedWithFaultsAtWidth) {
+  BackendGuard guard;
+  // Faulted + multi-thread/shard: drops and latency spikes interleave with
+  // batch staging (dropped sends never join a batch), and the merge across
+  // shard workers must still line up byte for byte.
+  const auto batched = run_campaign(sim::QueueBackend::kTimingWheel, 2, 3, true,
+                                    core::StrategyKind::kToposhot, true);
+  const auto unbatched = run_campaign(sim::QueueBackend::kTimingWheel, 2, 3, true,
+                                      core::StrategyKind::kToposhot, true, 0.0);
+  EXPECT_EQ(batched.report_json, unbatched.report_json);
+  EXPECT_EQ(batched.trace_json, unbatched.trace_json);
+  EXPECT_EQ(strip_event_accounting(batched.metrics),
+            strip_event_accounting(unbatched.metrics));
+}
+
+// The snapshot path for the no-batching configuration: plain kDeliverTx
+// events with arena payload slots must also survive fork/restore exactly
+// (the batched default is covered by every Forked* test above).
+TEST(GoldenDeterminism, UnbatchedForkedMatchesRebuilt) {
+  BackendGuard guard;
+  const auto forked = run_campaign(sim::QueueBackend::kTimingWheel, 1, 2, false,
+                                   core::StrategyKind::kToposhot, true, 0.0);
+  const auto rebuilt = run_campaign(sim::QueueBackend::kTimingWheel, 1, 2, false,
+                                    core::StrategyKind::kToposhot, false, 0.0);
+  EXPECT_EQ(forked.report_json, rebuilt.report_json);
+  EXPECT_EQ(forked.trace_json, rebuilt.trace_json);
+  EXPECT_EQ(strip_queue_internals(forked.metrics), strip_queue_internals(rebuilt.metrics));
+}
+
+// A non-default window on the other backend at a wider width: the window
+// size itself must never be observable, only the accounting.
+TEST(GoldenDeterminism, BatchWindowSizeIsUnobservable) {
+  BackendGuard guard;
+  const auto narrow = run_campaign(sim::QueueBackend::kLegacyHeap, 4, 2, false,
+                                   core::StrategyKind::kToposhot, true, 0.05);
+  const auto wide = run_campaign(sim::QueueBackend::kLegacyHeap, 4, 2, false,
+                                 core::StrategyKind::kToposhot, true, 1.0);
+  EXPECT_EQ(narrow.report_json, wide.report_json);
+  EXPECT_EQ(narrow.trace_json, wide.trace_json);
+  EXPECT_EQ(strip_event_accounting(narrow.metrics), strip_event_accounting(wide.metrics));
 }
 
 }  // namespace

@@ -45,6 +45,41 @@ TEST(Json, UnicodeEscapes) {
   EXPECT_EQ(v->as_string(), "A\xc3\xa9");
 }
 
+TEST(Json, SurrogatePairsDecodeToSupplementaryPlane) {
+  // U+1F600 (emoji, supplementary plane) arrives as a \uD83D\uDE00 pair
+  // and must decode to the 4-byte UTF-8 sequence.
+  auto v = Json::parse(R"("\uD83D\uDE00")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "\xf0\x9f\x98\x80");
+  // Lower-case hex and surrounding text both survive.
+  auto mixed = Json::parse(R"("a\ud83d\ude00z")");
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_EQ(mixed->as_string(), "a\xf0\x9f\x98\x80z");
+  // Round trip: the serializer emits raw UTF-8, which reparses identically.
+  auto again = Json::parse(v->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->as_string(), v->as_string());
+}
+
+TEST(Json, LoneSurrogatesAreParseErrors) {
+  EXPECT_FALSE(Json::parse(R"("\uD83D")").has_value()) << "high without low";
+  EXPECT_FALSE(Json::parse(R"("\uDE00")").has_value()) << "low without high";
+  EXPECT_FALSE(Json::parse(R"("\uD83Dx")").has_value()) << "high then raw char";
+  EXPECT_FALSE(Json::parse(R"("\uD83D\n")").has_value()) << "high then other escape";
+  EXPECT_FALSE(Json::parse(R"("\uD83D\uD83D")").has_value()) << "high then high";
+  EXPECT_FALSE(Json::parse(R"("\uD83DA")").has_value()) << "high then BMP";
+  EXPECT_FALSE(Json::parse(R"("\uD8")").has_value()) << "truncated digits";
+}
+
+TEST(Json, BmpEscapesStillDecode) {
+  auto ascii = Json::parse(R"("\u0041")");
+  ASSERT_TRUE(ascii.has_value());
+  EXPECT_EQ(ascii->as_string(), "A");
+  auto three_byte = Json::parse(R"("\u20AC")");  // euro sign
+  ASSERT_TRUE(three_byte.has_value());
+  EXPECT_EQ(three_byte->as_string(), "\xe2\x82\xac");
+}
+
 TEST(Json, HexHelpers) {
   EXPECT_EQ(to_hex_quantity(0), "0x0");
   EXPECT_EQ(to_hex_quantity(26), "0x1a");
