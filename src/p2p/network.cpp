@@ -476,10 +476,18 @@ void Network::on_event(const sim::Event& ev) {
       break;
     }
     case sim::EventKind::kDeliverTxBatch: {
+      // Deliveries below can propagate (admit -> send_tx -> stage_tx) and
+      // insert new entries into batches_; a rehash invalidates every
+      // iterator into the map (references survive, iterators do not). So:
+      // only the reference `b` may outlive a deliver_tx call — the batch is
+      // re-found or erased *by key* (ev.payload) after the loop, never via
+      // the pre-drain iterator. `live_event` also stays true for the whole
+      // dispatch: a delivery that detaches ev.a runs prune_stream on this
+      // stream, and a false flag there would erase the batch out from under
+      // this loop (prune seals live batches instead).
       auto it = batches_.find(ev.payload);
       assert(it != batches_.end() && "batch event for an erased batch");
-      TxBatch& b = it->second;  // unordered_map references survive rehash
-      b.live_event = false;
+      TxBatch& b = it->second;
       const sim::Time bound = sim_->drain_bound();
       while (b.next < b.members.size()) {
         const BatchMember m = b.members[b.next];
@@ -492,6 +500,7 @@ void Network::on_event(const sim::Event& ev) {
         if (m.t > qt || (m.t == qt && m.seq > qseq)) break;
         ++b.next;
         sim_->advance_to(m.t);
+        sim_->note_drained_delivery();
         const eth::Transaction tx = arena_.take(m.slot);
         // Re-read the peer slot each iteration: a delivery can detach ev.a.
         peers_[ev.a]->deliver_tx(tx, ev.b);
@@ -501,18 +510,18 @@ void Network::on_event(const sim::Event& ev) {
         // key; it pops again exactly when that member would have.
         const BatchMember& m = b.members[b.next];
         sim_->schedule_at_seq(m.t, ev, m.seq);
-        b.live_event = true;
       } else {
         // Fully drained: erase the batch and return the stream to its
         // plain single-event regime — the next send inside the window
-        // opens a fresh batch only if another one joins it.
+        // opens a fresh batch only if another one joins it. By key, not
+        // via `it` (see above).
         if (!b.sealed) {
           auto sit = streams_.find(stream_key(ev.b, ev.a));
-          if (sit != streams_.end() && sit->second.open_batch == it->first) {
+          if (sit != streams_.end() && sit->second.open_batch == ev.payload) {
             sit->second.open_batch = 0;
           }
         }
-        batches_.erase(it);
+        batches_.erase(ev.payload);
       }
       break;
     }

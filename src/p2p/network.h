@@ -312,7 +312,10 @@ class Network : public sim::EventSink {
   /// A staged per-stream delivery batch. `members[next..]` are the
   /// undelivered staged sends, strictly increasing in both t and seq;
   /// `live_event` says a kDeliverTxBatch event (scheduled at exactly the
-  /// first undelivered member's (t, seq)) is in the queue. Sealed batches
+  /// first undelivered member's (t, seq)) is in the queue or currently
+  /// mid-dispatch in the drain loop — the flag stays set for the whole
+  /// drain so prune_stream (reachable from a delivery that detaches a
+  /// peer) never erases a batch the loop still references. Sealed batches
   /// no longer accept members (their stream disconnected, rolled its
   /// window, or opened a newer batch) and are erased once drained.
   struct TxBatch {

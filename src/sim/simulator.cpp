@@ -68,12 +68,19 @@ void Simulator::run_until(Time t) {
 bool Simulator::run_capped(size_t max_events) {
   size_t n = 0;
   while (!queue_.empty()) {
-    if (n++ >= max_events) return false;
+    if (n >= max_events) return false;
     EventQueue::Scheduled s = queue_.pop();
     now_ = std::max(now_, s.t);
     ++processed_;
     ++dispatched_[static_cast<size_t>(s.ev.kind)];
+    const size_t drained_before = drained_;
     s.ev.fire();
+    // A kDeliverTxBatch dispatch drains up to its whole member list here
+    // (drain_bound is +inf), so charge one budget unit per drained member
+    // — exactly what the unbatched kDeliverTx-per-message trajectory would
+    // have paid. Non-draining dispatches charge the usual single unit.
+    const size_t drained = drained_ - drained_before;
+    n += drained > 0 ? drained : 1;
   }
   return true;
 }

@@ -60,7 +60,10 @@ class Simulator {
   void run_until(Time t);
 
   /// Runs until the queue drains or the event budget is exhausted; returns
-  /// true if drained.
+  /// true if drained. The budget counts *deliveries*, not queue pops: a
+  /// batch dispatch that drains k staged members debits k (reported via
+  /// note_drained_delivery), so a watchdog cap bounds the same amount of
+  /// work as it did under one-event-per-message delivery.
   bool run_capped(size_t max_events);
 
   size_t processed() const { return processed_; }
@@ -78,6 +81,12 @@ class Simulator {
   /// advance the clock to each member's scheduled time so downstream
   /// timestamps are identical to the one-event-per-message trajectory.
   void advance_to(Time t) { now_ = std::max(now_, t); }
+
+  /// Called by a handler once per staged message it delivers inside a
+  /// single dispatch (batched delivery drain loop). run_capped charges
+  /// these against its event budget so batching cannot inflate how much
+  /// work one counted event is allowed to do.
+  void note_drained_delivery() { ++drained_; }
 
   /// Upper bound on how far an in-dispatch drain may advance the clock:
   /// the horizon of the innermost run_until(t), +inf under run()/
@@ -128,6 +137,7 @@ class Simulator {
   Time now_ = 0.0;
   Time drain_bound_ = std::numeric_limits<Time>::infinity();
   size_t processed_ = 0;
+  size_t drained_ = 0;  ///< batch-drained deliveries; run_capped uses deltas only
   size_t queue_high_water_ = 0;
   std::array<uint64_t, kNumEventKinds> dispatched_{};
 };

@@ -189,6 +189,80 @@ TEST(BatchDelivery, DisconnectSealsBatchButInFlightMembersDeliver) {
   EXPECT_EQ(w.net.stream_count(), 0u) << "both directed streams pruned";
 }
 
+// --- Mid-drain map growth (iterator-invalidation regression) ----------------
+
+TEST(BatchDelivery, MidDrainPropagationOpeningManyBatchesIsSafe) {
+  // Draining a batch delivers into a Node whose propagation immediately
+  // send_tx()es to every neighbor; the second delivery's fan-out opens a
+  // new batch on every hub->leaf stream *while the drain dispatch is still
+  // on the stack*, growing batches_ from 1 entry to ~41 and forcing a
+  // rehash. Regression: the handler used to hold a pre-drain iterator
+  // across the loop and compare/erase through it afterwards — dangling
+  // (UB) once the map rehashed. It must erase by key instead.
+  World w;
+  w.net.set_batch_window(0.25);
+  const PeerId hub = w.net.add_node(w.default_config());
+  RecordingPeer sender;
+  sender.sim = &w.sim;
+  const PeerId from = w.net.register_peer(&sender);
+  constexpr int kLeaves = 40;
+  RecordingPeer leaves[kLeaves];
+  for (int i = 0; i < kLeaves; ++i) {
+    leaves[i].sim = &w.sim;
+    ASSERT_TRUE(w.net.connect(hub, w.net.register_peer(&leaves[i])));
+  }
+  // Two sends in one window: the opener ships plain (the hub fans tx1 out
+  // to all leaves, anchoring each hub->leaf window at ~0.10), the second
+  // becomes the batch's sole member; draining it makes the hub fan out
+  // tx2 — the second send inside every hub->leaf window, so each one
+  // opens a batch mid-dispatch.
+  w.net.send_tx(from, hub, w.pending_tx());
+  w.net.send_tx(from, hub, w.pending_tx(), 0.005);
+  ASSERT_EQ(w.net.staged_batches(), 1u);
+  w.sim.run_until(10.0);
+  for (int i = 0; i < kLeaves; ++i) {
+    EXPECT_EQ(leaves[i].rxs.size(), 2u) << "leaf " << i;
+  }
+  EXPECT_EQ(w.net.staged_batches(), 0u) << "all batches drained and erased";
+  EXPECT_EQ(w.net.arena().live(), 0u);
+}
+
+// --- Watchdog budget accounting ---------------------------------------------
+
+TEST(BatchDelivery, RunCappedChargesEachDrainedMember) {
+  // A batch dispatch delivers its whole member list in one queue pop under
+  // run_capped (drain_bound is +inf there). The budget must charge one
+  // unit per drained member, or batching would let event-capped watchdog
+  // runs do unboundedly more work per counted event than unbatched runs.
+  for (const double window : {0.25, 0.0}) {
+    World w;
+    w.net.set_batch_window(window);
+    RecordingPeer rx;
+    rx.sim = &w.sim;
+    const PeerId to = w.net.register_peer(&rx);
+    RecordingPeer s1, s2;
+    s1.sim = &w.sim;
+    s2.sim = &w.sim;
+    const PeerId from1 = w.net.register_peer(&s1);
+    const PeerId from2 = w.net.register_peer(&s2);
+    // Six sends inside one window (batched: one plain opener + a batch of
+    // five members) plus a straggler on another stream an hour of sim
+    // time later, so the queue is provably non-empty when the budget runs
+    // out mid-way.
+    for (int i = 0; i < 6; ++i) {
+      w.net.send_tx(from1, to, w.pending_tx(), 0.005 * static_cast<double>(i));
+    }
+    w.net.send_tx(from2, to, w.pending_tx(), 1.0);
+    // Both regimes deliver 7 messages; both must agree that a 4-delivery
+    // budget is not enough...
+    EXPECT_FALSE(w.sim.run_capped(4)) << "window=" << window;
+    // ...and that topping the budget up finishes the job.
+    EXPECT_TRUE(w.sim.run_capped(100)) << "window=" << window;
+    EXPECT_EQ(rx.rxs.size(), 7u) << "window=" << window;
+    EXPECT_EQ(w.net.arena().live(), 0u);
+  }
+}
+
 // --- FIFO-clock lifecycle (the churn leak regression) -----------------------
 
 TEST(FifoClock, ChurnCycleReturnsStreamMapToBaseline) {
