@@ -24,6 +24,7 @@ set(EXPERIMENT_BENCHES
   fault_recall
   strategy_rivalry
   world_fork
+  monitor_tracking
 )
 
 foreach(bench ${EXPERIMENT_BENCHES})

@@ -38,6 +38,9 @@ def load_results(path):
                       recall (one-sided floor) and txs_sent (two-sided — the
                       probe count of a deterministic campaign moving in either
                       direction means the strategy's protocol changed)
+      - "monitor":    the monitor_tracking --out sweep; two floor-gated
+                      metrics per churn level: detect_within_2 (the tracking
+                      acceptance bar) and coverage
     The sweep metrics ride in the items_per_second field — compare only
     needs "bigger is better", and the sims are deterministic, so any drift
     beyond the band signals a behavior change, not noise.
@@ -82,6 +85,13 @@ def load_results(path):
             out[f"{cell}/recall"] = {"items_per_second": float(c["recall"]),
                                      "real_time_ns": 0.0}
             out[f"{cell}/txs_sent"] = {"items_per_second": float(c["txs_sent"]),
+                                       "real_time_ns": 0.0}
+    elif "monitor" in doc:
+        for c in doc["monitor"]:
+            cell = f"churn={c['churn']:g}"
+            out[f"{cell}/detect_within_2"] = {
+                "items_per_second": float(c["detect_within_2"]), "real_time_ns": 0.0}
+            out[f"{cell}/coverage"] = {"items_per_second": float(c["coverage"]),
                                        "real_time_ns": 0.0}
     elif not out:
         sys.exit(f"error: {path} is neither gbench JSON nor a known sweep artifact")

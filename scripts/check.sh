@@ -53,10 +53,14 @@ if [[ "${1:-}" != "--fast" ]]; then
   # The batched-delivery suites (BatchDelivery*, FifoClock*, PayloadArena*)
   # ride here too: the drain loop holds references across batch-map
   # mutation and the arena recycles/releases chunks under live handles —
-  # exactly the lifetime bugs ASan exists for.
+  # exactly the lifetime bugs ASan exists for. The monitor suites
+  # (LinkTable*, TopologyMonitor*, MonitorRpc*, MonitorGolden*, etc.) join
+  # them: the daemon hands shared_ptr snapshots across a writer/reader
+  # boundary while concurrent readers race the epoch loop — the
+  # concurrent-reader test is only meaningful with ASan watching.
   echo "== pass 3: fault-injection + tracing + strategy suites under ASan (focused) =="
   ./build-asan/tests/toposhot_tests \
-    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*:Strategy*:Dethna*:TxProbe*:SnapshotWorld*:ForkWorld*:PeerLifetime*:BatchDelivery*:FifoClock*:PayloadArena*'
+    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*:Strategy*:Dethna*:TxProbe*:SnapshotWorld*:ForkWorld*:PeerLifetime*:BatchDelivery*:FifoClock*:PayloadArena*:LinkTable*:TopologyMonitor*:TopologyDiffTest*:MonitorStatusTest*:MonitorJson*:MonitorSchedule*:MonitorRpc*:MonitorGolden*:EvaluateTracking*'
 fi
 
 echo "All checks passed."

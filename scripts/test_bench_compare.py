@@ -100,6 +100,28 @@ def main():
         assert r.returncode != 0, "a newly appearing event kind must fail the gate"
         assert "event_mix/mine_tick" in r.stdout, r.stdout
 
+        # The "monitor" sweep shape: detection rate and coverage gate as
+        # one-sided floors, so a detection drop beyond the band fails.
+        def monitor_json(path, detect):
+            doc = {"monitor": [{"churn": 2.0, "budget": 41, "reprobe": 0.149,
+                                "detect_within_2": detect, "coverage": 1.0,
+                                "inconclusive": 0, "scoreable": 10}]}
+            with open(path, "w") as f:
+                json.dump(doc, f)
+
+        mon_base = os.path.join(d, "monitor.json")
+        monitor_json(mon_base, 1.0)
+        r = run("normalize", f"monitor={mon_base}", "-o", baseline, "--tolerance", "0.10")
+        assert r.returncode == 0, f"monitor normalize failed: {r.stderr}"
+        r = run("compare", baseline, f"monitor={mon_base}")
+        assert r.returncode == 0, f"identical monitor sweep should pass: {r.stdout}{r.stderr}"
+
+        mon_regressed = os.path.join(d, "monitor_regressed.json")
+        monitor_json(mon_regressed, 0.6)  # -40% detection with a 10% band
+        r = run("compare", baseline, f"monitor={mon_regressed}")
+        assert r.returncode != 0, "a detection-rate drop must fail the gate"
+        assert "churn=2/detect_within_2" in r.stdout, r.stdout
+
     print("bench_compare self-test: OK")
 
 

@@ -83,6 +83,40 @@ std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budg
   return batches;
 }
 
+std::vector<MeasurementBatch> make_batches_for_pairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs, size_t budget) {
+  std::vector<MeasurementBatch> batches;
+  budget = std::max<size_t>(1, budget);
+  MeasurementBatch batch;
+  std::unordered_map<size_t, size_t> src_pos, sink_pos;
+  const auto flush = [&] {
+    if (batch.pairs.empty()) return;
+    batches.push_back(std::move(batch));
+    batch = MeasurementBatch{};
+    src_pos.clear();
+    sink_pos.clear();
+  };
+  for (const auto& [s, t] : pairs) {
+    // A node must not play both roles in one batch: a sink is being
+    // flood-overflowed exactly when a source must hold its probe txA, and
+    // the §5.3.2 schedule's disjoint groups never combine the two. An
+    // arbitrary pair list can, so close the batch at the first conflict
+    // (the caller's priority order is preserved; only the cut points move).
+    if (batch.pairs.size() == budget || src_pos.count(t) != 0 ||
+        sink_pos.count(s) != 0) {
+      flush();
+    }
+    auto [sit, s_new] = src_pos.try_emplace(s, batch.sources.size());
+    if (s_new) batch.sources.push_back(s);
+    auto [tit, t_new] = sink_pos.try_emplace(t, batch.sinks.size());
+    if (t_new) batch.sinks.push_back(t);
+    batch.edges.push_back({sit->second, tit->second});
+    batch.pairs.emplace_back(s, t);
+  }
+  flush();
+  return batches;
+}
+
 void run_batch(MeasurementStrategy& strat, const std::vector<p2p::PeerId>& targets,
                const MeasurementBatch& batch, size_t batch_id,
                NetworkMeasurementReport& report,

@@ -140,6 +140,20 @@ inline size_t slot_budget(size_t flood_z) { return std::max<size_t>(1, flood_z *
 /// construction (every unordered pair appears in exactly one batch).
 std::vector<MeasurementBatch> make_batches(size_t n, size_t group_k, size_t budget);
 
+/// Expands an *explicit* pair list into slot-budgeted batches, in the given
+/// order (the caller's priority order is preserved; pairs land in batches
+/// of at most `budget` edges). Unlike the §5.3.2 schedule — whose disjoint
+/// groups rule this out by construction — an arbitrary pair list can ask
+/// one node to be a probe source and a flood sink concurrently, which
+/// wrecks both probes; a batch is closed early whenever the next pair
+/// would create such a role conflict. This is the incremental-
+/// re-measurement entry: the topology monitor re-probes only the
+/// stale/uncertain subset of pairs per epoch instead of re-sweeping the
+/// full O(n²) schedule. Pure function of (pairs, budget), so coverage is
+/// independent of who runs the batches.
+std::vector<MeasurementBatch> make_batches_for_pairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs, size_t budget);
+
 /// Runs one batch through `strat` (mapping target indices through `targets`)
 /// and folds the outcome into `report`: iteration/pair/tx tallies plus one
 /// measured edge per positive verdict; the diagnostics annex (when present)

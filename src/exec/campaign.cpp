@@ -23,7 +23,8 @@ CampaignResult run_sharded_campaign(const graph::Graph& truth,
   const size_t budget =
       opt.max_edges_per_call != 0 ? opt.max_edges_per_call : core::slot_budget(cfg.flood_Z);
   const std::vector<core::MeasurementBatch> batches =
-      core::make_batches(n, opt.group_k, budget);
+      opt.pairs.empty() ? core::make_batches(n, opt.group_k, budget)
+                        : core::make_batches_for_pairs(opt.pairs, budget);
 
   const size_t want_shards =
       opt.shards != 0 ? opt.shards

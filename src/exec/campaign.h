@@ -36,6 +36,14 @@ struct CampaignOptions {
   /// Max candidate edges per measurePar call; 0 = the 2Z/5 slot budget.
   size_t max_edges_per_call = 0;
 
+  /// Explicit candidate-pair subset (target indices, caller's priority
+  /// order). Empty (the default) measures the full §5.3.2 schedule over all
+  /// of truth's pairs; non-empty batches exactly these pairs via
+  /// core::make_batches_for_pairs — the incremental-re-measurement path the
+  /// topology monitor (src/monitor) drives each epoch. Like group_k, the
+  /// pair list is part of the campaign's identity.
+  std::vector<std::pair<size_t, size_t>> pairs;
+
   /// Replica preparation, mirroring what the sequential benches do on their
   /// single scenario before measuring.
   bool seed_background = true;

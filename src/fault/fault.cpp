@@ -1,5 +1,6 @@
 #include "fault/fault.h"
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 
@@ -120,6 +121,41 @@ core::FaultReport make_fault_report(const FaultPlan& plan, size_t retries) {
   f.churn_rate = plan.churn_rate;
   f.retries = retries;
   return f;
+}
+
+std::vector<LinkChange> drift_topology(graph::Graph& g, size_t changes, util::Rng& rng) {
+  std::vector<LinkChange> applied;
+  applied.reserve(changes);
+  const size_t n = g.num_nodes();
+  if (n < 2) return applied;
+  const size_t all_pairs = n * (n - 1) / 2;
+  for (size_t c = 0; c < changes; ++c) {
+    // Even steps remove, odd steps add — alternating keeps the edge count
+    // (and the monitor's coverage math) roughly stable under sustained
+    // churn. A step whose direction is impossible falls through to the
+    // other one so the requested change count is honored when it can be.
+    bool remove = (c % 2) == 0;
+    if (remove && g.num_edges() == 0) remove = false;
+    if (!remove && g.num_edges() == all_pairs) remove = g.num_edges() > 0;
+    if (remove) {
+      const auto edges = g.edges();
+      const auto [u, v] = edges[rng.index(edges.size())];
+      g.remove_edge(u, v);
+      applied.push_back({u, v, false});
+    } else if (g.num_edges() < all_pairs) {
+      // Rejection-sample a non-adjacent pair; the loop terminates because a
+      // free slot exists, and stays deterministic (every draw is from rng).
+      for (;;) {
+        const auto u = static_cast<graph::NodeId>(rng.index(n));
+        const auto v = static_cast<graph::NodeId>(rng.index(n));
+        if (u == v || g.has_edge(u, v)) continue;
+        g.add_edge(u, v);
+        applied.push_back({std::min(u, v), std::max(u, v), true});
+        break;
+      }
+    }
+  }
+  return applied;
 }
 
 }  // namespace topo::fault

@@ -130,4 +130,24 @@ class FaultInjector final : public p2p::FaultHook {
 /// tally half is folded in by the drivers).
 core::FaultReport make_fault_report(const FaultPlan& plan, size_t retries);
 
+/// One ground-truth topology change applied by drift_topology: the
+/// undirected link (u, v) (u < v) appeared or disappeared.
+struct LinkChange {
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  bool added = false;
+
+  friend bool operator==(const LinkChange&, const LinkChange&) = default;
+};
+
+/// Applies `changes` seeded link rewires to a live ground-truth graph —
+/// the moving-target topology the monitoring daemon (src/monitor) tracks
+/// between epochs. Changes alternate removal (a uniformly random existing
+/// edge) and addition (a uniformly random non-adjacent pair), so density
+/// stays roughly stable under sustained churn; every decision draws from
+/// `rng`, so the drift trajectory is a pure function of (graph, changes,
+/// rng state). Returns the applied changes in order. Degenerate graphs
+/// (no removable edge / no addable pair) skip the impossible direction.
+std::vector<LinkChange> drift_topology(graph::Graph& g, size_t changes, util::Rng& rng);
+
 }  // namespace topo::fault

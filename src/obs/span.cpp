@@ -18,6 +18,7 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kObserve: return "observe";
     case SpanKind::kRetryRound: return "retry-round";
     case SpanKind::kRetryClear: return "retry-clear";
+    case SpanKind::kEpoch: return "epoch";
   }
   return "unknown";
 }
@@ -151,11 +152,13 @@ rpc::Json spans_to_chrome_json(std::vector<Span> spans) {
     std::string name = span_kind_name(s.kind);
     if (s.kind == SpanKind::kPair || s.kind == SpanKind::kRetryClear) {
       name += " " + std::to_string(s.a) + "-" + std::to_string(s.b);
-    } else if (s.kind == SpanKind::kBatch || s.kind == SpanKind::kShard) {
+    } else if (s.kind == SpanKind::kBatch || s.kind == SpanKind::kShard ||
+               s.kind == SpanKind::kEpoch) {
       name += " " + std::to_string(s.a);
     }
     const bool structural = s.kind == SpanKind::kCampaign || s.kind == SpanKind::kShard ||
-                            s.kind == SpanKind::kBatch || s.kind == SpanKind::kPair;
+                            s.kind == SpanKind::kBatch || s.kind == SpanKind::kPair ||
+                            s.kind == SpanKind::kEpoch;
     const bool retry =
         s.kind == SpanKind::kRetryRound || s.kind == SpanKind::kRetryClear;
     events.push_back(rpc::Json(rpc::JsonObject{

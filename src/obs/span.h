@@ -34,6 +34,7 @@ enum class SpanKind : uint8_t {
   kObserve,          ///< step 4: detect window
   kRetryRound,       ///< one round of core::run_retry_pass
   kRetryClear,       ///< instant: a retry decided a formerly inconclusive pair
+  kEpoch,            ///< one monitoring epoch (src/monitor): drift + re-measure + publish
 };
 
 const char* span_kind_name(SpanKind kind);
@@ -78,6 +79,13 @@ inline constexpr uint64_t kCampaignSpanId =
 
 inline constexpr uint64_t shard_span_id(uint64_t shard) {
   return ((shard + 1) << 44) | static_cast<uint64_t>(SpanKind::kShard);
+}
+
+/// Epoch spans live in the *monitor's* tracer (one per daemon, distinct
+/// from the per-campaign tracers), so the epoch index alone identifies the
+/// span; the kind nibble keeps the id disjoint from every structural id.
+inline constexpr uint64_t epoch_span_id(uint64_t epoch) {
+  return ((epoch + 1) << 4) | static_cast<uint64_t>(SpanKind::kEpoch);
 }
 
 inline constexpr uint64_t batch_span_id(uint64_t shard, uint64_t batch) {

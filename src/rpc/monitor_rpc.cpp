@@ -1,0 +1,77 @@
+#include "rpc/monitor_rpc.h"
+
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "monitor/monitor.h"
+
+namespace topo::rpc {
+
+namespace {
+
+Json method_error(int code, const std::string& message) {
+  return Json(JsonObject{{"__error_code", Json(code)},
+                         {"__error_message", Json(message)}});
+}
+
+/// Positional version param: a non-negative integral number.
+std::optional<uint64_t> version_param(const Json& params, size_t index) {
+  const Json& p = params[index];
+  if (!p.is_number()) return std::nullopt;
+  const double d = p.as_number();
+  if (d < 0 || d != std::floor(d)) return std::nullopt;
+  return static_cast<uint64_t>(d);
+}
+
+}  // namespace
+
+std::string MonitorRpcServer::handle(const std::string& request) {
+  return handle_serialized(request,
+                           [this](const Json& j) { return handle_json(j); });
+}
+
+Json MonitorRpcServer::handle_json(const Json& request) {
+  if (!request.is_object() || !request["method"].is_string()) {
+    return make_error_response(request["id"], kInvalidRequest, "invalid request");
+  }
+  const Json& id = request["id"];
+  Json out = dispatch(request["method"].as_string(), request["params"]);
+  if (out.is_object() && out["__error_code"].is_number()) {
+    return make_error_response(id, static_cast<int>(out["__error_code"].as_number()),
+                               out["__error_message"].as_string());
+  }
+  return make_result_response(id, std::move(out));
+}
+
+Json MonitorRpcServer::dispatch(const std::string& method, const Json& params) {
+  if (method == "topo_getSnapshot") {
+    std::shared_ptr<const monitor::TopologySnapshot> snap;
+    if (params.is_array() && !params.as_array().empty()) {
+      const auto version = version_param(params, 0);
+      if (!version) return method_error(kInvalidParams, "expected [version?]");
+      snap = mon_->snapshot(*version);
+      if (snap == nullptr) return method_error(kInvalidParams, "unknown version");
+    } else {
+      snap = mon_->latest();
+      if (snap == nullptr) return method_error(kInvalidParams, "no published versions");
+    }
+    return monitor::snapshot_to_json(*snap);
+  }
+  if (method == "topo_getDiff") {
+    const auto v1 = version_param(params, 0);
+    const auto v2 = version_param(params, 1);
+    if (!params.is_array() || !v1 || !v2) {
+      return method_error(kInvalidParams, "expected [fromVersion, toVersion]");
+    }
+    const auto diff = mon_->diff(*v1, *v2);
+    if (!diff) return method_error(kInvalidParams, "unknown version");
+    return monitor::diff_to_json(*diff);
+  }
+  if (method == "topo_getStatus") {
+    return monitor::status_to_json(mon_->status());
+  }
+  return method_error(kMethodNotFound, "unknown method: " + method);
+}
+
+}  // namespace topo::rpc

@@ -1,0 +1,51 @@
+#pragma once
+
+// JSON-RPC read API of the topology-monitoring daemon (docs/MONITORING.md):
+//
+//   topo_getSnapshot [version?]  — one published TopologySnapshot
+//                                  (latest when the param is omitted)
+//   topo_getDiff     [v1, v2]    — structural diff between two versions
+//   topo_getStatus   []          — aggregate daemon state
+//
+// Reads are served exclusively from the monitor's immutable published
+// versions, so any number of concurrent clients never block (or observe a
+// torn view of) the measurement loop. The transport framing — including
+// JSON-RPC 2.0 batch arrays — is shared with the per-node Ethereum
+// endpoint via rpc::handle_serialized.
+//
+// This header lives in src/rpc for discoverability but compiles into the
+// topo_monitor library: topo_rpc sits *below* topo_core in the layering,
+// while the server needs monitor::TopologyMonitor from near the top.
+
+#include <string>
+
+#include "rpc/json.h"
+#include "rpc/rpc.h"
+
+namespace topo::monitor {
+class TopologyMonitor;
+}
+
+namespace topo::rpc {
+
+/// One read endpoint per daemon. The monitor must outlive the server; the
+/// server only ever touches the monitor's thread-safe read API, so it can
+/// run on any thread (the --serve-script replay, a test's reader threads).
+class MonitorRpcServer {
+ public:
+  explicit MonitorRpcServer(const monitor::TopologyMonitor* mon) : mon_(mon) {}
+
+  /// Handles one serialized JSON-RPC request or batch array; returns the
+  /// serialized response (empty string for an all-notification batch).
+  std::string handle(const std::string& request);
+
+  /// Structured entry point (skips serialization), useful in-process.
+  Json handle_json(const Json& request);
+
+ private:
+  Json dispatch(const std::string& method, const Json& params);
+
+  const monitor::TopologyMonitor* mon_;
+};
+
+}  // namespace topo::rpc

@@ -22,10 +22,7 @@ std::optional<eth::TxHash> hash_from_hex(const std::string& s) {
   return h;
 }
 
-RpcServer::RpcServer(p2p::Network* net, p2p::PeerId node, uint64_t network_id)
-    : net_(net), node_(node), network_id_(network_id) {}
-
-Json RpcServer::error(const Json& id, int code, const std::string& message) const {
+Json make_error_response(const Json& id, int code, const std::string& message) {
   return Json(JsonObject{
       {"jsonrpc", Json("2.0")},
       {"id", id},
@@ -33,7 +30,7 @@ Json RpcServer::error(const Json& id, int code, const std::string& message) cons
   });
 }
 
-Json RpcServer::result(const Json& id, Json value) const {
+Json make_result_response(const Json& id, Json value) {
   return Json(JsonObject{
       {"jsonrpc", Json("2.0")},
       {"id", id},
@@ -41,10 +38,43 @@ Json RpcServer::result(const Json& id, Json value) const {
   });
 }
 
+std::string handle_serialized(const std::string& request,
+                              const std::function<Json(const Json&)>& handle_one) {
+  const auto parsed = Json::parse(request);
+  if (!parsed) return make_error_response(Json(), kParseError, "parse error").dump();
+  if (!parsed->is_array()) return handle_one(*parsed).dump();
+  const JsonArray& batch = parsed->as_array();
+  if (batch.empty()) {
+    return make_error_response(Json(), kInvalidRequest, "empty batch").dump();
+  }
+  JsonArray responses;
+  for (const Json& entry : batch) {
+    // A notification is a request *object* that lacks an "id" member
+    // entirely (operator[] cannot tell absent from null, so look it up in
+    // the object). Invalid entries (non-objects) still earn an error
+    // response with a null id.
+    const bool notification =
+        entry.is_object() && entry.as_object().find("id") == entry.as_object().end();
+    Json response = handle_one(entry);
+    if (!notification) responses.push_back(std::move(response));
+  }
+  if (responses.empty()) return std::string();
+  return Json(std::move(responses)).dump();
+}
+
+RpcServer::RpcServer(p2p::Network* net, p2p::PeerId node, uint64_t network_id)
+    : net_(net), node_(node), network_id_(network_id) {}
+
+Json RpcServer::error(const Json& id, int code, const std::string& message) const {
+  return make_error_response(id, code, message);
+}
+
+Json RpcServer::result(const Json& id, Json value) const {
+  return make_result_response(id, std::move(value));
+}
+
 std::string RpcServer::handle(const std::string& request) {
-  auto parsed = Json::parse(request);
-  if (!parsed) return error(Json(), kParseError, "parse error").dump();
-  return handle_json(*parsed).dump();
+  return handle_serialized(request, [this](const Json& j) { return handle_json(j); });
 }
 
 Json RpcServer::handle_json(const Json& request) {

@@ -14,6 +14,7 @@
 // Requests and responses are JSON-RPC 2.0 documents; RpcServer::handle takes
 // and returns serialized strings, exactly what an HTTP transport would carry.
 
+#include <functional>
 #include <string>
 
 #include "p2p/network.h"
@@ -27,14 +28,32 @@ inline constexpr int kInvalidRequest = -32600;
 inline constexpr int kMethodNotFound = -32601;
 inline constexpr int kInvalidParams = -32602;
 
+/// JSON-RPC 2.0 response envelopes, shared by every simulated endpoint
+/// (the per-node Ethereum server below, the monitor's read API).
+Json make_error_response(const Json& id, int code, const std::string& message);
+Json make_result_response(const Json& id, Json value);
+
+/// Serialized-transport framing shared by every endpoint: parses `request`
+/// and applies JSON-RPC 2.0 batch semantics before handing each request
+/// object to `handle_one`. An array is a batch (responses in request
+/// order); an *empty* array is a kInvalidRequest error object per the
+/// spec; notifications — request objects without an "id" member — are
+/// dispatched for their side effects but contribute no response entry,
+/// and a batch of only notifications yields no response document at all
+/// (the empty string, where a real transport would send HTTP 204).
+std::string handle_serialized(const std::string& request,
+                              const std::function<Json(const Json&)>& handle_one);
+
 /// One endpoint per simulated node.
 class RpcServer {
  public:
   /// `network_id` mirrors the chain being served (1 mainnet, 3 Ropsten...).
   RpcServer(p2p::Network* net, p2p::PeerId node, uint64_t network_id = 1);
 
-  /// Handles one serialized JSON-RPC request; always returns a serialized
-  /// response (result or error).
+  /// Handles one serialized JSON-RPC request *or batch array* (see
+  /// handle_serialized for the framing rules); returns the serialized
+  /// response — a single object, a response array, or the empty string for
+  /// an all-notification batch.
   std::string handle(const std::string& request);
 
   /// Structured entry point (skips serialization), useful in-process.

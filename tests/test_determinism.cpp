@@ -23,8 +23,10 @@
 #include "core/validator.h"
 #include "exec/campaign.h"
 #include "graph/generators.h"
+#include "monitor/monitor.h"
 #include "obs/span.h"
 #include "p2p/network.h"
+#include "rpc/monitor_rpc.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
 
@@ -359,6 +361,112 @@ TEST(GoldenDeterminism, BatchWindowSizeIsUnobservable) {
   EXPECT_EQ(narrow.report_json, wide.report_json);
   EXPECT_EQ(narrow.trace_json, wide.trace_json);
   EXPECT_EQ(strip_event_accounting(narrow.metrics), strip_event_accounting(wide.metrics));
+}
+
+// -- the monitoring daemon ---------------------------------------------------
+//
+// The monitor's published documents (snapshots, diffs, status — and hence
+// every MonitorRpcServer response) carry no sim-time or wall-clock fields,
+// and its own metrics registry holds only shard-invariant monitor.* series.
+// A scripted run — N epochs of drift + incremental re-measurement followed
+// by a fixed RPC query script — must therefore produce byte-identical
+// artifacts at any --threads width, at any --shards width, and on either
+// event-queue backend. (Shard invariance is the strong claim: campaign
+// *reports* are shard-dependent in general, but in the measure-regime world
+// every probe resolves crisply, so clean verdicts equal ground truth no
+// matter how the epoch's replicas were sharded.)
+
+/// The fixed query script: status, a pinned version, the latest version, a
+/// batch of two diffs, and an unknown-version error — errors are part of
+/// the replayed conversation too.
+constexpr const char* kMonitorScript[] = {
+    R"({"jsonrpc":"2.0","id":1,"method":"topo_getStatus","params":[]})",
+    R"({"jsonrpc":"2.0","id":2,"method":"topo_getSnapshot","params":[0]})",
+    R"({"jsonrpc":"2.0","id":3,"method":"topo_getSnapshot","params":[]})",
+    R"([{"jsonrpc":"2.0","id":4,"method":"topo_getDiff","params":[0,2]},)"
+    R"({"jsonrpc":"2.0","id":5,"method":"topo_getDiff","params":[1,2]}])",
+    R"({"jsonrpc":"2.0","id":6,"method":"topo_getSnapshot","params":[99]})",
+};
+
+struct MonitorArtifacts {
+  std::string serve;          ///< concatenated RPC responses, one per line
+  std::string snapshot_json;  ///< latest published snapshot
+  std::string diff_json;      ///< diff across the full published range
+  std::string status_json;
+  obs::MetricsSnapshot metrics;
+};
+
+MonitorArtifacts run_monitor(sim::QueueBackend backend, size_t threads, size_t shards) {
+  sim::set_default_queue_backend(backend);
+  util::Rng rng(5);
+  graph::Graph truth = graph::erdos_renyi_gnm(20, 40, rng);
+  core::ScenarioOptions wopt;
+  wopt.seed = 42;
+  // The measure-regime world (toposhot_cli / toposhot_monitord defaults):
+  // a small block budget plus organic traffic keeps pool occupancy where
+  // eviction probes resolve crisply — the precondition for the shard
+  // invariance this suite pins.
+  wopt.block_gas_limit = 30 * eth::kTransferGas;
+  core::MeasureConfig cfg =
+      core::MeasureConfig::Builder(core::Scenario(truth, wopt).default_measure_config())
+          .repetitions(3)
+          .inconclusive_retries(2)
+          .build();
+  monitor::MonitorOptions mopt;
+  mopt.churn_per_epoch = 2.0;
+  mopt.threads = threads;
+  mopt.shards = shards;
+  mopt.traffic_churn_rate = 3.0;
+  monitor::TopologyMonitor mon(std::move(truth), wopt, cfg, mopt);
+  mon.run(3);
+
+  rpc::MonitorRpcServer server(&mon);
+  MonitorArtifacts out;
+  for (const char* line : kMonitorScript) out.serve += server.handle(line) + "\n";
+  out.snapshot_json = monitor::snapshot_to_json(*mon.latest()).dump();
+  out.diff_json = monitor::diff_to_json(*mon.diff(0, mon.versions() - 1)).dump();
+  out.status_json = monitor::status_to_json(mon.status()).dump();
+  out.metrics = mon.metrics().snapshot();
+  return out;
+}
+
+TEST(MonitorGolden, ScriptedRunIsByteIdenticalAcrossThreadsAndBackends) {
+  BackendGuard guard;
+  const auto wheel = run_monitor(sim::QueueBackend::kTimingWheel, 1, 2);
+  const auto wide = run_monitor(sim::QueueBackend::kTimingWheel, 4, 2);
+  EXPECT_EQ(wheel.serve, wide.serve);
+  EXPECT_EQ(wheel.snapshot_json, wide.snapshot_json);
+  EXPECT_EQ(wheel.diff_json, wide.diff_json);
+  EXPECT_EQ(wheel.status_json, wide.status_json);
+  EXPECT_EQ(wheel.metrics, wide.metrics);
+
+  const auto heap = run_monitor(sim::QueueBackend::kLegacyHeap, 4, 2);
+  EXPECT_EQ(wheel.serve, heap.serve);
+  EXPECT_EQ(wheel.snapshot_json, heap.snapshot_json);
+  EXPECT_EQ(wheel.diff_json, heap.diff_json);
+  EXPECT_EQ(wheel.status_json, heap.status_json);
+  // No strip needed: the monitor's registry holds only monitor.* series
+  // (the campaign-internal sim.queue.impl.* metrics live in the campaign
+  // results, which the monitor does not export).
+  EXPECT_EQ(wheel.metrics, heap.metrics);
+
+  EXPECT_FALSE(wheel.serve.empty());
+  // The error response is part of the conversation.
+  EXPECT_NE(wheel.serve.find("unknown version"), std::string::npos);
+}
+
+TEST(MonitorGolden, ScriptedRunIsByteIdenticalAcrossShardWidths) {
+  BackendGuard guard;
+  const auto one = run_monitor(sim::QueueBackend::kTimingWheel, 1, 1);
+  const auto two = run_monitor(sim::QueueBackend::kTimingWheel, 1, 2);
+  const auto four = run_monitor(sim::QueueBackend::kTimingWheel, 2, 4);
+  for (const auto* other : {&two, &four}) {
+    EXPECT_EQ(one.serve, other->serve);
+    EXPECT_EQ(one.snapshot_json, other->snapshot_json);
+    EXPECT_EQ(one.diff_json, other->diff_json);
+    EXPECT_EQ(one.status_json, other->status_json);
+    EXPECT_EQ(one.metrics, other->metrics);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,592 @@
+// Tests for the topology-monitoring daemon (topo::monitor): the versioned
+// LinkTable and its snapshot/diff/status documents, the strict JSON codecs,
+// the epoch loop's incremental re-measurement, the detection scorecard, and
+// the MonitorRpcServer read API (including JSON-RPC 2.0 batch framing).
+//
+// The acceptance-bar test at the bottom pins the ISSUE contract: a scripted
+// monitord run detects >= 90% of injected link changes within 2 epochs
+// while re-probing < 20% of pairs per epoch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/schedule.h"
+#include "core/toposhot.h"
+#include "graph/generators.h"
+#include "monitor/monitor.h"
+#include "rpc/monitor_rpc.h"
+#include "util/rng.h"
+
+namespace topo::monitor {
+namespace {
+
+using P = std::pair<size_t, size_t>;
+
+// -- LinkTable --------------------------------------------------------------
+
+TEST(LinkTable, FirstVerdictIsNotAFlipLaterChangesAre) {
+  LinkTable t(4);
+  EXPECT_EQ(t.pairs_total(), 6u);
+  EXPECT_EQ(t.tracked(), 0u);
+  EXPECT_EQ(t.find(0, 1), nullptr);
+
+  EXPECT_FALSE(t.record(0, 1, core::Verdict::kConnected, 0));
+  ASSERT_NE(t.find(0, 1), nullptr);
+  EXPECT_EQ(t.find(0, 1)->verdict, core::Verdict::kConnected);
+  EXPECT_EQ(t.find(0, 1)->measured_epoch, 0u);
+  EXPECT_EQ(t.find(0, 1)->changed_epoch, 0u);
+
+  // Re-confirming the same verdict is not a flip; a different one is.
+  EXPECT_FALSE(t.record(0, 1, core::Verdict::kConnected, 1));
+  EXPECT_EQ(t.find(0, 1)->changed_epoch, 0u);
+  EXPECT_TRUE(t.record(0, 1, core::Verdict::kNegative, 2));
+  EXPECT_EQ(t.find(0, 1)->measured_epoch, 2u);
+  EXPECT_EQ(t.find(0, 1)->changed_epoch, 2u);
+  EXPECT_EQ(t.tracked(), 1u);
+}
+
+TEST(LinkTable, ConfidenceDecaysWithHalfLife) {
+  LinkTable t(4);
+  t.record(0, 1, core::Verdict::kConnected, 0);
+  EXPECT_DOUBLE_EQ(t.confidence(0, 1, 0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.confidence(0, 1, 4, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.confidence(0, 1, 8, 4.0), 0.25);
+  // half_life <= 0 disables decay entirely.
+  EXPECT_DOUBLE_EQ(t.confidence(0, 1, 100, 0.0), 1.0);
+  // Never-measured pairs carry no confidence.
+  EXPECT_DOUBLE_EQ(t.confidence(2, 3, 5, 4.0), 0.0);
+}
+
+TEST(LinkTable, HintsZeroConfidenceAndClearOnRecord) {
+  LinkTable t(4);
+  t.record(0, 1, core::Verdict::kConnected, 0);
+  EXPECT_EQ(t.hint_node(0), 1u) << "only the tracked pair gains the flag";
+  EXPECT_DOUBLE_EQ(t.confidence(0, 1, 0, 4.0), 0.0);
+  // Re-measuring clears the hint and restores full confidence.
+  t.record(0, 1, core::Verdict::kConnected, 1);
+  EXPECT_DOUBLE_EQ(t.confidence(0, 1, 1, 4.0), 1.0);
+}
+
+TEST(LinkTable, PriorityPutsBothEndpointHintsFirst) {
+  LinkTable t(4);
+  // All three pairs measured at epoch 0 with equal confidence...
+  t.record(0, 1, core::Verdict::kConnected, 0);
+  t.record(0, 2, core::Verdict::kConnected, 0);
+  t.record(1, 2, core::Verdict::kNegative, 0);
+  // ...then nodes 0 and 1 churn: (0,1) is hinted by both endpoints, (0,2)
+  // and (1,2) by one each.
+  t.hint_node(0);
+  t.hint_node(1);
+  const auto pri = t.prioritized_pairs(1, 4.0);
+  ASSERT_GE(pri.size(), 3u);
+  EXPECT_EQ(pri[0], P(0, 1))
+      << "a changed link always churns both endpoints, so double-hinted "
+         "pairs lead the re-measurement order";
+  // Single-hinted pairs come next, before every unhinted candidate.
+  EXPECT_EQ(pri[1], P(0, 2));
+  EXPECT_EQ(pri[2], P(1, 2));
+}
+
+TEST(LinkTable, PriorityOrdersByStalenessThenIdentity) {
+  LinkTable t(4);
+  t.record(0, 1, core::Verdict::kConnected, 3);  // freshest
+  t.record(0, 2, core::Verdict::kConnected, 1);  // stalest measured
+  t.record(1, 2, core::Verdict::kConnected, 2);
+  const auto pri = t.prioritized_pairs(4, 4.0);
+  ASSERT_EQ(pri.size(), t.pairs_total());
+  // Never-measured pairs (confidence 0) lead, in canonical order.
+  EXPECT_EQ(pri[0], P(0, 3));
+  EXPECT_EQ(pri[1], P(1, 3));
+  EXPECT_EQ(pri[2], P(2, 3));
+  // Then measured pairs, least-confident (stalest) first.
+  EXPECT_EQ(pri[3], P(0, 2));
+  EXPECT_EQ(pri[4], P(1, 2));
+  EXPECT_EQ(pri[5], P(0, 1));
+}
+
+TEST(LinkTable, SnapshotIsSortedAndCarriesDecayedConfidence) {
+  LinkTable t(5);
+  t.record(2, 3, core::Verdict::kNegative, 0);
+  t.record(0, 4, core::Verdict::kConnected, 2);
+  t.record(0, 1, core::Verdict::kConnected, 2);
+  const TopologySnapshot s = t.snapshot(2, 2.0, 3, 0);
+  EXPECT_EQ(s.version, 2u);
+  EXPECT_EQ(s.nodes, 5u);
+  EXPECT_EQ(s.pairs_total, 10u);
+  EXPECT_EQ(s.pairs_measured, 3u);
+  ASSERT_EQ(s.links.size(), 3u);
+  EXPECT_EQ(s.links[0].u, 0u);
+  EXPECT_EQ(s.links[0].v, 1u);
+  EXPECT_EQ(s.links[1].u, 0u);
+  EXPECT_EQ(s.links[1].v, 4u);
+  EXPECT_EQ(s.links[2].u, 2u);
+  EXPECT_EQ(s.links[2].v, 3u);
+  EXPECT_DOUBLE_EQ(s.links[0].confidence, 1.0);
+  EXPECT_DOUBLE_EQ(s.links[2].confidence, 0.5) << "age 2 at half-life 2";
+  EXPECT_EQ(s.connected_count(), 2u);
+  EXPECT_EQ(s.inconclusive_count(), 0u);
+  ASSERT_NE(s.find(2, 3), nullptr);
+  EXPECT_EQ(s.find(2, 3)->verdict, core::Verdict::kNegative);
+  EXPECT_EQ(s.find(1, 2), nullptr);
+}
+
+// -- diff / status ----------------------------------------------------------
+
+TopologySnapshot snap_of(LinkTable& t, uint64_t epoch) {
+  return t.snapshot(epoch, 4.0, 0, 0);
+}
+
+TEST(TopologyDiffTest, TracksConnectedSetAndEveryVerdictTransition) {
+  LinkTable t(4);
+  t.record(0, 1, core::Verdict::kConnected, 0);
+  t.record(0, 2, core::Verdict::kNegative, 0);
+  const TopologySnapshot a = snap_of(t, 0);
+
+  t.record(0, 1, core::Verdict::kNegative, 1);      // removed
+  t.record(0, 2, core::Verdict::kConnected, 1);     // added
+  t.record(1, 2, core::Verdict::kConnected, 1);     // newly measured -> added
+  t.record(1, 3, core::Verdict::kInconclusive, 1);  // new, not a link change
+  const TopologySnapshot b = snap_of(t, 1);
+
+  const TopologyDiff d = compute_diff(a, b);
+  EXPECT_EQ(d.from, 0u);
+  EXPECT_EQ(d.to, 1u);
+  ASSERT_EQ(d.added.size(), 2u);
+  EXPECT_EQ(d.added[0], P(0, 2));
+  EXPECT_EQ(d.added[1], P(1, 2));
+  ASSERT_EQ(d.removed.size(), 1u);
+  EXPECT_EQ(d.removed[0], P(0, 1));
+  // `changed` carries every verdict transition — but a pair arriving as
+  // inconclusive is no transition at all, since absent pairs already count
+  // as inconclusive: (0,1), (0,2), (1,2) only.
+  EXPECT_EQ(d.changed.size(), 3u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_TRUE(compute_diff(b, b).empty());
+}
+
+TEST(TopologyDiffTest, AbsentPairsCountAsInconclusive) {
+  LinkTable t(3);
+  const TopologySnapshot empty = snap_of(t, 0);
+  t.record(0, 1, core::Verdict::kInconclusive, 1);
+  const TopologySnapshot one = snap_of(t, 1);
+  // inconclusive -> inconclusive is not a transition even though the pair
+  // only exists on one side.
+  EXPECT_TRUE(compute_diff(empty, one).empty());
+  EXPECT_TRUE(compute_diff(one, empty).empty());
+}
+
+TEST(MonitorStatusTest, IsAPureFunctionOfTheLatestSnapshot) {
+  LinkTable t(4);
+  t.record(0, 1, core::Verdict::kConnected, 0);
+  t.record(0, 2, core::Verdict::kNegative, 0);
+  t.record(1, 2, core::Verdict::kInconclusive, 0);
+  const TopologySnapshot s = t.snapshot(4, 4.0, 7, 2);
+  const MonitorStatus st = make_status(s, 5);
+  EXPECT_EQ(st.epoch, 4u);
+  EXPECT_EQ(st.version, 4u);
+  EXPECT_EQ(st.versions, 5u);
+  EXPECT_EQ(st.pairs_tracked, 3u);
+  EXPECT_EQ(st.links_connected, 1u);
+  EXPECT_EQ(st.links_inconclusive, 1u);
+  EXPECT_DOUBLE_EQ(st.coverage, 0.5);
+  EXPECT_EQ(st.pairs_measured, 7u);
+  EXPECT_EQ(st.changes_observed, 2u);
+  // Age 4 at half-life 4 -> confidence 0.5, which lands in bin 5 (the
+  // half-open [0.5, 0.6) bucket); confidence 1.0 lands in the closed last
+  // bin.
+  uint64_t total = 0;
+  for (uint64_t c : st.confidence_histogram) total += c;
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(st.confidence_histogram[5], 3u);
+}
+
+// -- JSON codecs ------------------------------------------------------------
+
+TEST(MonitorJson, VerdictNamesRoundTrip) {
+  for (core::Verdict v : {core::Verdict::kConnected, core::Verdict::kNegative,
+                          core::Verdict::kInconclusive}) {
+    core::Verdict back = core::Verdict::kConnected;
+    ASSERT_TRUE(verdict_from_name(verdict_name(v), back));
+    EXPECT_EQ(back, v);
+  }
+  core::Verdict unused;
+  EXPECT_FALSE(verdict_from_name("bogus", unused));
+}
+
+TEST(MonitorJson, SnapshotRoundTripsExactly) {
+  LinkTable t(5);
+  t.record(0, 1, core::Verdict::kConnected, 0);
+  t.record(1, 4, core::Verdict::kNegative, 2);
+  t.record(2, 3, core::Verdict::kInconclusive, 3);
+  const TopologySnapshot s = t.snapshot(3, 4.0, 11, 1);
+  const rpc::Json j = snapshot_to_json(s);
+  EXPECT_EQ(j["schema"].as_string(), kSnapshotSchema);
+  EXPECT_EQ(snapshot_from_json(j), s);
+  // Serialized bytes reparse to the same document (the %.17g double path).
+  const auto reparsed = rpc::Json::parse(j.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(snapshot_from_json(*reparsed), s);
+}
+
+TEST(MonitorJson, DiffAndStatusRoundTripExactly) {
+  LinkTable t(4);
+  t.record(0, 1, core::Verdict::kConnected, 0);
+  const TopologySnapshot a = snap_of(t, 0);
+  t.record(0, 1, core::Verdict::kNegative, 1);
+  t.record(2, 3, core::Verdict::kConnected, 1);
+  const TopologySnapshot b = snap_of(t, 1);
+
+  const TopologyDiff d = compute_diff(a, b);
+  EXPECT_EQ(diff_from_json(diff_to_json(d)), d);
+
+  const MonitorStatus st = make_status(b, 2);
+  EXPECT_EQ(status_from_json(status_to_json(st)), st);
+}
+
+TEST(MonitorJson, FromJsonIsStrict) {
+  LinkTable t(3);
+  t.record(0, 1, core::Verdict::kConnected, 0);
+  const rpc::Json good = snapshot_to_json(snap_of(t, 0));
+
+  {  // wrong schema string
+    rpc::Json j = good;
+    j.as_object()["schema"] = rpc::Json("toposhot-snapshot-v999");
+    EXPECT_THROW(snapshot_from_json(j), std::runtime_error);
+  }
+  {  // missing field
+    rpc::Json j = good;
+    j.as_object().erase("version");
+    EXPECT_THROW(snapshot_from_json(j), std::runtime_error);
+  }
+  {  // wrong type
+    rpc::Json j = good;
+    j.as_object()["nodes"] = rpc::Json("three");
+    EXPECT_THROW(snapshot_from_json(j), std::runtime_error);
+  }
+  {  // unknown verdict name
+    rpc::Json j = good;
+    j.as_object()["links"].as_array()[0].as_object()["verdict"] = rpc::Json("perhaps");
+    EXPECT_THROW(snapshot_from_json(j), std::runtime_error);
+  }
+  EXPECT_THROW(diff_from_json(good), std::runtime_error) << "schema mismatch";
+  EXPECT_THROW(status_from_json(good), std::runtime_error) << "schema mismatch";
+}
+
+// -- incremental batching (the schedule seam the monitor drives) ------------
+
+TEST(MonitorSchedule, PairBatchesCoverEachPairOnceWithinBudget) {
+  const std::vector<std::pair<size_t, size_t>> pairs{{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  const auto batches = core::make_batches_for_pairs(pairs, 2);
+  size_t covered = 0;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.pairs.size(), 2u);
+    covered += b.pairs.size();
+  }
+  EXPECT_EQ(covered, pairs.size());
+}
+
+TEST(MonitorSchedule, PairBatchesSplitOnSourceSinkRoleConflicts) {
+  // (0,1) makes 0 a source and 1 a sink; (1,2) would then make 1 a source
+  // in the same batch — a node cannot probe while being flooded, so the
+  // batch must close before (1,2).
+  const std::vector<std::pair<size_t, size_t>> pairs{{0, 1}, {1, 2}, {2, 0}};
+  const auto batches = core::make_batches_for_pairs(pairs, 16);
+  ASSERT_EQ(batches.size(), 3u) << "each pair conflicts with the previous one";
+  for (const auto& b : batches) {
+    for (const size_t s : b.sources) {
+      for (const size_t k : b.sinks) EXPECT_NE(s, k);
+    }
+  }
+}
+
+// -- TopologyMonitor epoch loop ---------------------------------------------
+
+/// Shared world shaping for every monitor test: the toposhot_cli measure
+/// regime (slow mining drain against a small block budget plus organic
+/// traffic) in which eviction probes resolve crisply — the config under
+/// which clean verdicts equal ground truth, which is what makes monitor
+/// snapshots shard-invariant.
+struct MonitorWorld {
+  graph::Graph truth;
+  core::ScenarioOptions wopt;
+  core::MeasureConfig cfg;
+
+  explicit MonitorWorld(size_t nodes, uint64_t seed, size_t edges = 0,
+                        size_t retries = 0)
+      : truth(1) {
+    util::Rng rng(seed);
+    truth = graph::erdos_renyi_gnm(nodes, edges == 0 ? nodes * 2 : edges, rng);
+    wopt.seed = seed;
+    wopt.block_gas_limit = 30 * eth::kTransferGas;
+    cfg = core::MeasureConfig::Builder(
+              core::Scenario(truth, wopt).default_measure_config())
+              .repetitions(3)
+              .inconclusive_retries(retries)
+              .build();
+  }
+};
+
+MonitorOptions default_monitor_options() {
+  MonitorOptions mopt;
+  mopt.traffic_churn_rate = 3.0;
+  return mopt;
+}
+
+TEST(TopologyMonitorTest, BootstrapMeasuresEveryPairAndMatchesTruth) {
+  MonitorWorld w(12, 9);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 0.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  EXPECT_EQ(mon.versions(), 0u);
+  EXPECT_EQ(mon.latest(), nullptr);
+  EXPECT_EQ(mon.status().pairs_tracked, 0u) << "pre-run status is zeroed";
+
+  const auto res = mon.run_epoch();
+  EXPECT_EQ(res.epoch, 0u);
+  EXPECT_EQ(res.pairs_selected, mon.pairs_total());
+  EXPECT_EQ(res.changes_injected, 0u);
+  ASSERT_NE(res.snapshot, nullptr);
+  EXPECT_EQ(res.snapshot->links.size(), mon.pairs_total());
+  EXPECT_EQ(res.snapshot->inconclusive_count(), 0u);
+  // Clean verdicts equal ground truth, pair by pair.
+  for (const LinkEntry& e : res.snapshot->links) {
+    EXPECT_EQ(e.verdict == core::Verdict::kConnected,
+              mon.truth().has_edge(static_cast<graph::NodeId>(e.u),
+                                   static_cast<graph::NodeId>(e.v)))
+        << "pair (" << e.u << ", " << e.v << ")";
+  }
+  EXPECT_EQ(mon.versions(), 1u);
+  EXPECT_EQ(mon.status().coverage, 1.0);
+}
+
+TEST(TopologyMonitorTest, IncrementalEpochsStayWithinBudgetAndPublishVersions) {
+  MonitorWorld w(12, 10);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  mopt.epoch_budget = 12;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  EXPECT_EQ(mon.effective_epoch_budget(), 12u);
+  mon.run(3);
+  EXPECT_EQ(mon.epochs_run(), 3u);
+  EXPECT_EQ(mon.versions(), 3u);
+  for (uint64_t v = 0; v < 3; ++v) {
+    const auto snap = mon.snapshot(v);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->version, v);
+  }
+  EXPECT_EQ(mon.snapshot(3), nullptr);
+  EXPECT_EQ(mon.latest()->version, 2u);
+
+  // Post-bootstrap epochs measured at most `epoch_budget` pairs each.
+  const auto s2 = mon.snapshot(2);
+  EXPECT_LE(s2->pairs_measured, mon.pairs_total() + 2 * 12);
+
+  // Diffs exist for every published ordered pair; unknown versions don't.
+  EXPECT_TRUE(mon.diff(0, 2).has_value());
+  EXPECT_FALSE(mon.diff(0, 3).has_value());
+
+  // The monitor's own metrics registry tracks the loop.
+  const auto ms = mon.metrics().snapshot();
+  EXPECT_EQ(ms.counters.at("monitor.epochs"), 3u);
+  EXPECT_DOUBLE_EQ(ms.gauges.at("monitor.coverage"), 1.0);
+}
+
+TEST(TopologyMonitorTest, ZeroChurnReachesAQuiescentFixedPoint) {
+  MonitorWorld w(10, 11);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 0.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  mon.run(3);
+  // With no drift, later epochs only re-confirm: no verdict ever flips.
+  const auto d = mon.diff(0, 2);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->empty());
+  EXPECT_EQ(mon.status().changes_observed, 0u);
+  EXPECT_EQ(mon.injected_changes().size(), 0u);
+}
+
+TEST(TopologyMonitorTest, ReadApiIsSafeUnderConcurrentReaders) {
+  MonitorWorld w(10, 12);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = mon.latest();
+        if (snap != nullptr) {
+          // Published snapshots are immutable: internal consistency holds
+          // no matter when the read lands relative to the writer.
+          EXPECT_EQ(snap->version, snap->epoch);
+          EXPECT_LE(snap->connected_count(), snap->links.size());
+        }
+        const MonitorStatus st = mon.status();
+        EXPECT_LE(st.links_connected, st.pairs_total);
+        (void)mon.versions();
+        (void)mon.snapshot(0);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  mon.run(3);
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(mon.versions(), 3u);
+}
+
+// -- evaluation -------------------------------------------------------------
+
+TEST(EvaluateTracking, WindowsPendingAndPerfectDetection) {
+  MonitorWorld w(12, 13);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  mon.run(2);  // bootstrap + one drifted epoch
+
+  // Changes injected at epoch 1 with a window of 3 epochs reach past the
+  // last published version -> pending, not scored.
+  const TrackingEvaluation wide = evaluate_tracking(mon, 3);
+  EXPECT_EQ(wide.scoreable + wide.superseded + wide.pending,
+            mon.injected_changes().size());
+
+  mon.run(3);
+  const TrackingEvaluation ev = evaluate_tracking(mon, 2);
+  EXPECT_EQ(ev.pending, 0u) << "every window is now fully published";
+  EXPECT_EQ(ev.scoreable + ev.superseded, mon.injected_changes().size());
+  // Degenerate window: nothing is scoreable.
+  const TrackingEvaluation none = evaluate_tracking(mon, 0);
+  EXPECT_EQ(none.scoreable, 0u);
+  EXPECT_DOUBLE_EQ(none.detection_rate(), 1.0);
+}
+
+// -- MonitorRpcServer -------------------------------------------------------
+
+double error_code_of(const rpc::Json& response) {
+  return response["error"]["code"].as_number();
+}
+
+TEST(MonitorRpc, ServesSnapshotDiffAndStatus) {
+  MonitorWorld w(10, 14);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  mon.run(3);
+  rpc::MonitorRpcServer server(&mon);
+
+  // topo_getStatus mirrors the in-process status document exactly.
+  const auto status_resp = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":1,"method":"topo_getStatus","params":[]})"));
+  ASSERT_TRUE(status_resp.has_value());
+  EXPECT_EQ(status_from_json((*status_resp)["result"]), mon.status());
+
+  // topo_getSnapshot with no param serves the latest version; with a
+  // version number, that version.
+  const auto latest_resp = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":2,"method":"topo_getSnapshot","params":[]})"));
+  ASSERT_TRUE(latest_resp.has_value());
+  EXPECT_EQ(snapshot_from_json((*latest_resp)["result"]), *mon.latest());
+  const auto v0_resp = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":3,"method":"topo_getSnapshot","params":[0]})"));
+  ASSERT_TRUE(v0_resp.has_value());
+  EXPECT_EQ(snapshot_from_json((*v0_resp)["result"]).version, 0u);
+
+  // topo_getDiff across the published range.
+  const auto diff_resp = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":4,"method":"topo_getDiff","params":[0,2]})"));
+  ASSERT_TRUE(diff_resp.has_value());
+  EXPECT_EQ(diff_from_json((*diff_resp)["result"]), *mon.diff(0, 2));
+}
+
+TEST(MonitorRpc, ErrorsForBadVersionsParamsAndMethods) {
+  MonitorWorld w(10, 15);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 0.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  rpc::MonitorRpcServer server(&mon);
+
+  // Before any epoch there is nothing to serve.
+  auto resp = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":1,"method":"topo_getSnapshot","params":[]})"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_DOUBLE_EQ(error_code_of(*resp), rpc::kInvalidParams);
+
+  mon.run(1);
+  resp = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":2,"method":"topo_getSnapshot","params":[99]})"));
+  EXPECT_DOUBLE_EQ(error_code_of(*resp), rpc::kInvalidParams) << "unknown version";
+  resp = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":3,"method":"topo_getSnapshot","params":[-1]})"));
+  EXPECT_DOUBLE_EQ(error_code_of(*resp), rpc::kInvalidParams) << "negative version";
+  resp = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":4,"method":"topo_getDiff","params":[0]})"));
+  EXPECT_DOUBLE_EQ(error_code_of(*resp), rpc::kInvalidParams) << "arity";
+  resp = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":5,"method":"topo_noSuchMethod","params":[]})"));
+  EXPECT_DOUBLE_EQ(error_code_of(*resp), rpc::kMethodNotFound);
+  // Transport framing is shared with the Ethereum endpoint.
+  resp = rpc::Json::parse(server.handle("not json"));
+  EXPECT_DOUBLE_EQ(error_code_of(*resp), rpc::kParseError);
+  resp = rpc::Json::parse(server.handle("[]"));
+  EXPECT_DOUBLE_EQ(error_code_of(*resp), rpc::kInvalidRequest);
+}
+
+TEST(MonitorRpc, BatchRequestsAnswerInOrder) {
+  MonitorWorld w(10, 16);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  mon.run(2);
+  rpc::MonitorRpcServer server(&mon);
+
+  const std::string batch =
+      R"([{"jsonrpc":"2.0","id":1,"method":"topo_getStatus","params":[]},)"
+      R"({"jsonrpc":"2.0","method":"topo_getStatus","params":[]},)"
+      R"({"jsonrpc":"2.0","id":2,"method":"topo_getDiff","params":[0,1]}])";
+  const auto resp = rpc::Json::parse(server.handle(batch));
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->is_array());
+  ASSERT_EQ(resp->as_array().size(), 2u) << "the notification earns no entry";
+  EXPECT_DOUBLE_EQ((*resp)[size_t{0}]["id"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ((*resp)[size_t{1}]["id"].as_number(), 2.0);
+}
+
+// -- the acceptance bar -----------------------------------------------------
+
+// The ISSUE contract for the daemon, pinned as a test: at the default
+// budget (auto: 15% of pairs, under the 20% re-probe ceiling), a monitored
+// run over a drifting topology detects >= 90% of injected link changes
+// within 2 epochs.
+TEST(TopologyMonitorTest, DetectsNinetyPercentOfChangesWithinTwoEpochs) {
+  MonitorWorld w(24, 1, 44, /*retries=*/2);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 2.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+
+  const double reprobe = static_cast<double>(mon.effective_epoch_budget()) /
+                         static_cast<double>(mon.pairs_total());
+  EXPECT_LT(reprobe, 0.20) << "the default budget must re-probe < 20% of pairs";
+
+  mon.run(6);
+  const TrackingEvaluation ev = evaluate_tracking(mon, 2);
+  EXPECT_GT(mon.injected_changes().size(), 0u);
+  EXPECT_GT(ev.scoreable, 0u);
+  EXPECT_GE(ev.detection_rate(), 0.9)
+      << ev.detected << "/" << ev.scoreable << " detected";
+  EXPECT_EQ(mon.status().links_inconclusive, 0u)
+      << "the measure-regime world resolves every probe crisply";
+}
+
+}  // namespace
+}  // namespace topo::monitor

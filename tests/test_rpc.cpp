@@ -6,6 +6,7 @@
 #include "core/toposhot.h"
 #include "p2p/node.h"
 #include "rpc/rpc.h"
+#include "wire/messages.h"
 
 namespace topo::rpc {
 namespace {
@@ -259,6 +260,110 @@ TEST(Rpc, ErrorsForUnknownMethodAndBadRequests) {
       w.server.handle(R"({"jsonrpc":"2.0","id":1,"method":"eth_getTransactionByHash"})");
   parsed = Json::parse(bad_params);
   EXPECT_DOUBLE_EQ((*parsed)["error"]["code"].as_number(), kInvalidParams);
+}
+
+// -- JSON-RPC 2.0 batch framing ---------------------------------------------
+
+TEST(Rpc, BatchArrayAnswersEveryRequestInOrder) {
+  RpcWorld w;
+  const std::string batch =
+      R"([{"jsonrpc":"2.0","id":7,"method":"net_version"},)"
+      R"({"jsonrpc":"2.0","id":8,"method":"eth_noSuchMethod"},)"
+      R"({"jsonrpc":"2.0","id":9,"method":"web3_clientVersion"}])";
+  const auto resp = Json::parse(w.server.handle(batch));
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->is_array());
+  ASSERT_EQ(resp->as_array().size(), 3u);
+  // Responses come back in request order, errors included inline.
+  EXPECT_DOUBLE_EQ((*resp)[size_t{0}]["id"].as_number(), 7.0);
+  EXPECT_EQ((*resp)[size_t{0}]["result"].as_string(), "3");
+  EXPECT_DOUBLE_EQ((*resp)[size_t{1}]["id"].as_number(), 8.0);
+  EXPECT_DOUBLE_EQ((*resp)[size_t{1}]["error"]["code"].as_number(), kMethodNotFound);
+  EXPECT_DOUBLE_EQ((*resp)[size_t{2}]["id"].as_number(), 9.0);
+  EXPECT_NE((*resp)[size_t{2}]["result"].as_string().find("Geth"), std::string::npos);
+}
+
+TEST(Rpc, BatchResponsesRoundTripThroughTheSerializedTransport) {
+  // The response document itself is valid JSON that reparses to the same
+  // value — the round trip an HTTP client would perform.
+  RpcWorld w;
+  const std::string batch =
+      R"([{"jsonrpc":"2.0","id":1,"method":"net_version"},)"
+      R"({"jsonrpc":"2.0","id":2,"method":"eth_blockNumber"}])";
+  const std::string wire = w.server.handle(batch);
+  const auto first = Json::parse(wire);
+  ASSERT_TRUE(first.has_value());
+  const auto second = Json::parse(first->dump());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(*first == *second);
+}
+
+TEST(Rpc, EmptyBatchIsASingleInvalidRequestError) {
+  RpcWorld w;
+  const auto resp = Json::parse(w.server.handle("[]"));
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->is_object()) << "one error object, not an array";
+  EXPECT_DOUBLE_EQ((*resp)["error"]["code"].as_number(), kInvalidRequest);
+  EXPECT_TRUE((*resp)["id"].is_null());
+}
+
+TEST(Rpc, NotificationsEarnNoResponseEntry) {
+  RpcWorld w;
+  // A notification is a request object *without* an "id" member; it is
+  // dispatched but contributes nothing to the response array. An explicit
+  // null id is NOT a notification.
+  const std::string batch =
+      R"([{"jsonrpc":"2.0","method":"net_version"},)"
+      R"({"jsonrpc":"2.0","id":1,"method":"net_version"},)"
+      R"({"jsonrpc":"2.0","id":null,"method":"net_version"}])";
+  const auto resp = Json::parse(w.server.handle(batch));
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->is_array());
+  ASSERT_EQ(resp->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ((*resp)[size_t{0}]["id"].as_number(), 1.0);
+  EXPECT_TRUE((*resp)[size_t{1}]["id"].is_null());
+}
+
+TEST(Rpc, AllNotificationBatchYieldsNoResponseDocument) {
+  RpcWorld w;
+  const std::string batch =
+      R"([{"jsonrpc":"2.0","method":"net_version"},)"
+      R"({"jsonrpc":"2.0","method":"eth_blockNumber"}])";
+  EXPECT_EQ(w.server.handle(batch), "") << "HTTP 204 territory: no body at all";
+}
+
+TEST(Rpc, BatchWithInvalidEntriesStillAnswersThem) {
+  RpcWorld w;
+  // Non-object entries are invalid requests, answered in place with a null
+  // id (there is no id to echo).
+  const std::string batch = R"([42, {"jsonrpc":"2.0","id":3,"method":"net_version"}])";
+  const auto resp = Json::parse(w.server.handle(batch));
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->is_array());
+  ASSERT_EQ(resp->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ((*resp)[size_t{0}]["error"]["code"].as_number(), kInvalidRequest);
+  EXPECT_TRUE((*resp)[size_t{0}]["id"].is_null());
+  EXPECT_EQ((*resp)[size_t{1}]["result"].as_string(), "3");
+}
+
+TEST(Rpc, BatchSideEffectsApplyInBatchOrder) {
+  // Submissions inside one batch are real: both transactions land in the
+  // pool, and the duplicate re-submission errors — exactly as if the three
+  // requests had arrived one by one.
+  RpcWorld w;
+  const eth::Address a = w.sc.accounts().create_one();
+  const auto tx = w.sc.factory().make(a, 0, 5000);
+  const std::string raw = to_hex_bytes(wire::encode_transaction(tx));
+  const std::string batch =
+      R"([{"jsonrpc":"2.0","id":1,"method":"eth_sendRawTransaction","params":[")" + raw +
+      R"("]},{"jsonrpc":"2.0","id":2,"method":"eth_sendRawTransaction","params":[")" + raw +
+      R"("]}])";
+  const auto resp = Json::parse(w.server.handle(batch));
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp->as_array().size(), 2u);
+  EXPECT_EQ((*resp)[size_t{0}]["result"].as_string(), hash_to_hex(tx.hash()));
+  EXPECT_FALSE((*resp)[size_t{1}]["error"].is_null()) << "duplicate submission";
+  EXPECT_TRUE(w.client.has_transaction(tx.hash()));
 }
 
 TEST(Rpc, ValidationWorkflowChecksTxcEviction) {
