@@ -11,11 +11,16 @@
 //   coverage        — pairs tracked / pairs total at the final epoch
 //   reprobe         — epoch budget as a fraction of all pairs (< 0.20)
 //   inconclusive    — links still unresolved at the final epoch
+//   epoch sim-s     — mean post-bootstrap epoch makespan (sim seconds),
+//                     from the monitor's EpochStats ring
+//   utilization     — mean post-bootstrap budget utilization (forced
+//                     demand / budget; >= 1 means saturation)
 //
 // The --out artifact uses a "monitor" document shape: one cell per churn
-// level, detect_within_2 and coverage gated as one-sided floors by
-// scripts/bench_compare.py against BENCH_baseline.json (the runs are
-// deterministic, so any drop is a behavior change, not noise).
+// level. detect_within_2 and coverage gate as one-sided floors by
+// scripts/bench_compare.py against BENCH_baseline.json; epoch_sim_seconds
+// and budget_utilization gate TWO-SIDED — the runs are deterministic, so
+// cost moving in either direction is a behavior change, not noise.
 
 #include "bench_common.h"
 #include "graph/generators.h"
@@ -37,7 +42,7 @@ int main(int argc, char** argv) {
             << epochs << " epochs per churn level, default (auto) budget.\n\n";
 
   util::Table table({"Churn/epoch", "Budget", "Reprobe", "Detected<=" + util::fmt(within),
-                     "Coverage", "Inconclusive", "Flips"});
+                     "Coverage", "Inconclusive", "Flips", "Epoch sim-s", "Util"});
   rpc::JsonArray cells;
   bool ok = true;
 
@@ -67,12 +72,27 @@ int main(int argc, char** argv) {
                                ? 0.0
                                : static_cast<double>(mon.effective_epoch_budget()) /
                                      static_cast<double>(mon.pairs_total());
+    // Per-epoch cost from the telemetry ring, bootstrap excluded (epoch 0
+    // measures every pair; averaging it in would swamp the steady state).
+    double sim_sum = 0.0, util_sum = 0.0;
+    size_t post_bootstrap = 0;
+    for (const monitor::EpochStats& s : mon.health()->epochs) {
+      if (s.epoch == 0) continue;
+      sim_sum += s.sim_seconds;
+      util_sum += s.budget_utilization;
+      ++post_bootstrap;
+    }
+    const double epoch_sim =
+        post_bootstrap == 0 ? 0.0 : sim_sum / static_cast<double>(post_bootstrap);
+    const double utilization =
+        post_bootstrap == 0 ? 0.0 : util_sum / static_cast<double>(post_bootstrap);
     table.add_row({util::fmt(churn, 1), util::fmt(mon.effective_epoch_budget()),
                    util::fmt_pct(reprobe),
                    util::fmt(ev.detected) + "/" + util::fmt(ev.scoreable) + " (" +
                        util::fmt_pct(ev.detection_rate()) + ")",
                    util::fmt_pct(status.coverage), util::fmt(status.links_inconclusive),
-                   util::fmt(status.changes_observed)});
+                   util::fmt(status.changes_observed), util::fmt(epoch_sim, 1),
+                   util::fmt_pct(utilization)});
     cells.push_back(rpc::Json(rpc::JsonObject{
         {"churn", rpc::Json(churn)},
         {"budget", rpc::Json(static_cast<uint64_t>(mon.effective_epoch_budget()))},
@@ -81,6 +101,8 @@ int main(int argc, char** argv) {
         {"coverage", rpc::Json(status.coverage)},
         {"inconclusive", rpc::Json(static_cast<uint64_t>(status.links_inconclusive))},
         {"scoreable", rpc::Json(static_cast<uint64_t>(ev.scoreable))},
+        {"epoch_sim_seconds", rpc::Json(epoch_sim)},
+        {"budget_utilization", rpc::Json(utilization)},
     }));
     ok = ok && reprobe < 0.20;
   }

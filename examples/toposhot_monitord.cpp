@@ -28,12 +28,18 @@
 //                           empty line so request/response lines align
 //   --snapshot-out=PATH     final published snapshot as JSON
 //   --metrics-out=PATH      the monitor's metrics registry as JSON
+//   --prom-out=PATH         the registry as Prometheus text exposition
+//   --log-out=PATH          the structured event log as JSON lines
+//   --log-level=LVL         event-log threshold: debug|info|warn|error
+//                           (default info)
 //   --trace-out=PATH        per-epoch span trace (Chrome trace-event JSON)
 //
 // Determinism: snapshot/diff/status documents (and therefore --serve-out
 // and --snapshot-out) are byte-identical at any --threads width and on
-// either event-queue backend; --metrics-out holds only shard-invariant
-// monitor.* series. --trace-out, like campaign traces, depends on --shards.
+// either event-queue backend; --metrics-out and --prom-out hold only
+// shard-invariant monitor.*/obs.* series and share that contract.
+// --log-out and the topo_getHealth ring stamp sim time only, so they are
+// thread/backend-invariant too but, like --trace-out, depend on --shards.
 
 #include <fstream>
 #include <iostream>
@@ -43,6 +49,7 @@
 #include "disc/emergence.h"
 #include "graph/graph.h"
 #include "monitor/monitor.h"
+#include "obs/event_log.h"
 #include "obs/export.h"
 #include "rpc/monitor_rpc.h"
 #include "util/cli.h"
@@ -139,14 +146,33 @@ int run(const util::Cli& cli) {
 
   monitor::TopologyMonitor mon(std::move(truth), wopt, cfg, mopt);
 
+  util::LogLevel log_level = util::LogLevel::kInfo;
+  if (!obs::log_level_from_name(
+          cli.get_choice("log-level", "info", {"debug", "info", "warn", "error"}),
+          log_level)) {
+    log_level = util::LogLevel::kInfo;
+  }
+  mon.event_log().set_threshold(log_level);
+
   uint64_t injected_total = 0;
+  bool trace_drop_warned = false;
   for (uint64_t e = 0; e < epochs; ++e) {
     const auto res = mon.run_epoch();
     injected_total += res.changes_injected;
+    const auto health = mon.health();
     std::cout << "epoch " << res.epoch << ": measured " << res.pairs_selected
               << " pairs, " << res.changes_injected << " drift changes, "
               << res.hints << " hinted entries, " << res.flips
               << " verdict flips -> version " << res.snapshot->version << "\n";
+    std::cout << "  health: " << monitor::health_state_name(health->state) << " ("
+              << health->reason << ")\n";
+    if (res.trace_dropped > 0 && !trace_drop_warned) {
+      trace_drop_warned = true;
+      std::cerr << "warning: campaign trace ring dropped " << res.trace_dropped
+                << " events in epoch " << res.epoch
+                << " (older events overwritten; raise the ring capacity to keep "
+                   "full traces)\n";
+    }
   }
 
   const monitor::MonitorStatus status = mon.status();
@@ -169,6 +195,7 @@ int run(const util::Cli& cli) {
                  util::fmt(eval.detected) + " / " + util::fmt(eval.scoreable) + " (" +
                      util::fmt_pct(eval.detection_rate()) + ")"});
   table.add_row({"mean detection latency", util::fmt(eval.mean_latency_epochs, 2) + " epochs"});
+  table.add_row({"health", monitor::health_state_name(mon.health()->state)});
   table.print(std::cout);
 
   bool ok = true;
@@ -207,6 +234,27 @@ int run(const util::Cli& cli) {
       std::cout << "trace written to " << trace_out << "\n";
     }
   }
+  const std::string prom_out = cli.get_string("prom-out", "");
+  if (!prom_out.empty()) {
+    std::ofstream out(prom_out, std::ios::binary);
+    if (!out || !(out << *mon.metrics_exposition())) {
+      std::cerr << "failed to write " << prom_out << "\n";
+      ok = false;
+    } else {
+      std::cout << "exposition written to " << prom_out << "\n";
+    }
+  }
+  // Written last so RPC errors from the --serve-script replay land in it.
+  const std::string log_out = cli.get_string("log-out", "");
+  if (!log_out.empty()) {
+    std::ofstream out(log_out, std::ios::binary);
+    if (!out || !(out << mon.event_log().to_jsonl())) {
+      std::cerr << "failed to write " << log_out << "\n";
+      ok = false;
+    } else {
+      std::cout << "event log written to " << log_out << "\n";
+    }
+  }
   return ok ? 0 : 1;
 }
 
@@ -224,7 +272,8 @@ int main(int argc, char** argv) {
            "           --threads=N --shards=S --traffic-churn=R\n"
            "           --fault-loss=P --fault-churn=RATE --retries=R\n"
            "  output:  --serve-script=PATH --serve-out=PATH --snapshot-out=PATH\n"
-           "           --metrics-out=PATH --trace-out=PATH\n";
+           "           --metrics-out=PATH --prom-out=PATH --trace-out=PATH\n"
+           "           --log-out=PATH --log-level=debug|info|warn|error\n";
     return 0;
   }
   try {

@@ -39,8 +39,11 @@ def load_results(path):
                       probe count of a deterministic campaign moving in either
                       direction means the strategy's protocol changed)
       - "monitor":    the monitor_tracking --out sweep; two floor-gated
-                      metrics per churn level: detect_within_2 (the tracking
-                      acceptance bar) and coverage
+                      metrics per churn level — detect_within_2 (the tracking
+                      acceptance bar) and coverage — plus, when the artifact
+                      carries them, two cost metrics gated TWO-SIDED:
+                      epoch_sim_seconds and budget_utilization (deterministic
+                      runs, so cost drift either way is a behavior change)
     The sweep metrics ride in the items_per_second field — compare only
     needs "bigger is better", and the sims are deterministic, so any drift
     beyond the band signals a behavior change, not noise.
@@ -93,16 +96,23 @@ def load_results(path):
                 "items_per_second": float(c["detect_within_2"]), "real_time_ns": 0.0}
             out[f"{cell}/coverage"] = {"items_per_second": float(c["coverage"]),
                                        "real_time_ns": 0.0}
+            # Telemetry-era cost cells; absent from older artifacts.
+            for key in ("epoch_sim_seconds", "budget_utilization"):
+                if key in c:
+                    out[f"{cell}/{key}"] = {"items_per_second": float(c[key]),
+                                            "real_time_ns": 0.0}
     elif not out:
         sys.exit(f"error: {path} is neither gbench JSON nor a known sweep artifact")
     return out
 
 
 def two_sided(name):
-    """Entries gated in both directions; see load_results. Event-mix counts
-    and rivalry probe counts are deterministic, so drift either way is a
-    behavior change, not jitter."""
-    return name.startswith("event_mix/") or name.endswith("/txs_sent")
+    """Entries gated in both directions; see load_results. Event-mix counts,
+    rivalry probe counts, and the monitor's per-epoch cost cells are
+    deterministic, so drift either way is a behavior change, not jitter."""
+    return (name.startswith("event_mix/") or name.endswith("/txs_sent")
+            or name.endswith("/epoch_sim_seconds")
+            or name.endswith("/budget_utilization"))
 
 
 def load_baseline(path):

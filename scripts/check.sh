@@ -57,10 +57,16 @@ if [[ "${1:-}" != "--fast" ]]; then
   # (LinkTable*, TopologyMonitor*, MonitorRpc*, MonitorGolden*, etc.) join
   # them: the daemon hands shared_ptr snapshots across a writer/reader
   # boundary while concurrent readers race the epoch loop — the
-  # concurrent-reader test is only meaningful with ASan watching.
+  # concurrent-reader test is only meaningful with ASan watching. The
+  # telemetry-plane suites (EventLog*, EpochStats via TopologyMonitor*,
+  # Health*, Prometheus*) complete the set: the event log takes concurrent
+  # appends from RPC reader threads (including the reader-vs-epoch-loop
+  # race on topo_getMetrics / topo_getHealth inside MonitorRpc*), and the
+  # exposition walks histogram bucket arrays — ring and index arithmetic
+  # ASan should watch.
   echo "== pass 3: fault-injection + tracing + strategy suites under ASan (focused) =="
   ./build-asan/tests/toposhot_tests \
-    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*:Strategy*:Dethna*:TxProbe*:SnapshotWorld*:ForkWorld*:PeerLifetime*:BatchDelivery*:FifoClock*:PayloadArena*:LinkTable*:TopologyMonitor*:TopologyDiffTest*:MonitorStatusTest*:MonitorJson*:MonitorSchedule*:MonitorRpc*:MonitorGolden*:EvaluateTracking*'
+    --gtest_filter='Fault*:TraceRing*:SpanIds*:SpanTracer*:ChromeTrace*:DiagnosticsAnnex*:ProbeCausePlumbing*:GoldenDeterminism*:Strategy*:Dethna*:TxProbe*:SnapshotWorld*:ForkWorld*:PeerLifetime*:BatchDelivery*:FifoClock*:PayloadArena*:LinkTable*:TopologyMonitor*:TopologyDiffTest*:MonitorStatusTest*:MonitorJson*:MonitorSchedule*:MonitorRpc*:MonitorGolden*:EvaluateTracking*:EventLog*:Health*:Prometheus*'
 fi
 
 echo "All checks passed."

@@ -101,11 +101,16 @@ def main():
         assert "event_mix/mine_tick" in r.stdout, r.stdout
 
         # The "monitor" sweep shape: detection rate and coverage gate as
-        # one-sided floors, so a detection drop beyond the band fails.
-        def monitor_json(path, detect):
-            doc = {"monitor": [{"churn": 2.0, "budget": 41, "reprobe": 0.149,
-                                "detect_within_2": detect, "coverage": 1.0,
-                                "inconclusive": 0, "scoreable": 10}]}
+        # one-sided floors, so a detection drop beyond the band fails; the
+        # cost cells (epoch_sim_seconds, budget_utilization) gate two-sided.
+        def monitor_json(path, detect, epoch_sim=110.0, cost_cells=True):
+            cell = {"churn": 2.0, "budget": 41, "reprobe": 0.149,
+                    "detect_within_2": detect, "coverage": 1.0,
+                    "inconclusive": 0, "scoreable": 10}
+            if cost_cells:
+                cell["epoch_sim_seconds"] = epoch_sim
+                cell["budget_utilization"] = 0.25
+            doc = {"monitor": [cell]}
             with open(path, "w") as f:
                 json.dump(doc, f)
 
@@ -121,6 +126,24 @@ def main():
         r = run("compare", baseline, f"monitor={mon_regressed}")
         assert r.returncode != 0, "a detection-rate drop must fail the gate"
         assert "churn=2/detect_within_2" in r.stdout, r.stdout
+
+        # A *faster* epoch still fails: the cost cells are two-sided.
+        mon_faster = os.path.join(d, "monitor_faster.json")
+        monitor_json(mon_faster, 1.0, epoch_sim=50.0)
+        r = run("compare", baseline, f"monitor={mon_faster}")
+        assert r.returncode != 0, "epoch-cost drift in either direction must fail"
+        assert "churn=2/epoch_sim_seconds" in r.stdout, r.stdout
+
+        # Old artifacts without the cost cells still normalize and compare
+        # against their own (cost-less) baseline.
+        mon_old = os.path.join(d, "monitor_old.json")
+        monitor_json(mon_old, 1.0, cost_cells=False)
+        old_baseline = os.path.join(d, "baseline_old.json")
+        r = run("normalize", f"monitor={mon_old}", "-o", old_baseline,
+                "--tolerance", "0.10")
+        assert r.returncode == 0, f"cost-less normalize failed: {r.stderr}"
+        r = run("compare", old_baseline, f"monitor={mon_old}")
+        assert r.returncode == 0, f"cost-less sweep should pass: {r.stdout}{r.stderr}"
 
     print("bench_compare self-test: OK")
 

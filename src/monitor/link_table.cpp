@@ -288,6 +288,9 @@ rpc::Json status_to_json(const MonitorStatus& s) {
       {"pairs_measured", rpc::Json(s.pairs_measured)},
       {"changes_observed", rpc::Json(s.changes_observed)},
       {"confidence_histogram", rpc::Json(std::move(hist))},
+      {"trace_total_pushed", rpc::Json(s.trace_total_pushed)},
+      {"trace_dropped", rpc::Json(s.trace_dropped)},
+      {"log_dropped", rpc::Json(s.log_dropped)},
   });
 }
 
@@ -315,6 +318,9 @@ MonitorStatus status_from_json(const rpc::Json& j) {
     if (!b.is_number()) bad_field(doc, "confidence_histogram", "an array of 10 counts");
     s.confidence_histogram[i] = static_cast<uint64_t>(b.as_number());
   }
+  s.trace_total_pushed = require_uint(j, doc, "trace_total_pushed");
+  s.trace_dropped = require_uint(j, doc, "trace_dropped");
+  s.log_dropped = require_uint(j, doc, "log_dropped");
   return s;
 }
 
@@ -334,6 +340,12 @@ bool LinkTable::record(size_t u, size_t v, core::Verdict verdict, uint64_t epoch
   e.measured_epoch = epoch;
   e.hints = 0;
   return flipped;
+}
+
+size_t LinkTable::hinted(uint8_t min_strength) const {
+  size_t n = 0;
+  for (const auto& [k, e] : entries_) n += e.hints >= min_strength ? 1 : 0;
+  return n;
 }
 
 size_t LinkTable::hint_node(size_t node) {

@@ -119,6 +119,12 @@ struct MonitorStatus {
   /// Histogram of per-link confidence at the latest epoch: 10 uniform bins
   /// over [0, 1], last bin closed (confidence 1.0 lands in bin 9).
   std::array<uint64_t, 10> confidence_histogram{};
+  // Ring-pressure telemetry (status-v2): the daemon's own obs rings, so an
+  // RPC client can see undersized buffers without reading stderr. Filled by
+  // TopologyMonitor::status(), zero from make_status alone.
+  uint64_t trace_total_pushed = 0;  ///< obs.trace.total_pushed
+  uint64_t trace_dropped = 0;       ///< obs.trace.dropped (ring overwrites)
+  uint64_t log_dropped = 0;         ///< obs.log.dropped (event-log overwrites)
 
   friend bool operator==(const MonitorStatus&, const MonitorStatus&) = default;
 };
@@ -141,7 +147,7 @@ MonitorStatus make_status(const TopologySnapshot& latest, uint64_t versions);
 
 inline constexpr const char* kSnapshotSchema = "toposhot-snapshot-v1";
 inline constexpr const char* kDiffSchema = "toposhot-diff-v1";
-inline constexpr const char* kStatusSchema = "toposhot-status-v1";
+inline constexpr const char* kStatusSchema = "toposhot-status-v2";
 
 rpc::Json snapshot_to_json(const TopologySnapshot& s);
 TopologySnapshot snapshot_from_json(const rpc::Json& j);
@@ -176,6 +182,14 @@ class LinkTable {
   size_t nodes() const { return nodes_; }
   size_t pairs_total() const { return nodes_ < 2 ? 0 : nodes_ * (nodes_ - 1) / 2; }
   size_t tracked() const { return entries_.size(); }
+  /// Entries currently carrying a churn hint of at least `min_strength`
+  /// (confidence forced to 0 until re-measured). Strength 2 means both
+  /// endpoints churned since the pair's last measurement — not necessarily
+  /// in the same epoch, so the watchdog's per-epoch forced-demand count is
+  /// computed from the epoch's own hint set instead; strength-1 entries
+  /// are speculative fan-out (O(nodes) per churned peer), prioritized but
+  /// not obligatory.
+  size_t hinted(uint8_t min_strength = 1) const;
 
   /// Entry for canonical pair (u, v); nullptr when never measured.
   const Entry* find(size_t u, size_t v) const;

@@ -21,9 +21,15 @@
 // Determinism contract (tests/test_determinism.cpp, MonitorGolden*):
 // snapshots, diffs, and status carry no sim-time or wall-clock fields, so
 // a scripted run's artifacts are byte-identical at any --threads width and
-// on either event-queue backend; the monitor's own metrics registry keeps
-// only shard-invariant `monitor.*` series. Trace spans (one kEpoch span
-// per epoch) inherit the campaign trace's shards-dependence.
+// on either event-queue backend; the monitor's own metrics registry (and
+// therefore the topo_getMetrics Prometheus exposition) keeps only
+// shard-invariant `monitor.*` / `obs.*` series. The telemetry plane added
+// for the live daemon — the EpochStats ring behind topo_getHealth and the
+// structured event log — stamps everything with *sim* time, so it too is
+// byte-identical across --threads widths and backends; like trace spans
+// (one kEpoch span per epoch) it does depend on --shards, because shard
+// replicas repeat warm-up work and that moves sim-time durations and
+// event counts.
 
 #include <cstdint>
 #include <memory>
@@ -31,13 +37,17 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "core/config.h"
 #include "core/strategy.h"
 #include "core/toposhot.h"
 #include "exec/campaign.h"
 #include "fault/fault.h"
 #include "graph/graph.h"
+#include "monitor/health.h"
 #include "monitor/link_table.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -69,6 +79,19 @@ struct MonitorOptions {
   /// Record one obs::SpanKind::kEpoch span per epoch into the monitor's
   /// tracer (sim-time clock = cumulative campaign makespans).
   bool collect_spans = false;
+
+  /// Watchdog thresholds over the EpochStats ring (see monitor/health.h).
+  HealthThresholds health;
+
+  /// EpochStats ring depth — how many recent epochs topo_getHealth serves.
+  size_t stats_capacity = 32;
+
+  /// Event-log ring depth (obs::EventLog; overwrites count as dropped).
+  size_t log_capacity = obs::EventLog::kDefaultCapacity;
+
+  /// Warn in the event log when a campaign's payload-arena peak
+  /// (`net.arena_peak`) exceeds this many slots; 0 disables.
+  double arena_warn_peak = 0.0;
 
   // -- forwarded into each epoch's CampaignOptions ---------------------------
   size_t group_k = 3;
@@ -129,6 +152,7 @@ class TopologyMonitor {
     size_t hints = 0;             ///< table entries marked stale by node hints
     size_t flips = 0;             ///< verdict changes observed
     double sim_seconds = 0.0;     ///< campaign makespan (critical path)
+    uint64_t trace_dropped = 0;   ///< campaign trace-ring overwrites this epoch
     std::shared_ptr<const TopologySnapshot> snapshot;
   };
 
@@ -160,8 +184,20 @@ class TopologyMonitor {
   std::optional<TopologyDiff> diff(uint64_t v1, uint64_t v2) const;
 
   /// Aggregate state. Before the first epoch, a zeroed status carrying
-  /// only the topology dimensions.
+  /// only the topology dimensions. Always carries the daemon's own
+  /// ring-pressure telemetry (trace_total_pushed / trace_dropped /
+  /// log_dropped — status-v2).
   MonitorStatus status() const;
+
+  /// Latest watchdog verdict over the EpochStats ring, published at the end
+  /// of every epoch (before the first: `stalled`, empty ring). Never null.
+  std::shared_ptr<const HealthReport> health() const;
+
+  /// Latest Prometheus text exposition of the monitor's registry, published
+  /// at the end of every epoch (empty string before the first). Never null.
+  /// Like the registry itself it holds only shard-invariant series, so the
+  /// bytes are identical across --threads widths and queue backends.
+  std::shared_ptr<const std::string> metrics_exposition() const;
 
   // -- evaluation / observability (writer thread only) -----------------------
 
@@ -170,6 +206,12 @@ class TopologyMonitor {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   const obs::SpanTracer& tracer() const { return tracer_; }
+
+  /// Structured event log (epoch lifecycle, budget clamps, churn hints,
+  /// ring/arena pressure, RPC errors). Unlike the other observability
+  /// accessors it is internally synchronized, so the RPC server may append
+  /// error events from reader threads while the epoch loop writes.
+  obs::EventLog& event_log() const { return log_; }
 
  private:
   std::vector<std::pair<size_t, size_t>> select_pairs(uint64_t epoch) const;
@@ -188,9 +230,15 @@ class TopologyMonitor {
 
   obs::MetricsRegistry metrics_;
   obs::SpanTracer tracer_;
+  mutable obs::EventLog log_;
+  std::vector<EpochStats> stats_;  // bounded ring, oldest first
+  HealthState last_health_ = HealthState::kStalled;
+  bool budget_clamp_logged_ = false;
 
   mutable std::mutex versions_mutex_;
   std::vector<std::shared_ptr<const TopologySnapshot>> versions_;
+  std::shared_ptr<const HealthReport> health_;
+  std::shared_ptr<const std::string> exposition_;
 };
 
 /// Scores the monitor's snapshots against its injected ground-truth log: a

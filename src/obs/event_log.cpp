@@ -1,0 +1,140 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+
+namespace topo::obs {
+
+const char* log_level_name(util::LogLevel level) {
+  switch (level) {
+    case util::LogLevel::kDebug: return "debug";
+    case util::LogLevel::kInfo: return "info";
+    case util::LogLevel::kWarn: return "warn";
+    case util::LogLevel::kError: return "error";
+    case util::LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+bool log_level_from_name(const std::string& name, util::LogLevel& out) {
+  for (util::LogLevel l : {util::LogLevel::kDebug, util::LogLevel::kInfo,
+                           util::LogLevel::kWarn, util::LogLevel::kError,
+                           util::LogLevel::kOff}) {
+    if (name == log_level_name(l)) {
+      out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+rpc::Json log_event_to_json(const LogEvent& e) {
+  rpc::JsonObject fields;
+  for (const auto& [k, v] : e.fields) fields.emplace(k, v);
+  return rpc::Json(rpc::JsonObject{
+      {"event", rpc::Json(e.event)},
+      {"fields", rpc::Json(std::move(fields))},
+      {"level", rpc::Json(log_level_name(e.level))},
+      {"subsystem", rpc::Json(e.subsystem)},
+      {"t", rpc::Json(e.t)},
+  });
+}
+
+EventLog::EventLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
+void EventLog::set_clock(double sim_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = sim_seconds;
+}
+
+double EventLog::clock() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return clock_;
+}
+
+void EventLog::set_threshold(util::LogLevel level) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  threshold_ = level;
+}
+
+void EventLog::set_threshold(const std::string& subsystem, util::LogLevel level) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  subsystem_thresholds_[subsystem] = level;
+}
+
+util::LogLevel EventLog::threshold(const std::string& subsystem) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = subsystem_thresholds_.find(subsystem);
+  return it == subsystem_thresholds_.end() ? threshold_ : it->second;
+}
+
+bool EventLog::would_log(util::LogLevel level, const std::string& subsystem) const {
+  return level != util::LogLevel::kOff && level >= threshold(subsystem);
+}
+
+void EventLog::log(util::LogLevel level, std::string subsystem, std::string event,
+                   std::vector<std::pair<std::string, rpc::Json>> fields) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = subsystem_thresholds_.find(subsystem);
+  const util::LogLevel min = it == subsystem_thresholds_.end() ? threshold_ : it->second;
+  if (level == util::LogLevel::kOff || level < min) {
+    ++suppressed_;
+    return;
+  }
+  LogEvent e{clock_, level, std::move(subsystem), std::move(event), std::move(fields)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[head_] = std::move(e);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+size_t EventLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+uint64_t EventLog::total_pushed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+uint64_t EventLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_ - ring_.size();
+}
+
+uint64_t EventLog::suppressed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return suppressed_;
+}
+
+std::vector<LogEvent> EventLog::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<LogEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string EventLog::to_jsonl() const {
+  std::string out;
+  for (const LogEvent& e : events()) {
+    out += log_event_to_json(e).dump();
+    out += '\n';
+  }
+  return out;
+}
+
+void EventLog::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+  suppressed_ = 0;
+}
+
+}  // namespace topo::obs

@@ -72,16 +72,25 @@ MetricsSnapshot& MetricsSnapshot::merge(const MetricsSnapshot& other) {
     HistogramSnapshot& mine = it->second;
     if (h.count == 0) continue;
     if (mine.count == 0) {
-      mine.min = h.min;
-      mine.max = h.max;
-    } else {
-      mine.min = std::min(mine.min, h.min);
-      mine.max = std::max(mine.max, h.max);
+      // Nothing observed on this side yet: adopt the other side's tallies
+      // (bounds included) wholesale. First-*observed* bounds win, not merely
+      // first-seen — an empty placeholder with different bounds must not
+      // strand real observations in the incompatible-bounds path below.
+      mine = h;
+      continue;
     }
+    mine.min = std::min(mine.min, h.min);
+    mine.max = std::max(mine.max, h.max);
     if (mine.bounds == h.bounds) {
       for (size_t i = 0; i < mine.counts.size() && i < h.counts.size(); ++i) {
         mine.counts[i] += h.counts[i];
       }
+    } else if (!mine.counts.empty()) {
+      // Incompatible bounds: the per-bucket breakdown is unknowable, but the
+      // invariant sum(counts) == count must survive (the Prometheus
+      // exposition and bucket-sum consumers rely on it), so the other side's
+      // observations land in the overflow bucket.
+      mine.counts.back() += h.count;
     }
     mine.count += h.count;
     mine.sum += h.sum;

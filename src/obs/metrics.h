@@ -125,8 +125,11 @@ struct MetricsSnapshot {
   /// gauges sum (disjoint replicas each hold their own share of e.g. sim
   /// seconds or wei spent) while gauge high-water marks take the max.
   /// Histograms under the same name with different bucket bounds are
-  /// incompatible; the first-seen bounds win and only count/sum/min/max
-  /// accumulate. Merging is associative and order-independent.
+  /// incompatible; the first-*observed* bounds win (an empty side adopts
+  /// the other's bounds and tallies wholesale), and a non-empty loser's
+  /// observations fold into the winner's overflow bucket so the
+  /// sum(counts) == count invariant survives. Merging is associative and
+  /// order-independent up to bucket placement of incompatible tallies.
   MetricsSnapshot& merge(const MetricsSnapshot& other);
 
   bool operator==(const MetricsSnapshot& o) const = default;

@@ -1,0 +1,102 @@
+#include "obs/prometheus.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "rpc/json.h"
+
+namespace topo::obs {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// One deterministic number formatter for the whole telemetry plane:
+/// integral values take the %lld fast path, everything else %.17g — the
+/// same policy as the JSON exports, so the two surfaces never disagree.
+std::string num(double v) { return rpc::Json(v).dump(); }
+
+void emit_sample(std::string& out, const std::string& name, double value) {
+  out += name;
+  out += ' ';
+  out += num(value);
+  out += '\n';
+}
+
+void emit_type(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') out += '_';
+  for (char c : name) out += valid_name_char(c) ? c : '_';
+  return out;
+}
+
+std::string expose_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [raw, v] : snap.counters) {
+    const std::string name = sanitize_metric_name(raw);
+    emit_type(out, name, "counter");
+    emit_sample(out, name, static_cast<double>(v));
+  }
+  // Gauges and their high-water companions. After a one-sided merge the two
+  // maps can disagree, so walk both: a max without a current value still
+  // exposes (as `<name>_max` alone).
+  for (const auto& [raw, v] : snap.gauges) {
+    const std::string name = sanitize_metric_name(raw);
+    emit_type(out, name, "gauge");
+    emit_sample(out, name, v);
+    const auto mit = snap.gauge_maxes.find(raw);
+    if (mit != snap.gauge_maxes.end()) {
+      emit_type(out, name + "_max", "gauge");
+      emit_sample(out, name + "_max", mit->second);
+    }
+  }
+  for (const auto& [raw, v] : snap.gauge_maxes) {
+    if (snap.gauges.count(raw) != 0) continue;
+    const std::string name = sanitize_metric_name(raw) + "_max";
+    emit_type(out, name, "gauge");
+    emit_sample(out, name, v);
+  }
+  for (const auto& [raw, h] : snap.histograms) {
+    const std::string name = sanitize_metric_name(raw);
+    emit_type(out, name, "histogram");
+    uint64_t running = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i < h.counts.size()) running += h.counts[i];
+      out += name;
+      out += "_bucket{le=\"";
+      out += num(h.bounds[i]);
+      out += "\"} ";
+      out += num(static_cast<double>(running));
+      out += '\n';
+    }
+    // +Inf carries the authoritative observation count — after a
+    // mismatched-bounds merge it is the one total the snapshot vouches for.
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += num(static_cast<double>(h.count));
+    out += '\n';
+    emit_sample(out, name + "_sum", h.sum);
+    emit_sample(out, name + "_count", static_cast<double>(h.count));
+  }
+  return out;
+}
+
+std::string expose_prometheus(const MetricsRegistry& registry) {
+  return expose_prometheus(registry.snapshot());
+}
+
+}  // namespace topo::obs

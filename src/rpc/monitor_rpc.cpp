@@ -33,15 +33,27 @@ std::string MonitorRpcServer::handle(const std::string& request) {
 
 Json MonitorRpcServer::handle_json(const Json& request) {
   if (!request.is_object() || !request["method"].is_string()) {
+    log_error("", kInvalidRequest, "invalid request");
     return make_error_response(request["id"], kInvalidRequest, "invalid request");
   }
   const Json& id = request["id"];
-  Json out = dispatch(request["method"].as_string(), request["params"]);
+  const std::string& method = request["method"].as_string();
+  Json out = dispatch(method, request["params"]);
   if (out.is_object() && out["__error_code"].is_number()) {
-    return make_error_response(id, static_cast<int>(out["__error_code"].as_number()),
-                               out["__error_message"].as_string());
+    const int code = static_cast<int>(out["__error_code"].as_number());
+    const std::string& message = out["__error_message"].as_string();
+    log_error(method, code, message);
+    return make_error_response(id, code, message);
   }
   return make_result_response(id, std::move(out));
+}
+
+void MonitorRpcServer::log_error(const std::string& method, int code,
+                                 const std::string& message) {
+  mon_->event_log().log(util::LogLevel::kWarn, "rpc", "error",
+                        {{"method", Json(method)},
+                         {"code", Json(code)},
+                         {"message", Json(message)}});
 }
 
 Json MonitorRpcServer::dispatch(const std::string& method, const Json& params) {
@@ -70,6 +82,30 @@ Json MonitorRpcServer::dispatch(const std::string& method, const Json& params) {
   }
   if (method == "topo_getStatus") {
     return monitor::status_to_json(mon_->status());
+  }
+  if (method == "topo_getMetrics") {
+    bool raw = false;
+    if (params.is_array() && !params.as_array().empty()) {
+      const Json& mode = params[0];
+      if (!mode.is_string() ||
+          (mode.as_string() != "raw" && mode.as_string() != "wrapped")) {
+        return method_error(kInvalidParams, "expected [] or [\"raw\"]");
+      }
+      raw = mode.as_string() == "raw";
+    }
+    const std::shared_ptr<const std::string> body = mon_->metrics_exposition();
+    if (raw) return Json(*body);
+    return Json(JsonObject{
+        {"schema", Json(kMetricsSchema)},
+        {"format", Json("prometheus-text-0.0.4")},
+        {"body", Json(*body)},
+    });
+  }
+  if (method == "topo_getHealth") {
+    if (params.is_array() && !params.as_array().empty()) {
+      return method_error(kInvalidParams, "expected no params");
+    }
+    return monitor::health_to_json(*mon_->health());
   }
   return method_error(kMethodNotFound, "unknown method: " + method);
 }

@@ -5,13 +5,23 @@
 //   topo_getSnapshot [version?]  — one published TopologySnapshot
 //                                  (latest when the param is omitted)
 //   topo_getDiff     [v1, v2]    — structural diff between two versions
-//   topo_getStatus   []          — aggregate daemon state
+//   topo_getStatus   []          — aggregate daemon state (status-v2,
+//                                  including ring-pressure telemetry)
+//   topo_getMetrics  ["raw"?]    — Prometheus text exposition of the
+//                                  monitor registry; [] wraps the body in
+//                                  a {schema, format, body} object, ["raw"]
+//                                  returns the exposition string itself
+//   topo_getHealth   []          — watchdog verdict + the EpochStats ring
+//                                  (toposhot-health-v1)
 //
 // Reads are served exclusively from the monitor's immutable published
-// versions, so any number of concurrent clients never block (or observe a
-// torn view of) the measurement loop. The transport framing — including
-// JSON-RPC 2.0 batch arrays — is shared with the per-node Ethereum
-// endpoint via rpc::handle_serialized.
+// versions (snapshots, health reports, exposition strings), so any number
+// of concurrent clients never block (or observe a torn view of) the
+// measurement loop. The transport framing — including JSON-RPC 2.0 batch
+// arrays — is shared with the per-node Ethereum endpoint via
+// rpc::handle_serialized. Every error response is also appended to the
+// monitor's structured event log (subsystem "rpc", level warn); the log is
+// internally synchronized, so this is safe from reader threads.
 //
 // This header lives in src/rpc for discoverability but compiles into the
 // topo_monitor library: topo_rpc sits *below* topo_core in the layering,
@@ -27,6 +37,9 @@ class TopologyMonitor;
 }
 
 namespace topo::rpc {
+
+/// Schema tag of the wrapped topo_getMetrics result object.
+inline constexpr const char* kMetricsSchema = "toposhot-metrics-v1";
 
 /// One read endpoint per daemon. The monitor must outlive the server; the
 /// server only ever touches the monitor's thread-safe read API, so it can
@@ -44,6 +57,7 @@ class MonitorRpcServer {
 
  private:
   Json dispatch(const std::string& method, const Json& params);
+  void log_error(const std::string& method, int code, const std::string& message);
 
   const monitor::TopologyMonitor* mon_;
 };

@@ -388,12 +388,31 @@ constexpr const char* kMonitorScript[] = {
     R"({"jsonrpc":"2.0","id":6,"method":"topo_getSnapshot","params":[99]})",
 };
 
+/// The telemetry-plane script: the Prometheus exposition in both wrapping
+/// modes, the health report, and a bad-mode error (which also exercises the
+/// RPC-error event-log path inside a replayed conversation).
+constexpr const char* kTelemetryScript[] = {
+    R"({"jsonrpc":"2.0","id":7,"method":"topo_getMetrics","params":[]})",
+    R"({"jsonrpc":"2.0","id":8,"method":"topo_getMetrics","params":["raw"]})",
+    R"({"jsonrpc":"2.0","id":9,"method":"topo_getHealth","params":[]})",
+    R"({"jsonrpc":"2.0","id":10,"method":"topo_getMetrics","params":["xml"]})",
+};
+
 struct MonitorArtifacts {
   std::string serve;          ///< concatenated RPC responses, one per line
   std::string snapshot_json;  ///< latest published snapshot
   std::string diff_json;      ///< diff across the full published range
   std::string status_json;
   obs::MetricsSnapshot metrics;
+  // Telemetry plane. The exposition is a pure function of the (shard-
+  // invariant) registry; health, the telemetry serve transcript, and the
+  // event log carry sim-time durations and event counts, which are
+  // thread/backend-invariant but shard-DEPENDENT — compare them across
+  // --threads widths and backends only, never across --shards.
+  std::string prom_text;       ///< published Prometheus exposition
+  std::string health_json;     ///< published HealthReport document
+  std::string telemetry_serve; ///< kTelemetryScript responses, one per line
+  std::string log_jsonl;       ///< structured event log, JSON lines
 };
 
 MonitorArtifacts run_monitor(sim::QueueBackend backend, size_t threads, size_t shards) {
@@ -427,6 +446,14 @@ MonitorArtifacts run_monitor(sim::QueueBackend backend, size_t threads, size_t s
   out.diff_json = monitor::diff_to_json(*mon.diff(0, mon.versions() - 1)).dump();
   out.status_json = monitor::status_to_json(mon.status()).dump();
   out.metrics = mon.metrics().snapshot();
+  out.prom_text = *mon.metrics_exposition();
+  out.health_json = monitor::health_to_json(*mon.health()).dump();
+  for (const char* line : kTelemetryScript) {
+    out.telemetry_serve += server.handle(line) + "\n";
+  }
+  // The log is captured last so the scripted RPC errors (the unknown
+  // version above, the bad metrics mode here) are part of the artifact.
+  out.log_jsonl = mon.event_log().to_jsonl();
   return out;
 }
 
@@ -439,6 +466,13 @@ TEST(MonitorGolden, ScriptedRunIsByteIdenticalAcrossThreadsAndBackends) {
   EXPECT_EQ(wheel.diff_json, wide.diff_json);
   EXPECT_EQ(wheel.status_json, wide.status_json);
   EXPECT_EQ(wheel.metrics, wide.metrics);
+  // The whole telemetry plane is thread-width invariant: exposition bytes,
+  // the health document (sim-time durations only), the scripted telemetry
+  // conversation, and the structured event log.
+  EXPECT_EQ(wheel.prom_text, wide.prom_text);
+  EXPECT_EQ(wheel.health_json, wide.health_json);
+  EXPECT_EQ(wheel.telemetry_serve, wide.telemetry_serve);
+  EXPECT_EQ(wheel.log_jsonl, wide.log_jsonl);
 
   const auto heap = run_monitor(sim::QueueBackend::kLegacyHeap, 4, 2);
   EXPECT_EQ(wheel.serve, heap.serve);
@@ -449,10 +483,21 @@ TEST(MonitorGolden, ScriptedRunIsByteIdenticalAcrossThreadsAndBackends) {
   // (the campaign-internal sim.queue.impl.* metrics live in the campaign
   // results, which the monitor does not export).
   EXPECT_EQ(wheel.metrics, heap.metrics);
+  EXPECT_EQ(wheel.prom_text, heap.prom_text);
+  EXPECT_EQ(wheel.health_json, heap.health_json);
+  EXPECT_EQ(wheel.telemetry_serve, heap.telemetry_serve);
+  EXPECT_EQ(wheel.log_jsonl, heap.log_jsonl);
 
   EXPECT_FALSE(wheel.serve.empty());
-  // The error response is part of the conversation.
+  // The error responses are part of both conversations.
   EXPECT_NE(wheel.serve.find("unknown version"), std::string::npos);
+  EXPECT_NE(wheel.telemetry_serve.find("expected"), std::string::npos);
+  // The telemetry documents are real: exposition and health both carry the
+  // run's epoch count, and the raw RPC body equals the published bytes.
+  EXPECT_NE(wheel.prom_text.find("monitor_epochs 3\n"), std::string::npos);
+  EXPECT_NE(wheel.health_json.find("\"state\":"), std::string::npos);
+  EXPECT_NE(wheel.telemetry_serve.find("prometheus-text-0.0.4"), std::string::npos);
+  EXPECT_FALSE(wheel.log_jsonl.empty());
 }
 
 TEST(MonitorGolden, ScriptedRunIsByteIdenticalAcrossShardWidths) {
@@ -466,6 +511,11 @@ TEST(MonitorGolden, ScriptedRunIsByteIdenticalAcrossShardWidths) {
     EXPECT_EQ(one.diff_json, other->diff_json);
     EXPECT_EQ(one.status_json, other->status_json);
     EXPECT_EQ(one.metrics, other->metrics);
+    // The exposition is a pure function of the registry, so it inherits the
+    // registry's shard invariance. health_json / telemetry_serve /
+    // log_jsonl are deliberately NOT compared here: sim-time durations and
+    // event counts depend on --shards (replica warm-up repeats work).
+    EXPECT_EQ(one.prom_text, other->prom_text);
   }
 }
 

@@ -94,6 +94,22 @@ TEST(LinkTable, PriorityPutsBothEndpointHintsFirst) {
   EXPECT_EQ(pri[2], P(1, 2));
 }
 
+TEST(LinkTable, HintedCountsByStrength) {
+  LinkTable t(4);
+  t.record(0, 1, core::Verdict::kConnected, 0);
+  t.record(0, 2, core::Verdict::kConnected, 0);
+  t.record(1, 2, core::Verdict::kNegative, 0);
+  EXPECT_EQ(t.hinted(), 0u);
+  t.hint_node(0);
+  t.hint_node(1);
+  EXPECT_EQ(t.hinted(), 3u) << "every tracked pair touching node 0 or 1";
+  EXPECT_EQ(t.hinted(2), 1u) << "only (0,1) was hinted by both endpoints";
+  // Re-measuring clears the hint, at any strength.
+  t.record(0, 1, core::Verdict::kConnected, 1);
+  EXPECT_EQ(t.hinted(2), 0u);
+  EXPECT_EQ(t.hinted(), 2u);
+}
+
 TEST(LinkTable, PriorityOrdersByStalenessThenIdentity) {
   LinkTable t(4);
   t.record(0, 1, core::Verdict::kConnected, 3);  // freshest
@@ -279,6 +295,194 @@ TEST(MonitorJson, FromJsonIsStrict) {
   EXPECT_THROW(status_from_json(good), std::runtime_error) << "schema mismatch";
 }
 
+TEST(MonitorJson, StatusV2CarriesRingPressure) {
+  LinkTable t(4);
+  t.record(0, 1, core::Verdict::kConnected, 0);
+  MonitorStatus st = make_status(snap_of(t, 0), 1);
+  EXPECT_EQ(st.trace_total_pushed, 0u) << "make_status alone leaves them zero";
+  st.trace_total_pushed = 7;
+  st.trace_dropped = 3;
+  st.log_dropped = 1;
+  const rpc::Json j = status_to_json(st);
+  EXPECT_EQ(j["schema"].as_string(), std::string("toposhot-status-v2"));
+  EXPECT_DOUBLE_EQ(j["trace_dropped"].as_number(), 3.0);
+  EXPECT_EQ(status_from_json(j), st);
+}
+
+// -- EpochStats ring / health watchdog --------------------------------------
+
+EpochStats healthy_epoch(uint64_t epoch, double sim_seconds = 10.0) {
+  EpochStats s;
+  s.epoch = epoch;
+  s.sim_seconds = sim_seconds;
+  s.events_drained = 1000;
+  s.pairs_selected = 16;
+  s.pairs_reprobed = 12;
+  s.budget_utilization = 0.25;
+  s.mean_confidence = 0.8;
+  return s;
+}
+
+TEST(HealthWatchdog, EmptyRingIsStalled) {
+  const HealthReport r = classify_health({}, HealthThresholds{});
+  EXPECT_EQ(r.state, HealthState::kStalled);
+  EXPECT_EQ(r.reason, "no epochs published");
+  EXPECT_TRUE(r.epochs.empty());
+}
+
+TEST(HealthWatchdog, ZeroProgressIsStalled) {
+  {
+    EpochStats idle = healthy_epoch(3);
+    idle.pairs_selected = 0;
+    const HealthReport r =
+        classify_health({healthy_epoch(2), idle}, HealthThresholds{});
+    EXPECT_EQ(r.state, HealthState::kStalled);
+    EXPECT_NE(r.reason.find("epoch 3 made no progress"), std::string::npos);
+  }
+  {
+    EpochStats dead = healthy_epoch(3);
+    dead.events_drained = 0;
+    EXPECT_EQ(classify_health({dead}, HealthThresholds{}).state,
+              HealthState::kStalled);
+  }
+  // Only the *latest* epoch counts: an old stall already recovered from is
+  // history, not state.
+  EpochStats old_stall = healthy_epoch(1);
+  old_stall.pairs_selected = 0;
+  EXPECT_EQ(classify_health({old_stall, healthy_epoch(2)}, HealthThresholds{}).state,
+            HealthState::kOk);
+}
+
+TEST(HealthWatchdog, AbsoluteSlowEpochCap) {
+  HealthThresholds t;
+  t.slow_epoch_seconds = 10.0;
+  const HealthReport slow = classify_health({healthy_epoch(0, 11.0)}, t);
+  EXPECT_EQ(slow.state, HealthState::kDegradedSlowEpoch);
+  EXPECT_NE(slow.reason.find("over the absolute cap of 10"), std::string::npos);
+  EXPECT_EQ(classify_health({healthy_epoch(0, 10.0)}, t).state, HealthState::kOk)
+      << "the cap is exclusive";
+  // <= 0 disables the rule entirely.
+  t.slow_epoch_seconds = 0.0;
+  EXPECT_EQ(classify_health({healthy_epoch(0, 1e9)}, t).state, HealthState::kOk);
+}
+
+TEST(HealthWatchdog, FactorOverMedianNeedsHistory) {
+  HealthThresholds t;  // factor 3.0, min_history 3
+  std::vector<EpochStats> ring = {healthy_epoch(0, 10.0), healthy_epoch(1, 12.0),
+                                  healthy_epoch(2, 8.0), healthy_epoch(3, 35.0)};
+  // Median of {10, 12, 8} is 10; 35 > 3 * 10.
+  const HealthReport r = classify_health(ring, t);
+  EXPECT_EQ(r.state, HealthState::kDegradedSlowEpoch);
+  EXPECT_NE(r.reason.find("over 3x the prior median of 10"), std::string::npos);
+  // At exactly the factor it does not fire (strictly-over rule)...
+  ring.back().sim_seconds = 30.0;
+  EXPECT_EQ(classify_health(ring, t).state, HealthState::kOk);
+  // ...and with too little history the rule stays silent no matter what.
+  EXPECT_EQ(classify_health({healthy_epoch(0, 1.0), healthy_epoch(1, 1.0),
+                             healthy_epoch(2, 1000.0)},
+                            t)
+                .state,
+            HealthState::kOk)
+      << "ring size must exceed slow_epoch_min_history";
+}
+
+TEST(HealthWatchdog, SaturationNeedsConsecutiveEpochs) {
+  HealthThresholds t;  // saturation_utilization 1.0, saturation_epochs 2
+  EpochStats sat2 = healthy_epoch(2);
+  sat2.budget_utilization = 1.0;
+  EpochStats sat3 = healthy_epoch(3);
+  sat3.budget_utilization = 2.5;
+  const HealthReport r = classify_health({healthy_epoch(1), sat2, sat3}, t);
+  EXPECT_EQ(r.state, HealthState::kDegradedBudgetSaturated);
+  EXPECT_NE(r.reason.find("latest utilization 2.5"), std::string::npos);
+  // A single saturated epoch is a spike, not a state.
+  EXPECT_EQ(classify_health({healthy_epoch(1), healthy_epoch(2), sat3}, t).state,
+            HealthState::kOk);
+}
+
+// stalled > slow > saturated: the most actionable verdict wins.
+TEST(HealthWatchdog, StalledOutranksSlowOutranksSaturated) {
+  HealthThresholds t;
+  t.slow_epoch_seconds = 5.0;
+  EpochStats worst = healthy_epoch(1, 100.0);
+  worst.budget_utilization = 3.0;
+  EpochStats prior = healthy_epoch(0);
+  prior.budget_utilization = 3.0;
+  {
+    EpochStats stalled = worst;
+    stalled.events_drained = 0;
+    EXPECT_EQ(classify_health({prior, stalled}, t).state, HealthState::kStalled);
+  }
+  EXPECT_EQ(classify_health({prior, worst}, t).state,
+            HealthState::kDegradedSlowEpoch);
+  EpochStats merely_saturated = worst;
+  merely_saturated.sim_seconds = 1.0;
+  EXPECT_EQ(classify_health({prior, merely_saturated}, t).state,
+            HealthState::kDegradedBudgetSaturated);
+}
+
+TEST(HealthWatchdog, EqualInputsYieldEqualReports) {
+  const std::vector<EpochStats> ring = {healthy_epoch(0), healthy_epoch(1, 42.5)};
+  const HealthThresholds t;
+  const HealthReport a = classify_health(ring, t);
+  const HealthReport b = classify_health(ring, t);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(health_to_json(a).dump(), health_to_json(b).dump());
+}
+
+TEST(HealthJson, StateNamesRoundTrip) {
+  for (HealthState s :
+       {HealthState::kOk, HealthState::kDegradedSlowEpoch,
+        HealthState::kDegradedBudgetSaturated, HealthState::kStalled}) {
+    HealthState back = HealthState::kOk;
+    ASSERT_TRUE(health_state_from_name(health_state_name(s), back));
+    EXPECT_EQ(back, s);
+  }
+  HealthState unused;
+  EXPECT_FALSE(health_state_from_name("sick", unused));
+}
+
+TEST(HealthJson, RoundTripsExactly) {
+  EpochStats odd = healthy_epoch(7, 0.1 + 0.2);  // not exactly 0.3
+  odd.flips = 3;
+  odd.detection_lag_epochs = 1.5;
+  HealthThresholds t;
+  t.slow_epoch_seconds = 0.05;
+  const HealthReport r = classify_health({healthy_epoch(6), odd}, t);
+  EXPECT_EQ(r.state, HealthState::kDegradedSlowEpoch);
+  const rpc::Json j = health_to_json(r);
+  EXPECT_EQ(j["schema"].as_string(), std::string(kHealthSchema));
+  EXPECT_EQ(health_from_json(j), r);
+  // The serialized bytes reparse to the same document (%.17g doubles).
+  const auto reparsed = rpc::Json::parse(j.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(health_from_json(*reparsed), r);
+}
+
+TEST(HealthJson, FromJsonIsStrict) {
+  const rpc::Json good = health_to_json(classify_health({healthy_epoch(0)}, {}));
+  {  // wrong schema
+    rpc::Json j = good;
+    j.as_object()["schema"] = rpc::Json("toposhot-health-v999");
+    EXPECT_THROW(health_from_json(j), std::runtime_error);
+  }
+  {  // unknown state name
+    rpc::Json j = good;
+    j.as_object()["state"] = rpc::Json("sick");
+    EXPECT_THROW(health_from_json(j), std::runtime_error);
+  }
+  {  // missing per-epoch field
+    rpc::Json j = good;
+    j.as_object()["epochs"].as_array()[0].as_object().erase("flips");
+    EXPECT_THROW(health_from_json(j), std::runtime_error);
+  }
+  {  // negative count
+    rpc::Json j = good;
+    j.as_object()["epochs"].as_array()[0].as_object()["flips"] = rpc::Json(-1.0);
+    EXPECT_THROW(health_from_json(j), std::runtime_error);
+  }
+}
+
 // -- incremental batching (the schedule seam the monitor drives) ------------
 
 TEST(MonitorSchedule, PairBatchesCoverEachPairOnceWithinBudget) {
@@ -446,6 +650,132 @@ TEST(TopologyMonitorTest, ReadApiIsSafeUnderConcurrentReaders) {
   EXPECT_EQ(mon.versions(), 3u);
 }
 
+// -- telemetry plane (EpochStats ring, health, event log, exposition) -------
+
+TEST(TopologyMonitorTest, PreRunTelemetryIsPublishedAndStalled) {
+  MonitorWorld w(10, 20);
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, default_monitor_options());
+  const auto health = mon.health();
+  ASSERT_NE(health, nullptr) << "health is never null, even before epoch 0";
+  EXPECT_EQ(health->state, HealthState::kStalled);
+  EXPECT_TRUE(health->epochs.empty());
+  const auto expo = mon.metrics_exposition();
+  ASSERT_NE(expo, nullptr);
+  EXPECT_TRUE(expo->empty()) << "nothing measured, nothing exposed";
+  EXPECT_EQ(mon.status().log_dropped, 0u);
+}
+
+TEST(TopologyMonitorTest, EpochStatsRingKeepsLastN) {
+  MonitorWorld w(10, 21);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  mopt.stats_capacity = 2;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  mon.run(4);
+  const auto health = mon.health();
+  ASSERT_EQ(health->epochs.size(), 2u) << "ring trims to stats_capacity";
+  EXPECT_EQ(health->epochs[0].epoch, 2u);
+  EXPECT_EQ(health->epochs[1].epoch, 3u);
+  EXPECT_GT(health->epochs[1].events_drained, 0u);
+  EXPECT_GT(health->epochs[1].sim_seconds, 0.0);
+  EXPECT_EQ(health->epochs[1].pairs_selected, mon.effective_epoch_budget());
+  EXPECT_EQ(health->state, HealthState::kOk);
+}
+
+TEST(TopologyMonitorTest, HealthyRunExposesMetricsAndLogsEpochs) {
+  MonitorWorld w(12, 22);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  mon.run(2);
+
+  // The published exposition tracks the registry and the epoch count.
+  const auto expo = mon.metrics_exposition();
+  ASSERT_NE(expo, nullptr);
+  EXPECT_NE(expo->find("# TYPE monitor_epochs counter\nmonitor_epochs 2\n"),
+            std::string::npos);
+  EXPECT_NE(expo->find("monitor_coverage 1\n"), std::string::npos);
+  EXPECT_NE(expo->find("# TYPE monitor_epoch_utilization histogram\n"),
+            std::string::npos);
+  EXPECT_NE(expo->find("obs_log_dropped 0\n"), std::string::npos);
+
+  // The event log carries one "epoch" summary per epoch, sim-time stamped,
+  // monotonically.
+  const auto events = mon.event_log().events();
+  std::vector<const obs::LogEvent*> epochs;
+  for (const obs::LogEvent& e : events) {
+    if (e.subsystem == "monitor" && e.event == "epoch") epochs.push_back(&e);
+  }
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_GT(epochs[0]->t, 0.0);
+  EXPECT_GT(epochs[1]->t, epochs[0]->t);
+  bool saw_health_field = false;
+  for (const auto& [k, v] : epochs[1]->fields) {
+    if (k == "health") {
+      saw_health_field = true;
+      EXPECT_EQ(v.as_string(), "ok");
+    }
+  }
+  EXPECT_TRUE(saw_health_field);
+  EXPECT_EQ(mon.status().log_dropped, mon.event_log().dropped());
+}
+
+// A seeded run pushed over a tiny absolute sim-time cap must classify as
+// degraded:slow-epoch (the ISSUE's seeded slow-epoch scenario).
+TEST(TopologyMonitorTest, SeededSlowEpochIsClassifiedDegraded) {
+  MonitorWorld w(10, 23);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  mopt.health.slow_epoch_seconds = 1e-6;  // every real epoch blows this
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  mon.run(1);
+  const auto health = mon.health();
+  EXPECT_EQ(health->state, HealthState::kDegradedSlowEpoch);
+  EXPECT_NE(health->reason.find("over the absolute cap"), std::string::npos);
+  // The transition from the pre-run `stalled` was logged.
+  bool saw_transition = false;
+  for (const obs::LogEvent& e : mon.event_log().events()) {
+    if (e.event == "health-changed") {
+      saw_transition = true;
+      EXPECT_EQ(e.level, util::LogLevel::kWarn) << "leaving ok-land warns";
+    }
+  }
+  EXPECT_TRUE(saw_transition);
+}
+
+// A budget far under the forced demand saturates: with bootstrap disabled
+// every epoch's never-measured backlog alone dwarfs a budget of 1.
+TEST(TopologyMonitorTest, StarvedBudgetIsClassifiedSaturated) {
+  MonitorWorld w(10, 24);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  mopt.bootstrap_full = false;
+  mopt.epoch_budget = 1;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  mon.run(3);
+  const auto health = mon.health();
+  EXPECT_EQ(health->state, HealthState::kDegradedBudgetSaturated);
+  EXPECT_GT(health->epochs.back().budget_utilization, 1.0);
+}
+
+// A world with no candidate pairs never selects or drains anything: the
+// watchdog must call that stalled, and the epoch loop must survive it
+// (the campaign is skipped outright — an empty selection must not fall
+// through to CampaignOptions' "empty means full schedule" rule).
+TEST(TopologyMonitorTest, DegenerateWorldIsClassifiedStalled) {
+  MonitorWorld w(1, 25);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 0.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  const auto res = mon.run_epoch();
+  EXPECT_EQ(res.pairs_selected, 0u);
+  ASSERT_NE(res.snapshot, nullptr);
+  EXPECT_TRUE(res.snapshot->links.empty());
+  const auto health = mon.health();
+  EXPECT_EQ(health->state, HealthState::kStalled);
+  EXPECT_NE(health->reason.find("made no progress"), std::string::npos);
+}
+
 // -- evaluation -------------------------------------------------------------
 
 TEST(EvaluateTracking, WindowsPendingAndPerfectDetection) {
@@ -560,6 +890,124 @@ TEST(MonitorRpc, BatchRequestsAnswerInOrder) {
   ASSERT_EQ(resp->as_array().size(), 2u) << "the notification earns no entry";
   EXPECT_DOUBLE_EQ((*resp)[size_t{0}]["id"].as_number(), 1.0);
   EXPECT_DOUBLE_EQ((*resp)[size_t{1}]["id"].as_number(), 2.0);
+}
+
+TEST(MonitorRpc, ServesMetricsAndHealth) {
+  MonitorWorld w(10, 26);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  mon.run(2);
+  rpc::MonitorRpcServer server(&mon);
+
+  // Wrapped (default) mode: schema + format + the exposition body.
+  const auto wrapped = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":1,"method":"topo_getMetrics","params":[]})"));
+  ASSERT_TRUE(wrapped.has_value());
+  const rpc::Json& result = (*wrapped)["result"];
+  EXPECT_EQ(result["schema"].as_string(), std::string(rpc::kMetricsSchema));
+  EXPECT_EQ(result["format"].as_string(), "prometheus-text-0.0.4");
+  EXPECT_EQ(result["body"].as_string(), *mon.metrics_exposition());
+  const auto explicit_wrapped = rpc::Json::parse(server.handle(
+      R"({"jsonrpc":"2.0","id":2,"method":"topo_getMetrics","params":["wrapped"]})"));
+  EXPECT_EQ((*explicit_wrapped)["result"].dump(), result.dump());
+
+  // Raw mode: the exposition text itself, scrape-ready.
+  const auto raw = rpc::Json::parse(server.handle(
+      R"({"jsonrpc":"2.0","id":3,"method":"topo_getMetrics","params":["raw"]})"));
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ((*raw)["result"].as_string(), *mon.metrics_exposition());
+
+  // topo_getHealth round-trips the published report exactly.
+  const auto health_resp = rpc::Json::parse(
+      server.handle(R"({"jsonrpc":"2.0","id":4,"method":"topo_getHealth","params":[]})"));
+  ASSERT_TRUE(health_resp.has_value());
+  EXPECT_EQ(health_from_json((*health_resp)["result"]), *mon.health());
+
+  // Bad params on both methods.
+  auto resp = rpc::Json::parse(server.handle(
+      R"({"jsonrpc":"2.0","id":5,"method":"topo_getMetrics","params":["xml"]})"));
+  EXPECT_DOUBLE_EQ(error_code_of(*resp), rpc::kInvalidParams);
+  resp = rpc::Json::parse(server.handle(
+      R"({"jsonrpc":"2.0","id":6,"method":"topo_getMetrics","params":[7]})"));
+  EXPECT_DOUBLE_EQ(error_code_of(*resp), rpc::kInvalidParams);
+  resp = rpc::Json::parse(server.handle(
+      R"({"jsonrpc":"2.0","id":7,"method":"topo_getHealth","params":[0]})"));
+  EXPECT_DOUBLE_EQ(error_code_of(*resp), rpc::kInvalidParams);
+}
+
+TEST(MonitorRpc, ErrorsAreLoggedToTheEventLog) {
+  MonitorWorld w(10, 27);
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, default_monitor_options());
+  rpc::MonitorRpcServer server(&mon);
+  (void)server.handle(
+      R"({"jsonrpc":"2.0","id":1,"method":"topo_noSuchMethod","params":[]})");
+  (void)server.handle(
+      R"({"jsonrpc":"2.0","id":2,"method":"topo_getDiff","params":[0]})");
+  std::vector<obs::LogEvent> errors;
+  for (const obs::LogEvent& e : mon.event_log().events()) {
+    if (e.subsystem == "rpc" && e.event == "error") errors.push_back(e);
+  }
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].level, util::LogLevel::kWarn);
+  bool saw_code = false, saw_method = false;
+  for (const auto& [k, v] : errors[0].fields) {
+    if (k == "code") {
+      saw_code = true;
+      EXPECT_DOUBLE_EQ(v.as_number(), rpc::kMethodNotFound);
+    }
+    if (k == "method") {
+      saw_method = true;
+      EXPECT_EQ(v.as_string(), "topo_noSuchMethod");
+    }
+  }
+  EXPECT_TRUE(saw_code);
+  EXPECT_TRUE(saw_method);
+  // Successful calls log nothing.
+  mon.run(1);
+  const size_t before = mon.event_log().events().size();
+  (void)server.handle(
+      R"({"jsonrpc":"2.0","id":3,"method":"topo_getStatus","params":[]})");
+  EXPECT_EQ(mon.event_log().events().size(), before);
+}
+
+// The new read methods serve published state: hammering them from reader
+// threads while the epoch loop runs must stay race-free (check.sh runs
+// this under ASan) and always yield well-formed, parseable documents.
+TEST(MonitorRpc, TelemetryReadsAreSafeDuringEpochLoop) {
+  MonitorWorld w(10, 28);
+  MonitorOptions mopt = default_monitor_options();
+  mopt.churn_per_epoch = 1.0;
+  TopologyMonitor mon(w.truth, w.wopt, w.cfg, mopt);
+  rpc::MonitorRpcServer server(&mon);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto health_resp = rpc::Json::parse(server.handle(
+            R"({"jsonrpc":"2.0","id":1,"method":"topo_getHealth","params":[]})"));
+        ASSERT_TRUE(health_resp.has_value());
+        const HealthReport r = health_from_json((*health_resp)["result"]);
+        for (size_t e = 1; e < r.epochs.size(); ++e) {
+          EXPECT_GT(r.epochs[e].epoch, r.epochs[e - 1].epoch)
+              << "published rings are immutable and ordered";
+        }
+        const auto metrics_resp = rpc::Json::parse(server.handle(
+            R"({"jsonrpc":"2.0","id":2,"method":"topo_getMetrics","params":["raw"]})"));
+        ASSERT_TRUE(metrics_resp.has_value());
+        EXPECT_TRUE((*metrics_resp)["result"].is_string());
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  mon.run(3);
+  stop.store(true);
+  for (std::thread& th : readers) th.join();
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(mon.health()->state, HealthState::kOk);
 }
 
 // -- the acceptance bar -----------------------------------------------------

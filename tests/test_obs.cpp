@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/toposhot.h"
+#include "obs/event_log.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/phase.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 
 namespace topo {
@@ -108,6 +112,274 @@ TEST(Metrics, SnapshotDiffSince) {
   EXPECT_EQ(delta.histograms.at("h").count, 1u);   // one new observation
   EXPECT_EQ(delta.histograms.at("h").counts[1], 1u);
   EXPECT_EQ(delta.histograms.at("h").counts[0], 0u);
+}
+
+// Merge across shards with *matching* histogram bounds: the baseline the
+// mismatch cases below deviate from.
+TEST(Metrics, MergeAccumulatesFlowsAndLevels) {
+  obs::MetricsRegistry a;
+  a.counter("c").inc(3);
+  a.gauge("g").set(2.0);
+  a.histogram("h", {1.0}).observe(0.5);
+  obs::MetricsRegistry b;
+  b.counter("c").inc(4);
+  b.gauge("g").set(5.0);
+  b.histogram("h", {1.0}).observe(9.0);
+  obs::MetricsSnapshot m = a.snapshot();
+  m.merge(b.snapshot());
+  EXPECT_EQ(m.counters.at("c"), 7u);
+  EXPECT_DOUBLE_EQ(m.gauges.at("g"), 7.0);           // gauges sum
+  EXPECT_DOUBLE_EQ(m.gauge_maxes.at("g"), 5.0);      // maxes take max
+  EXPECT_EQ(m.histograms.at("h").count, 2u);
+  EXPECT_EQ(m.histograms.at("h").counts[0], 1u);
+  EXPECT_EQ(m.histograms.at("h").counts[1], 1u);
+}
+
+// Incompatible bucket bounds: the loser's observations must land in the
+// winner's overflow bucket so sum(counts) == count survives the merge.
+TEST(Metrics, MergeMismatchedHistogramBoundsFoldIntoOverflow) {
+  obs::MetricsRegistry a;
+  a.histogram("h", {1.0, 10.0}).observe(0.5);
+  a.histogram("h", {1.0, 10.0}).observe(5.0);
+  obs::MetricsRegistry b;
+  b.histogram("h", {2.0}).observe(1.5);
+  b.histogram("h", {2.0}).observe(50.0);
+  obs::MetricsSnapshot m = a.snapshot();
+  m.merge(b.snapshot());
+  const obs::HistogramSnapshot& h = m.histograms.at("h");
+  ASSERT_EQ(h.bounds, (std::vector<double>{1.0, 10.0}));  // first-observed wins
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 2u);  // b's two observations, folded
+  EXPECT_EQ(h.count, 4u);
+  uint64_t bucket_sum = 0;
+  for (uint64_t c : h.counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, h.count) << "invariant must survive the fold";
+  EXPECT_DOUBLE_EQ(h.sum, 57.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 50.0);
+}
+
+// An empty placeholder (histogram interned but never observed) must not
+// strand the other side's real observations in the overflow path: the
+// first *observed* bounds win, not merely the first seen.
+TEST(Metrics, MergeEmptySideAdoptsObservedBounds) {
+  obs::MetricsRegistry a;
+  (void)a.histogram("h", {1.0, 2.0});  // interned, zero observations
+  obs::MetricsRegistry b;
+  b.histogram("h", {5.0}).observe(3.0);
+  obs::MetricsSnapshot m = a.snapshot();
+  m.merge(b.snapshot());
+  const obs::HistogramSnapshot& h = m.histograms.at("h");
+  EXPECT_EQ(h.bounds, (std::vector<double>{5.0}));
+  EXPECT_EQ(h.count, 1u);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 1u);
+  // And the mirror image: merging an empty other side is a no-op.
+  obs::MetricsSnapshot m2 = b.snapshot();
+  const obs::MetricsSnapshot before = m2;
+  m2.merge(a.snapshot());
+  EXPECT_EQ(m2.histograms.at("h"), before.histograms.at("h"));
+}
+
+// A gauge max present on only one side must survive the merge, even
+// without a matching current value on the other.
+TEST(Metrics, MergeOneSidedGaugeMax) {
+  obs::MetricsSnapshot a;
+  a.gauge_maxes["only.mine"] = 3.0;
+  a.gauge_maxes["shared"] = 2.0;
+  obs::MetricsSnapshot b;
+  b.gauge_maxes["only.theirs"] = 7.0;
+  b.gauge_maxes["shared"] = 9.0;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.gauge_maxes.at("only.mine"), 3.0);
+  EXPECT_DOUBLE_EQ(a.gauge_maxes.at("only.theirs"), 7.0);
+  EXPECT_DOUBLE_EQ(a.gauge_maxes.at("shared"), 9.0);
+  EXPECT_TRUE(a.gauges.empty()) << "a one-sided max must not invent a value";
+}
+
+TEST(Prometheus, SanitizesMetricNames) {
+  EXPECT_EQ(obs::sanitize_metric_name("monitor.pairs_measured"),
+            "monitor_pairs_measured");
+  EXPECT_EQ(obs::sanitize_metric_name("net:bytes"), "net:bytes");
+  EXPECT_EQ(obs::sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::sanitize_metric_name("a-b c"), "a_b_c");
+  EXPECT_EQ(obs::sanitize_metric_name(""), "");
+}
+
+TEST(Prometheus, RendersCountersGaugesAndMaxes) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("b.level").set(1.5);
+  reg.gauge("b.level").set(0.5);
+  const std::string text = obs::expose_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE a_count counter\na_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE b_level gauge\nb_level 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE b_level_max gauge\nb_level_max 1.5\n"),
+            std::string::npos);
+  // Counters render before gauges; samples are name-sorted within a kind.
+  EXPECT_LT(text.find("a_count 3"), text.find("b_level 0.5"));
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulative) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("h", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(5.0);
+  h.observe(50.0);
+  const std::string text = obs::expose_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE h histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("h_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("h_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("h_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("h_sum 56.5\n"), std::string::npos);
+  EXPECT_NE(text.find("h_count 4\n"), std::string::npos);
+}
+
+// A high-water mark with no surviving current value (possible after a
+// one-sided merge) still exposes, as `<name>_max` alone.
+TEST(Prometheus, OrphanGaugeMaxStillExposes) {
+  obs::MetricsSnapshot snap;
+  snap.gauge_maxes["net.arena_peak"] = 4096.0;
+  const std::string text = obs::expose_prometheus(snap);
+  EXPECT_NE(text.find("# TYPE net_arena_peak_max gauge\nnet_arena_peak_max 4096\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE net_arena_peak gauge"), std::string::npos);
+}
+
+// The exposition is a pure function of the snapshot: equal snapshots from
+// differently ordered construction render byte-identically.
+TEST(Prometheus, ByteStableAcrossConstructionOrder) {
+  obs::MetricsRegistry a;
+  a.counter("z").inc(1);
+  a.counter("a").inc(2);
+  a.gauge("m").set(3.0);
+  a.histogram("h", {1.0}).observe(0.5);
+  obs::MetricsRegistry b;
+  b.histogram("h", {1.0}).observe(0.5);
+  b.gauge("m").set(3.0);
+  b.counter("a").inc(2);
+  b.counter("z").inc(1);
+  EXPECT_EQ(obs::expose_prometheus(a), obs::expose_prometheus(b));
+}
+
+// After a mismatched-bounds merge the +Inf bucket and _count lines must
+// agree — the exposition's own consistency requirement.
+TEST(Prometheus, MergedMismatchedHistogramStaysConsistent) {
+  obs::MetricsRegistry a;
+  a.histogram("h", {1.0}).observe(0.5);
+  obs::MetricsRegistry b;
+  b.histogram("h", {2.0, 4.0}).observe(3.0);
+  b.histogram("h", {2.0, 4.0}).observe(9.0);
+  obs::MetricsSnapshot m = a.snapshot();
+  m.merge(b.snapshot());
+  const std::string text = obs::expose_prometheus(m);
+  EXPECT_NE(text.find("h_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("h_count 3\n"), std::string::npos);
+  // The fold lands in the implicit overflow bucket, past every finite
+  // bound: the finite cumulative counts only what was really bucketed.
+  EXPECT_NE(text.find("h_bucket{le=\"1\"} 1\n"), std::string::npos);
+}
+
+TEST(EventLog, ThresholdFiltersAndCountsSuppressed) {
+  obs::EventLog log(8);
+  EXPECT_FALSE(log.would_log(util::LogLevel::kDebug, "monitor"));
+  log.log(util::LogLevel::kDebug, "monitor", "ignored");
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.suppressed(), 1u);
+  EXPECT_EQ(log.total_pushed(), 0u);
+  log.set_threshold(util::LogLevel::kDebug);
+  log.log(util::LogLevel::kDebug, "monitor", "kept");
+  EXPECT_EQ(log.size(), 1u);
+  // Per-subsystem override wins over the global threshold.
+  log.set_threshold("net", util::LogLevel::kError);
+  EXPECT_FALSE(log.would_log(util::LogLevel::kWarn, "net"));
+  EXPECT_TRUE(log.would_log(util::LogLevel::kWarn, "monitor"));
+  log.log(util::LogLevel::kWarn, "net", "suppressed-by-override");
+  EXPECT_EQ(log.suppressed(), 2u);
+  log.log(util::LogLevel::kError, "net", "kept");
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.threshold("net"), util::LogLevel::kError);
+  EXPECT_EQ(log.threshold("monitor"), util::LogLevel::kDebug);
+}
+
+TEST(EventLog, RingWrapsOldestFirstWithDropAccounting) {
+  obs::EventLog log(4);
+  log.set_threshold(util::LogLevel::kDebug);
+  for (int i = 0; i < 10; ++i) {
+    log.set_clock(static_cast<double>(i));
+    log.log(util::LogLevel::kInfo, "s", "e" + std::to_string(i));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_pushed(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  EXPECT_EQ(log.suppressed(), 0u) << "drops are pressure, not policy";
+  const std::vector<obs::LogEvent> events = log.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].event, "e" + std::to_string(6 + i));
+    EXPECT_DOUBLE_EQ(events[i].t, 6.0 + static_cast<double>(i));
+  }
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, JsonlLinesParseWithSortedFields) {
+  obs::EventLog log;
+  log.set_clock(12.5);
+  log.log(util::LogLevel::kWarn, "rpc", "method-error",
+          {{"zcode", rpc::Json(-32601.0)}, {"attempt", rpc::Json(1.0)}});
+  const std::string jsonl = log.to_jsonl();
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+  const std::string line = jsonl.substr(0, jsonl.size() - 1);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto parsed = rpc::Json::parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)["level"].as_string(), "warn");
+  EXPECT_EQ((*parsed)["subsystem"].as_string(), "rpc");
+  EXPECT_EQ((*parsed)["event"].as_string(), "method-error");
+  EXPECT_DOUBLE_EQ((*parsed)["t"].as_number(), 12.5);
+  EXPECT_DOUBLE_EQ((*parsed)["fields"]["zcode"].as_number(), -32601.0);
+  // Keys render sorted regardless of field insertion order.
+  EXPECT_LT(line.find("\"attempt\""), line.find("\"zcode\""));
+}
+
+TEST(EventLog, LevelNamesRoundTrip) {
+  using util::LogLevel;
+  for (LogLevel l : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                     LogLevel::kError, LogLevel::kOff}) {
+    LogLevel back = LogLevel::kOff;
+    ASSERT_TRUE(obs::log_level_from_name(obs::log_level_name(l), back));
+    EXPECT_EQ(back, l);
+  }
+  LogLevel out = LogLevel::kInfo;
+  EXPECT_FALSE(obs::log_level_from_name("verbose", out));
+}
+
+// The log is internally synchronized: concurrent appenders (the RPC server
+// logs method errors from reader threads) must not corrupt the ring.
+TEST(EventLog, ConcurrentWritersKeepAccountingExact) {
+  obs::EventLog log(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.log(util::LogLevel::kInfo, "w" + std::to_string(t), "tick",
+                {{"i", rpc::Json(static_cast<double>(i))}});
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(log.total_pushed(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(log.size(), 64u);
+  EXPECT_EQ(log.dropped(), static_cast<uint64_t>(kThreads * kPerThread - 64));
+  for (const obs::LogEvent& e : log.events()) EXPECT_EQ(e.event, "tick");
 }
 
 TEST(Trace, RingWrapsAroundOldestFirst) {
